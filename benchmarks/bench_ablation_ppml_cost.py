@@ -1,0 +1,138 @@
+"""Ablation A3 — PPML online-cost savings from ReLU → quadratic conversion.
+
+The paper's introduction motivates quadratic layers as a way to cut the cost
+of privacy-preserving inference: hybrid protocols (Delphi, Gazelle) evaluate
+every ReLU with a garbled circuit, and HE-only protocols (CryptoNets) cannot
+evaluate ReLU at all.  This ablation quantifies both effects on a VGG-8
+backbone:
+
+* the online communication / latency of the original ReLU model vs. its
+  square-activation and quadratic-no-ReLU conversions under each protocol, and
+* that the converted models still train on the synthetic classification task
+  (the conversions do not destroy the model).
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    BATCH_SIZE,
+    MAX_BATCHES,
+    NUM_CLASSES,
+    WIDTH,
+    classification_data,
+    fresh_seed,
+    save_experiment,
+)
+from repro import ppml
+from repro.builder import QuadraticModelConfig
+from repro.models import vgg_from_cfg
+from repro.training import train_classifier
+from repro.utils import print_table
+
+#: Analysis uses the full-size VGG-8 at the paper's 32×32 CIFAR resolution; the
+#: cost model is analytical, so there is no reason to scale it down.
+ANALYSIS_INPUT = (3, 32, 32)
+#: Training sanity check uses the benchmark-scaled configuration.
+TRAIN_CFG = [16, "M", 32, "M"]
+EPOCHS = 2
+CHANCE = 1.0 / NUM_CLASSES
+
+
+def _analysis_model():
+    config = QuadraticModelConfig(neuron_type="first_order")
+    return vgg_from_cfg("VGG8", num_classes=10, config=config)
+
+
+def _variants():
+    """(name, model) pairs: the ReLU baseline and its PPML conversions."""
+    baseline = _analysis_model()
+    square, square_report = ppml.to_ppml_friendly(_analysis_model(), strategy="square",
+                                                  inplace=False)
+    quadratic, quad_report = ppml.to_ppml_friendly(_analysis_model(),
+                                                   strategy="quadratic_no_relu", inplace=False)
+    return [
+        ("First-order (ReLU)", baseline, None),
+        ("Square activations (CryptoNets recipe)", square, square_report),
+        ("QuadraNN, no ReLU (this paper)", quadratic, quad_report),
+    ]
+
+
+def test_ablation_ppml_cost(benchmark):
+    fresh_seed(90)
+    variants = _variants()
+
+    rows, results = [], {}
+    reports = {}
+    for name, model, conversion in variants:
+        per_protocol = ppml.compare_protocols(model, ANALYSIS_INPUT)
+        reports[name] = per_protocol
+        delphi = per_protocol["delphi"]
+        cryptonets = per_protocol["cryptonets"]
+        rows.append([
+            name,
+            delphi.relu_count,
+            delphi.mult_count,
+            round(delphi.total.megabytes, 2),
+            round(delphi.total.milliseconds, 2),
+            "yes" if cryptonets.runnable else "no",
+        ])
+        results[name] = {
+            "relu_ops": delphi.relu_count,
+            "secure_mults": delphi.mult_count,
+            "delphi_comm_mb": delphi.total.megabytes,
+            "delphi_latency_ms": delphi.total.milliseconds,
+            "delphi_relu_share": delphi.relu_share(),
+            "cryptonets_runnable": cryptonets.runnable,
+            "parameters": model.num_parameters(),
+            "conversion": None if conversion is None else {
+                "activations_replaced": conversion.activations_replaced,
+                "layers_quadratized": conversion.layers_quadratized,
+                "maxpools_replaced": conversion.maxpools_replaced,
+            },
+        }
+
+    print()
+    print_table(
+        ["Model", "ReLU ops", "Secure mults", "Delphi comm (MB)", "Delphi latency (ms)",
+         "CryptoNets runnable"],
+        rows,
+        title="Ablation A3 (PPML): online cost of ReLU vs. quadratic models, VGG-8 at 32x32",
+    )
+
+    # --- The paper's PPML claims -------------------------------------------------
+    baseline = reports["First-order (ReLU)"]["delphi"]
+    quadratic = reports["QuadraNN, no ReLU (this paper)"]["delphi"]
+    square = reports["Square activations (CryptoNets recipe)"]["delphi"]
+    # ReLU evaluation dominates the baseline's online cost.
+    assert baseline.relu_share() > 0.9
+    # Both conversions remove every garbled-circuit operation and are cheaper online.
+    assert quadratic.relu_count == 0 and square.relu_count == 0
+    assert quadratic.total.microseconds < baseline.total.microseconds
+    assert square.total.microseconds < baseline.total.microseconds
+    # Only the converted models can run under the HE-only protocol at all.
+    assert not reports["First-order (ReLU)"]["cryptonets"].runnable
+    assert reports["Square activations (CryptoNets recipe)"]["cryptonets"].runnable
+    assert reports["QuadraNN, no ReLU (this paper)"]["cryptonets"].runnable
+
+    # --- Conversions keep the model trainable ------------------------------------
+    train_set, test_set = classification_data()
+    accuracies = {}
+    for index, strategy in enumerate(("square", "quadratic_no_relu")):
+        fresh_seed(91 + index)
+        config = QuadraticModelConfig(neuron_type="first_order", width_multiplier=WIDTH)
+        model = vgg_from_cfg(TRAIN_CFG, num_classes=NUM_CLASSES, config=config)
+        converted, _ = ppml.to_ppml_friendly(model, strategy=strategy)
+        with np.errstate(all="ignore"):
+            history = train_classifier(converted, train_set, test_set, epochs=EPOCHS,
+                                       batch_size=BATCH_SIZE, lr=0.05,
+                                       max_batches_per_epoch=MAX_BATCHES, seed=42)
+        accuracies[strategy] = history.final_train_accuracy
+        assert history.final_train_accuracy > CHANCE
+    results["train_accuracy_after_conversion"] = accuracies
+
+    save_experiment("ablation_ppml_cost", results)
+
+    # Timed kernel: the analytical cost model itself (count + estimate).
+    model = _analysis_model()
+    benchmark(lambda: ppml.analyse_model(model, ANALYSIS_INPUT, protocol="delphi"))

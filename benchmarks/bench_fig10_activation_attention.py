@@ -1,0 +1,103 @@
+"""Fig. 10 — activation attention: first-order layers see edges, quadratic layers see objects.
+
+The paper visualises first-layer activations of a first-order CNN and a QDNN
+and observes that the quadratic layer's attention covers whole objects while
+the first-order layer highlights edges.  The scaled reproduction trains two
+small classifiers on images that contain a single bright object (from the
+synthetic detection generator), computes first-layer attention maps, and
+summarises them with the object-interior vs. edge-band attention statistic.
+The qualitative maps are also rendered as ASCII so the benchmark output is a
+self-contained figure.
+"""
+
+import numpy as np
+import pytest
+
+from common import fresh_seed, save_experiment
+from repro.analysis import activation_attention, attention_statistics, capture_activation, render_ascii
+from repro.builder import QuadraticModelConfig
+from repro.data import TensorDataset
+from repro.data.synthetic import SyntheticDetectionDataset
+from repro.models import SmallConvNet
+from repro.training import train_classifier
+from repro.utils import print_table
+
+IMAGE = 32
+NUM_CLASSES = 3
+WIDTH = 0.5
+
+
+def _single_object_dataset(num_samples: int, seed: int):
+    """Images with exactly one object; labels are the object class; masks mark its box."""
+    base = SyntheticDetectionDataset(num_samples=num_samples, image_size=IMAGE,
+                                     num_classes=NUM_CLASSES, max_objects=1, seed=seed)
+    images = np.stack([base[i][0] for i in range(len(base))]).astype(np.float32)
+    labels = np.array([int(base[i][1]["labels"][0]) for i in range(len(base))])
+    masks = np.zeros((len(base), IMAGE, IMAGE), dtype=bool)
+    for i in range(len(base)):
+        x0, y0, x1, y1 = (base[i][1]["boxes"][0] * IMAGE).astype(int)
+        masks[i, max(y0, 0):y1, max(x0, 0):x1] = True
+    return images, labels, masks
+
+
+def test_fig10_activation_attention(benchmark):
+    fresh_seed(100)
+    images, labels, masks = _single_object_dataset(96, seed=3)
+    dataset = TensorDataset(images, labels)
+
+    fresh_seed(101)
+    first_order = SmallConvNet(num_classes=NUM_CLASSES, image_size=IMAGE,
+                               config=QuadraticModelConfig(neuron_type="first_order",
+                                                           width_multiplier=WIDTH))
+    fresh_seed(102)
+    quadratic = SmallConvNet(num_classes=NUM_CLASSES, image_size=IMAGE,
+                             config=QuadraticModelConfig(neuron_type="OURS",
+                                                         width_multiplier=WIDTH))
+    train_classifier(first_order, dataset, epochs=2, batch_size=16, lr=0.05,
+                     max_batches_per_epoch=5, seed=19)
+    train_classifier(quadratic, dataset, epochs=2, batch_size=16, lr=0.05,
+                     max_batches_per_epoch=5, seed=19)
+
+    probe_images = images[:8]
+    probe_masks = masks[:8]
+    act_first = capture_activation(first_order, first_order.features[0], probe_images)
+    act_quad = capture_activation(quadratic, quadratic.features[0], probe_images)
+    attention_first = activation_attention(act_first)
+    attention_quad = activation_attention(act_quad)
+
+    ratios_first, ratios_quad = [], []
+    for i in range(len(probe_images)):
+        ratios_first.append(
+            attention_statistics(attention_first[i], probe_masks[i]).object_to_edge_ratio)
+        ratios_quad.append(
+            attention_statistics(attention_quad[i], probe_masks[i]).object_to_edge_ratio)
+
+    rows = [
+        ["First-order conv layer", round(float(np.mean(ratios_first)), 3)],
+        ["Quadratic conv layer", round(float(np.mean(ratios_quad)), 3)],
+    ]
+    print()
+    print_table(["First layer", "object / edge attention ratio (mean over images)"], rows,
+                title="Fig. 10 (reproduced, scaled): activation attention statistics")
+    print("\nExample attention maps (image 0):")
+    print("First-order layer:")
+    print(render_ascii(attention_first[0], width=32))
+    print("Quadratic layer:")
+    print(render_ascii(attention_quad[0], width=32))
+
+    save_experiment("fig10_activation_attention", {
+        "first_order_object_edge_ratio": float(np.mean(ratios_first)),
+        "quadratic_object_edge_ratio": float(np.mean(ratios_quad)),
+        "per_image_first": [float(r) for r in ratios_first],
+        "per_image_quadratic": [float(r) for r in ratios_quad],
+    })
+
+    # Both statistics are finite and positive; the paper's qualitative claim is
+    # that the quadratic ratio is the larger one — reported, and softly checked
+    # (the quadratic layer should at least not be *less* object-focused by a
+    # large margin at this scale).
+    assert np.isfinite(ratios_first).all() and np.isfinite(ratios_quad).all()
+    assert float(np.mean(ratios_quad)) > 0.5 * float(np.mean(ratios_first))
+
+    # Timed kernel: computing one attention map.
+    benchmark(lambda: activation_attention(act_quad))

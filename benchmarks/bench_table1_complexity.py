@@ -1,0 +1,101 @@
+"""Table 1 — overview of quadratic neuron designs: complexity and parameters.
+
+Regenerates the analytic columns of the paper's Table 1 (computation
+complexity and model-structure/space complexity per neuron type) and augments
+them with *measured* parameter counts from instantiated layers, plus the
+ratio to a first-order layer of the same shape.
+"""
+
+import pytest
+
+from common import fresh_seed, save_experiment
+from repro.quadratic import NEURON_TYPES, QuadraticConv2d, QuadraticConv2dT1
+from repro.quadratic.complexity import (
+    conv_layer_cost,
+    first_order_conv_cost,
+    linear_layer_cost,
+)
+from repro.utils import print_table
+
+IN_CHANNELS = 16
+OUT_CHANNELS = 16
+KERNEL = 3
+
+
+def _measured_parameters(name: str) -> int:
+    """Parameters of an instantiated conv layer of the given design (measured)."""
+    spec = NEURON_TYPES[name]
+    if spec.full_rank:
+        layer = QuadraticConv2dT1(IN_CHANNELS, OUT_CHANNELS, kernel_size=KERNEL,
+                                  neuron_type=name)
+    else:
+        layer = QuadraticConv2d(IN_CHANNELS, OUT_CHANNELS, kernel_size=KERNEL,
+                                neuron_type=name)
+    return layer.num_parameters()
+
+
+def test_table1_complexity_overview(benchmark):
+    """Print the Table 1 overview and check its qualitative ordering."""
+    fresh_seed(1)
+    baseline = first_order_conv_cost(IN_CHANNELS, OUT_CHANNELS, KERNEL, output_hw=(16, 16))
+
+    rows = []
+    results = {}
+    for name, spec in NEURON_TYPES.items():
+        analytic = conv_layer_cost(name, IN_CHANNELS, OUT_CHANNELS, KERNEL, output_hw=(16, 16))
+        measured = _measured_parameters(name)
+        ratio = measured / baseline.parameters
+        rows.append([
+            name, spec.formula, spec.time_complexity, spec.space_complexity,
+            measured, round(ratio, 2), ", ".join(spec.issues) or "-",
+        ])
+        results[name] = {
+            "formula": spec.formula,
+            "time_complexity": spec.time_complexity,
+            "space_complexity": spec.space_complexity,
+            "analytic_parameters": analytic.parameters,
+            "measured_parameters": measured,
+            "parameter_ratio_vs_first_order": ratio,
+            "issues": list(spec.issues),
+        }
+
+    print()
+    print_table(
+        ["Type", "Neuron format", "Comp. complexity", "Structure", "#Param (conv 16→16, k=3)",
+         "×first-order", "Issues"],
+        rows,
+        title="Table 1 (reproduced): overview of quadratic neuron designs",
+    )
+    save_experiment("table1_complexity", results)
+
+    # Qualitative checks that mirror the paper's table.
+    assert results["T1_PURE"]["measured_parameters"] > 10 * results["OURS"]["measured_parameters"]
+    assert results["OURS"]["parameter_ratio_vs_first_order"] == pytest.approx(3.0, rel=0.05)
+    assert results["T4"]["parameter_ratio_vs_first_order"] == pytest.approx(2.0, rel=0.05)
+    assert results["T2"]["parameter_ratio_vs_first_order"] == pytest.approx(1.0, rel=0.05)
+
+    # Timed kernel: building + one forward of the paper's neuron.
+    from repro.autodiff import randn
+
+    layer = QuadraticConv2d(IN_CHANNELS, OUT_CHANNELS, kernel_size=KERNEL, padding=1,
+                            neuron_type="OURS")
+    x = randn(4, IN_CHANNELS, 16, 16)
+    benchmark(lambda: layer(x))
+
+
+def test_table1_dense_scaling_is_quadratic_for_t1(benchmark):
+    """The O(n²) column: T1 parameters grow quadratically with input size, ours linearly."""
+    sizes = [16, 32, 64, 128]
+    t1 = [linear_layer_cost("T1_PURE", n, 32, bias=False).parameters for n in sizes]
+    ours = [linear_layer_cost("OURS", n, 32, bias=False).parameters for n in sizes]
+    rows = [[n, a, b, round(a / b, 1)] for n, a, b in zip(sizes, t1, ours)]
+    print()
+    print_table(["input size n", "T1 params", "Ours params", "T1 / Ours"], rows,
+                title="Table 1 (supplement): parameter growth with input size")
+    save_experiment("table1_scaling", {"sizes": sizes, "t1": t1, "ours": ours})
+
+    # Quadratic vs linear growth: doubling n quadruples T1 but only doubles ours.
+    assert t1[1] / t1[0] == pytest.approx(4.0, rel=0.05)
+    assert ours[1] / ours[0] == pytest.approx(2.0, rel=0.05)
+
+    benchmark(lambda: [linear_layer_cost("T1_PURE", n, 32) for n in sizes])

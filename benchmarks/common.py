@@ -1,0 +1,82 @@
+"""Shared configuration and helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at a *scaled*
+workload (synthetic data, reduced widths/epochs) so that the full suite runs
+on a CPU in minutes.  The scaling constants live here so a user with more
+time can raise them in one place; the relative comparisons the paper makes
+(who wins, by roughly what factor) are preserved at any scale.
+
+Each benchmark
+
+* trains/evaluates the models of the corresponding experiment,
+* prints the paper-style table via :func:`repro.utils.print_table`,
+* saves the raw numbers to ``benchmarks/results/<experiment>.json``, and
+* uses the ``benchmark`` fixture on a representative kernel (one training or
+  inference step) so ``pytest --benchmark-only`` also reports timing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageClassification
+from repro.utils import save_results, seed_everything
+
+# --------------------------------------------------------------------------- #
+# Global scale knobs (raise these for a higher-fidelity reproduction)
+# --------------------------------------------------------------------------- #
+
+#: width multiplier applied to every backbone (paper uses 1.0)
+WIDTH = 0.25
+#: samples in the synthetic training sets (paper: 50k CIFAR images)
+TRAIN_SAMPLES = 192
+#: samples in the synthetic test sets (paper: 10k CIFAR images)
+TEST_SAMPLES = 96
+#: training epochs per model (paper: 200)
+EPOCHS = 3
+#: batches per epoch cap
+MAX_BATCHES = 6
+#: mini-batch size (paper: 256 / 128)
+BATCH_SIZE = 16
+#: image resolution for the classification benchmarks (paper: 32 / 64)
+IMAGE_SIZE = 16
+#: number of classes for the CIFAR-10 stand-in
+NUM_CLASSES = 6
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def classification_data(num_classes: int = NUM_CLASSES, image_size: int = IMAGE_SIZE,
+                        seed: int = 0):
+    """Train/test synthetic classification datasets sharing class recipes."""
+    train = SyntheticImageClassification(num_samples=TRAIN_SAMPLES, num_classes=num_classes,
+                                         image_size=image_size, seed=seed, split_seed=0)
+    test = SyntheticImageClassification(num_samples=TEST_SAMPLES, num_classes=num_classes,
+                                        image_size=image_size, seed=seed, split_seed=1)
+    return train, test
+
+
+def save_experiment(name: str, results: Dict) -> str:
+    """Persist an experiment's numbers under ``benchmarks/results``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    save_results(results, path)
+    return path
+
+
+def fresh_seed(offset: int = 0) -> None:
+    """Deterministic seeding per benchmark."""
+    seed_everything(1234 + offset)
+
+
+def mb(nbytes: float) -> float:
+    """Bytes → mebibytes."""
+    return float(nbytes) / (1024 ** 2)
+
+
+def gib(nbytes: float) -> float:
+    """Bytes → gibibytes."""
+    return float(nbytes) / (1024 ** 3)

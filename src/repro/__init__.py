@@ -1,0 +1,70 @@
+"""QuadraLib reproduction — a quadratic neural network library.
+
+The package reproduces *QuadraLib: A Performant Quadratic Neural Network
+Library for Architecture Optimization and Design Exploration* (MLSys 2022)
+on top of a from-scratch NumPy autodiff substrate.
+
+Subpackages
+-----------
+``autodiff``   reverse-mode autodiff engine (Tensor, Function, checkpointing)
+``nn``         Module/Parameter layer library, losses, initialisation
+``optim``      SGD/Adam optimizers and learning-rate schedulers
+``data``       datasets, loaders and the synthetic workload generators
+``quadratic``  quadratic neuron types, layers, hybrid back-propagation (core)
+``builder``    configuration-driven construction and the QDNN auto-builder (core)
+``explore``    architecture search / design exploration over QDNN structures
+``models``     VGG / ResNet / MobileNet / SNGAN / SSD model zoo
+``profiler``   training-memory, latency and FLOPs profilers
+``ppml``       privacy-preserving inference cost models and ReLU→quadratic conversion
+``analysis``   activation attention and gradient/weight distribution tools
+``training``   classification / GAN / detection trainers
+``metrics``    accuracy, VOC mAP, IS/FID (proxy feature network)
+``utils``      seeding, logging/tables, checkpoint serialisation
+
+Quickstart
+----------
+>>> from repro import quadratic as qua
+>>> from repro import nn
+>>> model = nn.Sequential(
+...     qua.typenew(3, 16, kernel_size=3, padding=1),   # the paper's neuron
+...     nn.BatchNorm2d(16),
+...     nn.ReLU(),
+... )
+"""
+
+__version__ = "0.1.0"
+
+from . import (
+    analysis,
+    autodiff,
+    builder,
+    data,
+    explore,
+    metrics,
+    models,
+    nn,
+    optim,
+    ppml,
+    profiler,
+    quadratic,
+    training,
+    utils,
+)
+
+__all__ = [
+    "autodiff",
+    "nn",
+    "optim",
+    "data",
+    "quadratic",
+    "builder",
+    "explore",
+    "models",
+    "ppml",
+    "profiler",
+    "analysis",
+    "training",
+    "metrics",
+    "utils",
+    "__version__",
+]

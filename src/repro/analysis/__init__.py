@@ -1,0 +1,37 @@
+"""``repro.analysis`` — QuadraLib's application-level model analysis tools."""
+
+from ..quadratic.gradients import GradientFlowProbe
+from .activation_vis import (
+    AttentionStats,
+    activation_attention,
+    attention_statistics,
+    capture_activation,
+    compare_first_layer_attention,
+    render_ascii,
+)
+from .distributions import (
+    DistributionSummary,
+    activation_distributions,
+    gradient_distributions,
+    histogram,
+    weight_distributions,
+)
+from .plots import ascii_bar_chart, ascii_line_chart, sparkline
+
+__all__ = [
+    "GradientFlowProbe",
+    "capture_activation",
+    "activation_attention",
+    "attention_statistics",
+    "AttentionStats",
+    "render_ascii",
+    "compare_first_layer_attention",
+    "DistributionSummary",
+    "weight_distributions",
+    "gradient_distributions",
+    "activation_distributions",
+    "histogram",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+    "sparkline",
+]

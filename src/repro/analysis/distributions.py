@@ -1,0 +1,98 @@
+"""Weight / gradient / activation distribution statistics (QuadraLib analysis tools).
+
+The paper's Application Level provides "activation and weight/gradient
+distribution visualization".  Offline and headless, the same information is
+exposed as summary statistics and fixed-bin histograms that the benchmarks and
+examples print as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..autodiff.tensor import Tensor
+from ..nn.module import Module
+
+
+@dataclass
+class DistributionSummary:
+    """Five-number summary plus moments of an array."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    fraction_near_zero: float
+
+    @classmethod
+    def from_array(cls, name: str, values: np.ndarray, zero_tol: float = 1e-6
+                   ) -> "DistributionSummary":
+        flat = np.asarray(values).ravel()
+        if flat.size == 0:
+            return cls(name, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+        return cls(
+            name=name,
+            mean=float(flat.mean()),
+            std=float(flat.std()),
+            minimum=float(flat.min()),
+            maximum=float(flat.max()),
+            fraction_near_zero=float((np.abs(flat) < zero_tol).mean()),
+        )
+
+
+def weight_distributions(model: Module) -> List[DistributionSummary]:
+    """Summaries of every parameter tensor in the model."""
+    return [DistributionSummary.from_array(name, param.data)
+            for name, param in model.named_parameters()]
+
+
+def gradient_distributions(model: Module) -> List[DistributionSummary]:
+    """Summaries of every parameter's gradient (zeros if not yet computed)."""
+    summaries = []
+    for name, param in model.named_parameters():
+        grad = param.grad if param.grad is not None else np.zeros(1, dtype=np.float32)
+        summaries.append(DistributionSummary.from_array(name, grad))
+    return summaries
+
+
+def activation_distributions(model: Module, images: np.ndarray,
+                             layer_names: Optional[Sequence[str]] = None
+                             ) -> Dict[str, DistributionSummary]:
+    """Summaries of layer outputs for a probe batch (captured via hooks)."""
+    captured: Dict[str, np.ndarray] = {}
+    removers = []
+
+    def make_hook(name: str):
+        def hook(_module, _inputs, output):
+            if isinstance(output, Tensor):
+                captured[name] = output.data
+        return hook
+
+    for name, module in model.named_modules():
+        if not module._modules:  # leaves only
+            if layer_names is None or any(f in name for f in layer_names):
+                removers.append(module.register_forward_hook(make_hook(name)))
+
+    was_training = model.training
+    model.train(False)
+    try:
+        with no_grad():
+            model(Tensor(np.asarray(images, dtype=np.float32)))
+    finally:
+        for remove in removers:
+            remove()
+        model.train(was_training)
+    return {name: DistributionSummary.from_array(name, values)
+            for name, values in captured.items()}
+
+
+def histogram(values: np.ndarray, bins: int = 20, value_range: Optional[tuple] = None
+              ) -> Dict[str, np.ndarray]:
+    """Fixed-bin histogram (counts and edges) of an array."""
+    counts, edges = np.histogram(np.asarray(values).ravel(), bins=bins, range=value_range)
+    return {"counts": counts, "edges": edges}

@@ -1,0 +1,146 @@
+"""ASCII plotting for the figure-reproduction benchmarks.
+
+The paper's Figures 5, 7 and 8 are curves (memory vs. model, gradient norm vs.
+epoch, memory vs. time within one iteration).  The benchmark harness runs in a
+terminal with no plotting backend, so these helpers render the same curves as
+fixed-width ASCII charts: a multi-series line chart, a horizontal bar chart
+and one-line sparklines.  Output is deterministic, which also makes the charts
+diff-able across benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Plot markers assigned to series in insertion order.
+_MARKERS = "*o+x#@%&"
+
+#: Unicode block characters used by :func:`sparkline`, from low to high.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character rendering of a series (empty input → '')."""
+    data = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+    if data.size == 0:
+        return ""
+    lo, hi = float(data.min()), float(data.max())
+    span = hi - lo
+    if span == 0:
+        return _BLOCKS[4] * data.size
+    indices = np.round((data - lo) / span * (len(_BLOCKS) - 2)).astype(int) + 1
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def ascii_line_chart(series: Dict[str, Sequence[float]], width: int = 64, height: int = 12,
+                     title: str = "", y_label: str = "", x_label: str = "") -> str:
+    """Render one or more series as a fixed-width ASCII line chart.
+
+    Parameters
+    ----------
+    series : dict
+        Mapping from series name to its values.  Series may have different
+        lengths; each is stretched over the full chart width.
+    width, height : int
+        Plot area size in characters (excluding axes and labels).
+    title, y_label, x_label : str
+        Optional annotations.
+    """
+    if not series:
+        raise ValueError("ascii_line_chart needs at least one series")
+    if width < 8 or height < 3:
+        raise ValueError(f"chart area too small: {width}x{height}")
+
+    finite_values = [v for values in series.values() for v in values if np.isfinite(v)]
+    if not finite_values:
+        raise ValueError("no finite values to plot")
+    lo, hi = float(min(finite_values)), float(max(finite_values))
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        clean = [v if np.isfinite(v) else None for v in values]
+        n = len(clean)
+        if n == 0:
+            continue
+        for column in range(width):
+            # Map the column back to a position in the series (nearest sample).
+            position = column / max(width - 1, 1) * (n - 1) if n > 1 else 0
+            value = clean[int(round(position))]
+            if value is None:
+                continue
+            row = int(round((value - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    top_label, bottom_label = _format_value(hi), _format_value(lo)
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label)
+    legend = "   ".join(f"{_MARKERS[i % len(_MARKERS)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(labels: Sequence[str], values: Sequence[float], width: int = 50,
+                    title: str = "", reference_lines: Optional[Dict[str, float]] = None) -> str:
+    """Render labelled values as horizontal ASCII bars.
+
+    Parameters
+    ----------
+    labels, values :
+        Bar names and their (non-negative) magnitudes.
+    width : int
+        Length in characters of the longest bar.
+    reference_lines : dict, optional
+        Named reference values (e.g. GPU memory budgets in Fig. 5); each is
+        rendered as an extra row marked with ``|`` at its position.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"labels ({len(labels)}) and values ({len(values)}) differ in length")
+    if not labels:
+        raise ValueError("ascii_bar_chart needs at least one bar")
+    clean = [0.0 if not np.isfinite(v) else float(v) for v in values]
+    if any(v < 0 for v in clean):
+        raise ValueError("bar values must be non-negative")
+    reference_lines = reference_lines or {}
+    scale_max = max(list(clean) + list(reference_lines.values()) + [1e-12])
+
+    name_width = max(len(str(l)) for l in list(labels) + list(reference_lines))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, clean):
+        bar = "#" * int(round(value / scale_max * width))
+        lines.append(f"{str(label).ljust(name_width)} | {bar} {_format_value(value)}")
+    for name, value in reference_lines.items():
+        position = int(round(value / scale_max * width))
+        marker_row = " " * position + "|"
+        lines.append(f"{name.ljust(name_width)} | {marker_row} {_format_value(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""``repro.autodiff`` — a reverse-mode automatic differentiation engine.
+
+This package is the substrate that replaces PyTorch's autograd for the
+QuadraLib reproduction: a dynamically-built operation graph over NumPy
+arrays, a ``Function`` class with user-definable backward passes (needed for
+the paper's hybrid back-propagation), gradient-mode control, and gradient
+checkpointing.
+"""
+
+from .checkpoint import checkpoint
+from .function import Context, Function, unbroadcast
+from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .tensor import (
+    Tensor,
+    arange,
+    cat,
+    concatenate,
+    einsum,
+    full,
+    ones,
+    ones_like,
+    rand,
+    randn,
+    stack,
+    tensor,
+    where,
+    zeros,
+    zeros_like,
+)
+
+__all__ = [
+    "Tensor",
+    "Function",
+    "Context",
+    "unbroadcast",
+    "checkpoint",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "set_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "full",
+    "zeros_like",
+    "ones_like",
+    "arange",
+    "randn",
+    "rand",
+    "concatenate",
+    "cat",
+    "stack",
+    "where",
+    "einsum",
+]

@@ -1,0 +1,67 @@
+"""Gradient checkpointing.
+
+``checkpoint(fn, *inputs)`` runs ``fn`` without recording intermediates and
+re-executes it during the backward pass, trading compute for memory.  This is
+the same mechanism ``torch.utils.checkpoint.checkpoint`` provides and is the
+building block QuadraLib's quadratic optimizer uses so that quadratic layers
+do not keep their internal Hadamard-product intermediates alive between the
+forward and backward pass (paper Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .function import Context
+from .grad_mode import no_grad
+from .tensor import Tensor
+
+
+class _CheckpointContext(Context):
+    """Graph node that recomputes a sub-graph on demand during backward."""
+
+    def __init__(self, fn: Callable, inputs: Tuple[Tensor, ...]) -> None:
+        super().__init__(op_name="Checkpoint")
+        self.fn = fn
+        self.inputs = inputs
+        # Only the *inputs* are kept alive, not any intermediate activations.
+        self.save_for_backward(*[t.data for t in inputs])
+
+    def backward(self, grad_output: np.ndarray):
+        # Re-run the wrapped function with gradients enabled on detached
+        # copies of the original inputs, then backpropagate through the
+        # freshly recorded sub-graph.
+        detached = []
+        for t in self.inputs:
+            d = Tensor(t.data, requires_grad=t.requires_grad, _copy=False)
+            detached.append(d)
+        out = self.fn(*detached)
+        if not isinstance(out, Tensor):
+            raise TypeError("checkpointed function must return a single Tensor")
+        out.backward(grad_output)
+        return tuple(d.grad for d in detached)
+
+
+def checkpoint(fn: Callable, *inputs: Tensor) -> Tensor:
+    """Run ``fn(*inputs)`` without storing intermediate activations.
+
+    The forward pass executes under ``no_grad`` so none of ``fn``'s internal
+    operations cache tensors for backward; only the function inputs are saved.
+    During the backward pass the function is executed a second time with
+    gradients enabled to rebuild the local graph.
+    """
+    with no_grad():
+        out = fn(*inputs)
+    if not isinstance(out, Tensor):
+        raise TypeError("checkpointed function must return a single Tensor")
+
+    requires_grad = any(isinstance(t, Tensor) and t.requires_grad for t in inputs)
+    result = Tensor(out.data, requires_grad=requires_grad, _copy=False)
+    if requires_grad:
+        ctx = _CheckpointContext(fn, tuple(inputs))
+        ctx.parents = tuple(inputs)
+        ctx.needs_input_grad = tuple(t.requires_grad for t in inputs)
+        result._ctx = ctx
+    return result

@@ -1,0 +1,94 @@
+"""Reverse-mode backward engine.
+
+Given a root tensor, the engine topologically sorts the recorded graph and
+propagates gradients from the root to every leaf that requires them.  Saved
+intermediates are released as soon as a node's backward has run, which is the
+behaviour the paper's memory profiler observes (forward ramps memory up,
+backward releases it; Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+def backward(root, grad: Optional[np.ndarray] = None, retain_graph: bool = False) -> None:
+    """Run back-propagation from ``root``.
+
+    Parameters
+    ----------
+    root : Tensor
+        The tensor to differentiate (typically a scalar loss).
+    grad : ndarray, optional
+        Upstream gradient; defaults to ones (required to be omitted only for
+        scalars, mirroring PyTorch's behaviour).
+    retain_graph : bool
+        Keep saved intermediates so backward can be called again.
+    """
+    if grad is None:
+        if root.data.size != 1:
+            raise RuntimeError(
+                "grad must be specified for non-scalar outputs; got shape "
+                f"{root.data.shape}"
+            )
+        grad = np.ones_like(root.data)
+    else:
+        grad = np.asarray(grad, dtype=root.data.dtype)
+
+    # Topological order over nodes reachable from the root.
+    topo: List = []
+    visited = set()
+    stack = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited or node._ctx is None:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._ctx.parents:
+            if parent is not None and parent._ctx is not None and id(parent) not in visited:
+                stack.append((parent, False))
+
+    # Gradient accumulation keyed by tensor identity.
+    grads: Dict[int, np.ndarray] = {id(root): grad}
+
+    for node in reversed(topo):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        ctx = node._ctx
+        input_grads = ctx.backward(node_grad)
+        if not isinstance(input_grads, tuple):
+            input_grads = (input_grads,)
+        for parent, g in zip(ctx.parents, input_grads):
+            if parent is None or g is None or not parent.requires_grad:
+                continue
+            g = np.asarray(g)
+            if g.shape != parent.data.shape:
+                g = g.reshape(parent.data.shape)
+            if parent._ctx is None or parent._retain_grad:
+                # Leaf (or explicitly retained): accumulate into .grad.
+                if parent.grad is None:
+                    parent.grad = g.copy() if g.base is not None else g
+                else:
+                    parent.grad = parent.grad + g
+            if parent._ctx is not None:
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + g
+                else:
+                    grads[key] = g
+        if not retain_graph:
+            ctx.release_saved()
+
+    # Handle the degenerate case where the root itself is a leaf.
+    if root._ctx is None and root.requires_grad:
+        if root.grad is None:
+            root.grad = grad.copy()
+        else:
+            root.grad = root.grad + grad

@@ -1,0 +1,64 @@
+"""Global gradient-tracking mode.
+
+The autodiff engine records an operation graph only while gradient mode is
+enabled.  ``no_grad`` mirrors ``torch.no_grad``: inside the context, newly
+created tensors never receive a ``grad_fn`` and never require gradients, which
+makes pure inference both faster and lighter on memory.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+
+class _GradMode(threading.local):
+    """Thread-local flag controlling whether operations are recorded."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = True
+
+
+_mode = _GradMode()
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations are currently being recorded."""
+    return _mode.enabled
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable gradient recording."""
+    _mode.enabled = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording.
+
+    Example
+    -------
+    >>> from repro.autodiff import no_grad, tensor
+    >>> with no_grad():
+    ...     y = tensor([1.0], requires_grad=True) * 2
+    >>> y.requires_grad
+    False
+    """
+    previous = _mode.enabled
+    _mode.enabled = False
+    try:
+        yield
+    finally:
+        _mode.enabled = previous
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager that re-enables graph recording inside ``no_grad``."""
+    previous = _mode.enabled
+    _mode.enabled = True
+    try:
+        yield
+    finally:
+        _mode.enabled = previous

@@ -1,0 +1,42 @@
+"""Global hooks used by the profiler to observe autograd memory traffic.
+
+The memory profiler (``repro.profiler.memory``) needs to know how many bytes
+of intermediate activations the autodiff engine keeps alive between the
+forward and backward pass — that is the quantity the paper plots in Fig. 5 and
+Fig. 8.  Rather than coupling the engine to the profiler, the engine emits
+events through this tiny observer registry and the profiler subscribes while
+it is active.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+# Each observer is called as observer(event, nbytes, tag) where event is one
+# of "save" (bytes cached for backward) or "release" (bytes freed after the
+# node's backward ran).
+_observers: List[Callable[[str, int, str], None]] = []
+
+
+def register_observer(observer: Callable[[str, int, str], None]) -> None:
+    """Register a saved-tensor observer (used by the memory profiler)."""
+    _observers.append(observer)
+
+
+def unregister_observer(observer: Callable[[str, int, str], None]) -> None:
+    """Remove a previously registered observer; missing observers are ignored."""
+    try:
+        _observers.remove(observer)
+    except ValueError:
+        pass
+
+
+def has_observers() -> bool:
+    """Return True when at least one observer is attached (fast path check)."""
+    return bool(_observers)
+
+
+def notify(event: str, nbytes: int, tag: str = "") -> None:
+    """Broadcast an allocation event to all observers."""
+    for observer in _observers:
+        observer(event, nbytes, tag)

@@ -1,0 +1,5 @@
+"""Primitive differentiable operations grouped by family."""
+
+from . import conv, elementwise, matmul, reduce, shape
+
+__all__ = ["conv", "elementwise", "matmul", "reduce", "shape"]

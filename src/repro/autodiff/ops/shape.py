@@ -1,0 +1,161 @@
+"""Shape-manipulation primitives: reshape, transpose, slicing, concat, pad."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..function import Context, Function
+
+
+class Reshape(Function):
+    """``out = a.reshape(shape)``."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+        ctx.a_shape = a.shape
+        return np.reshape(a, shape)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (np.reshape(np.asarray(grad), ctx.a_shape), None)
+
+
+class Transpose(Function):
+    """``out = a.transpose(axes)`` (full permutation)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axes: Tuple[int, ...]) -> np.ndarray:
+        ctx.axes = tuple(axes)
+        return np.transpose(a, ctx.axes)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        inverse = np.argsort(ctx.axes)
+        return (np.transpose(np.asarray(grad), inverse), None)
+
+
+class Squeeze(Function):
+    """Remove a size-1 axis."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis: int) -> np.ndarray:
+        ctx.a_shape = a.shape
+        return np.squeeze(a, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (np.reshape(np.asarray(grad), ctx.a_shape), None)
+
+
+class Unsqueeze(Function):
+    """Insert a size-1 axis."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axis: int) -> np.ndarray:
+        ctx.a_shape = a.shape
+        return np.expand_dims(a, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (np.reshape(np.asarray(grad), ctx.a_shape), None)
+
+
+class BroadcastTo(Function):
+    """Explicit broadcast; gradient sums over the broadcast axes."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+        ctx.a_shape = a.shape
+        return np.broadcast_to(a, shape).copy()
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        from ..function import unbroadcast
+
+        return (unbroadcast(np.asarray(grad), ctx.a_shape), None)
+
+
+class GetItem(Function):
+    """Basic/advanced indexing; gradient scatters back with accumulation."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, index) -> np.ndarray:
+        ctx.a_shape = a.shape
+        ctx.a_dtype = a.dtype
+        ctx.index = index
+        return a[index]
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        out = np.zeros(ctx.a_shape, dtype=ctx.a_dtype)
+        np.add.at(out, ctx.index, np.asarray(grad))
+        return (out, None)
+
+
+class Concat(Function):
+    """Concatenate a list of arrays along an axis.
+
+    Unlike binary ops, ``Concat.apply`` is invoked with a variable number of
+    tensor arguments followed by the keyword ``axis``.
+    """
+
+    @staticmethod
+    def forward(ctx: Context, *arrays: np.ndarray, axis: int = 0) -> np.ndarray:
+        ctx.axis = axis
+        ctx.sizes = [a.shape[axis] for a in arrays]
+        return np.concatenate(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        splits = np.cumsum(ctx.sizes)[:-1]
+        pieces = np.split(np.asarray(grad), splits, axis=ctx.axis)
+        return tuple(pieces)
+
+
+class Stack(Function):
+    """Stack arrays along a new axis."""
+
+    @staticmethod
+    def forward(ctx: Context, *arrays: np.ndarray, axis: int = 0) -> np.ndarray:
+        ctx.axis = axis
+        return np.stack(arrays, axis=axis)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        grad = np.asarray(grad)
+        n = grad.shape[ctx.axis]
+        pieces = np.split(grad, n, axis=ctx.axis)
+        return tuple(np.squeeze(p, axis=ctx.axis) for p in pieces)
+
+
+class Pad(Function):
+    """Zero / constant padding (NumPy ``pad_width`` convention)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, pad_width, constant: float = 0.0) -> np.ndarray:
+        ctx.pad_width = tuple(tuple(p) for p in pad_width)
+        return np.pad(a, ctx.pad_width, mode="constant", constant_values=constant)
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        grad = np.asarray(grad)
+        slices = tuple(
+            slice(before, grad.shape[i] - after)
+            for i, (before, after) in enumerate(ctx.pad_width)
+        )
+        return (grad[slices], None, None)
+
+
+class Flip(Function):
+    """Reverse an array along the given axes (used by data augmentation)."""
+
+    @staticmethod
+    def forward(ctx: Context, a: np.ndarray, axes: Tuple[int, ...]) -> np.ndarray:
+        ctx.axes = tuple(axes)
+        return np.flip(a, axis=ctx.axes).copy()
+
+    @staticmethod
+    def backward(ctx: Context, grad: np.ndarray):
+        return (np.flip(np.asarray(grad), axis=ctx.axes).copy(), None)

@@ -1,0 +1,400 @@
+"""The :class:`Tensor` — a NumPy array with a gradient tape.
+
+This is the substrate equivalent of ``torch.Tensor``: every arithmetic
+operation dispatches to a :class:`~repro.autodiff.function.Function` which
+records itself on a dynamic graph, and :meth:`Tensor.backward` replays the
+graph in reverse to populate ``.grad`` on leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import engine
+from .function import Function
+from .grad_mode import is_grad_enabled, no_grad
+from .ops import conv as conv_ops
+from .ops import elementwise as ew
+from .ops import matmul as mm
+from .ops import reduce as red
+from .ops import shape as sh
+
+DEFAULT_DTYPE = np.float32
+
+Scalar = Union[int, float]
+TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
+
+
+class Tensor:
+    """A multi-dimensional array that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data : array-like
+        Initial values.  Floating point data defaults to ``float32``.
+    requires_grad : bool
+        Whether operations on this tensor should be recorded so that
+        :meth:`backward` can compute ``.grad``.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_ctx", "_retain_grad", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = "",
+                 _copy: bool = True) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype == np.float64:
+            arr = arr.astype(DEFAULT_DTYPE)
+        elif arr.dtype.kind not in "fiub":
+            arr = arr.astype(DEFAULT_DTYPE)
+        if _copy and isinstance(data, np.ndarray) and arr is data:
+            arr = arr.copy()
+        self.data: np.ndarray = arr
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._ctx = None
+        self._retain_grad = False
+        self.name = name
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._ctx is None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_part = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=16)}{grad_part})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a copy, detached from the graph)."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False, _copy=False)
+
+    def clone(self) -> "Tensor":
+        out = Tensor(self.data.copy(), requires_grad=self.requires_grad, _copy=False)
+        return out
+
+    def retain_grad(self) -> "Tensor":
+        """Ask the engine to keep ``.grad`` on this non-leaf tensor."""
+        self._retain_grad = True
+        return self
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def astype(self, dtype) -> "Tensor":
+        return Tensor(self.data.astype(dtype), requires_grad=False, _copy=False)
+
+    # ------------------------------------------------------------- autograd
+    def backward(self, grad: Optional[np.ndarray] = None, retain_graph: bool = False) -> None:
+        """Back-propagate from this tensor (see :func:`repro.autodiff.engine.backward`)."""
+        engine.backward(self, grad=grad, retain_graph=retain_graph)
+
+    # ------------------------------------------------------------ arithmetic
+    def _coerce(self, other: TensorLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype), _copy=False)
+
+    def __add__(self, other: TensorLike) -> "Tensor":
+        return ew.Add.apply(self, self._coerce(other))
+
+    def __radd__(self, other: TensorLike) -> "Tensor":
+        return ew.Add.apply(self._coerce(other), self)
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        return ew.Sub.apply(self, self._coerce(other))
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return ew.Sub.apply(self._coerce(other), self)
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        return ew.Mul.apply(self, self._coerce(other))
+
+    def __rmul__(self, other: TensorLike) -> "Tensor":
+        return ew.Mul.apply(self._coerce(other), self)
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        return ew.Div.apply(self, self._coerce(other))
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return ew.Div.apply(self._coerce(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return ew.Neg.apply(self)
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        return ew.Pow.apply(self, float(exponent))
+
+    def __matmul__(self, other: TensorLike) -> "Tensor":
+        return mm.MatMul.apply(self, self._coerce(other))
+
+    def __rmatmul__(self, other: TensorLike) -> "Tensor":
+        return mm.MatMul.apply(self._coerce(other), self)
+
+    # Comparisons return detached boolean tensors (no gradient flows).
+    def __gt__(self, other): return Tensor(self.data > self._coerce(other).data, _copy=False)
+    def __lt__(self, other): return Tensor(self.data < self._coerce(other).data, _copy=False)
+    def __ge__(self, other): return Tensor(self.data >= self._coerce(other).data, _copy=False)
+    def __le__(self, other): return Tensor(self.data <= self._coerce(other).data, _copy=False)
+
+    __hash__ = object.__hash__
+
+    def __eq__(self, other):  # element-wise, detached
+        if isinstance(other, (Tensor, np.ndarray, int, float)):
+            return Tensor(self.data == self._coerce(other).data, _copy=False)
+        return NotImplemented
+
+    # ----------------------------------------------------------- pointwise
+    def exp(self) -> "Tensor":
+        return ew.Exp.apply(self)
+
+    def log(self) -> "Tensor":
+        return ew.Log.apply(self)
+
+    def sqrt(self) -> "Tensor":
+        return ew.Sqrt.apply(self)
+
+    def abs(self) -> "Tensor":
+        return ew.Abs.apply(self)
+
+    def relu(self) -> "Tensor":
+        return ew.ReLU.apply(self)
+
+    def sigmoid(self) -> "Tensor":
+        return ew.Sigmoid.apply(self)
+
+    def tanh(self) -> "Tensor":
+        return ew.Tanh.apply(self)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        return ew.Clip.apply(self, float(low), float(high))
+
+    def square(self) -> "Tensor":
+        return ew.Pow.apply(self, 2.0)
+
+    def maximum(self, other: TensorLike) -> "Tensor":
+        return ew.Maximum.apply(self, self._coerce(other))
+
+    def minimum(self, other: TensorLike) -> "Tensor":
+        return ew.Minimum.apply(self, self._coerce(other))
+
+    # ----------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return red.Sum.apply(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return red.Mean.apply(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return red.Max.apply(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return red.Min.apply(self, axis=axis, keepdims=keepdims)
+
+    def var(self, axis=None, keepdims: bool = False, ddof: int = 0) -> "Tensor":
+        """Variance computed from differentiable primitives."""
+        mean = self.mean(axis=axis, keepdims=True)
+        sq = (self - mean).square()
+        count = self.size if axis is None else _axis_count(self.shape, axis)
+        denom = max(count - ddof, 1)
+        return sq.sum(axis=axis, keepdims=keepdims) / float(denom)
+
+    def std(self, axis=None, keepdims: bool = False, eps: float = 0.0) -> "Tensor":
+        return (self.var(axis=axis, keepdims=keepdims) + eps).sqrt()
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
+        return red.LogSumExp.apply(self, axis=axis, keepdims=keepdims)
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def argmin(self, axis=None) -> np.ndarray:
+        return self.data.argmin(axis=axis)
+
+    # -------------------------------------------------------------- shapes
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return sh.Reshape.apply(self, shape)
+
+    view = reshape
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        new_shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(new_shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return sh.Transpose.apply(self, axes)
+
+    permute = transpose
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def squeeze(self, axis: int) -> "Tensor":
+        return sh.Squeeze.apply(self, axis)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        return sh.Unsqueeze.apply(self, axis)
+
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        return sh.BroadcastTo.apply(self, tuple(shape))
+
+    def flip(self, axes) -> "Tensor":
+        if isinstance(axes, int):
+            axes = (axes,)
+        return sh.Flip.apply(self, tuple(axes))
+
+    def pad2d(self, padding: Tuple[int, int, int, int], value: float = 0.0) -> "Tensor":
+        """Pad the last two axes (left, right, top, bottom) of an NCHW tensor."""
+        left, right, top, bottom = padding
+        pad_width = [(0, 0)] * (self.ndim - 2) + [(top, bottom), (left, right)]
+        return sh.Pad.apply(self, pad_width, value)
+
+    def __getitem__(self, index) -> "Tensor":
+        if isinstance(index, Tensor):
+            index = index.data
+        elif isinstance(index, tuple):
+            index = tuple(i.data if isinstance(i, Tensor) else i for i in index)
+        return sh.GetItem.apply(self, index)
+
+    # ------------------------------------------------------------ conv ops
+    def conv2d(self, weight: "Tensor", bias: Optional["Tensor"] = None, stride=1,
+               padding=0, groups: int = 1) -> "Tensor":
+        args = (self, weight) if bias is None else (self, weight, bias)
+        return conv_ops.Conv2d.apply(*args, stride=stride, padding=padding, groups=groups)
+
+    def max_pool2d(self, kernel_size=2, stride=None, padding=0) -> "Tensor":
+        return conv_ops.MaxPool2d.apply(self, kernel_size=kernel_size, stride=stride,
+                                        padding=padding)
+
+    def avg_pool2d(self, kernel_size=2, stride=None, padding=0) -> "Tensor":
+        return conv_ops.AvgPool2d.apply(self, kernel_size=kernel_size, stride=stride,
+                                        padding=padding)
+
+    def upsample_nearest2d(self, scale_factor: int = 2) -> "Tensor":
+        return conv_ops.UpsampleNearest2d.apply(self, scale_factor=scale_factor)
+
+
+def _axis_count(shape: Tuple[int, ...], axis) -> int:
+    if isinstance(axis, (int, np.integer)):
+        axis = (int(axis),)
+    return int(np.prod([shape[a] for a in axis]))
+
+
+# --------------------------------------------------------------------------- #
+# Creation helpers (module-level, PyTorch-flavoured)
+# --------------------------------------------------------------------------- #
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Create a tensor from array-like data."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    shape = shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    return Tensor(np.zeros(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad, _copy=False)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    shape = shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad, _copy=False)
+
+
+def full(shape, value: float, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.full(shape, value, dtype=DEFAULT_DTYPE), requires_grad=requires_grad, _copy=False)
+
+
+def zeros_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros_like(t.data), requires_grad=requires_grad, _copy=False)
+
+
+def ones_like(t: Tensor, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones_like(t.data), requires_grad=requires_grad, _copy=False)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.arange(*args, dtype=DEFAULT_DTYPE), requires_grad=requires_grad, _copy=False)
+
+
+def randn(*shape, requires_grad: bool = False, generator: Optional[np.random.Generator] = None) -> Tensor:
+    shape = shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    rng = generator if generator is not None else np.random.default_rng()
+    return Tensor(rng.standard_normal(shape).astype(DEFAULT_DTYPE),
+                  requires_grad=requires_grad, _copy=False)
+
+
+def rand(*shape, requires_grad: bool = False, generator: Optional[np.random.Generator] = None) -> Tensor:
+    shape = shape[0] if len(shape) == 1 and isinstance(shape[0], (tuple, list)) else shape
+    rng = generator if generator is not None else np.random.default_rng()
+    return Tensor(rng.random(shape).astype(DEFAULT_DTYPE),
+                  requires_grad=requires_grad, _copy=False)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis."""
+    return sh.Concat.apply(*tensors, axis=axis)
+
+
+cat = concatenate
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    return sh.Stack.apply(*tensors, axis=axis)
+
+
+def where(cond: TensorLike, a: TensorLike, b: TensorLike) -> Tensor:
+    """Differentiable ternary select."""
+    cond_t = cond if isinstance(cond, Tensor) else Tensor(np.asarray(cond), _copy=False)
+    a_t = a if isinstance(a, Tensor) else Tensor(np.asarray(a, dtype=DEFAULT_DTYPE), _copy=False)
+    b_t = b if isinstance(b, Tensor) else Tensor(np.asarray(b, dtype=DEFAULT_DTYPE), _copy=False)
+    return ew.Where.apply(cond_t, a_t, b_t)
+
+
+def einsum(subscripts: str, a: Tensor, b: Tensor) -> Tensor:
+    """Two-operand differentiable einsum."""
+    return mm.Einsum.apply(subscripts, a, b)

@@ -1,0 +1,52 @@
+"""``repro.builder`` — configuration-driven construction and the QDNN auto-builder."""
+
+from .auto_builder import (
+    AutoBuilder,
+    ConversionReport,
+    quadratize_module,
+    reduce_mobilenet_cfg,
+    reduce_resnet_blocks,
+    reduce_vgg_cfg,
+)
+from .config import (
+    MOBILENET_CFGS,
+    RESNET_BLOCKS,
+    VGG_CFGS,
+    QuadraticModelConfig,
+    conv_layer_count,
+    scale_vgg_cfg,
+)
+from .constructors import (
+    build_classifier_head,
+    build_mlp,
+    build_plain_convnet,
+    conv_block,
+    make_conv,
+    make_linear,
+)
+from .indicator import LayerIndicator, compute_layer_indicators, measure_accuracy_drop, removal_order
+
+__all__ = [
+    "QuadraticModelConfig",
+    "VGG_CFGS",
+    "RESNET_BLOCKS",
+    "MOBILENET_CFGS",
+    "scale_vgg_cfg",
+    "conv_layer_count",
+    "make_conv",
+    "make_linear",
+    "conv_block",
+    "build_plain_convnet",
+    "build_classifier_head",
+    "build_mlp",
+    "AutoBuilder",
+    "ConversionReport",
+    "quadratize_module",
+    "reduce_vgg_cfg",
+    "reduce_resnet_blocks",
+    "reduce_mobilenet_cfg",
+    "LayerIndicator",
+    "compute_layer_indicators",
+    "measure_accuracy_drop",
+    "removal_order",
+]

@@ -1,0 +1,110 @@
+"""Model construction functions (paper Sec. 4.2, "Manual QDNN Model Construction").
+
+Each constructor takes a structure configuration plus a
+:class:`~repro.builder.config.QuadraticModelConfig` and returns a ready model.
+The neuron type is a parameter, so the *same* construction function produces
+the first-order baseline, the published QDNN designs (Fan et al., Bu &
+Karpatne) and the paper's QuadraNN — mirroring the paper's code example::
+
+    for v in cfg:
+        layers += [qua.type1(in_channels, v), nn.ReLU()]
+        in_channels = v
+    return nn.Sequential(layers)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .. import nn
+from ..nn.module import Module
+from ..quadratic.factory import quadratic_layer
+from .config import QuadraticModelConfig
+
+
+def make_conv(config: QuadraticModelConfig, in_channels: int, out_channels: int,
+              kernel_size: int = 3, stride: int = 1, padding: int = 1,
+              groups: int = 1) -> Module:
+    """Create one convolution layer honouring the configured neuron type."""
+    if config.is_first_order:
+        return nn.Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                         padding=padding, groups=groups, bias=not config.use_batchnorm)
+    return quadratic_layer(config.neuron_type, in_channels, out_channels,
+                           kernel_size=kernel_size, stride=stride, padding=padding,
+                           groups=groups, bias=not config.use_batchnorm,
+                           hybrid_bp=config.hybrid_bp)
+
+
+def make_linear(config: QuadraticModelConfig, in_features: int, out_features: int,
+                quadratic_head: bool = False) -> Module:
+    """Create a dense layer; classifier heads stay first-order unless requested."""
+    if config.is_first_order or not quadratic_head:
+        return nn.Linear(in_features, out_features)
+    return quadratic_layer(config.neuron_type, in_features, out_features,
+                           hybrid_bp=config.hybrid_bp)
+
+
+def conv_block(config: QuadraticModelConfig, in_channels: int, out_channels: int,
+               kernel_size: int = 3, stride: int = 1, padding: int = 1,
+               groups: int = 1) -> List[Module]:
+    """Conv (+BatchNorm) (+activation) honouring the paper's design insights."""
+    layers: List[Module] = [
+        make_conv(config, in_channels, out_channels, kernel_size, stride, padding, groups)
+    ]
+    if config.use_batchnorm:
+        layers.append(nn.BatchNorm2d(out_channels))
+    if config.use_activation:
+        layers.append(nn.ReLU())
+    return layers
+
+
+def build_plain_convnet(cfg: Sequence[Union[int, str]], config: QuadraticModelConfig,
+                        in_channels: int = 3) -> Tuple[nn.Sequential, int]:
+    """Build a VGG-style plain feature extractor from a channel configuration.
+
+    Returns the feature module and the number of output channels.
+    """
+    layers: List[Module] = []
+    channels = in_channels
+    for item in cfg:
+        if item == "M":
+            layers.append(nn.MaxPool2d(2))
+            continue
+        out_channels = config.scaled(int(item))
+        layers.extend(conv_block(config, channels, out_channels))
+        channels = out_channels
+    return nn.Sequential(*layers), channels
+
+
+def build_classifier_head(in_features: int, num_classes: int, hidden: Optional[int] = None,
+                          dropout: float = 0.0) -> nn.Sequential:
+    """Standard classification head applied after global average pooling."""
+    layers: List[Module] = [nn.GlobalAvgPool2d()]
+    if hidden:
+        layers.extend([nn.Linear(in_features, hidden), nn.ReLU()])
+        if dropout:
+            layers.append(nn.Dropout(dropout))
+        layers.append(nn.Linear(hidden, num_classes))
+    else:
+        layers.append(nn.Linear(in_features, num_classes))
+    return nn.Sequential(*layers)
+
+
+def build_mlp(layer_sizes: Sequence[int], config: QuadraticModelConfig,
+              quadratic_hidden: bool = True, activation: bool = True) -> nn.Sequential:
+    """Build a multi-layer perceptron whose hidden layers may be quadratic.
+
+    Used by the toy examples (XOR / spirals) where a *single* quadratic layer
+    solves what a single linear layer cannot.
+    """
+    layers: List[Module] = []
+    for i in range(len(layer_sizes) - 1):
+        is_last = i == len(layer_sizes) - 2
+        if config.is_first_order or is_last or not quadratic_hidden:
+            layers.append(nn.Linear(layer_sizes[i], layer_sizes[i + 1]))
+        else:
+            layers.append(quadratic_layer(config.neuron_type, layer_sizes[i],
+                                          layer_sizes[i + 1], hybrid_bp=config.hybrid_bp))
+        if not is_last and activation:
+            layers.append(nn.ReLU())
+    return nn.Sequential(*layers)

@@ -1,0 +1,124 @@
+"""Layer performance indicator (paper Eq. 5).
+
+The auto-builder's heuristic layer reduction ranks layers by
+
+.. math::
+
+    RI = \\frac{P(M_{par}) \\; P(T_{lat})}{\\Delta Acc}
+
+where ``P(Mpar)`` and ``P(Tlat)`` are the layer's share of the model's
+parameters and computation, and ``ΔAcc`` is the accuracy drop caused by
+removing the layer.  A layer that is expensive but contributes little accuracy
+has a high RI and is removed first.
+
+``ΔAcc`` is measured by temporarily bypassing the layer (replacing it with an
+identity mapping when shapes permit) and re-evaluating the model on a
+calibration set; when no evaluation function is supplied the indicator falls
+back to the cost-only numerator, which still orders layers sensibly for
+untrained models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.layers.activations import Identity
+from ..nn.module import Module
+from ..profiler.flops import ModelProfile, profile_model
+
+
+@dataclass
+class LayerIndicator:
+    """RI score and its ingredients for one layer."""
+
+    name: str
+    param_ratio: float
+    compute_ratio: float
+    accuracy_drop: float
+    ri: float
+
+
+def _set_submodule(root: Module, dotted_name: str, new_module: Module) -> Module:
+    """Replace the module at ``dotted_name`` and return the original."""
+    parts = dotted_name.split(".")
+    parent = root
+    for part in parts[:-1]:
+        parent = parent._modules[part]
+    original = parent._modules[parts[-1]]
+    parent.register_module(parts[-1], new_module)
+    return original
+
+
+def measure_accuracy_drop(model: Module, layer_name: str,
+                          eval_fn: Callable[[Module], float]) -> float:
+    """Accuracy drop when the named layer is bypassed with an identity mapping.
+
+    If the bypass breaks the forward pass (shape mismatch), the layer is
+    treated as irremovable (``inf`` drop) so the RI score pushes it to the
+    bottom of the removal ranking.
+    """
+    baseline = eval_fn(model)
+    original = _set_submodule(model, layer_name, Identity())
+    try:
+        ablated = eval_fn(model)
+        drop = max(baseline - ablated, 0.0)
+    except Exception:
+        drop = float("inf")
+    finally:
+        _set_submodule(model, layer_name, original)
+    return drop
+
+
+def compute_layer_indicators(model: Module, input_shape: Tuple[int, int, int],
+                             candidate_layers: Optional[Sequence[str]] = None,
+                             eval_fn: Optional[Callable[[Module], float]] = None,
+                             min_accuracy_drop: float = 1e-3) -> List[LayerIndicator]:
+    """RI scores (Eq. 5) for the candidate layers, sorted high→low.
+
+    Parameters
+    ----------
+    model : Module
+    input_shape : (C, H, W)
+        Probe input used to obtain per-layer parameter/MAC shares.
+    candidate_layers : list of str, optional
+        Dotted module names eligible for removal; defaults to every profiled
+        layer that holds parameters.
+    eval_fn : callable, optional
+        ``eval_fn(model) -> accuracy`` on a calibration set.  When omitted the
+        accuracy-drop denominator is 1 for every layer (cost-only ranking).
+    min_accuracy_drop : float
+        Floor for the denominator so RI stays finite for harmless layers.
+    """
+    profile: ModelProfile = profile_model(model, input_shape)
+    total_params = max(profile.total_parameters, 1)
+    total_macs = max(profile.total_macs, 1)
+
+    if candidate_layers is None:
+        candidate_layers = [l.name for l in profile.layers if l.parameters > 0]
+
+    indicators: List[LayerIndicator] = []
+    for layer in profile.layers:
+        if layer.name not in candidate_layers:
+            continue
+        param_ratio = layer.parameters / total_params
+        compute_ratio = layer.macs / total_macs
+        if eval_fn is not None:
+            drop = measure_accuracy_drop(model, layer.name, eval_fn)
+        else:
+            drop = min_accuracy_drop
+        denom = max(drop, min_accuracy_drop)
+        ri = (param_ratio * compute_ratio) / denom if np.isfinite(denom) else 0.0
+        if not np.isfinite(drop):
+            ri = 0.0
+        indicators.append(LayerIndicator(layer.name, param_ratio, compute_ratio,
+                                         drop if np.isfinite(drop) else float("inf"), ri))
+    indicators.sort(key=lambda item: item.ri, reverse=True)
+    return indicators
+
+
+def removal_order(indicators: Sequence[LayerIndicator]) -> List[str]:
+    """Layer names in the order the auto-builder should remove them."""
+    return [item.name for item in indicators if item.ri > 0]

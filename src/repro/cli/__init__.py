@@ -1,0 +1,20 @@
+"""``repro.cli`` — command-line interface to the QuadraLib reproduction.
+
+The CLI wraps the library's most common workflows so they can be driven
+without writing Python — the "simple-to-use" usage mode the paper promises for
+the open-source release::
+
+    python -m repro neurons                 # Table-1 view of the neuron designs
+    python -m repro profile --model vgg16 --neuron-type OURS
+    python -m repro convert --model vgg16
+    python -m repro train --model vgg8 --neuron-type OURS --epochs 2
+    python -m repro ppml --model vgg8 --strategy quadratic_no_relu
+    python -m repro explore --budget 8
+
+Every subcommand prints fixed-width tables (the same renderer the benchmark
+harness uses) and exits with status 0 on success.
+"""
+
+from .main import build_parser, main
+
+__all__ = ["main", "build_parser"]

@@ -1,0 +1,292 @@
+"""Argument parsing and subcommand implementations of the QuadraLib CLI."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..builder.auto_builder import AutoBuilder
+from ..builder.config import QuadraticModelConfig
+from ..data.synthetic import SyntheticImageClassification
+from ..nn.module import Module
+from ..profiler.flops import profile_model
+from ..profiler.latency import profile_latency
+from ..profiler.memory import estimate_training_memory
+from ..quadratic.neuron_types import NEURON_TYPES
+from ..utils.logging import format_table
+from ..utils.seed import seed_everything
+
+#: Model families the CLI can build, mapped to their factory in ``repro.models``.
+MODEL_CHOICES = ("vgg8", "vgg16", "vgg16_quadra", "resnet20", "resnet32", "resnet32_quadra",
+                 "mobilenet_v1", "mobilenet_v1_quadra", "lenet")
+
+
+def _build_model(name: str, neuron_type: str, num_classes: int,
+                 width_multiplier: float) -> Module:
+    """Instantiate one of the zoo models with the requested neuron type."""
+    from .. import models
+
+    factories: Dict[str, Callable[..., Module]] = {
+        "vgg8": models.vgg8,
+        "vgg16": models.vgg16,
+        "vgg16_quadra": models.vgg16_quadra,
+        "resnet20": models.resnet20,
+        "resnet32": models.resnet32,
+        "resnet32_quadra": models.resnet32_quadra,
+        "mobilenet_v1": models.mobilenet_v1,
+        "mobilenet_v1_quadra": models.mobilenet_v1_quadra,
+    }
+    if name == "lenet":
+        return models.LeNet(num_classes=num_classes)
+    if name not in factories:
+        raise KeyError(f"unknown model '{name}'; choose from {MODEL_CHOICES}")
+    return factories[name](num_classes=num_classes, neuron_type=neuron_type,
+                           width_multiplier=width_multiplier)
+
+
+def _print(text: str, stream=None) -> None:
+    print(text, file=stream or sys.stdout)
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+def cmd_neurons(args: argparse.Namespace) -> int:
+    """List the registered quadratic neuron designs (the paper's Table 1)."""
+    rows = []
+    for spec in NEURON_TYPES.values():
+        rows.append([spec.name, spec.formula, spec.time_complexity, spec.space_complexity,
+                     ", ".join(spec.issues) if spec.issues else "-", spec.reference])
+    _print(format_table(
+        ["Type", "Neuron format", "Time", "Space", "Issues", "Reference"], rows,
+        title="Registered quadratic neuron designs (paper Table 1)",
+    ))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Parameters, MACs, training memory and latency of one model."""
+    seed_everything(args.seed)
+    model = _build_model(args.model, args.neuron_type, args.num_classes, args.width_multiplier)
+    input_shape = (3, args.image_size, args.image_size)
+    profile = profile_model(model, input_shape)
+    memory = estimate_training_memory(model, input_shape)
+    rows = [
+        ["parameters", f"{profile.total_parameters:,}"],
+        ["MACs (one sample)", f"{profile.total_macs:,}"],
+        ["training memory @ batch "
+         f"{args.batch_size}", f"{memory.total_bytes(args.batch_size) / 1024 ** 3:.2f} GiB"],
+    ]
+    if args.latency:
+        latency = profile_latency(model, input_shape, batch_size=min(args.batch_size, 8),
+                                  num_classes=args.num_classes,
+                                  iterations=args.latency_repeats)
+        rows.append(["train latency / batch", f"{latency.train_ms_per_batch:.1f} ms"])
+        rows.append(["inference latency / batch", f"{latency.inference_ms_per_batch:.1f} ms"])
+    _print(format_table(["Metric", "Value"], rows,
+                        title=f"{args.model} (neuron type {args.neuron_type})"))
+    if args.per_layer:
+        layer_rows = [[l.name, l.layer_type, f"{l.parameters:,}", f"{l.macs:,}"]
+                      for l in profile.layers]
+        _print("")
+        _print(format_table(["Layer", "Type", "#Param", "MACs"], layer_rows,
+                            title="Per-layer profile"))
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a first-order model to a QDNN with the auto-builder."""
+    seed_everything(args.seed)
+    model = _build_model(args.model, "first_order", args.num_classes, args.width_multiplier)
+    params_before = model.num_parameters()
+    builder = AutoBuilder(neuron_type=args.neuron_type, hybrid_bp=args.hybrid_bp,
+                          convert_linear=args.convert_linear)
+    report = builder.convert(model)
+    rows = [
+        ["converted layers", report.converted_layers],
+        ["parameters before", f"{params_before:,}"],
+        ["parameters after", f"{report.parameters_after:,}"],
+        ["parameter ratio", f"{report.parameter_ratio:.2f}x"],
+    ]
+    _print(format_table(["Metric", "Value"], rows,
+                        title=f"Auto-builder conversion of {args.model} to {args.neuron_type}"))
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train a model on the synthetic classification workload."""
+    from ..training.classification import train_classifier
+
+    seed_everything(args.seed)
+    train_set = SyntheticImageClassification(num_samples=args.samples,
+                                             num_classes=args.num_classes,
+                                             image_size=args.image_size, seed=args.seed,
+                                             split_seed=0)
+    test_set = SyntheticImageClassification(num_samples=max(args.samples // 2, 16),
+                                            num_classes=args.num_classes,
+                                            image_size=args.image_size, seed=args.seed,
+                                            split_seed=1)
+    model = _build_model(args.model, args.neuron_type, args.num_classes, args.width_multiplier)
+    with np.errstate(all="ignore"):
+        history = train_classifier(model, train_set, test_set, epochs=args.epochs,
+                                   batch_size=args.batch_size, lr=args.lr,
+                                   max_batches_per_epoch=args.max_batches, seed=args.seed)
+    rows = [[epoch + 1, round(loss, 4), round(train_acc, 3), round(test_acc, 3)]
+            for epoch, (loss, train_acc, test_acc)
+            in enumerate(zip(history.train_loss, history.train_accuracy,
+                             history.test_accuracy))]
+    _print(format_table(["Epoch", "Train loss", "Train acc", "Test acc"], rows,
+                        title=f"Training {args.model} ({args.neuron_type}) on synthetic data"))
+    return 0
+
+
+def cmd_ppml(args: argparse.Namespace) -> int:
+    """PPML online-cost analysis before/after conversion."""
+    from .. import ppml
+
+    seed_everything(args.seed)
+    model = _build_model(args.model, "first_order", args.num_classes, args.width_multiplier)
+    input_shape = (3, args.image_size, args.image_size)
+    converted, report = ppml.to_ppml_friendly(model, strategy=args.strategy, inplace=False)
+    savings = ppml.ppml_savings(model, converted, input_shape, protocol=args.protocol)
+    rows = [
+        ["strategy", args.strategy],
+        ["protocol", args.protocol],
+        ["activations replaced", report.activations_replaced],
+        ["layers quadratized", report.layers_quadratized],
+        ["online latency before",
+         "not runnable" if not savings.before.runnable
+         else f"{savings.before.total.milliseconds:.1f} ms"],
+        ["online latency after", f"{savings.after.total.milliseconds:.1f} ms"],
+        ["online comm before",
+         "not runnable" if not savings.before.runnable
+         else f"{savings.before.total.megabytes:.1f} MB"],
+        ["online comm after", f"{savings.after.total.megabytes:.1f} MB"],
+    ]
+    _print(format_table(["Metric", "Value"], rows,
+                        title=f"PPML conversion of {args.model} under {args.protocol}"))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Random / evolutionary exploration on the synthetic proxy task."""
+    from .. import explore
+
+    seed_everything(args.seed)
+    train_set = SyntheticImageClassification(num_samples=args.samples,
+                                             num_classes=args.num_classes,
+                                             image_size=args.image_size, seed=args.seed,
+                                             split_seed=0)
+    test_set = SyntheticImageClassification(num_samples=max(args.samples // 2, 16),
+                                            num_classes=args.num_classes,
+                                            image_size=args.image_size, seed=args.seed,
+                                            split_seed=1)
+    space = explore.SearchSpace(
+        min_stages=2, max_stages=3, min_convs_per_stage=1, max_convs_per_stage=2,
+        width_choices=(16, 32, 64), neuron_types=("first_order", "OURS"),
+    )
+    evaluator = explore.ProxyEvaluator(train_set, test_set, num_classes=args.num_classes,
+                                       image_size=args.image_size, epochs=args.epochs,
+                                       batch_size=args.batch_size,
+                                       max_batches_per_epoch=args.max_batches,
+                                       width_multiplier=args.width_multiplier, lr=args.lr,
+                                       seed=args.seed)
+    with np.errstate(all="ignore"):
+        if args.strategy == "random":
+            result = explore.random_search(space, evaluator, budget=args.budget, seed=args.seed)
+        else:
+            config = explore.EvolutionConfig(population_size=max(args.budget // 2, 2),
+                                             generations=2, elite_count=1)
+            result = explore.evolutionary_search(space, evaluator, config, seed=args.seed)
+    rows = [[e.genome.key(), e.genome.neuron_type, e.genome.num_conv_layers,
+             f"{e.parameters:,}", round(e.accuracy, 3)] for e in result.top(args.top)]
+    _print(format_table(["Candidate", "Neuron", "#Conv", "#Param", "Proxy acc"], rows,
+                        title=f"{args.strategy} search over {space.cardinality():,} structures "
+                              f"({result.evaluations_used} evaluations)"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+def _add_model_arguments(parser: argparse.ArgumentParser, default_model: str = "vgg8") -> None:
+    parser.add_argument("--model", default=default_model, choices=MODEL_CHOICES,
+                        help="model family from the zoo")
+    parser.add_argument("--neuron-type", default="OURS",
+                        help="neuron design (first_order, OURS, T2, T3, T4, fan, ...)")
+    parser.add_argument("--num-classes", type=int, default=10)
+    parser.add_argument("--width-multiplier", type=float, default=1.0,
+                        help="scale every channel count (use <1 on slow machines)")
+    parser.add_argument("--image-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--samples", type=int, default=256, help="synthetic training samples")
+    parser.add_argument("--max-batches", type=int, default=None,
+                        help="cap batches per epoch (for quick smoke runs)")
+    parser.add_argument("--lr", type=float, default=0.05)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QuadraLib reproduction: quadratic neural network tooling",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    neurons = subparsers.add_parser("neurons", help="list the quadratic neuron designs (Table 1)")
+    neurons.set_defaults(func=cmd_neurons)
+
+    profile = subparsers.add_parser("profile", help="parameters / MACs / memory of a model")
+    _add_model_arguments(profile, default_model="vgg16")
+    profile.add_argument("--batch-size", type=int, default=256)
+    profile.add_argument("--per-layer", action="store_true", help="also print per-layer rows")
+    profile.add_argument("--latency", action="store_true", help="measure forward latency")
+    profile.add_argument("--latency-repeats", type=int, default=3)
+    profile.set_defaults(func=cmd_profile)
+
+    convert = subparsers.add_parser("convert", help="auto-build a QDNN from a first-order model")
+    _add_model_arguments(convert, default_model="vgg16")
+    convert.add_argument("--hybrid-bp", action="store_true",
+                         help="use the memory-efficient symbolic-backward layers")
+    convert.add_argument("--convert-linear", action="store_true",
+                         help="also convert dense layers")
+    convert.set_defaults(func=cmd_convert)
+
+    train = subparsers.add_parser("train", help="train a model on the synthetic workload")
+    _add_model_arguments(train)
+    _add_training_arguments(train)
+    train.set_defaults(func=cmd_train)
+
+    ppml = subparsers.add_parser("ppml", help="PPML online-cost analysis and conversion")
+    _add_model_arguments(ppml)
+    ppml.add_argument("--strategy", default="quadratic_no_relu",
+                      choices=("square", "quadratic", "quadratic_no_relu"))
+    ppml.add_argument("--protocol", default="delphi", choices=("delphi", "gazelle", "cryptonets"))
+    ppml.set_defaults(func=cmd_ppml)
+
+    explore = subparsers.add_parser("explore", help="architecture search on the proxy task")
+    _add_model_arguments(explore)
+    _add_training_arguments(explore)
+    explore.add_argument("--strategy", default="random", choices=("random", "evolution"))
+    explore.add_argument("--budget", type=int, default=8, help="proxy evaluations")
+    explore.add_argument("--top", type=int, default=5, help="candidates to print")
+    explore.set_defaults(func=cmd_explore)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))

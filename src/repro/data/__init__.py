@@ -1,0 +1,17 @@
+"""``repro.data`` — datasets, loaders, transforms and synthetic workloads."""
+
+from . import synthetic, transforms
+from .dataloader import DataLoader, default_collate
+from .dataset import ConcatDataset, Dataset, Subset, TensorDataset, random_split
+
+__all__ = [
+    "Dataset",
+    "TensorDataset",
+    "Subset",
+    "ConcatDataset",
+    "random_split",
+    "DataLoader",
+    "default_collate",
+    "transforms",
+    "synthetic",
+]

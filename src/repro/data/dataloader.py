@@ -1,0 +1,82 @@
+"""Mini-batch loader with shuffling and custom collation."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .dataset import Dataset
+
+
+def default_collate(batch: List[Any]):
+    """Stack a list of samples into batched arrays.
+
+    * tuples/lists of arrays collate element-wise;
+    * scalars become 1-D arrays;
+    * anything that cannot be stacked (e.g. variable-length box lists for the
+      detection task) is returned as a plain Python list.
+    """
+    first = batch[0]
+    if isinstance(first, (tuple, list)):
+        transposed = list(zip(*batch))
+        return tuple(default_collate(list(items)) for items in transposed)
+    if isinstance(first, np.ndarray):
+        shapes = {item.shape for item in batch}
+        if len(shapes) == 1:
+            return np.stack(batch, axis=0)
+        return list(batch)
+    if isinstance(first, (int, np.integer)):
+        return np.asarray(batch, dtype=np.int64)
+    if isinstance(first, (float, np.floating)):
+        return np.asarray(batch, dtype=np.float32)
+    return list(batch)
+
+
+class DataLoader:
+    """Iterate over a dataset in mini-batches.
+
+    Parameters
+    ----------
+    dataset : Dataset
+    batch_size : int
+    shuffle : bool
+        Reshuffle indices at the start of every epoch.
+    drop_last : bool
+        Drop the trailing incomplete batch (the paper's batch-timing numbers
+        in Table 3 are per full batch, so the benchmarks enable this).
+    collate_fn : callable
+        Function merging a list of samples into a batch.
+    seed : int
+        Seed for the shuffling RNG; each epoch advances the stream.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = False,
+                 drop_last: bool = False, collate_fn: Callable = default_collate,
+                 seed: int = 0) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.collate_fn = collate_fn
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        end = (len(indices) // self.batch_size) * self.batch_size if self.drop_last else len(indices)
+        for start in range(0, end, self.batch_size):
+            batch_indices = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            samples = [self.dataset[int(i)] for i in batch_indices]
+            yield self.collate_fn(samples)

@@ -1,0 +1,88 @@
+"""Dataset abstractions (map-style datasets, subsets, splits)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Map-style dataset: implements ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Wrap equal-length arrays; ``__getitem__`` returns one slice of each."""
+
+    def __init__(self, *arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ValueError("TensorDataset requires at least one array")
+        length = len(arrays[0])
+        for a in arrays:
+            if len(a) != length:
+                raise ValueError(
+                    f"all arrays must share the first dimension; got {length} and {len(a)}"
+                )
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, ...]:
+        item = tuple(a[index] for a in self.arrays)
+        return item if len(item) > 1 else item[0]
+
+
+class Subset(Dataset):
+    """A view of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+
+def random_split(dataset: Dataset, lengths: Sequence[int],
+                 rng: np.random.Generator | None = None) -> List[Subset]:
+    """Randomly partition a dataset into subsets of the given lengths."""
+    if sum(lengths) != len(dataset):
+        raise ValueError(
+            f"sum of lengths ({sum(lengths)}) must equal dataset size ({len(dataset)})"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    permutation = rng.permutation(len(dataset))
+    splits: List[Subset] = []
+    offset = 0
+    for length in lengths:
+        splits.append(Subset(dataset, permutation[offset:offset + length].tolist()))
+        offset += length
+    return splits
+
+
+class ConcatDataset(Dataset):
+    """Concatenate several datasets end to end (VOC2007+VOC2012-style trainval)."""
+
+    def __init__(self, datasets: Iterable[Dataset]) -> None:
+        self.datasets = list(datasets)
+        if not self.datasets:
+            raise ValueError("ConcatDataset requires at least one dataset")
+        self.cumulative = np.cumsum([len(d) for d in self.datasets])
+
+    def __len__(self) -> int:
+        return int(self.cumulative[-1])
+
+    def __getitem__(self, index: int):
+        dataset_idx = int(np.searchsorted(self.cumulative, index, side="right"))
+        prev = 0 if dataset_idx == 0 else int(self.cumulative[dataset_idx - 1])
+        return self.datasets[dataset_idx][index - prev]

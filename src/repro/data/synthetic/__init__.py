@@ -1,0 +1,39 @@
+"""Synthetic workload generators standing in for CIFAR / Tiny-ImageNet / VOC / GAN data."""
+
+from .classification import (
+    SyntheticImageClassification,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_ilsvrc,
+    synthetic_tiny_imagenet,
+)
+from .detection import (
+    VOC_LIKE_CLASSES,
+    SyntheticDetectionDataset,
+    detection_collate,
+)
+from .generation import SyntheticGenerationDataset
+from .toy import (
+    circle_dataset,
+    gaussian_clusters,
+    polynomial_regression,
+    two_spirals,
+    xor_dataset,
+)
+
+__all__ = [
+    "SyntheticImageClassification",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_tiny_imagenet",
+    "synthetic_ilsvrc",
+    "SyntheticDetectionDataset",
+    "detection_collate",
+    "VOC_LIKE_CLASSES",
+    "SyntheticGenerationDataset",
+    "xor_dataset",
+    "circle_dataset",
+    "two_spirals",
+    "polynomial_regression",
+    "gaussian_clusters",
+]

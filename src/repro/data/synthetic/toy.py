@@ -1,0 +1,75 @@
+"""Toy workloads used by the early QDNN literature and by our unit tests.
+
+The pre-QuadraLib papers (Table 1 of the paper) mostly validated quadratic
+neurons on tiny tasks — XOR gates, simple pattern classification — where a
+single quadratic neuron separates what a single linear neuron cannot.  These
+generators reproduce those workloads and also provide the two-spirals and
+circle-vs-ring problems used in the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def xor_dataset(num_samples: int = 256, noise: float = 0.08,
+                seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """The XOR gate: label 1 iff the two inputs have opposite signs.
+
+    Not linearly separable; separable by a single quadratic neuron because the
+    product ``x1 * x2`` is negative exactly on the positive class.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(num_samples, 2)).astype(np.float32)
+    y = ((x[:, 0] * x[:, 1]) < 0).astype(np.int64)
+    x += rng.normal(0, noise, size=x.shape).astype(np.float32)
+    return x, y
+
+
+def circle_dataset(num_samples: int = 256, radius: float = 0.7, noise: float = 0.05,
+                   seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Points inside a circle vs. outside — a quadratic decision boundary."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(num_samples, 2)).astype(np.float32)
+    y = ((x ** 2).sum(axis=1) < radius ** 2).astype(np.int64)
+    x += rng.normal(0, noise, size=x.shape).astype(np.float32)
+    return x, y
+
+
+def two_spirals(num_samples: int = 400, noise: float = 0.03,
+                seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """The classic two-intertwined-spirals problem."""
+    rng = np.random.default_rng(seed)
+    n = num_samples // 2
+    theta = np.sqrt(rng.random(n)) * 3 * np.pi
+    r = theta / (3 * np.pi)
+    x1 = np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)
+    x2 = np.stack([-r * np.cos(theta), -r * np.sin(theta)], axis=1)
+    x = np.concatenate([x1, x2], axis=0).astype(np.float32)
+    x += rng.normal(0, noise, size=x.shape).astype(np.float32)
+    y = np.concatenate([np.zeros(n), np.ones(n)]).astype(np.int64)
+    perm = rng.permutation(len(x))
+    return x[perm], y[perm]
+
+
+def polynomial_regression(num_samples: int = 256, degree: int = 2, noise: float = 0.05,
+                          seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """1-D regression targets drawn from a random polynomial of the given degree."""
+    rng = np.random.default_rng(seed)
+    coeffs = rng.uniform(-1, 1, size=degree + 1)
+    x = rng.uniform(-1, 1, size=(num_samples, 1)).astype(np.float32)
+    y = sum(c * x[:, 0] ** i for i, c in enumerate(coeffs))
+    y = (y + rng.normal(0, noise, size=y.shape)).astype(np.float32)
+    return x, y.reshape(-1, 1)
+
+
+def gaussian_clusters(num_samples: int = 300, num_clusters: int = 3, spread: float = 0.15,
+                      seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Well-separated Gaussian blobs (a linearly separable sanity-check task)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-1, 1, size=(num_clusters, 2))
+    labels = rng.integers(0, num_clusters, size=num_samples)
+    x = centers[labels] + rng.normal(0, spread, size=(num_samples, 2))
+    return x.astype(np.float32), labels.astype(np.int64)

@@ -1,0 +1,86 @@
+"""Image transforms for NCHW float arrays (CHW per sample).
+
+Only the transforms the paper's training recipes rely on are provided:
+normalisation, random crop with padding, horizontal flip, and composition.
+All transforms operate on single-sample ``(C, H, W)`` float32 arrays so they
+can run inside ``Dataset.__getitem__``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Callable[[np.ndarray], np.ndarray]]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class Normalize:
+    """Channel-wise standardisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: int = 0) -> None:
+        self.p = float(p)
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[:, :, ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels then crop back to the original size."""
+
+    def __init__(self, size: int, padding: int = 4, seed: int = 0) -> None:
+        self.size = int(size)
+        self.padding = int(padding)
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        c, h, w = image.shape
+        padded = np.pad(image, ((0, 0), (self.padding, self.padding),
+                                (self.padding, self.padding)), mode="constant")
+        top = int(self._rng.integers(0, 2 * self.padding + 1))
+        left = int(self._rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top:top + self.size, left:left + self.size].copy()
+
+
+class GaussianNoise:
+    """Add i.i.d. Gaussian noise (simple data augmentation / robustness probe)."""
+
+    def __init__(self, std: float = 0.01, seed: int = 0) -> None:
+        self.std = float(std)
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return image + self._rng.normal(0.0, self.std, size=image.shape).astype(np.float32)
+
+
+class ToFloat:
+    """Ensure the sample is float32 (images generated as uint8 pass through here)."""
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.dtype == np.uint8:
+            return image.astype(np.float32) / 255.0
+        return image.astype(np.float32)

@@ -1,0 +1,52 @@
+"""``repro.explore`` — QDNN design exploration (paper P5 / "Design Exploration").
+
+The paper's structure-design problem (P5) is that published QDNNs use ad-hoc,
+shallow structures and that finding a good structure for a new task requires
+NAS-style design effort.  This package provides that exploration layer on top
+of QuadraLib's construction machinery:
+
+* :mod:`repro.explore.space` — the architecture genome and search space
+  (depth / width / neuron type / BatchNorm / activation),
+* :mod:`repro.explore.evaluate` — cached proxy evaluation (short training +
+  analytical parameter/MACs/memory profiling),
+* :mod:`repro.explore.random_search` / :mod:`repro.explore.evolution` —
+  search drivers,
+* :mod:`repro.explore.pareto` — multi-objective utilities (Pareto fronts,
+  crowding distance, 2-D hypervolume).
+
+Example
+-------
+>>> from repro import explore
+>>> space = explore.SearchSpace(width_choices=(16, 32), neuron_types=("first_order", "OURS"))
+>>> evaluator = explore.ProxyEvaluator(train_set, test_set, num_classes=6, image_size=16)
+>>> result = explore.random_search(space, evaluator, budget=8)
+>>> best = result.best
+"""
+
+from .evaluate import CandidateEvaluation, ProxyEvaluator, SearchResult
+from .evolution import EvolutionConfig, evolutionary_search
+from .pareto import (
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front,
+)
+from .random_search import random_search
+from .space import ArchitectureGenome, SearchSpace
+
+__all__ = [
+    "ArchitectureGenome",
+    "SearchSpace",
+    "CandidateEvaluation",
+    "ProxyEvaluator",
+    "SearchResult",
+    "random_search",
+    "EvolutionConfig",
+    "evolutionary_search",
+    "dominates",
+    "pareto_front",
+    "non_dominated_sort",
+    "crowding_distance",
+    "hypervolume_2d",
+]

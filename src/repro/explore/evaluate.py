@@ -1,0 +1,172 @@
+"""Candidate evaluation for design exploration.
+
+Exploring QDNN structures requires a cheap but informative estimate of each
+candidate's quality.  The :class:`ProxyEvaluator` follows the standard NAS
+proxy-task recipe: a short training run on a reduced dataset provides the
+accuracy signal, while the analytical profilers provide the efficiency
+objectives the paper's Table 3 reports (parameters, MACs, training memory).
+
+Evaluations are cached by genome key, so search drivers can re-visit
+candidates (e.g. elitism in the evolutionary search) without paying for
+re-training.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..profiler.flops import profile_model
+from ..profiler.memory import estimate_training_memory
+from ..training.classification import TrainingHistory, train_classifier
+from .space import ArchitectureGenome
+
+
+@dataclass
+class CandidateEvaluation:
+    """Objectives of one evaluated candidate architecture."""
+
+    genome: ArchitectureGenome
+    accuracy: float
+    train_accuracy: float
+    parameters: int
+    macs: int
+    training_memory_bytes: float
+    seconds: float
+    diverged: bool = False
+
+    def objectives(self) -> Dict[str, float]:
+        """Named objective values (accuracy is to be maximised, the rest minimised)."""
+        return {
+            "accuracy": self.accuracy,
+            "parameters": float(self.parameters),
+            "macs": float(self.macs),
+            "training_memory_bytes": self.training_memory_bytes,
+        }
+
+    def summary_row(self) -> List:
+        """Row for the exploration report tables."""
+        return [
+            self.genome.key(),
+            self.genome.neuron_type,
+            self.genome.num_conv_layers,
+            self.parameters,
+            round(self.accuracy, 3),
+            "yes" if self.diverged else "no",
+        ]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one exploration run (random search or evolution)."""
+
+    history: List[CandidateEvaluation] = field(default_factory=list)
+    evaluations_used: int = 0
+
+    @property
+    def best(self) -> CandidateEvaluation:
+        """Highest-accuracy candidate seen (ties broken by fewer parameters)."""
+        if not self.history:
+            raise ValueError("no candidates were evaluated")
+        return max(self.history, key=lambda e: (e.accuracy, -e.parameters))
+
+    def top(self, k: int = 5) -> List[CandidateEvaluation]:
+        """The ``k`` best candidates by accuracy."""
+        return sorted(self.history, key=lambda e: e.accuracy, reverse=True)[:k]
+
+    def pareto_front(self, maximize: Sequence[str] = ("accuracy",),
+                     minimize: Sequence[str] = ("parameters",)) -> List[CandidateEvaluation]:
+        """Non-dominated candidates under the given objectives."""
+        from .pareto import pareto_front
+
+        return pareto_front(self.history, maximize=maximize, minimize=minimize)
+
+
+class ProxyEvaluator:
+    """Short-training proxy evaluation of architecture genomes.
+
+    Parameters
+    ----------
+    train_dataset, test_dataset :
+        The proxy task.  Accuracy is measured on ``test_dataset`` when given,
+        otherwise the final training accuracy is used.
+    num_classes, image_size :
+        Classifier head size and probe resolution for the profilers.
+    epochs, batch_size, max_batches_per_epoch, lr :
+        Proxy-training budget (kept small by design).
+    width_multiplier :
+        Global width scale applied to every candidate (the same trick the
+        benchmarks use to stay inside a CPU budget).
+    seed :
+        Base seed; every evaluation is seeded deterministically from it.
+    """
+
+    def __init__(self, train_dataset: Dataset, test_dataset: Optional[Dataset] = None,
+                 num_classes: int = 10, image_size: int = 32, epochs: int = 2,
+                 batch_size: int = 32, max_batches_per_epoch: Optional[int] = 8,
+                 lr: float = 0.05, width_multiplier: float = 1.0, batch_size_for_memory: int = 256,
+                 seed: int = 0) -> None:
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.num_classes = int(num_classes)
+        self.image_size = int(image_size)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.max_batches_per_epoch = max_batches_per_epoch
+        self.lr = float(lr)
+        self.width_multiplier = float(width_multiplier)
+        self.batch_size_for_memory = int(batch_size_for_memory)
+        self.seed = int(seed)
+        self.cache: Dict[str, CandidateEvaluation] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------ hooks
+    def build(self, genome: ArchitectureGenome):
+        """Instantiate the candidate model (overridable for other model families)."""
+        return genome.build(self.num_classes, width_multiplier=self.width_multiplier)
+
+    def train(self, model, seed: int) -> TrainingHistory:
+        """Run the proxy training (overridable, e.g. for zero-cost proxies)."""
+        with np.errstate(all="ignore"):
+            return train_classifier(model, self.train_dataset, self.test_dataset,
+                                    epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
+                                    max_batches_per_epoch=self.max_batches_per_epoch, seed=seed)
+
+    # ------------------------------------------------------------------- call
+    def __call__(self, genome: ArchitectureGenome) -> CandidateEvaluation:
+        key = genome.key()
+        if key in self.cache:
+            return self.cache[key]
+
+        start = time.perf_counter()
+        model = self.build(genome)
+        input_shape = (3, self.image_size, self.image_size)
+        profile = profile_model(model, input_shape)
+        memory = estimate_training_memory(model, input_shape)
+
+        history = self.train(model, seed=self.seed + self.evaluations)
+        accuracy = history.final_test_accuracy
+        if not np.isfinite(accuracy):
+            accuracy = history.final_train_accuracy
+        diverged = not np.isfinite(history.train_loss[-1]) if history.train_loss else True
+        if not np.isfinite(accuracy):
+            accuracy = 0.0
+
+        evaluation = CandidateEvaluation(
+            genome=genome,
+            accuracy=float(accuracy),
+            train_accuracy=float(history.final_train_accuracy)
+            if np.isfinite(history.final_train_accuracy) else 0.0,
+            parameters=int(profile.total_parameters),
+            macs=int(profile.total_macs),
+            training_memory_bytes=float(memory.total_bytes(self.batch_size_for_memory)),
+            seconds=time.perf_counter() - start,
+            diverged=bool(diverged),
+        )
+        self.cache[key] = evaluation
+        self.evaluations += 1
+        return evaluation

@@ -1,0 +1,124 @@
+"""Evolutionary search over the QDNN architecture space.
+
+A compact (μ+λ)-style genetic algorithm with tournament selection, the
+mutation/crossover operators defined by :class:`~repro.explore.SearchSpace`,
+and elitism.  It is deliberately simple — the point of the exploration layer
+is to let a QuadraLib user answer "which quadratic structure should I use for
+this task?" with a few dozen proxy evaluations, not to compete with dedicated
+NAS systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .evaluate import CandidateEvaluation, SearchResult
+from .space import ArchitectureGenome, SearchSpace
+
+
+@dataclass
+class EvolutionConfig:
+    """Hyper-parameters of :func:`evolutionary_search`."""
+
+    population_size: int = 8
+    generations: int = 3
+    tournament_size: int = 3
+    mutation_rate: float = 0.3
+    crossover_probability: float = 0.5
+    elite_count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not (0.0 <= self.mutation_rate <= 1.0):
+            raise ValueError("mutation_rate must lie in [0, 1]")
+        if not (0.0 <= self.crossover_probability <= 1.0):
+            raise ValueError("crossover_probability must lie in [0, 1]")
+        if self.tournament_size < 1:
+            raise ValueError("tournament_size must be at least 1")
+        if self.elite_count < 0 or self.elite_count >= self.population_size:
+            raise ValueError("elite_count must lie in [0, population_size)")
+
+
+def _fitness(evaluation: CandidateEvaluation) -> tuple:
+    """Default scalar fitness: accuracy first, fewer parameters as tie-break."""
+    return (evaluation.accuracy, -float(evaluation.parameters))
+
+
+def _tournament(population: Sequence[CandidateEvaluation], rng: np.random.Generator,
+                size: int, fitness: Callable[[CandidateEvaluation], tuple]
+                ) -> CandidateEvaluation:
+    contestants = [population[int(i)] for i in rng.integers(0, len(population),
+                                                            size=min(size, len(population)))]
+    return max(contestants, key=fitness)
+
+
+def evolutionary_search(space: SearchSpace,
+                        evaluator: Callable[[ArchitectureGenome], CandidateEvaluation],
+                        config: Optional[EvolutionConfig] = None, seed: int = 0,
+                        initial_population: Optional[Sequence[ArchitectureGenome]] = None,
+                        fitness: Callable[[CandidateEvaluation], tuple] = _fitness,
+                        callback: Optional[Callable[[int, List[CandidateEvaluation]], None]] = None
+                        ) -> SearchResult:
+    """Run a small genetic algorithm and return every evaluation performed.
+
+    Parameters
+    ----------
+    space, evaluator :
+        The search space and the (usually cached) candidate evaluator.
+    config : EvolutionConfig
+        Population/generation/operator settings.
+    initial_population : sequence of genomes, optional
+        Seeds for generation 0 (e.g. the paper's known-good QuadraNN
+        configurations); padded with random samples up to the population size.
+    fitness : callable
+        Maps an evaluation to a sortable fitness (default: accuracy, then
+        fewer parameters).
+    callback : callable, optional
+        Invoked as ``callback(generation_index, population)`` after every
+        generation.
+    """
+    config = config or EvolutionConfig()
+    rng = np.random.default_rng(seed)
+    result = SearchResult()
+
+    def evaluate(genome: ArchitectureGenome) -> CandidateEvaluation:
+        evaluation = evaluator(genome)
+        result.history.append(evaluation)
+        result.evaluations_used += 1
+        return evaluation
+
+    # ----------------------------------------------------------- generation 0
+    genomes: List[ArchitectureGenome] = list(initial_population or [])
+    for genome in genomes:
+        if not space.contains(genome):
+            raise ValueError(f"initial genome {genome.key()} lies outside the search space")
+    while len(genomes) < config.population_size:
+        genomes.append(space.sample(rng))
+    population = [evaluate(genome) for genome in genomes[:config.population_size]]
+    if callback is not None:
+        callback(0, population)
+
+    # ------------------------------------------------------------ generations
+    for generation in range(1, config.generations + 1):
+        elites = sorted(population, key=fitness, reverse=True)[:config.elite_count]
+        offspring: List[CandidateEvaluation] = list(elites)
+        while len(offspring) < config.population_size:
+            parent = _tournament(population, rng, config.tournament_size, fitness)
+            if rng.random() < config.crossover_probability:
+                other = _tournament(population, rng, config.tournament_size, fitness)
+                child = space.crossover(parent.genome, other.genome, rng)
+            else:
+                child = parent.genome
+            child = space.mutate(child, rng, rate=config.mutation_rate)
+            offspring.append(evaluate(child))
+        population = offspring
+        if callback is not None:
+            callback(generation, population)
+
+    return result

@@ -1,0 +1,140 @@
+"""Multi-objective utilities: dominance, Pareto fronts, crowding, hypervolume.
+
+Design exploration is inherently multi-objective — the paper's Table 3 weighs
+accuracy against parameters, training time and memory.  These helpers extract
+the accuracy/efficiency trade-off curve from a set of evaluated candidates and
+score whole searches (hypervolume), so different exploration strategies can be
+compared quantitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .evaluate import CandidateEvaluation
+
+
+def _signed_objectives(evaluation: CandidateEvaluation, maximize: Sequence[str],
+                       minimize: Sequence[str]) -> Tuple[float, ...]:
+    """Objectives mapped so that *larger is always better*."""
+    values = evaluation.objectives()
+    unknown = [key for key in list(maximize) + list(minimize) if key not in values]
+    if unknown:
+        raise KeyError(f"unknown objective(s) {unknown}; available: {sorted(values)}")
+    signed = [values[key] for key in maximize]
+    signed.extend(-values[key] for key in minimize)
+    return tuple(float(v) for v in signed)
+
+
+def dominates(first: CandidateEvaluation, second: CandidateEvaluation,
+              maximize: Sequence[str] = ("accuracy",),
+              minimize: Sequence[str] = ("parameters",)) -> bool:
+    """True if ``first`` is at least as good on every objective and better on one."""
+    a = _signed_objectives(first, maximize, minimize)
+    b = _signed_objectives(second, maximize, minimize)
+    return all(x >= y for x, y in zip(a, b)) and any(x > y for x, y in zip(a, b))
+
+
+def pareto_front(evaluations: Sequence[CandidateEvaluation],
+                 maximize: Sequence[str] = ("accuracy",),
+                 minimize: Sequence[str] = ("parameters",)) -> List[CandidateEvaluation]:
+    """The non-dominated subset of ``evaluations`` (duplicates collapse to one)."""
+    front: List[CandidateEvaluation] = []
+    seen_keys = set()
+    for candidate in evaluations:
+        key = candidate.genome.key()
+        if key in seen_keys:
+            continue
+        if any(dominates(other, candidate, maximize, minimize) for other in evaluations):
+            continue
+        seen_keys.add(key)
+        front.append(candidate)
+    return front
+
+
+def non_dominated_sort(evaluations: Sequence[CandidateEvaluation],
+                       maximize: Sequence[str] = ("accuracy",),
+                       minimize: Sequence[str] = ("parameters",)
+                       ) -> List[List[CandidateEvaluation]]:
+    """Partition candidates into successive Pareto fronts (NSGA-II style)."""
+    remaining = list(evaluations)
+    fronts: List[List[CandidateEvaluation]] = []
+    while remaining:
+        front = pareto_front(remaining, maximize, minimize)
+        if not front:  # defensive: identical candidates everywhere
+            fronts.append(remaining)
+            break
+        fronts.append(front)
+        front_keys = {c.genome.key() for c in front}
+        remaining = [c for c in remaining if c.genome.key() not in front_keys]
+    return fronts
+
+
+def crowding_distance(front: Sequence[CandidateEvaluation],
+                      maximize: Sequence[str] = ("accuracy",),
+                      minimize: Sequence[str] = ("parameters",)) -> Dict[str, float]:
+    """NSGA-II crowding distance per candidate (keyed by genome key).
+
+    Boundary candidates get infinite distance so diversity-preserving selection
+    always keeps the extremes of the trade-off curve.
+    """
+    distances: Dict[str, float] = {c.genome.key(): 0.0 for c in front}
+    if len(front) <= 2:
+        return {key: float("inf") for key in distances}
+
+    objective_names = list(maximize) + list(minimize)
+    for index, name in enumerate(objective_names):
+        values = [_signed_objectives(c, maximize, minimize)[index] for c in front]
+        order = np.argsort(values)
+        lo, hi = values[order[0]], values[order[-1]]
+        span = hi - lo
+        distances[front[order[0]].genome.key()] = float("inf")
+        distances[front[order[-1]].genome.key()] = float("inf")
+        if span == 0:
+            continue
+        for rank in range(1, len(front) - 1):
+            current = front[order[rank]]
+            gap = (values[order[rank + 1]] - values[order[rank - 1]]) / span
+            if np.isfinite(distances[current.genome.key()]):
+                distances[current.genome.key()] += float(gap)
+    return distances
+
+
+def hypervolume_2d(evaluations: Sequence[CandidateEvaluation],
+                   maximize: str = "accuracy", minimize: str = "parameters",
+                   reference: Tuple[float, float] = (0.0, None)) -> float:
+    """Hypervolume of a 2-D front (maximised objective × minimised objective).
+
+    Parameters
+    ----------
+    reference :
+        ``(min value of the maximised objective, max value of the minimised
+        objective)``.  A ``None`` entry is replaced by the worst value in the
+        candidate set, which makes the number comparable only within one call
+        but is convenient for reporting.
+    """
+    if not evaluations:
+        return 0.0
+    front = pareto_front(evaluations, maximize=(maximize,), minimize=(minimize,))
+    points = [(c.objectives()[maximize], c.objectives()[minimize]) for c in front]
+
+    ref_acc = reference[0]
+    ref_cost = reference[1]
+    if ref_cost is None:
+        ref_cost = max(c.objectives()[minimize] for c in evaluations)
+    # Keep only points that actually improve on the reference.
+    points = [(acc, cost) for acc, cost in points if acc > ref_acc and cost <= ref_cost]
+    if not points:
+        return 0.0
+    # Staircase sweep: visit points from cheapest to most expensive and add the
+    # rectangle each one contributes beyond the best accuracy seen so far.
+    volume = 0.0
+    best_acc = ref_acc
+    for acc, cost in sorted(points, key=lambda p: p[1]):
+        if acc <= best_acc:
+            continue
+        volume += (ref_cost - cost) * (acc - best_acc)
+        best_acc = acc
+    return float(volume)

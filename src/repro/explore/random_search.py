@@ -1,0 +1,57 @@
+"""Random search over the QDNN architecture space.
+
+Random search is the standard baseline for design-space exploration
+(Radosavovic et al., whom the paper cites for the capacity argument, use it to
+characterise whole design spaces).  It doubles as the sanity check for the
+evolutionary driver: with the same evaluation budget, evolution should match
+or beat it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .evaluate import CandidateEvaluation, SearchResult
+from .space import ArchitectureGenome, SearchSpace
+
+
+def random_search(space: SearchSpace, evaluator: Callable[[ArchitectureGenome], CandidateEvaluation],
+                  budget: int = 16, seed: int = 0,
+                  deduplicate: bool = True,
+                  callback: Optional[Callable[[CandidateEvaluation], None]] = None
+                  ) -> SearchResult:
+    """Evaluate ``budget`` uniformly sampled candidates.
+
+    Parameters
+    ----------
+    space : SearchSpace
+        Where candidates are drawn from.
+    evaluator : callable
+        Maps a genome to a :class:`CandidateEvaluation`
+        (normally a :class:`~repro.explore.ProxyEvaluator`).
+    budget : int
+        Number of evaluations.
+    deduplicate : bool
+        Skip genomes that were already drawn (the space is discrete, so
+        repeats are common in small spaces); the budget still counts them.
+    callback : callable, optional
+        Invoked after every evaluation (e.g. for progress printing).
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be at least 1, got {budget}")
+    rng = np.random.default_rng(seed)
+    result = SearchResult()
+    seen = set()
+    for _ in range(budget):
+        genome = space.sample(rng)
+        result.evaluations_used += 1
+        if deduplicate and genome.key() in seen:
+            continue
+        seen.add(genome.key())
+        evaluation = evaluator(genome)
+        result.history.append(evaluation)
+        if callback is not None:
+            callback(evaluation)
+    return result

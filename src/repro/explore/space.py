@@ -1,0 +1,318 @@
+"""Architecture search space for QDNN design exploration (paper P5).
+
+The paper's structure-design problem (P5) is that every published QDNN uses a
+different, usually very shallow, hand-designed structure, and that finding a
+good structure for a new task "usually needs to introduce significant design
+efforts, such as Network Architecture Search".  This module defines the
+search space QuadraLib explores: VGG-style plain networks parameterised by
+
+* the number of pooling stages and convolutions per stage (depth),
+* the channel width of each stage,
+* the neuron type of the convolutions (first-order or any quadratic design),
+* the BatchNorm / activation switches from the paper's design insights.
+
+A point in the space is an :class:`ArchitectureGenome`; the space itself
+(:class:`SearchSpace`) can sample, mutate and recombine genomes, which is all
+the random-search and evolutionary drivers in this package need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..builder.config import QuadraticModelConfig
+from ..nn.module import Module
+
+
+@dataclass(frozen=True)
+class ArchitectureGenome:
+    """One candidate architecture: a plain (VGG-style) QDNN description.
+
+    Attributes
+    ----------
+    stage_depths :
+        Number of convolutions in each pooling stage, e.g. ``(2, 2, 3)``.
+    stage_widths :
+        Output channels of the convolutions in each stage; must have the same
+        length as ``stage_depths``.
+    neuron_type :
+        ``"first_order"`` or any registered quadratic design ("OURS", "T4", …).
+    use_batchnorm, use_activation :
+        The construction switches of paper Sec. 4.2.
+    """
+
+    stage_depths: Tuple[int, ...]
+    stage_widths: Tuple[int, ...]
+    neuron_type: str = "OURS"
+    use_batchnorm: bool = True
+    use_activation: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.stage_depths) != len(self.stage_widths):
+            raise ValueError(
+                f"stage_depths {self.stage_depths} and stage_widths {self.stage_widths} "
+                "must have the same length"
+            )
+        if not self.stage_depths:
+            raise ValueError("a genome needs at least one stage")
+        if any(d < 1 for d in self.stage_depths):
+            raise ValueError(f"every stage needs at least one convolution: {self.stage_depths}")
+        if any(w < 1 for w in self.stage_widths):
+            raise ValueError(f"stage widths must be positive: {self.stage_widths}")
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_depths)
+
+    @property
+    def num_conv_layers(self) -> int:
+        return int(sum(self.stage_depths))
+
+    @property
+    def is_quadratic(self) -> bool:
+        return self.neuron_type.lower() not in ("first_order", "first-order", "linear", "fo")
+
+    def to_vgg_cfg(self) -> List[Union[int, str]]:
+        """The genome as a VGG channel configuration (with ``"M"`` pool markers)."""
+        cfg: List[Union[int, str]] = []
+        for depth, width in zip(self.stage_depths, self.stage_widths):
+            cfg.extend([int(width)] * int(depth))
+            cfg.append("M")
+        return cfg
+
+    def to_config(self, width_multiplier: float = 1.0,
+                  hybrid_bp: bool = False) -> QuadraticModelConfig:
+        """The construction switches as a :class:`QuadraticModelConfig`."""
+        return QuadraticModelConfig(
+            neuron_type=self.neuron_type,
+            use_batchnorm=self.use_batchnorm,
+            use_activation=self.use_activation,
+            width_multiplier=width_multiplier,
+            hybrid_bp=hybrid_bp,
+        )
+
+    def build(self, num_classes: int, width_multiplier: float = 1.0,
+              in_channels: int = 3) -> Module:
+        """Instantiate the candidate as a trainable model."""
+        from ..models.vgg import VGG
+
+        return VGG(self.to_vgg_cfg(), num_classes=num_classes,
+                   config=self.to_config(width_multiplier), in_channels=in_channels)
+
+    # ----------------------------------------------------------- serialisation
+    def key(self) -> str:
+        """A stable identifier used for caching and de-duplication."""
+        depths = "-".join(map(str, self.stage_depths))
+        widths = "-".join(map(str, self.stage_widths))
+        return (f"d{depths}_w{widths}_{self.neuron_type}"
+                f"_bn{int(self.use_batchnorm)}_act{int(self.use_activation)}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "stage_depths": list(self.stage_depths),
+            "stage_widths": list(self.stage_widths),
+            "neuron_type": self.neuron_type,
+            "use_batchnorm": self.use_batchnorm,
+            "use_activation": self.use_activation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ArchitectureGenome":
+        return cls(
+            stage_depths=tuple(int(d) for d in data["stage_depths"]),
+            stage_widths=tuple(int(w) for w in data["stage_widths"]),
+            neuron_type=str(data.get("neuron_type", "OURS")),
+            use_batchnorm=bool(data.get("use_batchnorm", True)),
+            use_activation=bool(data.get("use_activation", True)),
+        )
+
+    def with_(self, **changes) -> "ArchitectureGenome":
+        """Copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SearchSpace:
+    """The set of genomes the exploration drivers may propose.
+
+    Attributes
+    ----------
+    min_stages, max_stages :
+        Range of pooling stages (inclusive).
+    min_convs_per_stage, max_convs_per_stage :
+        Range of convolutions per stage (inclusive).
+    width_choices :
+        Channel widths a stage may use.
+    neuron_types :
+        Neuron designs a candidate may use; include ``"first_order"`` to let
+        the search compare against the linear baseline.
+    allow_no_batchnorm, allow_no_activation :
+        Whether the corresponding construction switches may be turned off
+        (the paper's design insights say BatchNorm should stay on and ReLU is
+        optional only for shallow models — the defaults reflect that).
+    """
+
+    min_stages: int = 2
+    max_stages: int = 4
+    min_convs_per_stage: int = 1
+    max_convs_per_stage: int = 3
+    width_choices: Tuple[int, ...] = (16, 32, 64, 128)
+    neuron_types: Tuple[str, ...] = ("first_order", "T4", "T2_4", "OURS")
+    allow_no_batchnorm: bool = False
+    allow_no_activation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_stages < 1 or self.max_stages < self.min_stages:
+            raise ValueError(f"invalid stage range [{self.min_stages}, {self.max_stages}]")
+        if self.min_convs_per_stage < 1 or self.max_convs_per_stage < self.min_convs_per_stage:
+            raise ValueError(
+                f"invalid convs-per-stage range "
+                f"[{self.min_convs_per_stage}, {self.max_convs_per_stage}]"
+            )
+        if not self.width_choices:
+            raise ValueError("width_choices must not be empty")
+        if not self.neuron_types:
+            raise ValueError("neuron_types must not be empty")
+
+    # ------------------------------------------------------------------- size
+    def cardinality(self) -> int:
+        """Number of distinct genomes in the space (exact, for reporting)."""
+        depth_options = self.max_convs_per_stage - self.min_convs_per_stage + 1
+        width_options = len(self.width_choices)
+        per_stage = depth_options * width_options
+        total = 0
+        for stages in range(self.min_stages, self.max_stages + 1):
+            total += per_stage ** stages
+        total *= len(self.neuron_types)
+        total *= 2 if self.allow_no_batchnorm else 1
+        total *= 2 if self.allow_no_activation else 1
+        return total
+
+    # ------------------------------------------------------------ membership
+    def contains(self, genome: ArchitectureGenome) -> bool:
+        """Whether a genome lies inside this space."""
+        if not (self.min_stages <= genome.num_stages <= self.max_stages):
+            return False
+        if any(not (self.min_convs_per_stage <= d <= self.max_convs_per_stage)
+               for d in genome.stage_depths):
+            return False
+        if any(w not in self.width_choices for w in genome.stage_widths):
+            return False
+        if genome.neuron_type not in self.neuron_types:
+            return False
+        if not genome.use_batchnorm and not self.allow_no_batchnorm:
+            return False
+        if not genome.use_activation and not self.allow_no_activation:
+            return False
+        return True
+
+    # --------------------------------------------------------------- sampling
+    def sample(self, rng: np.random.Generator) -> ArchitectureGenome:
+        """Draw a uniform random genome."""
+        stages = int(rng.integers(self.min_stages, self.max_stages + 1))
+        depths = tuple(int(rng.integers(self.min_convs_per_stage, self.max_convs_per_stage + 1))
+                       for _ in range(stages))
+        widths = tuple(int(rng.choice(self.width_choices)) for _ in range(stages))
+        neuron = str(rng.choice(list(self.neuron_types)))
+        batchnorm = True if not self.allow_no_batchnorm else bool(rng.integers(0, 2))
+        activation = True if not self.allow_no_activation else bool(rng.integers(0, 2))
+        return ArchitectureGenome(stage_depths=depths, stage_widths=widths, neuron_type=neuron,
+                                  use_batchnorm=batchnorm, use_activation=activation)
+
+    # --------------------------------------------------------------- mutation
+    def mutate(self, genome: ArchitectureGenome, rng: np.random.Generator,
+               rate: float = 0.3) -> ArchitectureGenome:
+        """Randomly perturb one or more genes, staying inside the space.
+
+        Each gene (per-stage depth, per-stage width, neuron type, switches) is
+        resampled independently with probability ``rate``; if nothing changed,
+        one gene is forced to change so mutation never returns the input.
+        """
+        depths = list(genome.stage_depths)
+        widths = list(genome.stage_widths)
+        neuron = genome.neuron_type
+        batchnorm = genome.use_batchnorm
+        activation = genome.use_activation
+
+        def flip() -> bool:
+            return bool(rng.random() < rate)
+
+        for i in range(len(depths)):
+            if flip():
+                depths[i] = int(rng.integers(self.min_convs_per_stage,
+                                             self.max_convs_per_stage + 1))
+            if flip():
+                widths[i] = int(rng.choice(self.width_choices))
+        if flip():
+            neuron = str(rng.choice(list(self.neuron_types)))
+        if self.allow_no_batchnorm and flip():
+            batchnorm = not batchnorm
+        if self.allow_no_activation and flip():
+            activation = not activation
+        # Occasionally grow or shrink the number of stages.
+        if flip() and self.max_stages > self.min_stages:
+            if len(depths) < self.max_stages and (len(depths) == self.min_stages
+                                                  or rng.random() < 0.5):
+                depths.append(int(rng.integers(self.min_convs_per_stage,
+                                               self.max_convs_per_stage + 1)))
+                widths.append(int(rng.choice(self.width_choices)))
+            elif len(depths) > self.min_stages:
+                depths.pop()
+                widths.pop()
+
+        mutated = ArchitectureGenome(stage_depths=tuple(depths), stage_widths=tuple(widths),
+                                     neuron_type=neuron, use_batchnorm=batchnorm,
+                                     use_activation=activation)
+        if mutated != genome:
+            return mutated
+
+        # Resampling happened to land back on the input: force one gene to change
+        # so mutation never returns its argument.
+        index = int(rng.integers(0, len(widths)))
+        width_choices = [w for w in self.width_choices if w != widths[index]]
+        if width_choices:
+            widths[index] = int(rng.choice(width_choices))
+        elif self.max_convs_per_stage > self.min_convs_per_stage:
+            depth_choices = [d for d in range(self.min_convs_per_stage,
+                                              self.max_convs_per_stage + 1)
+                             if d != depths[index]]
+            depths[index] = int(rng.choice(depth_choices))
+        elif len(self.neuron_types) > 1:
+            neuron = str(rng.choice([t for t in self.neuron_types if t != neuron]))
+        elif self.allow_no_activation:
+            activation = not activation
+        elif self.allow_no_batchnorm:
+            batchnorm = not batchnorm
+        return ArchitectureGenome(stage_depths=tuple(depths), stage_widths=tuple(widths),
+                                  neuron_type=neuron, use_batchnorm=batchnorm,
+                                  use_activation=activation)
+
+    # -------------------------------------------------------------- crossover
+    def crossover(self, first: ArchitectureGenome, second: ArchitectureGenome,
+                  rng: np.random.Generator) -> ArchitectureGenome:
+        """Single-point stage crossover plus uniform switch inheritance."""
+        stages = int(rng.integers(self.min_stages,
+                                  min(self.max_stages, max(first.num_stages,
+                                                           second.num_stages)) + 1))
+        depths, widths = [], []
+        for i in range(stages):
+            donor = first if rng.random() < 0.5 else second
+            if i >= donor.num_stages:
+                donor = first if i < first.num_stages else second
+            if i >= donor.num_stages:
+                depths.append(int(rng.integers(self.min_convs_per_stage,
+                                               self.max_convs_per_stage + 1)))
+                widths.append(int(rng.choice(self.width_choices)))
+            else:
+                depths.append(int(donor.stage_depths[i]))
+                widths.append(int(donor.stage_widths[i]))
+        neuron = first.neuron_type if rng.random() < 0.5 else second.neuron_type
+        batchnorm = first.use_batchnorm if rng.random() < 0.5 else second.use_batchnorm
+        activation = first.use_activation if rng.random() < 0.5 else second.use_activation
+        return ArchitectureGenome(stage_depths=tuple(depths), stage_widths=tuple(widths),
+                                  neuron_type=neuron, use_batchnorm=batchnorm,
+                                  use_activation=activation)

@@ -1,0 +1,25 @@
+"""``repro.metrics`` — accuracy, VOC mAP and generative-model scores."""
+
+from .classification import accuracy, confusion_matrix, per_class_accuracy, top_k_accuracy
+from .detection import average_precision, evaluate_detections
+from .generation import (
+    GenerationScores,
+    ProxyInception,
+    evaluate_generator,
+    frechet_distance,
+    inception_score,
+)
+
+__all__ = [
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "average_precision",
+    "evaluate_detections",
+    "ProxyInception",
+    "GenerationScores",
+    "inception_score",
+    "frechet_distance",
+    "evaluate_generator",
+]

@@ -1,0 +1,51 @@
+"""Classification metrics: top-k accuracy and confusion matrices."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+
+
+def _to_array(values: Union[Tensor, np.ndarray]) -> np.ndarray:
+    return values.data if isinstance(values, Tensor) else np.asarray(values)
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: Union[Tensor, np.ndarray]) -> float:
+    """Top-1 accuracy of class logits (or probabilities) against integer labels."""
+    logits = _to_array(logits)
+    targets = _to_array(targets).astype(np.int64)
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == targets).mean())
+
+
+def top_k_accuracy(logits: Union[Tensor, np.ndarray], targets: Union[Tensor, np.ndarray],
+                   k: int = 5) -> float:
+    """Top-k accuracy."""
+    logits = _to_array(logits)
+    targets = _to_array(targets).astype(np.int64)
+    k = min(k, logits.shape[-1])
+    top_k = np.argsort(logits, axis=-1)[:, -k:]
+    return float(np.any(top_k == targets[:, None], axis=1).mean())
+
+
+def confusion_matrix(logits: Union[Tensor, np.ndarray], targets: Union[Tensor, np.ndarray],
+                     num_classes: int) -> np.ndarray:
+    """(num_classes, num_classes) matrix with true classes on rows."""
+    logits = _to_array(logits)
+    targets = _to_array(targets).astype(np.int64)
+    predictions = logits.argmax(axis=-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (targets, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(logits: Union[Tensor, np.ndarray], targets: Union[Tensor, np.ndarray],
+                       num_classes: int) -> np.ndarray:
+    """Accuracy restricted to each true class (nan for absent classes)."""
+    matrix = confusion_matrix(logits, targets, num_classes)
+    totals = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

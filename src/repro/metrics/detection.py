@@ -1,0 +1,105 @@
+"""Object-detection metrics: VOC-style average precision and mAP (Table 6)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..models.detection_utils import iou_matrix
+
+
+def average_precision(recall: np.ndarray, precision: np.ndarray,
+                      use_11_point: bool = False) -> float:
+    """Area under the precision–recall curve.
+
+    ``use_11_point=True`` reproduces the original VOC2007 11-point
+    interpolation; the default is the all-point interpolation used by later
+    VOC releases (both are reported by the benchmark for completeness).
+    """
+    if len(recall) == 0:
+        return 0.0
+    if use_11_point:
+        ap = 0.0
+        for threshold in np.linspace(0, 1, 11):
+            mask = recall >= threshold
+            ap += (precision[mask].max() if mask.any() else 0.0) / 11.0
+        return float(ap)
+    # All-point interpolation: make precision monotonically decreasing.
+    mrec = np.concatenate([[0.0], recall, [1.0]])
+    mpre = np.concatenate([[0.0], precision, [0.0]])
+    for i in range(len(mpre) - 2, -1, -1):
+        mpre[i] = max(mpre[i], mpre[i + 1])
+    changes = np.where(mrec[1:] != mrec[:-1])[0]
+    return float(np.sum((mrec[changes + 1] - mrec[changes]) * mpre[changes + 1]))
+
+
+def evaluate_detections(predictions: Sequence[Dict[str, np.ndarray]],
+                        ground_truths: Sequence[Dict[str, np.ndarray]],
+                        num_classes: int, iou_threshold: float = 0.5,
+                        use_11_point: bool = False) -> Dict[str, object]:
+    """Compute per-class AP and mAP over a dataset.
+
+    Parameters
+    ----------
+    predictions : list of dicts with ``boxes`` (M, 4), ``scores`` (M,), ``labels`` (M,)
+    ground_truths : list of dicts with ``boxes`` (G, 4), ``labels`` (G,)
+    num_classes : int
+    iou_threshold : float
+        Minimum IoU for a detection to count as a true positive.
+
+    Returns
+    -------
+    dict with keys ``per_class_ap`` (array of length num_classes) and ``map``.
+    """
+    if len(predictions) != len(ground_truths):
+        raise ValueError("predictions and ground_truths must have the same length")
+
+    per_class_ap = np.zeros(num_classes, dtype=np.float64)
+    for cls in range(num_classes):
+        # Gather all detections of this class across images, sorted by score.
+        records: List[Tuple[float, int, np.ndarray]] = []
+        total_gt = 0
+        gt_boxes_per_image: List[np.ndarray] = []
+        for image_index, gt in enumerate(ground_truths):
+            mask = gt["labels"] == cls
+            gt_boxes_per_image.append(gt["boxes"][mask])
+            total_gt += int(mask.sum())
+        for image_index, pred in enumerate(predictions):
+            mask = pred["labels"] == cls
+            for box, score in zip(pred["boxes"][mask], pred["scores"][mask]):
+                records.append((float(score), image_index, box))
+        if total_gt == 0:
+            per_class_ap[cls] = np.nan
+            continue
+        if not records:
+            per_class_ap[cls] = 0.0
+            continue
+        records.sort(key=lambda item: item[0], reverse=True)
+
+        matched = [np.zeros(len(boxes), dtype=bool) for boxes in gt_boxes_per_image]
+        tp = np.zeros(len(records))
+        fp = np.zeros(len(records))
+        for i, (_, image_index, box) in enumerate(records):
+            gt_boxes = gt_boxes_per_image[image_index]
+            if len(gt_boxes) == 0:
+                fp[i] = 1
+                continue
+            ious = iou_matrix(box[None, :], gt_boxes)[0]
+            best = int(ious.argmax())
+            if ious[best] >= iou_threshold and not matched[image_index][best]:
+                tp[i] = 1
+                matched[image_index][best] = True
+            else:
+                fp[i] = 1
+        cum_tp = np.cumsum(tp)
+        cum_fp = np.cumsum(fp)
+        recall = cum_tp / total_gt
+        precision = cum_tp / np.maximum(cum_tp + cum_fp, 1e-9)
+        per_class_ap[cls] = average_precision(recall, precision, use_11_point=use_11_point)
+
+    valid = ~np.isnan(per_class_ap)
+    return {
+        "per_class_ap": per_class_ap,
+        "map": float(per_class_ap[valid].mean()) if valid.any() else 0.0,
+    }

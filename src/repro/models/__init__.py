@@ -1,0 +1,44 @@
+"""``repro.models`` — model zoo (first-order and quadratic variants).
+
+Classification backbones (VGG, ResNet, MobileNetV1, small reference nets),
+the SNGAN generator/discriminator pair and the SSD detector.  Every factory
+accepts a ``neuron_type`` so the same structure can be instantiated as the
+first-order baseline, a published QDNN design or the paper's QuadraNN.
+"""
+
+from . import detection_utils
+from .mobilenet import MobileNetV1, mobilenet_from_cfg, mobilenet_v1, mobilenet_v1_quadra
+from .resnet import BasicBlock, ResNet, resnet20, resnet32, resnet32_quadra, resnet_from_blocks
+from .simple import FirstOrderMLP, LeNet, QuadraticMLP, SmallConvNet
+from .sngan import SNGANDiscriminator, SNGANGenerator, sngan_pair
+from .ssd import SSD, SSDBackbone, build_ssd
+from .vgg import VGG, vgg8, vgg16, vgg16_quadra, vgg_from_cfg
+
+__all__ = [
+    "VGG",
+    "vgg8",
+    "vgg16",
+    "vgg16_quadra",
+    "vgg_from_cfg",
+    "ResNet",
+    "BasicBlock",
+    "resnet20",
+    "resnet32",
+    "resnet32_quadra",
+    "resnet_from_blocks",
+    "MobileNetV1",
+    "mobilenet_v1",
+    "mobilenet_v1_quadra",
+    "mobilenet_from_cfg",
+    "SmallConvNet",
+    "QuadraticMLP",
+    "FirstOrderMLP",
+    "LeNet",
+    "SNGANGenerator",
+    "SNGANDiscriminator",
+    "sngan_pair",
+    "SSD",
+    "SSDBackbone",
+    "build_ssd",
+    "detection_utils",
+]

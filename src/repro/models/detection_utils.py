@@ -1,0 +1,152 @@
+"""Box utilities for the SSD detector: anchors, IoU, encoding, NMS.
+
+All functions operate on plain NumPy arrays with boxes in normalised corner
+format ``(x_min, y_min, x_max, y_max)`` unless stated otherwise.  They are
+deliberately kept outside the autodiff graph — only the *offsets* predicted by
+the network are differentiable; matching and decoding are bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def generate_anchors(feature_sizes: Sequence[int], scales: Sequence[float],
+                     aspect_ratios: Sequence[float] = (1.0, 2.0, 0.5)) -> np.ndarray:
+    """Generate SSD-style anchors for a set of square feature maps.
+
+    Parameters
+    ----------
+    feature_sizes : list of int
+        Spatial size of each prediction feature map (e.g. ``[8, 4]``).
+    scales : list of float
+        Anchor scale (relative to image size) per feature map; must match
+        ``feature_sizes`` in length.
+    aspect_ratios : list of float
+        Width/height ratios applied at every location.
+
+    Returns
+    -------
+    (A, 4) array of anchors in corner format, clipped to [0, 1].
+    """
+    if len(feature_sizes) != len(scales):
+        raise ValueError("feature_sizes and scales must have the same length")
+    anchors: List[np.ndarray] = []
+    for size, scale in zip(feature_sizes, scales):
+        step = 1.0 / size
+        centers = (np.arange(size) + 0.5) * step
+        cx, cy = np.meshgrid(centers, centers, indexing="xy")
+        for ratio in aspect_ratios:
+            w = scale * np.sqrt(ratio)
+            h = scale / np.sqrt(ratio)
+            boxes = np.stack([
+                cx.ravel() - w / 2, cy.ravel() - h / 2,
+                cx.ravel() + w / 2, cy.ravel() + h / 2,
+            ], axis=1)
+            anchors.append(boxes)
+    out = np.concatenate(anchors, axis=0).astype(np.float32)
+    return np.clip(out, 0.0, 1.0)
+
+
+def box_area(boxes: np.ndarray) -> np.ndarray:
+    """Area of corner-format boxes."""
+    return np.clip(boxes[:, 2] - boxes[:, 0], 0, None) * np.clip(boxes[:, 3] - boxes[:, 1], 0, None)
+
+
+def iou_matrix(boxes_a: np.ndarray, boxes_b: np.ndarray) -> np.ndarray:
+    """Pairwise intersection-over-union between two sets of corner boxes."""
+    if len(boxes_a) == 0 or len(boxes_b) == 0:
+        return np.zeros((len(boxes_a), len(boxes_b)), dtype=np.float32)
+    lt = np.maximum(boxes_a[:, None, :2], boxes_b[None, :, :2])
+    rb = np.minimum(boxes_a[:, None, 2:], boxes_b[None, :, 2:])
+    wh = np.clip(rb - lt, 0, None)
+    inter = wh[..., 0] * wh[..., 1]
+    union = box_area(boxes_a)[:, None] + box_area(boxes_b)[None, :] - inter
+    return (inter / np.maximum(union, 1e-9)).astype(np.float32)
+
+
+def corner_to_center(boxes: np.ndarray) -> np.ndarray:
+    """Convert corner boxes to (cx, cy, w, h)."""
+    cx = (boxes[:, 0] + boxes[:, 2]) / 2
+    cy = (boxes[:, 1] + boxes[:, 3]) / 2
+    w = boxes[:, 2] - boxes[:, 0]
+    h = boxes[:, 3] - boxes[:, 1]
+    return np.stack([cx, cy, w, h], axis=1)
+
+
+def center_to_corner(boxes: np.ndarray) -> np.ndarray:
+    """Convert (cx, cy, w, h) boxes to corner format."""
+    x0 = boxes[:, 0] - boxes[:, 2] / 2
+    y0 = boxes[:, 1] - boxes[:, 3] / 2
+    x1 = boxes[:, 0] + boxes[:, 2] / 2
+    y1 = boxes[:, 1] + boxes[:, 3] / 2
+    return np.stack([x0, y0, x1, y1], axis=1)
+
+
+def encode_boxes(matched_gt: np.ndarray, anchors: np.ndarray,
+                 variances: Tuple[float, float] = (0.1, 0.2)) -> np.ndarray:
+    """Encode ground-truth boxes as offsets relative to anchors (SSD convention)."""
+    gt = corner_to_center(matched_gt)
+    an = corner_to_center(anchors)
+    eps = 1e-9
+    d_xy = (gt[:, :2] - an[:, :2]) / (an[:, 2:] * variances[0] + eps)
+    d_wh = np.log(np.maximum(gt[:, 2:] / np.maximum(an[:, 2:], eps), eps)) / variances[1]
+    return np.concatenate([d_xy, d_wh], axis=1).astype(np.float32)
+
+
+def decode_boxes(offsets: np.ndarray, anchors: np.ndarray,
+                 variances: Tuple[float, float] = (0.1, 0.2)) -> np.ndarray:
+    """Invert :func:`encode_boxes`: predicted offsets → corner boxes."""
+    an = corner_to_center(anchors)
+    cxcy = offsets[:, :2] * variances[0] * an[:, 2:] + an[:, :2]
+    wh = np.exp(np.clip(offsets[:, 2:] * variances[1], -10, 10)) * an[:, 2:]
+    return np.clip(center_to_corner(np.concatenate([cxcy, wh], axis=1)), 0.0, 1.0)
+
+
+def match_anchors(anchors: np.ndarray, gt_boxes: np.ndarray, gt_labels: np.ndarray,
+                  iou_threshold: float = 0.5) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign a ground-truth box (or background) to every anchor.
+
+    Returns ``(matched_labels, matched_boxes)`` where label 0 is background
+    and object classes are shifted by +1.  Every ground-truth box is force-
+    matched to its best anchor so no object is unrepresented.
+    """
+    num_anchors = len(anchors)
+    matched_labels = np.zeros(num_anchors, dtype=np.int64)
+    matched_boxes = np.zeros((num_anchors, 4), dtype=np.float32)
+    if len(gt_boxes) == 0:
+        return matched_labels, matched_boxes
+
+    ious = iou_matrix(anchors, gt_boxes)          # (A, G)
+    best_gt = ious.argmax(axis=1)
+    best_iou = ious.max(axis=1)
+
+    positive = best_iou >= iou_threshold
+    # Force-match: each ground truth claims its best anchor.
+    best_anchor_per_gt = ious.argmax(axis=0)
+    positive[best_anchor_per_gt] = True
+    best_gt[best_anchor_per_gt] = np.arange(len(gt_boxes))
+
+    matched_labels[positive] = gt_labels[best_gt[positive]] + 1
+    matched_boxes[positive] = gt_boxes[best_gt[positive]]
+    return matched_labels, matched_boxes
+
+
+def nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float = 0.45,
+        top_k: int = 50) -> np.ndarray:
+    """Greedy non-maximum suppression; returns indices of kept boxes."""
+    if len(boxes) == 0:
+        return np.empty(0, dtype=np.int64)
+    order = scores.argsort()[::-1][:top_k * 4]
+    keep: List[int] = []
+    while len(order) > 0 and len(keep) < top_k:
+        current = int(order[0])
+        keep.append(current)
+        if len(order) == 1:
+            break
+        rest = order[1:]
+        ious = iou_matrix(boxes[current:current + 1], boxes[rest])[0]
+        order = rest[ious <= iou_threshold]
+    return np.asarray(keep, dtype=np.int64)

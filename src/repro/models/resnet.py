@@ -1,0 +1,109 @@
+"""CIFAR-style ResNet (He et al., 2016) in first-order and quadratic form.
+
+ResNet-32 = three stages of [5, 5, 5] basic blocks at 16/32/64 channels.
+The auto-built QuadraNN uses [2, 2, 2] blocks (Table 3).  The residual
+connection also doubles as the paper's reference point for why an identity /
+linear path fixes gradient vanishing in quadratic networks (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from .. import nn
+from ..builder.config import RESNET_BLOCKS, QuadraticModelConfig
+from ..builder.constructors import make_conv
+from ..nn.module import Module
+
+
+class BasicBlock(Module):
+    """Two 3×3 convolutions with a residual connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int,
+                 config: QuadraticModelConfig) -> None:
+        super().__init__()
+        self.conv1 = make_conv(config, in_channels, out_channels, kernel_size=3,
+                               stride=stride, padding=1)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = make_conv(config, out_channels, out_channels, kernel_size=3,
+                               stride=1, padding=1)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        self.relu = nn.ReLU() if config.use_activation else nn.Identity()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, kernel_size=1, stride=stride, bias=False),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x):
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.relu(out)
+
+
+class ResNet(Module):
+    """Stacked residual stages at 16/32/64 channels (CIFAR-style)."""
+
+    def __init__(self, blocks: Union[str, Sequence[int]], num_classes: int = 10,
+                 config: Optional[QuadraticModelConfig] = None, in_channels: int = 3) -> None:
+        super().__init__()
+        self.config = config or QuadraticModelConfig(neuron_type="first_order")
+        if isinstance(blocks, str):
+            blocks = RESNET_BLOCKS[blocks.upper()]
+        self.block_counts = list(blocks)
+
+        widths = [self.config.scaled(c) for c in (16, 32, 64)]
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, widths[0], kernel_size=3, padding=1, bias=False),
+            nn.BatchNorm2d(widths[0]),
+            nn.ReLU(),
+        )
+        stages: List[Module] = []
+        channels = widths[0]
+        for stage_index, (width, count) in enumerate(zip(widths, self.block_counts)):
+            for block_index in range(count):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                stages.append(BasicBlock(channels, width, stride, self.config))
+                channels = width
+        self.stages = nn.Sequential(*stages)
+        self.head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Linear(channels, num_classes))
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.head(self.stages(self.stem(x)))
+
+    def extra_repr(self) -> str:
+        return f"blocks={self.block_counts}, type={self.config.neuron_type}"
+
+
+def resnet32(num_classes: int = 10, neuron_type: str = "first_order",
+             width_multiplier: float = 1.0, **kwargs) -> ResNet:
+    """ResNet-32: [5, 5, 5] basic blocks (Table 3 first-order baseline)."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return ResNet("RESNET32", num_classes=num_classes, config=config)
+
+
+def resnet20(num_classes: int = 10, neuron_type: str = "first_order",
+             width_multiplier: float = 1.0, **kwargs) -> ResNet:
+    """ResNet-20: [3, 3, 3] basic blocks."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return ResNet("RESNET20", num_classes=num_classes, config=config)
+
+
+def resnet32_quadra(num_classes: int = 10, neuron_type: str = "OURS",
+                    width_multiplier: float = 1.0, **kwargs) -> ResNet:
+    """The auto-built QuadraNN ResNet: [2, 2, 2] quadratic blocks (Table 3)."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return ResNet("RESNET32_QUADRA", num_classes=num_classes, config=config)
+
+
+def resnet_from_blocks(blocks: Sequence[int], num_classes: int,
+                       config: QuadraticModelConfig) -> ResNet:
+    """Build a ResNet from explicit block counts (used by the auto-builder)."""
+    return ResNet(blocks, num_classes=num_classes, config=config)

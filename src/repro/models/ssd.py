@@ -1,0 +1,244 @@
+"""A compact Single-Shot MultiBox Detector (Liu et al., 2016).
+
+The paper's Table 6 plugs a first-order or quadratic VGG-16 backbone into SSD
+and trains on PASCAL VOC with/without ImageNet pre-training.  This module
+reproduces the detector at a smaller scale: a configurable backbone produces
+two feature maps, each feeding class and box-offset heads over a fixed anchor
+grid; training uses the standard multibox loss (smooth-L1 localisation + hard
+negative-mined cross-entropy) and inference decodes anchors and applies NMS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..autodiff import no_grad
+from ..autodiff.tensor import Tensor
+from ..builder.config import QuadraticModelConfig
+from ..builder.constructors import conv_block, make_conv
+from ..nn import functional as F
+from ..nn.module import Module
+from .detection_utils import decode_boxes, encode_boxes, generate_anchors, match_anchors, nms
+
+
+class SSDBackbone(Module):
+    """VGG-style backbone emitting two feature maps (strides 8 and 16).
+
+    The convolution layers follow the configured neuron type, so the same
+    class serves as the "1st order" and "QuadraNN" backbone of Table 6.
+    The layout mirrors a slimmed VGG: two stride-2 stages before the first
+    output map, one more before the second.
+    """
+
+    def __init__(self, config: QuadraticModelConfig, in_channels: int = 3,
+                 widths: Sequence[int] = (32, 64, 128, 128)) -> None:
+        super().__init__()
+        w1, w2, w3, w4 = (config.scaled(w) for w in widths)
+        self.stage1 = nn.Sequential(
+            *conv_block(config, in_channels, w1),
+            nn.MaxPool2d(2),
+            *conv_block(config, w1, w2),
+            nn.MaxPool2d(2),
+            *conv_block(config, w2, w3),
+            nn.MaxPool2d(2),
+        )
+        self.stage2 = nn.Sequential(
+            *conv_block(config, w3, w4),
+            nn.MaxPool2d(2),
+        )
+        self.out_channels = (w3, w4)
+
+    def forward(self, x) -> Tuple[Tensor, Tensor]:
+        feat1 = self.stage1(x)
+        feat2 = self.stage2(feat1)
+        return feat1, feat2
+
+    def classification_stem(self) -> Module:
+        """The layers shared with a classification network (for pre-training)."""
+        return self.stage1
+
+
+class SSD(Module):
+    """Single-shot detector over two feature maps.
+
+    Parameters
+    ----------
+    num_classes : int
+        Number of *object* classes (background is handled internally).
+    image_size : int
+        Input resolution (square).
+    config : QuadraticModelConfig
+        Backbone neuron type and construction switches.
+    """
+
+    def __init__(self, num_classes: int, image_size: int = 64,
+                 config: Optional[QuadraticModelConfig] = None,
+                 aspect_ratios: Sequence[float] = (1.0, 2.0, 0.5)) -> None:
+        super().__init__()
+        self.config = config or QuadraticModelConfig(neuron_type="first_order")
+        self.num_classes = int(num_classes)
+        self.num_with_background = self.num_classes + 1
+        self.image_size = int(image_size)
+        self.aspect_ratios = tuple(aspect_ratios)
+        self.backbone = SSDBackbone(self.config)
+
+        feat1_size = image_size // 8
+        feat2_size = image_size // 16
+        self.feature_sizes = (feat1_size, feat2_size)
+        self.anchors = generate_anchors(self.feature_sizes, scales=(0.25, 0.5),
+                                        aspect_ratios=self.aspect_ratios)
+        k = len(self.aspect_ratios)
+
+        c1, c2 = self.backbone.out_channels
+        self.cls_head1 = nn.Conv2d(c1, k * self.num_with_background, kernel_size=3, padding=1)
+        self.loc_head1 = nn.Conv2d(c1, k * 4, kernel_size=3, padding=1)
+        self.cls_head2 = nn.Conv2d(c2, k * self.num_with_background, kernel_size=3, padding=1)
+        self.loc_head2 = nn.Conv2d(c2, k * 4, kernel_size=3, padding=1)
+
+    # ------------------------------------------------------------------ forward
+    def _flatten_head(self, output: Tensor, channels_per_anchor: int) -> Tensor:
+        """(N, k*C, H, W) → (N, k*H*W, C), matching the anchor ordering.
+
+        ``generate_anchors`` emits, per feature map, one block of all spatial
+        positions for each aspect ratio (ratio-major); the head output is
+        therefore flattened ratio-major, position-minor as well.
+        """
+        n, _, h, w = output.shape
+        out = output.reshape(n, -1, channels_per_anchor, h * w)   # (N, k, C, HW)
+        return out.transpose(0, 1, 3, 2).reshape(n, -1, channels_per_anchor)
+
+    def forward(self, x) -> Tuple[Tensor, Tensor]:
+        """Return ``(class_logits, box_offsets)`` over every anchor."""
+        feat1, feat2 = self.backbone(x)
+        cls = [
+            self._flatten_head(self.cls_head1(feat1), self.num_with_background),
+            self._flatten_head(self.cls_head2(feat2), self.num_with_background),
+        ]
+        loc = [
+            self._flatten_head(self.loc_head1(feat1), 4),
+            self._flatten_head(self.loc_head2(feat2), 4),
+        ]
+        from ..autodiff.tensor import cat
+
+        return cat(cls, axis=1), cat(loc, axis=1)
+
+    # -------------------------------------------------------------------- loss
+    def multibox_loss(self, cls_logits: Tensor, box_offsets: Tensor,
+                      targets: List[Dict[str, np.ndarray]],
+                      negative_ratio: float = 3.0) -> Tensor:
+        """Hard-negative-mined classification + smooth-L1 localisation loss."""
+        batch = cls_logits.shape[0]
+        num_anchors = cls_logits.shape[1]
+        all_labels = np.zeros((batch, num_anchors), dtype=np.int64)
+        all_boxes = np.zeros((batch, num_anchors, 4), dtype=np.float32)
+        for i, target in enumerate(targets):
+            labels, boxes = match_anchors(self.anchors, target["boxes"], target["labels"])
+            all_labels[i] = labels
+            all_boxes[i] = boxes
+
+        positive_mask = all_labels > 0
+        num_positive = int(positive_mask.sum())
+
+        # ---- classification with hard negative mining (3:1 by default).
+        flat_logits = cls_logits.reshape(batch * num_anchors, self.num_with_background)
+        flat_labels = all_labels.reshape(-1)
+        per_anchor_ce = F.cross_entropy(flat_logits, flat_labels, reduction="none")
+
+        with no_grad():
+            ce_values = per_anchor_ce.data.reshape(batch, num_anchors).copy()
+        ce_values[positive_mask] = -np.inf  # exclude positives from negative ranking
+        num_neg = min(int(negative_ratio * max(num_positive, 1)),
+                      int((~positive_mask).sum()))
+        neg_threshold_idx = np.argsort(ce_values.reshape(-1))[::-1][:num_neg]
+        selected = positive_mask.reshape(-1).copy()
+        selected[neg_threshold_idx] = True
+
+        selection_weights = Tensor(selected.astype(np.float32))
+        cls_loss = (per_anchor_ce * selection_weights).sum() / max(num_positive, 1)
+
+        # ---- localisation loss on positive anchors only.
+        if num_positive > 0:
+            encoded = np.zeros((batch, num_anchors, 4), dtype=np.float32)
+            for i in range(batch):
+                pos = positive_mask[i]
+                if pos.any():
+                    encoded[i, pos] = encode_boxes(all_boxes[i, pos], self.anchors[pos])
+            loc_weights = Tensor(positive_mask.astype(np.float32)[..., None])
+            loc_diff = F.smooth_l1_loss(box_offsets, Tensor(encoded), reduction="none")
+            loc_loss = (loc_diff * loc_weights).sum() / max(num_positive, 1)
+        else:
+            loc_loss = box_offsets.sum() * 0.0
+
+        return cls_loss + loc_loss
+
+    # --------------------------------------------------------------- inference
+    def detect(self, x, score_threshold: float = 0.3, iou_threshold: float = 0.45,
+               top_k: int = 20) -> List[Dict[str, np.ndarray]]:
+        """Run inference and return per-image detections after NMS."""
+        was_training = self.training
+        self.train(False)
+        with no_grad():
+            cls_logits, box_offsets = self.forward(x)
+        self.train(was_training)
+
+        probs = F.softmax(cls_logits, axis=-1).data
+        offsets = box_offsets.data
+        results: List[Dict[str, np.ndarray]] = []
+        for i in range(probs.shape[0]):
+            decoded = decode_boxes(offsets[i], self.anchors)
+            boxes_out, scores_out, labels_out = [], [], []
+            for cls in range(1, self.num_with_background):
+                scores = probs[i, :, cls]
+                mask = scores > score_threshold
+                if not mask.any():
+                    continue
+                keep = nms(decoded[mask], scores[mask], iou_threshold=iou_threshold,
+                           top_k=top_k)
+                boxes_out.append(decoded[mask][keep])
+                scores_out.append(scores[mask][keep])
+                labels_out.append(np.full(len(keep), cls - 1, dtype=np.int64))
+            if boxes_out:
+                results.append({
+                    "boxes": np.concatenate(boxes_out, axis=0),
+                    "scores": np.concatenate(scores_out, axis=0),
+                    "labels": np.concatenate(labels_out, axis=0),
+                })
+            else:
+                results.append({
+                    "boxes": np.zeros((0, 4), dtype=np.float32),
+                    "scores": np.zeros(0, dtype=np.float32),
+                    "labels": np.zeros(0, dtype=np.int64),
+                })
+        return results
+
+    # ---------------------------------------------------------------- pretrain
+    def load_backbone_from_classifier(self, classifier_state: Dict[str, np.ndarray],
+                                      prefix: str = "features") -> int:
+        """Copy matching convolution weights from a classification checkpoint.
+
+        Mirrors the paper's Table 6 "pre-trained" setting where the detector
+        backbone is initialised from an (ILSVRC-pre-trained) classification
+        network.  Returns the number of parameter tensors copied.
+        """
+        own_state = {name: p for name, p in self.backbone.named_parameters()}
+        copied = 0
+        # Match by position among convolution weights of identical shape.
+        source_items = [(k, v) for k, v in classifier_state.items()
+                        if k.startswith(prefix) and v.ndim >= 2]
+        own_items = [(k, p) for k, p in own_state.items() if p.data.ndim >= 2]
+        for (_, src), (name, param) in zip(source_items, own_items):
+            if src.shape == param.data.shape:
+                param.data[...] = src
+                copied += 1
+        return copied
+
+
+def build_ssd(num_classes: int, image_size: int = 64, neuron_type: str = "first_order",
+              width_multiplier: float = 1.0, **kwargs) -> SSD:
+    """Convenience constructor mirroring the other model factories."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return SSD(num_classes=num_classes, image_size=image_size, config=config)

@@ -1,0 +1,72 @@
+"""VGG-style models (first-order and quadratic).
+
+VGG-16 is the paper's main plain-structure backbone: Table 2 (convergence of
+neuron designs), Table 3 (CIFAR accuracy/efficiency), Table 4 (Tiny-ImageNet)
+and the SSD detector of Table 6 all use it.  VGG-8 is the shallow variant of
+Table 2.  The quadratic versions are produced by the same construction
+function with a different neuron type, and the "QuadraNN" variant additionally
+uses the reduced 7-convolution configuration chosen by the auto-builder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .. import nn
+from ..builder.config import VGG_CFGS, QuadraticModelConfig, conv_layer_count, scale_vgg_cfg
+from ..builder.constructors import build_classifier_head, build_plain_convnet
+from ..nn.module import Module
+
+
+class VGG(Module):
+    """Plain convolutional network defined by a VGG channel configuration."""
+
+    def __init__(self, cfg: Union[str, Sequence], num_classes: int = 10,
+                 config: Optional[QuadraticModelConfig] = None, in_channels: int = 3,
+                 classifier_hidden: Optional[int] = None) -> None:
+        super().__init__()
+        self.config = config or QuadraticModelConfig(neuron_type="first_order")
+        if isinstance(cfg, str):
+            cfg = VGG_CFGS[cfg.upper()]
+        self.cfg = list(cfg)
+        self.num_conv_layers = conv_layer_count(self.cfg)
+        self.features, feature_channels = build_plain_convnet(self.cfg, self.config,
+                                                              in_channels=in_channels)
+        self.classifier = build_classifier_head(feature_channels, num_classes,
+                                                hidden=classifier_hidden)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.classifier(self.features(x))
+
+    def extra_repr(self) -> str:
+        return f"conv_layers={self.num_conv_layers}, type={self.config.neuron_type}"
+
+
+def vgg8(num_classes: int = 10, neuron_type: str = "first_order",
+         width_multiplier: float = 1.0, **kwargs) -> VGG:
+    """VGG-8: the shallow plain network of Table 2."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return VGG("VGG8", num_classes=num_classes, config=config)
+
+
+def vgg16(num_classes: int = 10, neuron_type: str = "first_order",
+          width_multiplier: float = 1.0, **kwargs) -> VGG:
+    """VGG-16 (13 convolution layers), the paper's first-order baseline."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return VGG("VGG16", num_classes=num_classes, config=config)
+
+
+def vgg16_quadra(num_classes: int = 10, neuron_type: str = "OURS",
+                 width_multiplier: float = 1.0, **kwargs) -> VGG:
+    """The auto-built QuadraNN VGG: 7 quadratic convolution layers (Table 3)."""
+    config = QuadraticModelConfig(neuron_type=neuron_type, width_multiplier=width_multiplier,
+                                  **kwargs)
+    return VGG("VGG16_QUADRA", num_classes=num_classes, config=config)
+
+
+def vgg_from_cfg(cfg: Sequence, num_classes: int, config: QuadraticModelConfig) -> VGG:
+    """Build a VGG from an explicit configuration (used by the auto-builder)."""
+    return VGG(cfg, num_classes=num_classes, config=config)

@@ -1,0 +1,83 @@
+"""``repro.nn`` — the layer library substrate (Module, layers, losses, init).
+
+Mirrors the parts of ``torch.nn`` that QuadraLib builds on: a ``Module``
+system with parameter registration and state_dict serialisation, first-order
+layers (Linear, Conv2d, BatchNorm, pooling, activations), loss functions,
+weight initialisation and spectral normalisation.
+"""
+
+from . import functional, init
+from .containers import ModuleList, Sequential
+from .layers import (
+    GELU,
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseSeparableConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Square,
+    Tanh,
+    UpsampleNearest2d,
+    ZeroPad2d,
+)
+from .losses import (
+    BCEWithLogitsLoss,
+    CrossEntropyLoss,
+    L1Loss,
+    MSELoss,
+    NLLLoss,
+    SmoothL1Loss,
+)
+from .module import Module
+from .parameter import Parameter
+from .spectral_norm import SpectralNorm
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "functional",
+    "init",
+    "Linear",
+    "Conv2d",
+    "DepthwiseSeparableConv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "Softmax",
+    "Square",
+    "Identity",
+    "Dropout",
+    "Flatten",
+    "UpsampleNearest2d",
+    "ZeroPad2d",
+    "SpectralNorm",
+    "CrossEntropyLoss",
+    "NLLLoss",
+    "MSELoss",
+    "L1Loss",
+    "SmoothL1Loss",
+    "BCEWithLogitsLoss",
+]

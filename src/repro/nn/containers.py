@@ -1,0 +1,74 @@
+"""Module containers: Sequential and ModuleList.
+
+The paper's construction functions (Sec. 4.2) build QDNNs as flat layer
+sequences — ``nn.Sequential(layers)`` — in which quadratic layer modules can
+be freely interleaved with first-order ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Union
+
+from .module import Module
+
+
+class Sequential(Module):
+    """Run child modules in order, feeding each output into the next."""
+
+    def __init__(self, *modules: Union[Module, Iterable[Module]]) -> None:
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        for idx, module in enumerate(modules):
+            self.register_module(str(idx), module)
+
+    def forward(self, x):
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Module, "Sequential"]:
+        items = list(self._modules.values())
+        if isinstance(index, slice):
+            return Sequential(*items[index])
+        return items[index]
+
+    def append(self, module: Module) -> "Sequential":
+        self.register_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are registered but whose forward is user-defined."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        super().__init__()
+        for idx, module in enumerate(modules):
+            self.register_module(str(idx), module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._modules)), module)
+        return self
+
+    def extend(self, modules: Iterable[Module]) -> "ModuleList":
+        for module in modules:
+            self.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers have no forward
+        raise NotImplementedError("ModuleList has no forward(); index into it instead")

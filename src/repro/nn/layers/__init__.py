@@ -1,0 +1,33 @@
+"""First-order layer classes."""
+
+from .activations import GELU, Identity, LeakyReLU, ReLU, Sigmoid, Softmax, Square, Tanh
+from .conv import Conv2d, DepthwiseSeparableConv2d
+from .linear import Linear
+from .misc import Dropout, Flatten, UpsampleNearest2d, ZeroPad2d
+from .normalization import BatchNorm1d, BatchNorm2d, LayerNorm
+from .pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "DepthwiseSeparableConv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "GlobalAvgPool2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "LayerNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "Softmax",
+    "Square",
+    "Identity",
+    "Dropout",
+    "Flatten",
+    "UpsampleNearest2d",
+    "ZeroPad2d",
+]

@@ -1,0 +1,101 @@
+"""Activation-function layers.
+
+The paper's design insight 3 (Sec. 4.2) observes that *small* QDNNs can drop
+activation functions entirely because the quadratic neuron already provides
+non-linearity, while deep QDNNs still need ReLU to fight gradient vanishing;
+Table 4's "QuadraNN (no ReLU)" row is exactly that ablation.  Keeping
+activations as standalone modules makes it a one-line change in the
+construction config.
+"""
+
+from __future__ import annotations
+
+from ...autodiff.tensor import Tensor
+from .. import functional as F
+from ..module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class GELU(Module):
+    """Gaussian error linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Softmax(Module):
+    """Softmax over a given axis."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+
+class Square(Module):
+    """Element-wise square activation, ``x ↦ x²``.
+
+    This is the polynomial activation used by privacy-preserving inference
+    protocols (CryptoNets, Delphi's polynomial path): a square evaluates with
+    one secure multiplication instead of the garbled-circuit comparison a ReLU
+    needs.  The optional affine form ``a·x² + b·x`` keeps a linear path so the
+    gradient-vanishing argument of paper Sec. 3.2 applies to activation
+    replacement as well.
+    """
+
+    def __init__(self, scale: float = 1.0, linear: float = 0.0) -> None:
+        super().__init__()
+        self.scale = float(scale)
+        self.linear = float(linear)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = (x * x) * self.scale
+        if self.linear:
+            out = out + x * self.linear
+        return out
+
+    def extra_repr(self) -> str:
+        return f"scale={self.scale}, linear={self.linear}"
+
+
+class Identity(Module):
+    """No-op layer, useful when the auto-builder removes a layer in place."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x

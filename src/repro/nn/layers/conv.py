@@ -1,0 +1,76 @@
+"""First-order convolution layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ...autodiff.tensor import Tensor
+from .. import functional as F
+from .. import init
+from ..module import Module
+from ..parameter import Parameter
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors.
+
+    Supports grouped convolution; setting ``groups == in_channels`` yields the
+    depthwise convolution used by MobileNetV1.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: IntOrPair,
+                 stride: IntOrPair = 1, padding: IntOrPair = 0, groups: int = 1,
+                 bias: bool = True) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"in_channels ({in_channels}) and out_channels ({out_channels}) "
+                f"must both be divisible by groups ({groups})"
+            )
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.groups = int(groups)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_normal((out_channels, in_channels // groups, kh, kw))
+        )
+        self.bias: Optional[Parameter] = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, groups=self.groups)
+
+    def extra_repr(self) -> str:
+        return (f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+                f"stride={self.stride}, padding={self.padding}, groups={self.groups}, "
+                f"bias={self.bias is not None}")
+
+
+class DepthwiseSeparableConv2d(Module):
+    """Depthwise 3×3 convolution followed by a pointwise 1×1 convolution.
+
+    This is the "DW" building block of MobileNetV1 referenced in Table 3.
+    BatchNorm/activation are left to the caller so the block composes with
+    either first-order or quadratic pointwise layers.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: IntOrPair = 1,
+                 bias: bool = False) -> None:
+        super().__init__()
+        self.depthwise = Conv2d(in_channels, in_channels, kernel_size=3, stride=stride,
+                                padding=1, groups=in_channels, bias=bias)
+        self.pointwise = Conv2d(in_channels, out_channels, kernel_size=1, bias=bias)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pointwise(self.depthwise(x))

@@ -1,0 +1,37 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...autodiff.tensor import Tensor
+from .. import functional as F
+from .. import init
+from ..module import Module
+from ..parameter import Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features : int
+        Input and output dimensionality.
+    bias : bool
+        Whether to learn an additive bias.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features)))
+        self.bias: Optional[Parameter] = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return (f"in_features={self.in_features}, out_features={self.out_features}, "
+                f"bias={self.bias is not None}")

@@ -1,0 +1,70 @@
+"""Miscellaneous layers: Dropout, Flatten, Upsample, ZeroPad2d."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autodiff.tensor import Tensor
+from .. import functional as F
+from ..module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, p: float = 0.5, seed: int | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, p=self.p, training=self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions after ``start_dim``."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = int(start_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(start_dim=self.start_dim)
+
+    def extra_repr(self) -> str:
+        return f"start_dim={self.start_dim}"
+
+
+class UpsampleNearest2d(Module):
+    """Nearest-neighbour spatial upsampling (SNGAN generator blocks)."""
+
+    def __init__(self, scale_factor: int = 2) -> None:
+        super().__init__()
+        self.scale_factor = int(scale_factor)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.upsample_nearest(x, scale_factor=self.scale_factor)
+
+    def extra_repr(self) -> str:
+        return f"scale_factor={self.scale_factor}"
+
+
+class ZeroPad2d(Module):
+    """Zero padding of the two spatial axes (left, right, top, bottom)."""
+
+    def __init__(self, padding) -> None:
+        super().__init__()
+        if isinstance(padding, int):
+            padding = (padding,) * 4
+        self.padding = tuple(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.pad2d(self.padding)
+
+    def extra_repr(self) -> str:
+        return f"padding={self.padding}"

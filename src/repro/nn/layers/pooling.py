@@ -1,0 +1,60 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from ...autodiff.tensor import Tensor
+from .. import functional as F
+from ..module import Module
+
+
+class MaxPool2d(Module):
+    """Max pooling over spatial windows."""
+
+    def __init__(self, kernel_size=2, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2d(Module):
+    """Average pooling over spatial windows."""
+
+    def __init__(self, kernel_size=2, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AdaptiveAvgPool2d(Module):
+    """Pool to a fixed spatial output size (``1`` gives global average pooling)."""
+
+    def __init__(self, output_size: int = 1) -> None:
+        super().__init__()
+        self.output_size = int(output_size)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def extra_repr(self) -> str:
+        return f"output_size={self.output_size}"
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling that also flattens to (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

@@ -1,0 +1,80 @@
+"""Loss-function modules (stateful wrappers over ``repro.nn.functional``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+from . import functional as F
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy against integer class labels."""
+
+    def __init__(self, reduction: str = "mean", label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        self.reduction = reduction
+        self.label_smoothing = float(label_smoothing)
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return F.cross_entropy(logits, targets, reduction=self.reduction,
+                               label_smoothing=self.label_smoothing)
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood over pre-computed log-probabilities."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logp: Tensor, targets) -> Tensor:
+        targets = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return F.nll_loss(logp, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.mse_loss(pred, target, reduction=self.reduction)
+
+
+class L1Loss(Module):
+    """Mean absolute error."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.l1_loss(pred, target, reduction=self.reduction)
+
+
+class SmoothL1Loss(Module):
+    """Huber loss used for bounding-box regression in the SSD head."""
+
+    def __init__(self, beta: float = 1.0, reduction: str = "mean") -> None:
+        super().__init__()
+        self.beta = float(beta)
+        self.reduction = reduction
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.smooth_l1_loss(pred, target, beta=self.beta, reduction=self.reduction)
+
+
+class BCEWithLogitsLoss(Module):
+    """Numerically stable binary cross-entropy on raw logits."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        return F.binary_cross_entropy_with_logits(logits, targets, reduction=self.reduction)

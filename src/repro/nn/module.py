@@ -1,0 +1,227 @@
+"""The :class:`Module` base class — the substrate equivalent of ``nn.Module``.
+
+QuadraLib's central implementation-feasibility argument (paper P4/P5) is that
+quadratic layers should be *ordinary modules*: they must register parameters,
+compose in ``Sequential`` containers, serialise through ``state_dict`` and be
+interchangeable with first-order layers inside any construction function.
+Everything in ``repro.quadratic.layers`` and ``repro.models`` builds on this
+class.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+from .parameter import Parameter
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses implement :meth:`forward`; parameters, buffers and child
+    modules assigned as attributes are registered automatically.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_forward_hooks", [])
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------ registration
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        else:
+            # Plain attribute; make sure stale registrations are cleared.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable persistent array (e.g. BatchNorm statistics)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a child module under an explicit name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    def register_forward_hook(self, hook: Callable[["Module", Tuple, Any], None]) -> Callable[[], None]:
+        """Attach ``hook(module, inputs, output)`` to run after every forward.
+
+        Returns a zero-argument callable that removes the hook — the analysis
+        tools (activation attention, memory profiler) use this to observe
+        intermediate activations without modifying the model.
+        """
+        self._forward_hooks.append(hook)
+
+        def remove() -> None:
+            try:
+                self._forward_hooks.remove(hook)
+            except ValueError:
+                pass
+
+        return remove
+
+    # ----------------------------------------------------------------- forward
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, *args, **kwargs):
+        out = self.forward(*args, **kwargs)
+        if self._forward_hooks:
+            for hook in list(self._forward_hooks):
+                hook(self, args, out)
+        return out
+
+    # --------------------------------------------------------------- traversal
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> List[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}.{name}" if prefix else name), buf
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_buffers(child_prefix)
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to every module in the tree (post-order like PyTorch)."""
+        for child in self.children():
+            child.apply(fn)
+        fn(self)
+        return self
+
+    # ------------------------------------------------------------------- modes
+    def train(self, mode: bool = True) -> "Module":
+        """Switch the whole tree between training and evaluation behaviour."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for p in self.parameters():
+            p.grad = None
+
+    def requires_grad_(self, requires_grad: bool = True) -> "Module":
+        """Freeze or unfreeze every parameter (used by the detection trainer)."""
+        for p in self.parameters():
+            p.requires_grad = requires_grad
+        return self
+
+    # ----------------------------------------------------------- serialisation
+    def state_dict(self, prefix: str = "") -> "OrderedDict[str, np.ndarray]":
+        """Flat name→array mapping of all parameters and buffers."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.named_parameters(prefix):
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers(prefix):
+            state[name] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> List[str]:
+        """Load a ``state_dict``; returns the list of missing keys.
+
+        With ``strict=False`` keys that are absent from either side are
+        ignored — this is how the detector copies a pre-trained classification
+        backbone whose head does not match (paper Sec. 5.4).
+        """
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing: List[str] = []
+        for name, param in own_params.items():
+            if name in state:
+                value = np.asarray(state[name], dtype=param.data.dtype)
+                if value.shape != param.data.shape:
+                    if strict:
+                        raise ValueError(
+                            f"shape mismatch for '{name}': expected {param.data.shape}, "
+                            f"got {value.shape}"
+                        )
+                    missing.append(name)
+                    continue
+                param.data[...] = value
+            else:
+                missing.append(name)
+        # Buffers are re-registered on the owning module so identity is kept.
+        for name, _ in own_buffers.items():
+            if name in state:
+                self._assign_buffer(name, np.asarray(state[name]))
+            else:
+                missing.append(name)
+        unexpected = [k for k in state if k not in own_params and k not in own_buffers]
+        if strict and (missing or unexpected):
+            raise ValueError(
+                f"load_state_dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        return missing
+
+    def _assign_buffer(self, dotted_name: str, value: np.ndarray) -> None:
+        parts = dotted_name.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module._buffers[parts[-1]] = value
+        object.__setattr__(module, parts[-1], value)
+
+    # -------------------------------------------------------------------- info
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total number of scalar parameters (the '#Param' column of Table 3)."""
+        return sum(
+            p.size for p in self.parameters() if p.requires_grad or not trainable_only
+        )
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        if len(lines) == 1:
+            return lines[0] + ")"
+        lines.append(")")
+        return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`.
+
+    Parameters always require gradients unless explicitly frozen with
+    ``requires_grad=False`` (used, e.g., when copying a pre-trained backbone
+    into a detector and freezing early layers).
+    """
+
+    def __init__(self, data, requires_grad: bool = True, name: str = "") -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        super().__init__(np.asarray(data), requires_grad=requires_grad, name=name)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"

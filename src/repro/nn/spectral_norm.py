@@ -1,0 +1,74 @@
+"""Spectral normalisation (Miyato et al., 2018).
+
+SNGAN — the GAN baseline of the paper's Table 5 — constrains the Lipschitz
+constant of the discriminator by dividing every weight matrix by its largest
+singular value, estimated with one power-iteration step per forward pass.
+``SpectralNorm`` wraps any module exposing a ``weight`` parameter (Linear,
+Conv2d or the quadratic layers, whose three weight tensors are normalised
+independently when requested).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+from .module import Module
+from .parameter import Parameter
+
+
+def _power_iteration(w: np.ndarray, u: np.ndarray, n_iters: int = 1, eps: float = 1e-12):
+    """One (or more) power-iteration steps estimating the top singular value."""
+    w2d = w.reshape(w.shape[0], -1)
+    v = None
+    for _ in range(max(n_iters, 1)):
+        v = w2d.T @ u
+        v = v / (np.linalg.norm(v) + eps)
+        u = w2d @ v
+        u = u / (np.linalg.norm(u) + eps)
+    sigma = float(u @ (w2d @ v))
+    return max(abs(sigma), eps), u
+
+
+class SpectralNorm(Module):
+    """Wrap a module and rescale its weight parameter(s) to unit spectral norm.
+
+    The singular-value estimate is refreshed before every forward call in
+    training mode.  The wrapped module keeps ownership of its parameters, so
+    optimizers and ``state_dict`` work unchanged.
+    """
+
+    def __init__(self, module: Module, weight_names: List[str] | None = None,
+                 n_power_iterations: int = 1) -> None:
+        super().__init__()
+        self.module = module
+        self.n_power_iterations = int(n_power_iterations)
+        if weight_names is None:
+            weight_names = [name for name, _ in module._parameters.items()
+                            if name.startswith("weight") or name.startswith("w")]
+            if not weight_names and "weight" in module._parameters:
+                weight_names = ["weight"]
+        if not weight_names:
+            raise ValueError("SpectralNorm requires the wrapped module to expose a weight parameter")
+        self.weight_names = list(weight_names)
+        self._u = {
+            name: np.random.default_rng(0).standard_normal(
+                module._parameters[name].shape[0]
+            ).astype(np.float32)
+            for name in self.weight_names
+        }
+
+    def forward(self, *args, **kwargs):
+        if self.training:
+            for name in self.weight_names:
+                param: Parameter = self.module._parameters[name]
+                sigma, u = _power_iteration(param.data, self._u[name],
+                                            self.n_power_iterations)
+                self._u[name] = u
+                param.data /= sigma
+        return self.module(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return f"weights={self.weight_names}, n_power_iterations={self.n_power_iterations}"

@@ -1,0 +1,35 @@
+"""``repro.optim`` — optimizers, learning-rate schedulers and gradient clipping."""
+
+from .adagrad import Adagrad
+from .adam import Adam, AdamW
+from .clip_grad import clip_grad_norm_, clip_grad_value_
+from .lr_scheduler import (
+    CosineAnnealingLR,
+    CosineAnnealingWarmRestarts,
+    LambdaLR,
+    LRScheduler,
+    MultiStepLR,
+    StepLR,
+    WarmupCosineLR,
+)
+from .optimizer import Optimizer
+from .rmsprop import RMSprop
+from .sgd import SGD
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSprop",
+    "Adagrad",
+    "LRScheduler",
+    "CosineAnnealingLR",
+    "CosineAnnealingWarmRestarts",
+    "StepLR",
+    "MultiStepLR",
+    "LambdaLR",
+    "WarmupCosineLR",
+    "clip_grad_norm_",
+    "clip_grad_value_",
+]

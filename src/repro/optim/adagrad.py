@@ -1,0 +1,73 @@
+"""Adagrad optimizer.
+
+Included for completeness of the design-exploration tooling: sparse-feature
+heads (e.g. the detector's classification head on rare classes) sometimes
+prefer Adagrad's monotonically decreasing per-parameter step sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+from .optimizer import Optimizer
+
+
+class Adagrad(Optimizer):
+    """Adagrad with learning-rate decay and L2 weight decay.
+
+    Parameters
+    ----------
+    lr : float
+        Base step size.
+    lr_decay : float
+        Per-step decay of the effective learning rate,
+        ``lr / (1 + step * lr_decay)``.
+    eps : float
+        Denominator stabiliser.
+    initial_accumulator_value : float
+        Starting value of the squared-gradient accumulator.
+    weight_decay : float
+        L2 penalty added to the gradient.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01, lr_decay: float = 0.0,
+                 eps: float = 1e-10, initial_accumulator_value: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if lr_decay < 0:
+            raise ValueError(f"lr_decay must be non-negative, got {lr_decay}")
+        if initial_accumulator_value < 0:
+            raise ValueError(
+                f"initial_accumulator_value must be non-negative, got {initial_accumulator_value}"
+            )
+        defaults = dict(lr=lr, lr_decay=lr_decay, eps=eps,
+                        initial_accumulator_value=initial_accumulator_value,
+                        weight_decay=weight_decay)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr, lr_decay, eps = group["lr"], group["lr_decay"], group["eps"]
+            weight_decay = group["weight_decay"]
+            init_value = group["initial_accumulator_value"]
+            for p in group["params"]:
+                if p.grad is None or not p.requires_grad:
+                    continue
+                grad = np.asarray(p.grad, dtype=np.float32)
+                if weight_decay:
+                    grad = grad + weight_decay * p.data
+                state = self._get_state(p)
+                accumulator = state.get("sum")
+                if accumulator is None:
+                    accumulator = np.full_like(p.data, init_value, dtype=np.float32)
+                step_count = int(state.get("step", np.zeros(1))[0]) + 1
+                state["step"] = np.array([step_count])
+
+                accumulator = accumulator + grad * grad
+                state["sum"] = accumulator
+                effective_lr = lr / (1 + (step_count - 1) * lr_decay)
+                p.data -= (effective_lr * grad / (np.sqrt(accumulator) + eps)).astype(p.data.dtype)

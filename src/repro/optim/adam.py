@@ -1,0 +1,66 @@
+"""Adam and AdamW optimizers (used by the GAN trainer)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+from .optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias-corrected first/second moments."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        defaults = dict(lr=lr, betas=tuple(betas), eps=eps, weight_decay=weight_decay)
+        super().__init__(params, defaults)
+
+    def _apply_weight_decay(self, p: Parameter, grad: np.ndarray, lr: float,
+                            weight_decay: float) -> np.ndarray:
+        # Classic (L2-regularised) Adam adds the decay to the gradient.
+        if weight_decay:
+            grad = grad + weight_decay * p.data
+        return grad
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            beta1, beta2 = group["betas"]
+            eps = group["eps"]
+            weight_decay = group["weight_decay"]
+            for p in group["params"]:
+                if p.grad is None or not p.requires_grad:
+                    continue
+                grad = self._apply_weight_decay(p, p.grad, lr, weight_decay)
+                state = self._get_state(p)
+                if "step" not in state:
+                    state["step"] = 0
+                    state["exp_avg"] = np.zeros_like(p.data)
+                    state["exp_avg_sq"] = np.zeros_like(p.data)
+                state["step"] += 1
+                t = state["step"]
+                state["exp_avg"] = beta1 * state["exp_avg"] + (1 - beta1) * grad
+                state["exp_avg_sq"] = beta2 * state["exp_avg_sq"] + (1 - beta2) * grad * grad
+                bias1 = 1 - beta1 ** t
+                bias2 = 1 - beta2 ** t
+                step_size = lr * np.sqrt(bias2) / bias1
+                denom = np.sqrt(state["exp_avg_sq"]) + eps
+                p.data -= (step_size * state["exp_avg"] / denom).astype(p.data.dtype)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _apply_weight_decay(self, p: Parameter, grad: np.ndarray, lr: float,
+                            weight_decay: float) -> np.ndarray:
+        if weight_decay:
+            p.data -= lr * weight_decay * p.data
+        return grad

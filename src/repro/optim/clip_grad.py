@@ -1,0 +1,54 @@
+"""Gradient clipping utilities.
+
+The second-order term of a quadratic neuron can produce very large gradient
+magnitudes early in training (the flip side of the vanishing problem analysed
+in paper Sec. 2, P3); clipping the global gradient norm is the standard way to
+keep the first optimisation steps of deep plain QDNNs finite when BatchNorm is
+disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+
+
+def clip_grad_norm_(parameters: Iterable[Parameter], max_norm: float,
+                    norm_type: float = 2.0) -> float:
+    """Scale gradients in place so their global norm is at most ``max_norm``.
+
+    Returns the norm *before* clipping (as ``torch.nn.utils.clip_grad_norm_``
+    does), which callers typically log to monitor training stability.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    params: List[Parameter] = [p for p in parameters if p.grad is not None and p.requires_grad]
+    if not params:
+        return 0.0
+
+    if np.isinf(norm_type):
+        total_norm = max(float(np.abs(p.grad).max()) for p in params)
+    else:
+        total = 0.0
+        for p in params:
+            total += float(np.sum(np.abs(p.grad.astype(np.float64)) ** norm_type))
+        total_norm = float(total ** (1.0 / norm_type))
+
+    if total_norm > max_norm and total_norm > 0:
+        scale = max_norm / (total_norm + 1e-6)
+        for p in params:
+            p.grad = (p.grad * scale).astype(p.grad.dtype)
+    return total_norm
+
+
+def clip_grad_value_(parameters: Iterable[Parameter], clip_value: float) -> None:
+    """Clamp every gradient element into ``[-clip_value, clip_value]`` in place."""
+    if clip_value <= 0:
+        raise ValueError(f"clip_value must be positive, got {clip_value}")
+    for p in parameters:
+        if p.grad is None or not p.requires_grad:
+            continue
+        p.grad = np.clip(p.grad, -clip_value, clip_value).astype(p.grad.dtype)

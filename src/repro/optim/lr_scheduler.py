@@ -1,0 +1,150 @@
+"""Learning-rate schedulers.
+
+The paper's classification recipe uses ``CosineAnnealing`` with an initial
+learning rate of 0.1 (Sec. 5.2); the SSD detector uses a two-milestone step
+decay (Sec. 5.4).  Both are provided, plus step/lambda/warmup schedules for
+design exploration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence, Tuple
+
+from .optimizer import Optimizer
+
+
+class LRScheduler:
+    """Base class: call :meth:`step` once per epoch (or iteration)."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lrs = [group["lr"] for group in optimizer.param_groups]
+        self.last_epoch = -1
+        self.step()  # initialise lr for epoch 0
+
+    def get_lr(self) -> List[float]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> None:
+        self.last_epoch += 1
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.param_groups[0]["lr"]
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max`` steps."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> List[float]:
+        t = min(self.last_epoch, self.t_max)
+        return [
+            self.eta_min + (base - self.eta_min) * (1 + math.cos(math.pi * t / self.t_max)) / 2
+            for base in self.base_lrs
+        ]
+
+
+class StepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> List[float]:
+        factor = self.gamma ** (self.last_epoch // self.step_size)
+        return [base * factor for base in self.base_lrs]
+
+
+class MultiStepLR(LRScheduler):
+    """Multiply the lr by ``gamma`` at each milestone (SSD's [80k, 100k] recipe)."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> List[float]:
+        passed = sum(1 for m in self.milestones if self.last_epoch >= m)
+        factor = self.gamma ** passed
+        return [base * factor for base in self.base_lrs]
+
+
+class CosineAnnealingWarmRestarts(LRScheduler):
+    """SGDR: cosine annealing with warm restarts (Loshchilov & Hutter, 2016).
+
+    The paper's classification recipe cites this schedule; the plain
+    :class:`CosineAnnealingLR` is the single-cycle special case.  The cycle
+    length starts at ``t_0`` epochs and is multiplied by ``t_mult`` after every
+    restart.
+    """
+
+    def __init__(self, optimizer: Optimizer, t_0: int, t_mult: int = 1,
+                 eta_min: float = 0.0) -> None:
+        if t_0 < 1:
+            raise ValueError(f"t_0 must be at least 1, got {t_0}")
+        if t_mult < 1:
+            raise ValueError(f"t_mult must be at least 1, got {t_mult}")
+        self.t_0 = int(t_0)
+        self.t_mult = int(t_mult)
+        self.eta_min = float(eta_min)
+        super().__init__(optimizer)
+
+    def _cycle_position(self) -> Tuple[int, int]:
+        """(epochs into the current cycle, length of the current cycle)."""
+        epoch = self.last_epoch
+        cycle_length = self.t_0
+        while epoch >= cycle_length:
+            epoch -= cycle_length
+            cycle_length *= self.t_mult
+        return epoch, cycle_length
+
+    def get_lr(self) -> List[float]:
+        t, cycle = self._cycle_position()
+        return [
+            self.eta_min + (base - self.eta_min) * (1 + math.cos(math.pi * t / cycle)) / 2
+            for base in self.base_lrs
+        ]
+
+
+class LambdaLR(LRScheduler):
+    """Scale the base lr by a user-provided function of the epoch index."""
+
+    def __init__(self, optimizer: Optimizer, lr_lambda: Callable[[int], float]) -> None:
+        self.lr_lambda = lr_lambda
+        super().__init__(optimizer)
+
+    def get_lr(self) -> List[float]:
+        factor = self.lr_lambda(self.last_epoch)
+        return [base * factor for base in self.base_lrs]
+
+
+class WarmupCosineLR(LRScheduler):
+    """Linear warmup for ``warmup_steps`` followed by cosine decay to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, t_max: int,
+                 eta_min: float = 0.0) -> None:
+        self.warmup_steps = int(warmup_steps)
+        self.t_max = int(t_max)
+        self.eta_min = float(eta_min)
+        super().__init__(optimizer)
+
+    def get_lr(self) -> List[float]:
+        if self.last_epoch < self.warmup_steps:
+            factor = (self.last_epoch + 1) / max(self.warmup_steps, 1)
+            return [base * factor for base in self.base_lrs]
+        t = min(self.last_epoch - self.warmup_steps, self.t_max)
+        span = max(self.t_max, 1)
+        return [
+            self.eta_min + (base - self.eta_min) * (1 + math.cos(math.pi * t / span)) / 2
+            for base in self.base_lrs
+        ]

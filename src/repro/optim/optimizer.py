@@ -1,0 +1,70 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+
+
+class Optimizer:
+    """Base class holding parameters, hyper-parameters and per-parameter state.
+
+    The design mirrors ``torch.optim.Optimizer``: parameters are stored in
+    ``param_groups`` dictionaries so that a scheduler can rescale ``lr`` per
+    group, and optimizer state (momentum buffers, Adam moments) is keyed by
+    parameter identity.
+    """
+
+    def __init__(self, params: Iterable[Parameter], defaults: Dict) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer got an empty parameter list")
+        if isinstance(params[0], dict):
+            self.param_groups: List[Dict] = []
+            for group in params:
+                merged = dict(defaults)
+                merged.update(group)
+                merged["params"] = list(group["params"])
+                self.param_groups.append(merged)
+        else:
+            group = dict(defaults)
+            group["params"] = params
+            self.param_groups = [group]
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ API
+    def zero_grad(self) -> None:
+        """Clear the gradient of every managed parameter."""
+        for group in self.param_groups:
+            for p in group["params"]:
+                p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- helpers
+    def _get_state(self, param: Parameter) -> Dict[str, np.ndarray]:
+        key = id(param)
+        if key not in self.state:
+            self.state[key] = {}
+        return self.state[key]
+
+    @property
+    def lr(self) -> float:
+        """Learning rate of the first parameter group (scheduler convenience)."""
+        return self.param_groups[0]["lr"]
+
+    def set_lr(self, lr: float) -> None:
+        for group in self.param_groups:
+            group["lr"] = lr
+
+    def state_dict(self) -> Dict:
+        """Hyper-parameters only (buffers are keyed by object identity)."""
+        return {
+            "param_groups": [
+                {k: v for k, v in g.items() if k != "params"} for g in self.param_groups
+            ]
+        }

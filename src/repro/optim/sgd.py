@@ -1,0 +1,51 @@
+"""Stochastic gradient descent with momentum and weight decay.
+
+The paper trains every classification model with SGD + CosineAnnealing at an
+initial learning rate of 0.1 (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+from .optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum, Nesterov acceleration and L2 weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.1, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if nesterov and momentum <= 0:
+            raise ValueError("Nesterov momentum requires momentum > 0")
+        defaults = dict(lr=lr, momentum=momentum, weight_decay=weight_decay,
+                        nesterov=nesterov)
+        super().__init__(params, defaults)
+
+    def step(self) -> None:
+        for group in self.param_groups:
+            lr = group["lr"]
+            momentum = group["momentum"]
+            weight_decay = group["weight_decay"]
+            nesterov = group["nesterov"]
+            for p in group["params"]:
+                if p.grad is None or not p.requires_grad:
+                    continue
+                grad = p.grad
+                if weight_decay:
+                    grad = grad + weight_decay * p.data
+                if momentum:
+                    state = self._get_state(p)
+                    buf = state.get("momentum_buffer")
+                    if buf is None:
+                        buf = np.array(grad, dtype=p.data.dtype)
+                    else:
+                        buf = momentum * buf + grad
+                    state["momentum_buffer"] = buf
+                    grad = grad + momentum * buf if nesterov else buf
+                p.data -= lr * np.asarray(grad, dtype=p.data.dtype)

@@ -1,0 +1,83 @@
+"""``repro.ppml`` — privacy-preserving machine-learning cost analysis.
+
+The paper's introduction motivates quadratic layers as a drop-in replacement
+for ReLU in PPML protocols (CryptoNets, Delphi, Gazelle): every ReLU needs a
+garbled-circuit comparison online, while a quadratic layer only needs secure
+multiplications.  This package quantifies that trade-off:
+
+* :mod:`repro.ppml.protocols` — per-operation cost models of the protocols,
+* :mod:`repro.ppml.cost` — operation counting and cost estimation for models,
+* :mod:`repro.ppml.convert` — ReLU→square / first-order→quadratic conversion.
+
+Example
+-------
+>>> from repro import models, ppml
+>>> model = models.vgg8(num_classes=10, width_multiplier=0.25)
+>>> report = ppml.analyse_model(model, (3, 32, 32), protocol="delphi")
+>>> friendly, _ = ppml.to_ppml_friendly(model, strategy="quadratic_no_relu", inplace=False)
+>>> savings = ppml.ppml_savings(model, friendly, (3, 32, 32), protocol="delphi")
+"""
+
+from .convert import (
+    PPMLConversionReport,
+    PPMLSavings,
+    RELU_LIKE,
+    count_relu_modules,
+    ppml_savings,
+    remove_activations,
+    replace_activations,
+    replace_maxpool_with_avgpool,
+    replace_relu_with_square,
+    to_ppml_friendly,
+)
+from .cost import (
+    CostReport,
+    LayerCost,
+    LayerOperations,
+    analyse_model,
+    compare_protocols,
+    count_operations,
+    estimate_cost,
+    format_cost_report,
+)
+from .protocols import (
+    CRYPTONETS,
+    DELPHI,
+    GAZELLE,
+    PROTOCOLS,
+    OperationCosts,
+    Protocol,
+    ProtocolCost,
+    available_protocols,
+    resolve_protocol,
+)
+
+__all__ = [
+    "Protocol",
+    "OperationCosts",
+    "ProtocolCost",
+    "PROTOCOLS",
+    "DELPHI",
+    "GAZELLE",
+    "CRYPTONETS",
+    "resolve_protocol",
+    "available_protocols",
+    "LayerOperations",
+    "LayerCost",
+    "CostReport",
+    "count_operations",
+    "estimate_cost",
+    "analyse_model",
+    "compare_protocols",
+    "format_cost_report",
+    "RELU_LIKE",
+    "count_relu_modules",
+    "replace_activations",
+    "replace_relu_with_square",
+    "replace_maxpool_with_avgpool",
+    "remove_activations",
+    "to_ppml_friendly",
+    "PPMLConversionReport",
+    "ppml_savings",
+    "PPMLSavings",
+]

@@ -1,0 +1,205 @@
+"""Cost models of privacy-preserving inference protocols.
+
+The paper's introduction motivates quadratic layers as a way to cut the cost
+of Privacy-Preserving Machine Learning (PPML) protocols: in hybrid protocols
+such as Delphi or Gazelle the *linear* layers are cheap online (pre-processed
+homomorphic encryption or secret sharing) while every ReLU is evaluated with a
+garbled circuit, which dominates both communication and latency.  Replacing
+ReLUs with polynomial activations — a square, or an entire quadratic layer —
+turns each comparison into one secure multiplication (a Beaver triple), which
+is orders of magnitude cheaper.
+
+This module captures that trade-off as explicit per-operation cost constants.
+The absolute constants are order-of-magnitude figures taken from the protocol
+papers (Delphi, Gazelle, CryptoNets); what the analysis in
+:mod:`repro.ppml.cost` relies on is only the *relative* structure — garbled
+ReLU ≫ secure multiplication ≈ secret-shared MAC — which is common to every
+published hybrid protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class OperationCosts:
+    """Per-operation online cost of one protocol, in bytes and microseconds.
+
+    Attributes
+    ----------
+    linear_mac_bytes, linear_mac_us :
+        Online cost of one multiply-accumulate inside a linear/convolution
+        layer (zero for protocols that pre-process linear layers offline).
+    relu_bytes, relu_us :
+        Online cost of one ReLU (garbled-circuit comparison for hybrid
+        protocols; ``float('inf')`` for HE-only protocols that cannot
+        evaluate a comparison at all).
+    mult_bytes, mult_us :
+        Online cost of one secure element-wise multiplication (Beaver triple
+        or ciphertext-ciphertext multiplication) — the primitive behind a
+        square activation or the Hadamard product of a quadratic layer.
+    """
+
+    linear_mac_bytes: float
+    linear_mac_us: float
+    relu_bytes: float
+    relu_us: float
+    mult_bytes: float
+    mult_us: float
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """A named privacy-preserving inference protocol and its cost model.
+
+    Attributes
+    ----------
+    name, reference :
+        Display name and the paper the constants are modelled on.
+    costs :
+        Per-operation :class:`OperationCosts`.
+    supports_relu :
+        Whether the protocol can evaluate an exact ReLU at all.  HE-only
+        protocols (CryptoNets) cannot — models must be converted to
+        polynomial activations before they can run.
+    multiplicative_depth_limit :
+        For levelled-HE protocols, the maximum number of successive
+        ciphertext multiplications before bootstrapping/re-encryption is
+        needed.  ``0`` means unlimited (interactive protocols).
+    """
+
+    name: str
+    reference: str
+    costs: OperationCosts
+    supports_relu: bool = True
+    multiplicative_depth_limit: int = 0
+
+    def relu_cost(self, count: int) -> "ProtocolCost":
+        """Online cost of ``count`` ReLU evaluations (zero ReLUs are always free)."""
+        if count <= 0:
+            return ProtocolCost()
+        if not self.supports_relu:
+            return ProtocolCost(bytes=float("inf"), microseconds=float("inf"))
+        return ProtocolCost(bytes=count * self.costs.relu_bytes,
+                            microseconds=count * self.costs.relu_us)
+
+    def mult_cost(self, count: int) -> "ProtocolCost":
+        """Online cost of ``count`` secure element-wise multiplications."""
+        if count <= 0:
+            return ProtocolCost()
+        return ProtocolCost(bytes=count * self.costs.mult_bytes,
+                            microseconds=count * self.costs.mult_us)
+
+    def linear_cost(self, macs: int) -> "ProtocolCost":
+        """Online cost of ``macs`` multiply-accumulates in linear layers."""
+        if macs <= 0:
+            return ProtocolCost()
+        return ProtocolCost(bytes=macs * self.costs.linear_mac_bytes,
+                            microseconds=macs * self.costs.linear_mac_us)
+
+
+@dataclass
+class ProtocolCost:
+    """An accumulated online cost (communication bytes + latency)."""
+
+    bytes: float = 0.0
+    microseconds: float = 0.0
+
+    def __add__(self, other: "ProtocolCost") -> "ProtocolCost":
+        return ProtocolCost(bytes=self.bytes + other.bytes,
+                            microseconds=self.microseconds + other.microseconds)
+
+    def __iadd__(self, other: "ProtocolCost") -> "ProtocolCost":
+        self.bytes += other.bytes
+        self.microseconds += other.microseconds
+        return self
+
+    @property
+    def megabytes(self) -> float:
+        return self.bytes / 1e6
+
+    @property
+    def milliseconds(self) -> float:
+        return self.microseconds / 1e3
+
+    def finite(self) -> bool:
+        """Whether the cost is evaluable at all under the protocol."""
+        import math
+
+        return math.isfinite(self.bytes) and math.isfinite(self.microseconds)
+
+
+# --------------------------------------------------------------------------- #
+# Protocol presets
+# --------------------------------------------------------------------------- #
+
+#: Delphi-style hybrid protocol (Mishra et al., USENIX Security 2020): linear
+#: layers are pre-processed, so their online cost is a cheap secret-shared MAC;
+#: every ReLU is a garbled circuit (~2 KB communication, ~10 µs amortised);
+#: a secure multiplication consumes one pre-generated Beaver triple.
+DELPHI = Protocol(
+    name="delphi",
+    reference="Mishra et al., Delphi (2020)",
+    costs=OperationCosts(
+        linear_mac_bytes=0.0, linear_mac_us=0.001,
+        relu_bytes=2048.0, relu_us=10.0,
+        mult_bytes=32.0, mult_us=0.05,
+    ),
+    supports_relu=True,
+)
+
+#: Gazelle-style hybrid (Juvekar et al.): linear layers are evaluated with
+#: packed homomorphic encryption *online*, so MACs are not free; ReLUs still
+#: use garbled circuits.
+GAZELLE = Protocol(
+    name="gazelle",
+    reference="Juvekar et al., Gazelle (2018)",
+    costs=OperationCosts(
+        linear_mac_bytes=0.05, linear_mac_us=0.01,
+        relu_bytes=2048.0, relu_us=10.0,
+        mult_bytes=64.0, mult_us=0.5,
+    ),
+    supports_relu=True,
+)
+
+#: CryptoNets-style levelled HE (Gilad-Bachrach et al.): everything is
+#: evaluated under homomorphic encryption, comparisons are impossible, and the
+#: multiplicative depth is bounded — ReLU models simply cannot run until they
+#: are converted to polynomial activations.
+CRYPTONETS = Protocol(
+    name="cryptonets",
+    reference="Gilad-Bachrach et al., CryptoNets (2016)",
+    costs=OperationCosts(
+        linear_mac_bytes=0.0, linear_mac_us=5.0,
+        relu_bytes=float("inf"), relu_us=float("inf"),
+        mult_bytes=0.0, mult_us=50.0,
+    ),
+    supports_relu=False,
+    multiplicative_depth_limit=10,
+)
+
+#: Registry of the built-in protocol presets, keyed by name.
+PROTOCOLS: Dict[str, Protocol] = {
+    DELPHI.name: DELPHI,
+    GAZELLE.name: GAZELLE,
+    CRYPTONETS.name: CRYPTONETS,
+}
+
+
+def resolve_protocol(name_or_protocol) -> Protocol:
+    """Return a :class:`Protocol` from a name, accepting Protocol instances as-is."""
+    if isinstance(name_or_protocol, Protocol):
+        return name_or_protocol
+    key = str(name_or_protocol).strip().lower()
+    if key not in PROTOCOLS:
+        raise KeyError(
+            f"unknown PPML protocol '{name_or_protocol}'; known protocols: {sorted(PROTOCOLS)}"
+        )
+    return PROTOCOLS[key]
+
+
+def available_protocols() -> List[str]:
+    """Names of every registered protocol preset."""
+    return list(PROTOCOLS)

@@ -1,0 +1,23 @@
+"""``repro.profiler`` — training-memory, latency and FLOPs/parameter profilers."""
+
+from .flops import LayerProfile, ModelProfile, count_parameters, profile_model
+from .latency import LatencyReport, profile_latency
+from .memory import (
+    GPU_MEMORY_BUDGETS,
+    MemoryEstimate,
+    MemoryTracker,
+    estimate_training_memory,
+)
+
+__all__ = [
+    "MemoryTracker",
+    "MemoryEstimate",
+    "estimate_training_memory",
+    "GPU_MEMORY_BUDGETS",
+    "LatencyReport",
+    "profile_latency",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "count_parameters",
+]

@@ -1,0 +1,141 @@
+"""Parameter and MAC counting by module traversal.
+
+Produces the ``#Param`` column of Table 3 and feeds the RI layer-performance
+indicator (Eq. 5) with the per-layer parameter and computation ratios it
+needs.  Counting is shape-aware: a probe input is pushed through the model
+with forward hooks attached, so output resolutions (and hence conv MACs) are
+exact rather than estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..autodiff.tensor import Tensor
+from ..nn.layers.conv import Conv2d
+from ..nn.layers.linear import Linear
+from ..nn.module import Module
+from ..quadratic.layers.hybrid import HybridQuadraticConv2d, HybridQuadraticLinear
+from ..quadratic.layers.qconv import QuadraticConv2d, QuadraticConv2dT1
+from ..quadratic.layers.qlinear import QuadraticLinear
+
+
+@dataclass
+class LayerProfile:
+    """Parameter count and MACs of a single leaf layer."""
+
+    name: str
+    layer_type: str
+    parameters: int
+    macs: int
+    output_shape: Tuple[int, ...] = ()
+
+
+@dataclass
+class ModelProfile:
+    """Aggregate profile of a model."""
+
+    layers: List[LayerProfile] = field(default_factory=list)
+
+    @property
+    def total_parameters(self) -> int:
+        return sum(l.parameters for l in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    def by_name(self, name: str) -> LayerProfile:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named '{name}' in profile")
+
+
+def _conv_macs(out_shape: Tuple[int, ...], weight_shape: Tuple[int, ...], groups: int,
+               n_weight_sets: int = 1, elementwise: int = 0) -> int:
+    # out_shape: (N, F, OH, OW); weight_shape: (F, C/g, kh, kw)
+    _, f, oh, ow = out_shape
+    _, c_g, kh, kw = weight_shape
+    per_position = c_g * kh * kw
+    return (n_weight_sets * f * per_position + elementwise * f) * oh * ow
+
+
+def _count_layer(module: Module, out_shape: Tuple[int, ...]) -> Optional[Tuple[str, int, int]]:
+    """(type name, parameters, MACs) for a leaf layer, or None for containers."""
+    params = sum(p.size for p in module._parameters.values() if p is not None)
+
+    if isinstance(module, Conv2d):
+        macs = _conv_macs(out_shape, module.weight.shape, module.groups)
+        return "Conv2d", params, macs
+    if isinstance(module, (QuadraticConv2d, HybridQuadraticConv2d)):
+        n_sets = len([n for n in module._parameters if n.startswith("weight")])
+        weight = next(p for n, p in module._parameters.items() if n.startswith("weight"))
+        macs = _conv_macs(out_shape, weight.shape, getattr(module, "groups", 1),
+                          n_weight_sets=n_sets, elementwise=2)
+        return type(module).__name__, params, macs
+    if isinstance(module, QuadraticConv2dT1):
+        _, f, oh, ow = out_shape
+        patch = module.patch_size
+        macs = f * patch * patch * oh * ow
+        return "QuadraticConv2dT1", params, macs
+    if isinstance(module, Linear):
+        macs = module.in_features * module.out_features * int(np.prod(out_shape[:-1]))
+        return "Linear", params, macs
+    if isinstance(module, (QuadraticLinear, HybridQuadraticLinear)):
+        n_sets = len([n for n in module._parameters if n.startswith("weight")])
+        macs = n_sets * module.in_features * module.out_features * int(np.prod(out_shape[:-1]))
+        return type(module).__name__, params, macs
+    if params:
+        # BatchNorm and other small parametric layers: count params, negligible MACs.
+        return type(module).__name__, params, int(np.prod(out_shape))
+    return None
+
+
+def profile_model(model: Module, input_shape: Tuple[int, int, int],
+                  batch_size: int = 1) -> ModelProfile:
+    """Profile parameters and MACs of every leaf layer with a probe forward pass."""
+    profile = ModelProfile()
+    output_shapes: Dict[int, Tuple[int, ...]] = {}
+    removers = []
+
+    def make_hook(module_id: int):
+        def hook(_module, _inputs, output):
+            if isinstance(output, Tensor):
+                output_shapes[module_id] = output.shape
+        return hook
+
+    leaf_modules = []
+    for name, module in model.named_modules():
+        if not module._modules and (module._parameters or True):
+            leaf_modules.append((name, module))
+            removers.append(module.register_forward_hook(make_hook(id(module))))
+
+    probe = Tensor(np.zeros((batch_size,) + tuple(input_shape), dtype=np.float32))
+    was_training = model.training
+    model.train(False)
+    with no_grad():
+        model(probe)
+    model.train(was_training)
+    for remove in removers:
+        remove()
+
+    for name, module in leaf_modules:
+        out_shape = output_shapes.get(id(module), (batch_size,))
+        counted = _count_layer(module, out_shape)
+        if counted is None:
+            continue
+        layer_type, params, macs = counted
+        if params == 0 and macs <= int(np.prod(out_shape)):
+            continue
+        profile.layers.append(LayerProfile(name, layer_type, params, macs, out_shape))
+    return profile
+
+
+def count_parameters(model: Module) -> int:
+    """Trainable parameter count (the paper's #Param column)."""
+    return model.num_parameters()

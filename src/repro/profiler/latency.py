@@ -1,0 +1,79 @@
+"""Latency profiling: training and inference time per batch (Table 3 columns)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..autodiff.tensor import Tensor
+from ..nn.losses import CrossEntropyLoss
+from ..nn.module import Module
+
+
+@dataclass
+class LatencyReport:
+    """Per-batch timing results in milliseconds."""
+
+    train_ms_per_batch: float
+    inference_ms_per_batch: float
+    batch_size: int
+    warmup_iterations: int
+    timed_iterations: int
+
+
+def _median_ms(samples) -> float:
+    return float(np.median(np.asarray(samples)) * 1000.0)
+
+
+def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size: int = 8,
+                    num_classes: Optional[int] = None, warmup: int = 1,
+                    iterations: int = 3, seed: int = 0) -> LatencyReport:
+    """Measure train (forward+backward) and inference (forward-only) time per batch.
+
+    The absolute numbers are CPU times on the NumPy substrate; the benchmark
+    tables report them alongside the paper's GPU milliseconds because only the
+    *relative* ordering between model variants is expected to transfer.
+    """
+    rng = np.random.default_rng(seed)
+    c, h, w = input_shape
+    x = Tensor(rng.standard_normal((batch_size, c, h, w)).astype(np.float32))
+    labels = rng.integers(0, num_classes, size=batch_size) if num_classes else None
+    loss_fn = CrossEntropyLoss()
+
+    # ---- training iteration timing
+    model.train(True)
+    train_samples = []
+    for i in range(warmup + iterations):
+        model.zero_grad()
+        start = time.perf_counter()
+        out = model(x)
+        loss = loss_fn(out, labels) if labels is not None and out.ndim == 2 else out.sum()
+        loss.backward()
+        elapsed = time.perf_counter() - start
+        if i >= warmup:
+            train_samples.append(elapsed)
+    model.zero_grad()
+
+    # ---- inference timing
+    model.train(False)
+    infer_samples = []
+    with no_grad():
+        for i in range(warmup + iterations):
+            start = time.perf_counter()
+            model(x)
+            elapsed = time.perf_counter() - start
+            if i >= warmup:
+                infer_samples.append(elapsed)
+    model.train(True)
+
+    return LatencyReport(
+        train_ms_per_batch=_median_ms(train_samples),
+        inference_ms_per_batch=_median_ms(infer_samples),
+        batch_size=batch_size,
+        warmup_iterations=warmup,
+        timed_iterations=iterations,
+    )

@@ -1,0 +1,124 @@
+"""Analytical complexity model for quadratic neuron designs (paper Table 1).
+
+For a neuron with input size ``n`` the model reports
+
+* the asymptotic time/space complexity strings of Table 1,
+* exact trainable-parameter counts for dense and convolutional layers, and
+* multiply–accumulate (MAC) counts per output element,
+
+so the Table 1 benchmark can print both the paper's asymptotic columns and
+measured numbers from instantiated layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .neuron_types import NEURON_TYPES, NeuronSpec, resolve_type
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Exact cost of one quadratic layer instance."""
+
+    neuron_type: str
+    parameters: int
+    macs: int
+    time_complexity: str
+    space_complexity: str
+
+    def relative_to(self, other: "LayerCost") -> Tuple[float, float]:
+        """(parameter ratio, MAC ratio) of this cost relative to ``other``."""
+        return (
+            self.parameters / max(other.parameters, 1),
+            self.macs / max(other.macs, 1),
+        )
+
+
+def _conv_patch_size(in_channels: int, kernel_size: int) -> int:
+    return in_channels * kernel_size * kernel_size
+
+
+def linear_layer_cost(neuron_type: str, in_features: int, out_features: int,
+                      bias: bool = True) -> LayerCost:
+    """Parameter and MAC count of a dense quadratic layer."""
+    spec = resolve_type(neuron_type)
+    n = in_features
+    params = 0
+    macs = 0
+    # Plain (first-order sized) weight sets: each is out×in and costs n MACs/output.
+    params += spec.weight_sets * out_features * n
+    macs += spec.weight_sets * out_features * n
+    if spec.full_rank:
+        params += out_features * n * n
+        macs += out_features * n * n
+    # Element-wise combination cost (Hadamard product / squaring / addition).
+    macs += out_features * _combination_macs(spec)
+    if bias:
+        params += out_features
+    return LayerCost(spec.name, params, macs, spec.time_complexity, spec.space_complexity)
+
+
+def conv_layer_cost(neuron_type: str, in_channels: int, out_channels: int,
+                    kernel_size: int, output_hw: Tuple[int, int] = (1, 1),
+                    groups: int = 1, bias: bool = True) -> LayerCost:
+    """Parameter and MAC count of a convolutional quadratic layer.
+
+    ``output_hw`` scales MACs by the number of spatial output positions;
+    parameter counts are independent of it.
+    """
+    spec = resolve_type(neuron_type)
+    patch = _conv_patch_size(in_channels // groups, kernel_size)
+    positions = output_hw[0] * output_hw[1]
+    params = spec.weight_sets * out_channels * patch
+    macs = spec.weight_sets * out_channels * patch * positions
+    if spec.full_rank:
+        full_patch = _conv_patch_size(in_channels, kernel_size)
+        params += out_channels * full_patch * full_patch
+        macs += out_channels * full_patch * full_patch * positions
+    macs += out_channels * _combination_macs(spec) * positions
+    if bias:
+        params += out_channels
+    return LayerCost(spec.name, params, macs, spec.time_complexity, spec.space_complexity)
+
+
+def _combination_macs(spec: NeuronSpec) -> int:
+    """Element-wise operations needed to combine the first-order responses."""
+    ops = 0
+    if spec.weight_sets >= 2 or spec.full_rank:
+        ops += 1  # Hadamard product or bilinear contraction epilogue
+    if spec.weight_sets >= 3 or spec.has_linear_path:
+        ops += 1  # addition of the linear / identity / square term
+    return max(ops, 1)
+
+
+def first_order_linear_cost(in_features: int, out_features: int, bias: bool = True) -> LayerCost:
+    """Cost of the ordinary first-order dense layer, for ratio columns."""
+    params = out_features * in_features + (out_features if bias else 0)
+    macs = out_features * in_features
+    return LayerCost("FIRST_ORDER", params, macs, "O(n)", "O(n)")
+
+
+def first_order_conv_cost(in_channels: int, out_channels: int, kernel_size: int,
+                          output_hw: Tuple[int, int] = (1, 1), groups: int = 1,
+                          bias: bool = True) -> LayerCost:
+    """Cost of the ordinary first-order convolution, for ratio columns."""
+    patch = _conv_patch_size(in_channels // groups, kernel_size)
+    positions = output_hw[0] * output_hw[1]
+    params = out_channels * patch + (out_channels if bias else 0)
+    macs = out_channels * patch * positions
+    return LayerCost("FIRST_ORDER", params, macs, "O(n)", "O(n)")
+
+
+def complexity_table(in_features: int = 64, out_features: int = 64) -> Dict[str, LayerCost]:
+    """Costs of every registered neuron type on a reference dense layer."""
+    return {
+        name: linear_layer_cost(name, in_features, out_features)
+        for name in NEURON_TYPES
+    }
+
+
+def count_module_parameters(module) -> int:
+    """Trainable parameter count of any module (convenience re-export)."""
+    return module.num_parameters()

@@ -1,0 +1,81 @@
+"""Factory helpers mirroring the paper's ``qua.type#()`` construction API.
+
+The paper's code example builds models with calls like ``qua.type1(...)`` or
+``qua.typenew(...)``.  This module exposes exactly that surface: every call
+returns a ready-to-use layer module for the requested neuron type, choosing
+the dense or convolutional implementation from the arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..nn.module import Module
+from .layers.hybrid import (
+    HybridQuadraticConv2d,
+    HybridQuadraticConv2dFan,
+    HybridQuadraticConv2dT4,
+    HybridQuadraticLinear,
+)
+from .layers.qconv import QuadraticConv2d, QuadraticConv2dT1
+from .layers.qlinear import QuadraticLinear
+from .neuron_types import resolve_type
+
+#: Convolutional symbolic-backward (hybrid BP) implementations per neuron type.
+_HYBRID_CONV_LAYERS = {
+    "OURS": HybridQuadraticConv2d,
+    "T4": HybridQuadraticConv2dT4,
+    "T2_4": HybridQuadraticConv2dFan,
+}
+
+
+def quadratic_layer(neuron_type: str, in_features: int, out_features: int,
+                    kernel_size: Optional[int] = None, stride: int = 1, padding: int = 0,
+                    groups: int = 1, bias: bool = True,
+                    hybrid_bp: bool = False) -> Module:
+    """Create a quadratic layer of any registered type.
+
+    If ``kernel_size`` is given a convolutional layer is built, otherwise a
+    dense one.  ``hybrid_bp=True`` selects the symbolic-backward implementation
+    where one exists (convolutions of the ``OURS``, ``T4`` and ``T2_4`` designs,
+    dense layers of the ``OURS`` design); other designs fall back to composed
+    autodiff.
+    """
+    spec = resolve_type(neuron_type)
+    if kernel_size is None:
+        if hybrid_bp and spec.name == "OURS":
+            return HybridQuadraticLinear(in_features, out_features, bias=bias)
+        return QuadraticLinear(in_features, out_features, neuron_type=spec.name, bias=bias)
+    if spec.full_rank:
+        return QuadraticConv2dT1(in_features, out_features, kernel_size=kernel_size,
+                                 stride=stride, padding=padding, neuron_type=spec.name,
+                                 bias=bias)
+    if hybrid_bp and spec.name in _HYBRID_CONV_LAYERS:
+        hybrid_cls = _HYBRID_CONV_LAYERS[spec.name]
+        return hybrid_cls(in_features, out_features, kernel_size=kernel_size,
+                          stride=stride, padding=padding, groups=groups, bias=bias)
+    return QuadraticConv2d(in_features, out_features, kernel_size=kernel_size, stride=stride,
+                           padding=padding, groups=groups, neuron_type=spec.name, bias=bias)
+
+
+def _make_factory(type_name: str):
+    def factory(in_features: int, out_features: int, **kwargs) -> Module:
+        return quadratic_layer(type_name, in_features, out_features, **kwargs)
+
+    factory.__name__ = f"type_{type_name.lower()}"
+    factory.__doc__ = (
+        f"Create a quadratic layer with the {type_name} neuron design "
+        f"({resolve_type(type_name).formula}). See :func:`quadratic_layer`."
+    )
+    return factory
+
+
+#: ``qua.type#()``-style constructors, matching the paper's API naming.
+type1 = _make_factory("T1")
+type2 = _make_factory("T2")
+type3 = _make_factory("T3")
+type4 = _make_factory("T4")
+type4_identity = _make_factory("T4_ID")
+type_fan = _make_factory("T2_4")
+typenew = _make_factory("OURS")
+ours = typenew

@@ -1,0 +1,93 @@
+"""Functional forms of the quadratic neuron computations.
+
+Each function maps first-order responses (already computed with standard
+linear/conv primitives) into the quadratic neuron output of a given type.
+Keeping the *combination* step separate from the *projection* step is what
+makes the paper's implementation-feasibility point concrete (P4): every
+quadratic design except T1 can be assembled from first-order layers plus
+element-wise operations that any DNN library already provides.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..autodiff.tensor import Tensor
+
+
+def combine_t2(square_response: Tensor) -> Tensor:
+    """T2: the projection of the squared input, ``Wa X²`` (already projected)."""
+    return square_response
+
+
+def combine_t3(response_a: Tensor) -> Tensor:
+    """T3: square of a first-order response, ``(Wa X)²``."""
+    return response_a * response_a
+
+
+def combine_t4(response_a: Tensor, response_b: Tensor) -> Tensor:
+    """T4: Hadamard product of two first-order responses, ``(Wa X) ∘ (Wb X)``."""
+    return response_a * response_b
+
+
+def combine_t4_identity(response_a: Tensor, response_b: Tensor, identity: Tensor) -> Tensor:
+    """T4 + identity mapping, ``(Wa X) ∘ (Wb X) + X`` (Table 2 baseline)."""
+    return response_a * response_b + identity
+
+
+def combine_t2_4(response_a: Tensor, response_b: Tensor, square_response: Tensor) -> Tensor:
+    """Fan et al. (2018): ``(Wa X) ∘ (Wb X) + Wc X²``."""
+    return response_a * response_b + square_response
+
+
+def combine_ours(response_a: Tensor, response_b: Tensor, linear_response: Tensor) -> Tensor:
+    """The paper's neuron (Eq. 2): ``(Wa X) ∘ (Wb X) + Wc X``.
+
+    The linear term both adds approximation capability (extra polynomial
+    orders, Sec. 3.2 Eq. 3) and acts as an identity-style path that keeps
+    gradients alive in deep plain networks (Sec. 3.2 Eq. 4).
+    """
+    return response_a * response_b + linear_response
+
+
+def combine_t1(bilinear_response: Tensor, linear_response: Optional[Tensor] = None) -> Tensor:
+    """T1: bilinear term ``Xᵀ Wa X`` plus an optional linear term ``Wb X``."""
+    if linear_response is None:
+        return bilinear_response
+    return bilinear_response + linear_response
+
+
+def combine_t1_2(bilinear_response: Tensor, square_response: Tensor) -> Tensor:
+    """Milenkovic et al. (1996): ``Xᵀ Wa X + Wb X²``."""
+    return bilinear_response + square_response
+
+
+#: Which first-order responses each neuron type needs.  Keys are canonical
+#: type names; values are the projection kinds, in the order the ``combine_*``
+#: function expects them.  ``"a"``/``"b"``/``"c"`` are plain projections of X,
+#: ``"sq"`` is a projection of X², ``"bilinear"`` is the full-rank Xᵀ W X term
+#: and ``"id"`` is the un-projected input.
+REQUIRED_RESPONSES: Dict[str, tuple] = {
+    "T1": ("bilinear", "b"),
+    "T1_PURE": ("bilinear",),
+    "T2": ("sq",),
+    "T3": ("a",),
+    "T4": ("a", "b"),
+    "T4_ID": ("a", "b", "id"),
+    "T1_2": ("bilinear", "sq"),
+    "T2_4": ("a", "b", "sq"),
+    "OURS": ("a", "b", "c"),
+}
+
+#: Combination function per canonical type name.
+COMBINERS: Dict[str, Callable[..., Tensor]] = {
+    "T1": combine_t1,
+    "T1_PURE": combine_t1,
+    "T2": combine_t2,
+    "T3": combine_t3,
+    "T4": combine_t4,
+    "T4_ID": combine_t4_identity,
+    "T1_2": combine_t1_2,
+    "T2_4": combine_t2_4,
+    "OURS": combine_ours,
+}

@@ -1,0 +1,126 @@
+"""Gradient-flow analysis for quadratic networks (paper P3, Eq. 1 and Eq. 4).
+
+The paper's convergence argument is that in a plain (non-residual) QDNN the
+gradient reaching layer ``k`` contains the product of *activations* of all the
+deeper layers (Eq. 1); because activations are roughly standard-normal, that
+product collapses to zero as depth grows — unless the neuron carries a linear
+term whose weight ``Wc`` contributes an activation-independent path (Eq. 4).
+
+Two things are provided here:
+
+* :func:`theoretical_attenuation` — the closed-form per-layer gradient scaling
+  factor implied by Eq. 1 / Eq. 4 for a given neuron type, used by unit tests
+  and the Fig. 7 benchmark's analytic overlay;
+* :class:`GradientFlowProbe` — measure actual per-layer gradient norms of a
+  live model during training (the quantity plotted in Fig. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.module import Module
+from .neuron_types import resolve_type
+
+
+def theoretical_attenuation(neuron_type: str, depth: int, activation_scale: float = 0.5,
+                            weight_scale: float = 0.35,
+                            linear_path_scale: float = 1.0) -> float:
+    """Expected gradient magnitude reaching the first layer of a plain QDNN.
+
+    Parameters
+    ----------
+    neuron_type : str
+        Quadratic design (determines whether an activation-independent path
+        exists in the per-layer Jacobian).
+    depth : int
+        Number of stacked quadratic layers.
+    activation_scale : float
+        Expected magnitude of ``E[|X|]`` per layer — activations are roughly
+        ``N(0, 1)`` after BatchNorm, so the relevant factor is below one.
+    weight_scale : float
+        Expected magnitude of the ``Wa² + Wb²`` contribution per layer.
+    linear_path_scale : float
+        Effective magnitude of the linear/identity path ``Wc`` per layer.
+        BatchNorm re-normalises each layer's output, so this path behaves like
+        an identity mapping (scale ≈ 1) — exactly the cooperation between the
+        linear term, BatchNorm and ReLU the paper describes under Eq. 4.
+
+    Returns
+    -------
+    float
+        Product of per-layer Jacobian magnitudes; values ≪ 1 indicate
+        vanishing gradients.
+    """
+    spec = resolve_type(neuron_type)
+    quadratic_factor = activation_scale * weight_scale
+    if spec.has_linear_path:
+        # Eq. 4: ∂X_{k+1}/∂X_k = X(Wa² + Wb²) + Wc — the Wc term provides an
+        # activation-independent path that keeps the Jacobian near unit scale.
+        per_layer = quadratic_factor + linear_path_scale
+    else:
+        # Eq. 1: the Jacobian is proportional to the activation value itself.
+        per_layer = quadratic_factor
+    return float(min(per_layer, 1.0) ** max(depth - 1, 0))
+
+
+def vanishing_depth(neuron_type: str, threshold: float = 1e-4, max_depth: int = 64,
+                    **kwargs) -> int:
+    """Smallest depth at which the theoretical attenuation drops below ``threshold``.
+
+    Returns ``max_depth`` if the design never crosses the threshold (i.e. the
+    linear path keeps gradients alive), matching the paper's observation that
+    T2/T3/T4 diverge at VGG-16 depth while the new neuron still trains.
+    """
+    for depth in range(1, max_depth + 1):
+        if theoretical_attenuation(neuron_type, depth, **kwargs) < threshold:
+            return depth
+    return max_depth
+
+
+class GradientFlowProbe:
+    """Record per-layer gradient L2 norms over training (Fig. 7).
+
+    Attach to a model, call :meth:`snapshot` after each ``backward()`` (or once
+    per epoch), and read the recorded history per layer name.
+    """
+
+    def __init__(self, model: Module, layer_filter: Optional[Sequence[str]] = None) -> None:
+        self.model = model
+        self.layer_filter = list(layer_filter) if layer_filter else None
+        self.history: Dict[str, List[float]] = {}
+
+    def _tracked_parameters(self):
+        for name, param in self.model.named_parameters():
+            if self.layer_filter is not None and not any(f in name for f in self.layer_filter):
+                continue
+            yield name, param
+
+    def snapshot(self) -> Dict[str, float]:
+        """Record the current gradient norm of every tracked parameter."""
+        current: Dict[str, float] = {}
+        for name, param in self._tracked_parameters():
+            if param.grad is None:
+                norm = 0.0
+            else:
+                norm = float(np.linalg.norm(param.grad))
+            current[name] = norm
+            self.history.setdefault(name, []).append(norm)
+        return current
+
+    def layer_series(self, substring: str) -> List[float]:
+        """Summed gradient-norm history of all parameters whose name contains ``substring``."""
+        series: List[float] = []
+        matching = [name for name in self.history if substring in name]
+        if not matching:
+            return series
+        length = min(len(self.history[name]) for name in matching)
+        for step in range(length):
+            series.append(sum(self.history[name][step] for name in matching))
+        return series
+
+    def final_norms(self) -> Dict[str, float]:
+        """Most recent gradient norm per tracked parameter."""
+        return {name: values[-1] for name, values in self.history.items() if values}

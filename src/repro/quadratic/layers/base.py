@@ -1,0 +1,64 @@
+"""Shared machinery for quadratic layer modules.
+
+A quadratic layer of any type is assembled from up to three first-order
+*projections* of the input (``Wa X``, ``Wb X``, ``Wc X``), an optional
+projection of the squared input (``W X²``), an optional identity path and an
+optional full-rank bilinear term, combined by the type's combiner from
+:mod:`repro.quadratic.functional`.  This module centralises the bookkeeping:
+which projections a type needs, how many parameters that costs, and how to
+report it for the complexity model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...autodiff.tensor import Tensor
+from ...nn.module import Module
+from ..functional import COMBINERS, REQUIRED_RESPONSES
+from ..neuron_types import NeuronSpec, resolve_type
+
+
+class QuadraticLayerBase(Module):
+    """Base class for quadratic layers of every neuron type.
+
+    Subclasses provide the projection primitives (dense or convolutional);
+    this base class owns the type resolution and the combination step.
+    """
+
+    def __init__(self, neuron_type: str = "OURS") -> None:
+        super().__init__()
+        self.spec: NeuronSpec = resolve_type(neuron_type)
+        self.neuron_type = self.spec.name
+        if self.neuron_type not in REQUIRED_RESPONSES:
+            raise KeyError(f"no response recipe registered for {self.neuron_type}")
+        self.required = REQUIRED_RESPONSES[self.neuron_type]
+        self.combiner = COMBINERS[self.neuron_type]
+
+    # ------------------------------------------------------------------ hooks
+    def project(self, x: Tensor, kind: str) -> Tensor:  # pragma: no cover - abstract
+        """Compute one first-order response of ``x`` (``kind`` ∈ a/b/c/sq/id/bilinear)."""
+        raise NotImplementedError
+
+    def post_combine(self, out: Tensor) -> Tensor:
+        """Hook applied after combination (bias addition by default subclasses)."""
+        return out
+
+    # ---------------------------------------------------------------- forward
+    def forward(self, x: Tensor) -> Tensor:
+        responses = [self.project(x, kind) for kind in self.required]
+        out = self.combiner(*responses)
+        return self.post_combine(out)
+
+    # ------------------------------------------------------------------- info
+    def weight_parameter_names(self) -> List[str]:
+        """Names of the weight parameters (excluding bias) this layer owns."""
+        return [name for name in self._parameters if name != "bias"]
+
+    def extra_repr(self) -> str:
+        return f"type={self.neuron_type}"
+
+
+def needs(kind: str, required: Tuple[str, ...]) -> bool:
+    """Whether a response kind is part of the type's recipe."""
+    return kind in required

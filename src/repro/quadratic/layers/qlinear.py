@@ -1,0 +1,92 @@
+"""Quadratic fully-connected layers for every neuron type of Table 1."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...autodiff.tensor import einsum as _einsum
+from ...autodiff.tensor import Tensor
+from ...nn import functional as F
+from ...nn import init
+from ...nn.parameter import Parameter
+from .base import QuadraticLayerBase
+
+
+class QuadraticLinear(QuadraticLayerBase):
+    """Dense quadratic layer ``f(X)`` for any registered neuron type.
+
+    For the paper's design (``OURS``) the layer owns three weight matrices of
+    the ordinary ``(out_features, in_features)`` shape — exactly three
+    first-order neurons assembled with a Hadamard product and a sum, which is
+    the implementation-feasibility argument (P4).  T1-family types own an
+    additional full-rank tensor of shape ``(out_features, in, in)`` whose
+    quadratic cost is what P2 warns about.
+
+    Parameters
+    ----------
+    in_features, out_features : int
+    neuron_type : str
+        Canonical name or alias (``"OURS"``, ``"T2"``, ``"fan"``, …).
+    bias : bool
+        Learn an additive bias added after the combination step.
+    """
+
+    def __init__(self, in_features: int, out_features: int, neuron_type: str = "OURS",
+                 bias: bool = True) -> None:
+        super().__init__(neuron_type)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+
+        shape = (out_features, in_features)
+        if "a" in self.required:
+            self.weight_a = Parameter(init.kaiming_uniform(shape))
+        if "b" in self.required:
+            self.weight_b = Parameter(init.kaiming_uniform(shape))
+        if "c" in self.required:
+            # The linear path starts near identity-scale so it behaves like an
+            # identity mapping early in training (paper Sec. 3.2).
+            self.weight_c = Parameter(init.kaiming_uniform(shape, gain=1.0))
+        if "sq" in self.required:
+            self.weight_sq = Parameter(init.kaiming_uniform(shape))
+        if "bilinear" in self.required:
+            self.weight_bilinear = Parameter(
+                init.kaiming_uniform((out_features, in_features, in_features),
+                                     gain=1.0 / max(in_features, 1) ** 0.5)
+            )
+        if "id" in self.required and in_features != out_features:
+            raise ValueError(
+                "T4_ID (identity mapping) requires in_features == out_features; "
+                f"got {in_features} != {out_features}. Use neuron_type='OURS' for a "
+                "learned linear path instead."
+            )
+        self.bias: Optional[Parameter] = Parameter(init.zeros((out_features,))) if bias else None
+
+    # ----------------------------------------------------------- projections
+    def project(self, x: Tensor, kind: str) -> Tensor:
+        if kind == "a":
+            return F.linear(x, self.weight_a)
+        if kind == "b":
+            return F.linear(x, self.weight_b)
+        if kind == "c":
+            return F.linear(x, self.weight_c)
+        if kind == "sq":
+            return F.linear(x * x, self.weight_sq)
+        if kind == "id":
+            return x
+        if kind == "bilinear":
+            # Xᵀ Wa X per output unit: contract once with einsum, then with a
+            # Hadamard product + sum so only two-operand primitives are needed.
+            partial = _einsum("oij,nj->noi", self.weight_bilinear, x)
+            return (partial * x.unsqueeze(1)).sum(axis=-1)
+        raise KeyError(f"unknown projection kind '{kind}'")
+
+    def post_combine(self, out: Tensor) -> Tensor:
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return (f"in_features={self.in_features}, out_features={self.out_features}, "
+                f"type={self.neuron_type}, bias={self.bias is not None}")

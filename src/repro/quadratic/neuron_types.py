@@ -1,0 +1,194 @@
+"""Taxonomy of quadratic-neuron designs (paper Table 1).
+
+The paper groups the existing QDNN literature into four basic types — plus
+two published hybrids and the identity-mapping variant used as a baseline in
+Table 2 — according to how the second-order term in the neuron is formed:
+
+=============  =====================================  ==========================
+type           neuron format                          representative reference
+=============  =====================================  ==========================
+``T1``         ``f(X) = Xᵀ Wa X (+ Wb X)``            Cheung & Leung 1991
+``T2``         ``f(X) = Wa X²``                       Goyal et al. 2020
+``T3``         ``f(X) = (Wa X)²``                     DeClaris & Su 1991
+``T4``         ``f(X) = (Wa X) ∘ (Wb X)``             Bu & Karpatne 2021
+``T1_2``       ``f(X) = Xᵀ Wa X + Wb X²``             Milenkovic et al. 1996
+``T2_4``       ``f(X) = (Wa X) ∘ (Wb X) + Wc X²``     Fan et al. 2018
+``T4_ID``      ``f(X) = (Wa X) ∘ (Wb X) + X``         Table 2 baseline
+``OURS``       ``f(X) = (Wa X) ∘ (Wb X) + Wc X``      this paper (Eq. 2)
+=============  =====================================  ==========================
+
+Every entry records the analytical time/space complexity from Table 1 and the
+practical-usage problems (P1–P4) the paper attributes to the design, so the
+complexity benchmark (``bench_table1_complexity``) can regenerate the table
+directly from this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class NeuronSpec:
+    """Description of one quadratic-neuron design."""
+
+    name: str
+    formula: str
+    reference: str
+    #: number of weight *sets* of the size of a first-order neuron's weight
+    #: vector (T1-style full matrices are recorded separately via ``full_rank``).
+    weight_sets: int
+    #: whether the design carries an n×n full-rank weight matrix per output
+    full_rank: bool
+    #: asymptotic time complexity as reported in Table 1 (string, for display)
+    time_complexity: str
+    #: asymptotic space complexity as reported in Table 1 (string, for display)
+    space_complexity: str
+    #: practical problems P1..P6 the paper attributes to this design
+    issues: Tuple[str, ...] = ()
+    #: whether the neuron includes a first-order (linear or identity) path,
+    #: which is what rescues gradient flow in deep plain networks (P3)
+    has_linear_path: bool = False
+
+    def describe(self) -> str:
+        issues = ", ".join(self.issues) if self.issues else "-"
+        return f"{self.name}: {self.formula}  [{self.reference}]  issues: {issues}"
+
+
+#: Registry of all supported neuron designs, keyed by canonical name.
+NEURON_TYPES: Dict[str, NeuronSpec] = {
+    "T1": NeuronSpec(
+        name="T1",
+        formula="f(X) = X^T Wa X + Wb X",
+        reference="Cheung & Leung (1991); Zoumpourlis et al. (2017)",
+        weight_sets=1,
+        full_rank=True,
+        time_complexity="O(n^2 + n)",
+        space_complexity="O(n^2 + n)",
+        issues=("P2", "P3", "P4"),
+        has_linear_path=True,
+    ),
+    "T1_PURE": NeuronSpec(
+        name="T1_PURE",
+        formula="f(X) = X^T Wa X",
+        reference="Redlapalli et al. (2003); Jiang et al. (2019); Mantini & Shah (2021)",
+        weight_sets=0,
+        full_rank=True,
+        time_complexity="O(n^2)",
+        space_complexity="O(n^2)",
+        issues=("P2", "P3", "P4"),
+    ),
+    "T2": NeuronSpec(
+        name="T2",
+        formula="f(X) = Wa X^2",
+        reference="Goyal et al. (2020)",
+        weight_sets=1,
+        full_rank=False,
+        time_complexity="O(2n)",
+        space_complexity="O(n)",
+        issues=("P1", "P3"),
+    ),
+    "T3": NeuronSpec(
+        name="T3",
+        formula="f(X) = (Wa X)^2",
+        reference="DeClaris & Su (1991)",
+        weight_sets=1,
+        full_rank=False,
+        time_complexity="O(2n)",
+        space_complexity="O(n)",
+        issues=("P1", "P3"),
+    ),
+    "T4": NeuronSpec(
+        name="T4",
+        formula="f(X) = (Wa X) ∘ (Wb X)",
+        reference="Bu & Karpatne (2021)",
+        weight_sets=2,
+        full_rank=False,
+        time_complexity="O(3n)",
+        space_complexity="O(2n)",
+        issues=("P3",),
+    ),
+    "T1_2": NeuronSpec(
+        name="T1_2",
+        formula="f(X) = X^T Wa X + Wb X^2",
+        reference="Milenkovic et al. (1996)",
+        weight_sets=1,
+        full_rank=True,
+        time_complexity="O(n^2 + 2n)",
+        space_complexity="O(n^2 + n)",
+        issues=("P2", "P3", "P4"),
+    ),
+    "T2_4": NeuronSpec(
+        name="T2_4",
+        formula="f(X) = (Wa X) ∘ (Wb X) + Wc X^2",
+        reference="Fan et al. (2018)",
+        weight_sets=3,
+        full_rank=False,
+        time_complexity="O(5n)",
+        space_complexity="O(3n)",
+        issues=("P3",),
+    ),
+    "T4_ID": NeuronSpec(
+        name="T4_ID",
+        formula="f(X) = (Wa X) ∘ (Wb X) + X",
+        reference="Table 2 identity-mapping baseline",
+        weight_sets=2,
+        full_rank=False,
+        time_complexity="O(3n)",
+        space_complexity="O(2n)",
+        issues=(),
+        has_linear_path=True,
+    ),
+    "OURS": NeuronSpec(
+        name="OURS",
+        formula="f(X) = (Wa X) ∘ (Wb X) + Wc X",
+        reference="QuadraLib (this paper, Eq. 2)",
+        weight_sets=3,
+        full_rank=False,
+        time_complexity="O(4n)",
+        space_complexity="O(3n)",
+        issues=(),
+        has_linear_path=True,
+    ),
+}
+
+#: Aliases matching the paper's ``qua.type#()`` API naming and common spellings.
+ALIASES: Dict[str, str] = {
+    "type1": "T1",
+    "type1_pure": "T1_PURE",
+    "type2": "T2",
+    "type3": "T3",
+    "type4": "T4",
+    "type4_identity": "T4_ID",
+    "typenew": "OURS",
+    "new": "OURS",
+    "ours": "OURS",
+    "quadralib": "OURS",
+    "fan": "T2_4",
+    "fan2018": "T2_4",
+    "bu": "T4",
+    "bu2021": "T4",
+    "milenkovic": "T1_2",
+    "cheung": "T1",
+}
+
+
+def resolve_type(name: str) -> NeuronSpec:
+    """Return the :class:`NeuronSpec` for a canonical name or alias."""
+    key = name.strip()
+    canonical = key.upper()
+    if canonical in NEURON_TYPES:
+        return NEURON_TYPES[canonical]
+    lower = key.lower()
+    if lower in ALIASES:
+        return NEURON_TYPES[ALIASES[lower]]
+    raise KeyError(
+        f"unknown quadratic neuron type '{name}'; known types: "
+        f"{sorted(NEURON_TYPES)} and aliases {sorted(ALIASES)}"
+    )
+
+
+def available_types() -> List[str]:
+    """Canonical names of every registered neuron design."""
+    return list(NEURON_TYPES)

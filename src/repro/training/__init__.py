@@ -1,0 +1,21 @@
+"""``repro.training`` — classification / GAN / detection training loops."""
+
+from .classification import TrainingHistory, evaluate_classifier, train_classifier
+from .detection import DetectionTrainingHistory, evaluate_detector, train_detector
+from .gan import GANTrainingHistory, generate_images, train_sngan
+from .pretrain import BackbonePretrainNet, load_pretrained_backbone, pretrain_backbone
+
+__all__ = [
+    "TrainingHistory",
+    "train_classifier",
+    "evaluate_classifier",
+    "GANTrainingHistory",
+    "train_sngan",
+    "generate_images",
+    "DetectionTrainingHistory",
+    "train_detector",
+    "evaluate_detector",
+    "BackbonePretrainNet",
+    "pretrain_backbone",
+    "load_pretrained_backbone",
+]

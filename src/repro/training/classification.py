@@ -1,0 +1,141 @@
+"""Classification training loop (the recipe of paper Sec. 5.2, scaled down).
+
+The paper trains with SGD + CosineAnnealing, initial learning rate 0.1,
+200 epochs, batch 256/128.  ``train_classifier`` keeps that recipe but lets
+benchmarks shrink epochs/batches so every Table 2/3/4 row trains in CPU time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..autodiff.tensor import Tensor
+from ..data.dataloader import DataLoader
+from ..data.dataset import Dataset
+from ..metrics.classification import accuracy
+from ..nn.losses import CrossEntropyLoss
+from ..nn.module import Module
+from ..optim.lr_scheduler import CosineAnnealingLR, LRScheduler
+from ..optim.sgd import SGD
+from ..quadratic.gradients import GradientFlowProbe
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics collected by :func:`train_classifier`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+    seconds_per_batch: List[float] = field(default_factory=list)
+    gradient_norms: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.train_accuracy[-1] if self.train_accuracy else float("nan")
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else float("nan")
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else float("nan")
+
+    @property
+    def mean_seconds_per_batch(self) -> float:
+        return float(np.mean(self.seconds_per_batch)) if self.seconds_per_batch else float("nan")
+
+    def diverged(self, floor: float) -> bool:
+        """True if training never exceeded chance-level ``floor`` accuracy."""
+        return self.final_train_accuracy <= floor
+
+
+def evaluate_classifier(model: Module, loader: DataLoader) -> float:
+    """Top-1 accuracy of ``model`` over a data loader."""
+    was_training = model.training
+    model.train(False)
+    correct, total = 0, 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(Tensor(np.asarray(images, dtype=np.float32)))
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += len(labels)
+    model.train(was_training)
+    return correct / max(total, 1)
+
+
+def train_classifier(model: Module, train_dataset: Dataset, test_dataset: Optional[Dataset] = None,
+                     epochs: int = 5, batch_size: int = 64, lr: float = 0.1,
+                     momentum: float = 0.9, weight_decay: float = 5e-4,
+                     scheduler: str = "cosine", label_smoothing: float = 0.0,
+                     grad_probe_layers: Optional[Sequence[str]] = None,
+                     max_batches_per_epoch: Optional[int] = None,
+                     seed: int = 0) -> TrainingHistory:
+    """Train a classifier with the paper's SGD + CosineAnnealing recipe.
+
+    Parameters
+    ----------
+    grad_probe_layers : list of str, optional
+        Parameter-name substrings whose gradient norms should be recorded each
+        epoch (used to regenerate Fig. 7).
+    max_batches_per_epoch : int, optional
+        Cap on batches per epoch so benchmark rows finish quickly.
+    """
+    loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=True, drop_last=True,
+                        seed=seed)
+    test_loader = (DataLoader(test_dataset, batch_size=batch_size) if test_dataset is not None
+                   else None)
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    lr_scheduler: Optional[LRScheduler] = None
+    if scheduler == "cosine":
+        lr_scheduler = CosineAnnealingLR(optimizer, t_max=max(epochs, 1))
+    loss_fn = CrossEntropyLoss(label_smoothing=label_smoothing)
+    probe = GradientFlowProbe(model, layer_filter=grad_probe_layers) if grad_probe_layers else None
+
+    history = TrainingHistory()
+    model.train(True)
+    for _ in range(epochs):
+        epoch_losses, epoch_accs, batch_times = [], [], []
+        for batch_index, (images, labels) in enumerate(loader):
+            if max_batches_per_epoch is not None and batch_index >= max_batches_per_epoch:
+                break
+            start = time.perf_counter()
+            optimizer.zero_grad()
+            logits = model(Tensor(np.asarray(images, dtype=np.float32)))
+            loss = loss_fn(logits, labels)
+            loss.backward()
+            optimizer.step()
+            batch_times.append(time.perf_counter() - start)
+
+            loss_value = loss.item()
+            if not np.isfinite(loss_value):
+                # Divergence (e.g. gradient explosion in deep plain QDNNs):
+                # record and stop, mirroring a failed paper run.
+                history.train_loss.append(float("inf"))
+                history.train_accuracy.append(1.0 / logits.shape[-1])
+                if test_loader is not None:
+                    history.test_accuracy.append(1.0 / logits.shape[-1])
+                return history
+            epoch_losses.append(loss_value)
+            epoch_accs.append(accuracy(logits, labels))
+        if probe is not None:
+            probe.snapshot()
+
+        history.train_loss.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+        history.train_accuracy.append(float(np.mean(epoch_accs)) if epoch_accs else float("nan"))
+        history.seconds_per_batch.append(float(np.mean(batch_times)) if batch_times else float("nan"))
+        if test_loader is not None:
+            history.test_accuracy.append(evaluate_classifier(model, test_loader))
+            model.train(True)
+        if lr_scheduler is not None:
+            lr_scheduler.step()
+
+    if probe is not None:
+        history.gradient_norms = {name: list(values) for name, values in probe.history.items()}
+    return history

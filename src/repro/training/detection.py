@@ -1,0 +1,77 @@
+"""SSD detector training and evaluation (paper Sec. 5.4, scaled down)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+from ..data.dataloader import DataLoader
+from ..data.synthetic.detection import SyntheticDetectionDataset, detection_collate
+from ..metrics.detection import evaluate_detections
+from ..models.ssd import SSD
+from ..optim.lr_scheduler import MultiStepLR
+from ..optim.sgd import SGD
+
+
+@dataclass
+class DetectionTrainingHistory:
+    """Per-epoch multibox losses."""
+
+    loss: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss[-1] if self.loss else float("nan")
+
+
+def train_detector(model: SSD, dataset: SyntheticDetectionDataset, epochs: int = 3,
+                   batch_size: int = 8, lr: float = 1e-3, momentum: float = 0.9,
+                   weight_decay: float = 5e-4, milestones: Sequence[int] = (),
+                   max_batches_per_epoch: Optional[int] = None,
+                   seed: int = 0) -> DetectionTrainingHistory:
+    """Train the SSD with SGD and the paper's step-decay schedule.
+
+    The paper decays the learning rate 10× at iterations 80 k and 100 k; the
+    scaled version exposes the same mechanism through epoch ``milestones``.
+    """
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, drop_last=True,
+                        collate_fn=detection_collate, seed=seed)
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    scheduler = MultiStepLR(optimizer, milestones=milestones) if milestones else None
+    history = DetectionTrainingHistory()
+
+    model.train(True)
+    for _ in range(epochs):
+        epoch_losses = []
+        for batch_index, (images, targets) in enumerate(loader):
+            if max_batches_per_epoch is not None and batch_index >= max_batches_per_epoch:
+                break
+            optimizer.zero_grad()
+            cls_logits, box_offsets = model(Tensor(np.asarray(images, dtype=np.float32)))
+            loss = model.multibox_loss(cls_logits, box_offsets, targets)
+            loss.backward()
+            optimizer.step()
+            epoch_losses.append(loss.item())
+        history.loss.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+        if scheduler is not None:
+            scheduler.step()
+    return history
+
+
+def evaluate_detector(model: SSD, dataset: SyntheticDetectionDataset, batch_size: int = 8,
+                      score_threshold: float = 0.3, iou_threshold: float = 0.5,
+                      use_11_point: bool = False) -> Dict[str, object]:
+    """Run inference over a dataset and compute the VOC mAP (Table 6 metric)."""
+    loader = DataLoader(dataset, batch_size=batch_size, collate_fn=detection_collate)
+    predictions: List[Dict[str, np.ndarray]] = []
+    ground_truths: List[Dict[str, np.ndarray]] = []
+    for images, targets in loader:
+        detections = model.detect(Tensor(np.asarray(images, dtype=np.float32)),
+                                  score_threshold=score_threshold)
+        predictions.extend(detections)
+        ground_truths.extend(targets)
+    return evaluate_detections(predictions, ground_truths, num_classes=model.num_classes,
+                               iou_threshold=iou_threshold, use_11_point=use_11_point)

@@ -1,0 +1,59 @@
+"""Backbone pre-training and transfer (the Table 6 pre-trained setting).
+
+The paper initialises the SSD backbone either with Kaiming initialisation or
+by copying weights from an (ILSVRC-pre-trained) classification network.  This
+module reproduces that pipeline: train a classification model whose feature
+extractor matches the detector backbone, then copy the matching convolution
+weights across.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..builder.config import QuadraticModelConfig
+from ..builder.constructors import build_classifier_head, conv_block
+from ..data.synthetic.classification import SyntheticImageClassification
+from ..models.ssd import SSD, SSDBackbone
+from ..nn import GlobalAvgPool2d, Linear, MaxPool2d, Sequential
+from ..nn.module import Module
+from .classification import TrainingHistory, train_classifier
+
+
+class BackbonePretrainNet(Module):
+    """Classifier whose feature extractor has the same layout as :class:`SSDBackbone`.
+
+    Sharing the layout (not the object) means a plain ``state_dict`` copy maps
+    convolution-for-convolution onto the detector backbone.
+    """
+
+    def __init__(self, num_classes: int, config: QuadraticModelConfig,
+                 in_channels: int = 3) -> None:
+        super().__init__()
+        self.backbone = SSDBackbone(config, in_channels=in_channels)
+        feature_channels = self.backbone.out_channels[1]
+        self.head = Sequential(GlobalAvgPool2d(), Linear(feature_channels, num_classes))
+
+    def forward(self, x):
+        _, feat2 = self.backbone(x)
+        return self.head(feat2)
+
+
+def pretrain_backbone(config: QuadraticModelConfig, dataset: SyntheticImageClassification,
+                      epochs: int = 2, batch_size: int = 32, lr: float = 0.05,
+                      max_batches_per_epoch: int = 20,
+                      seed: int = 0) -> Tuple[Dict[str, np.ndarray], TrainingHistory]:
+    """Train a backbone-shaped classifier and return its backbone state dict."""
+    model = BackbonePretrainNet(num_classes=dataset.num_classes, config=config)
+    history = train_classifier(model, dataset, epochs=epochs, batch_size=batch_size, lr=lr,
+                               max_batches_per_epoch=max_batches_per_epoch, seed=seed)
+    return model.backbone.state_dict(), history
+
+
+def load_pretrained_backbone(detector: SSD, backbone_state: Dict[str, np.ndarray]) -> int:
+    """Copy a pre-trained backbone state dict into a detector; returns tensors copied."""
+    missing = detector.backbone.load_state_dict(backbone_state, strict=False)
+    total = len(backbone_state)
+    return total - len([m for m in missing if m in backbone_state])

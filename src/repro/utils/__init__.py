@@ -1,0 +1,18 @@
+"""Utility helpers: seeding, logging/tables, checkpoint serialisation."""
+
+from .logging import MetricLogger, format_table, print_table
+from .seed import current_seed, seed_everything, spawn_rng
+from .serialization import load_checkpoint, load_results, save_checkpoint, save_results
+
+__all__ = [
+    "seed_everything",
+    "current_seed",
+    "spawn_rng",
+    "MetricLogger",
+    "format_table",
+    "print_table",
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_results",
+    "load_results",
+]

@@ -1,0 +1,73 @@
+"""Light-weight experiment logging and table rendering.
+
+The benchmark harness prints paper-style tables (Table 1 … Table 6); this
+module centralises the fixed-width formatting so every bench produces
+consistent, diff-able output.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class MetricLogger:
+    """Accumulate scalar metrics per step and render running averages."""
+
+    def __init__(self, name: str = "train") -> None:
+        self.name = name
+        self.history: Dict[str, List[float]] = {}
+        self._start = time.perf_counter()
+
+    def log(self, **metrics: float) -> None:
+        for key, value in metrics.items():
+            self.history.setdefault(key, []).append(float(value))
+
+    def mean(self, key: str, window: Optional[int] = None) -> float:
+        values = self.history.get(key, [])
+        if not values:
+            return float("nan")
+        if window:
+            values = values[-window:]
+        return sum(values) / len(values)
+
+    def last(self, key: str) -> float:
+        values = self.history.get(key, [])
+        return values[-1] if values else float("nan")
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def summary(self) -> Dict[str, float]:
+        return {key: self.mean(key) for key in self.history}
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
+                 float_fmt: str = "{:.4g}") -> str:
+    """Render a fixed-width text table (used by every benchmark)."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([
+            float_fmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "",
+                file=None) -> None:
+    """Print a formatted table to stdout (or a file-like object)."""
+    print(format_table(headers, rows, title=title), file=file or sys.stdout)

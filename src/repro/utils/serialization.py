@@ -1,0 +1,53 @@
+"""Checkpoint save/load for models and experiment results.
+
+State dicts are plain ``name -> ndarray`` mappings, so ``.npz`` files are a
+natural, dependency-free container.  Experiment results (the numbers behind
+each reproduced table) are stored as JSON for easy diffing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from ..nn.module import Module
+
+
+def save_checkpoint(module: Module, path: str) -> None:
+    """Save a module's ``state_dict`` to an ``.npz`` file."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> None:
+    """Load an ``.npz`` checkpoint produced by :func:`save_checkpoint`."""
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as data:
+        state = {key: data[key] for key in data.files}
+    module.load_state_dict(state, strict=strict)
+
+
+def save_results(results: Dict[str, Any], path: str) -> None:
+    """Persist experiment results (numbers behind a reproduced table) as JSON."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+
+    def _default(obj):
+        if isinstance(obj, (np.floating, np.integer)):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"cannot serialise {type(obj)!r}")
+
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, default=_default)
+
+
+def load_results(path: str) -> Dict[str, Any]:
+    """Load a results JSON file written by :func:`save_results`."""
+    with open(path) as fh:
+        return json.load(fh)

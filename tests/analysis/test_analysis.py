@@ -1,0 +1,148 @@
+"""Tests of the analysis tools: activation attention, distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import (
+    DistributionSummary,
+    activation_attention,
+    activation_distributions,
+    attention_statistics,
+    capture_activation,
+    compare_first_layer_attention,
+    gradient_distributions,
+    histogram,
+    render_ascii,
+    weight_distributions,
+)
+from repro.autodiff import randn
+from repro.builder import QuadraticModelConfig
+from repro.models import SmallConvNet
+
+
+class TestActivationAttention:
+    def _model(self, neuron_type="first_order"):
+        return SmallConvNet(num_classes=4,
+                            config=QuadraticModelConfig(neuron_type=neuron_type,
+                                                        width_multiplier=0.5))
+
+    def test_capture_activation_shape(self):
+        model = self._model()
+        layer = model.features[0]
+        images = np.random.default_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32)
+        act = capture_activation(model, layer, images)
+        assert act.shape[0] == 2 and act.ndim == 4
+
+    def test_capture_requires_layer_in_model(self):
+        model = self._model()
+        other_layer = nn.Conv2d(3, 4, 3)
+        with pytest.raises(RuntimeError):
+            capture_activation(model, other_layer, np.zeros((1, 3, 32, 32), dtype=np.float32))
+
+    def test_attention_normalised_to_unit_range(self):
+        act = np.random.default_rng(0).normal(size=(3, 8, 10, 10)).astype(np.float32)
+        attention = activation_attention(act)
+        assert attention.shape == (3, 10, 10)
+        assert attention.min() >= 0.0 and attention.max() <= 1.0 + 1e-6
+
+    def test_attention_statistics_partition_sums_to_one(self):
+        attention = np.random.default_rng(0).random((16, 16)).astype(np.float32)
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[4:12, 4:12] = True
+        stats = attention_statistics(attention, mask)
+        total = stats.inside_object + stats.on_edge_band + stats.on_background
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_attention_statistics_detects_object_focus(self):
+        attention = np.zeros((16, 16), dtype=np.float32)
+        attention[6:10, 6:10] = 1.0          # all attention inside the object
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[4:12, 4:12] = True
+        stats = attention_statistics(attention, mask)
+        assert stats.object_to_edge_ratio > 1.0
+
+    def test_attention_statistics_detects_edge_focus(self):
+        attention = np.zeros((16, 16), dtype=np.float32)
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[4:12, 4:12] = True
+        # Attention only on the mask boundary.
+        attention[4, 4:12] = 1.0
+        attention[11, 4:12] = 1.0
+        stats = attention_statistics(attention, mask, edge_width=2)
+        assert stats.object_to_edge_ratio < 1.0
+
+    def test_mask_resizing(self):
+        attention = np.random.default_rng(1).random((8, 8)).astype(np.float32)
+        mask = np.zeros((32, 32), dtype=bool)
+        mask[8:24, 8:24] = True
+        stats = attention_statistics(attention, mask)
+        assert np.isfinite(stats.inside_object)
+
+    def test_render_ascii(self):
+        attention = np.linspace(0, 1, 64).reshape(8, 8).astype(np.float32)
+        art = render_ascii(attention, width=16)
+        assert isinstance(art, str) and len(art.splitlines()) >= 4
+
+    def test_compare_first_layer_attention(self):
+        fo_model = self._model("first_order")
+        q_model = self._model("OURS")
+        images = np.random.default_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32)
+        masks = np.zeros((2, 32, 32), dtype=bool)
+        masks[:, 8:24, 8:24] = True
+        result = compare_first_layer_attention(fo_model, q_model, fo_model.features[0],
+                                               q_model.features[0], images, masks)
+        assert result["first_order_attention"].shape == (2, 32, 32)
+        assert "quadratic_object_edge_ratio" in result
+
+
+class TestDistributions:
+    def test_summary_from_array(self):
+        summary = DistributionSummary.from_array("x", np.array([0.0, 1.0, -1.0, 0.0]))
+        assert summary.mean == pytest.approx(0.0)
+        assert summary.minimum == -1.0 and summary.maximum == 1.0
+        assert summary.fraction_near_zero == pytest.approx(0.5)
+
+    def test_summary_empty_array(self):
+        summary = DistributionSummary.from_array("x", np.array([]))
+        assert np.isnan(summary.mean)
+
+    def test_weight_distributions_cover_all_params(self):
+        model = SmallConvNet(num_classes=4, config=QuadraticModelConfig(width_multiplier=0.5))
+        summaries = weight_distributions(model)
+        assert len(summaries) == len(list(model.named_parameters()))
+
+    def test_gradient_distributions_after_backward(self):
+        model = SmallConvNet(num_classes=4, config=QuadraticModelConfig(width_multiplier=0.5))
+        model(randn(2, 3, 32, 32)).sum().backward()
+        summaries = gradient_distributions(model)
+        assert any(s.std > 0 for s in summaries)
+
+    def test_activation_distributions_filtered(self):
+        model = SmallConvNet(num_classes=4, config=QuadraticModelConfig(width_multiplier=0.5))
+        images = np.zeros((2, 3, 32, 32), dtype=np.float32)
+        stats = activation_distributions(model, images, layer_names=["features"])
+        assert len(stats) > 0
+        assert all("features" in name for name in stats)
+
+    def test_quadratic_activations_have_heavier_tails(self):
+        """Design insight 2: the second-order term produces extreme activations,
+        which is why BatchNorm is essential for QDNNs."""
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(4, 3, 32, 32)).astype(np.float32)
+        fo = SmallConvNet(num_classes=4,
+                          config=QuadraticModelConfig(neuron_type="first_order",
+                                                      use_batchnorm=False, width_multiplier=0.5))
+        quad = SmallConvNet(num_classes=4,
+                            config=QuadraticModelConfig(neuron_type="T3",
+                                                        use_batchnorm=False, width_multiplier=0.5))
+        fo_stats = activation_distributions(fo, images, layer_names=["features.0"])
+        quad_stats = activation_distributions(quad, images, layer_names=["features.0"])
+        fo_max = max(abs(s.maximum) for s in fo_stats.values())
+        quad_max = max(abs(s.maximum) for s in quad_stats.values())
+        assert quad_max > fo_max
+
+    def test_histogram(self):
+        result = histogram(np.random.default_rng(0).normal(size=1000), bins=10)
+        assert result["counts"].sum() == 1000
+        assert len(result["edges"]) == 11

@@ -1,0 +1,122 @@
+"""Tests for the ASCII plotting helpers used by the figure benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ascii_bar_chart, ascii_line_chart, sparkline
+
+
+# --------------------------------------------------------------------------- #
+# sparkline
+# --------------------------------------------------------------------------- #
+
+def test_sparkline_basic():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] != line[-1]  # low and high map to different blocks
+
+
+def test_sparkline_constant_and_empty():
+    assert sparkline([]) == ""
+    assert sparkline([float("nan")]) == ""
+    constant = sparkline([3.0, 3.0, 3.0])
+    assert len(constant) == 3 and len(set(constant)) == 1
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1,
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_sparkline_length_matches_finite_input(values):
+    assert len(sparkline(values)) == len(values)
+
+
+# --------------------------------------------------------------------------- #
+# line chart
+# --------------------------------------------------------------------------- #
+
+def test_line_chart_contains_series_markers_and_legend():
+    chart = ascii_line_chart(
+        {"default BP": [1.0, 2.0, 3.0, 2.5], "hybrid BP": [1.0, 1.5, 2.0, 1.8]},
+        width=20, height=6, title="Fig. 8", x_label="iteration", y_label="GB",
+    )
+    assert "Fig. 8" in chart
+    assert "default BP" in chart and "hybrid BP" in chart
+    assert "*" in chart and "o" in chart
+    assert "iteration" in chart and "GB" in chart
+    # Axis labels show the data range.
+    assert "3" in chart and "1" in chart
+
+
+def test_line_chart_single_series_and_constant_values():
+    chart = ascii_line_chart({"flat": [2.0, 2.0, 2.0]}, width=10, height=4)
+    assert "flat" in chart
+    # A constant series still renders one marker per column somewhere.
+    assert chart.count("*") >= 10
+
+
+def test_line_chart_handles_nan_gaps():
+    chart = ascii_line_chart({"gaps": [1.0, float("nan"), 3.0]}, width=12, height=4)
+    assert "gaps" in chart
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_line_chart({})
+    with pytest.raises(ValueError):
+        ascii_line_chart({"x": [1.0]}, width=4, height=2)
+    with pytest.raises(ValueError):
+        ascii_line_chart({"x": [float("nan")]})
+
+
+def test_line_chart_deterministic():
+    series = {"a": [1, 4, 2, 8, 5], "b": [2, 2, 3, 3, 4]}
+    assert ascii_line_chart(series) == ascii_line_chart(series)
+
+
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False), min_size=2,
+                max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_line_chart_row_width_is_constant(values):
+    chart = ascii_line_chart({"s": values}, width=24, height=5)
+    plot_rows = [line for line in chart.splitlines() if "|" in line]
+    assert len(plot_rows) == 5
+    assert len({len(row) for row in plot_rows}) == 1
+
+
+# --------------------------------------------------------------------------- #
+# bar chart
+# --------------------------------------------------------------------------- #
+
+def test_bar_chart_scales_longest_bar_to_width():
+    chart = ascii_bar_chart(["first-order", "QDNN"], [2.0, 4.0], width=20)
+    lines = chart.splitlines()
+    assert lines[0].startswith("first-order")
+    assert lines[1].count("#") == 20
+    assert lines[0].count("#") == 10
+
+
+def test_bar_chart_reference_lines_budget_markers():
+    chart = ascii_bar_chart(["VGG-16 QDNN"], [10.0], width=20, title="Fig. 5",
+                            reference_lines={"RTX 2080 (8 GB)": 8.0})
+    assert "Fig. 5" in chart
+    assert "RTX 2080" in chart
+    assert "|" in chart
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        ascii_bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ascii_bar_chart([], [])
+    with pytest.raises(ValueError):
+        ascii_bar_chart(["a"], [-1.0])
+
+
+def test_bar_chart_non_finite_values_render_as_zero():
+    chart = ascii_bar_chart(["ok", "broken"], [1.0, float("inf")], width=10)
+    broken_line = chart.splitlines()[1]
+    assert broken_line.count("#") == 0

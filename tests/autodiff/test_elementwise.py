@@ -1,0 +1,205 @@
+"""Unit tests for element-wise differentiable primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, randn, tensor, where
+
+
+class TestArithmetic:
+    def test_add_forward(self):
+        a = tensor([1.0, 2.0])
+        b = tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_backward(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        b = tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_add_scalar(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        out = a + 5.0
+        assert np.allclose(out.data, [6.0, 7.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_radd(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        out = 5.0 + a
+        assert np.allclose(out.data, [6.0, 7.0])
+
+    def test_sub_backward(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        b = tensor([3.0, 4.0], requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [-1.0, -1.0])
+
+    def test_rsub(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        out = 10.0 - a
+        assert np.allclose(out.data, [9.0, 8.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+    def test_mul_backward(self):
+        a = tensor([2.0, 3.0], requires_grad=True)
+        b = tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_div_backward(self):
+        a = tensor([6.0], requires_grad=True)
+        b = tensor([2.0], requires_grad=True)
+        (a / b).backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.5])
+
+    def test_rtruediv(self):
+        a = tensor([2.0], requires_grad=True)
+        out = 1.0 / a
+        assert np.allclose(out.data, [0.5])
+        out.backward()
+        assert np.allclose(a.grad, [-0.25])
+
+    def test_neg(self):
+        a = tensor([1.0, -2.0], requires_grad=True)
+        (-a).sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+    def test_pow_square(self):
+        a = tensor([3.0, -2.0], requires_grad=True)
+        (a ** 2).sum().backward()
+        assert np.allclose(a.grad, [6.0, -4.0])
+
+    def test_square_helper_matches_pow(self):
+        a = randn(5, requires_grad=True)
+        assert np.allclose(a.square().data, (a ** 2).data)
+
+
+class TestBroadcasting:
+    def test_row_plus_column(self):
+        a = randn(3, 1, requires_grad=True)
+        b = randn(1, 4, requires_grad=True)
+        out = a + b
+        assert out.shape == (3, 4)
+        out.sum().backward()
+        assert a.grad.shape == (3, 1)
+        assert b.grad.shape == (1, 4)
+        assert np.allclose(a.grad, 4.0)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_mul_broadcast_gradients(self):
+        a = randn(2, 3, requires_grad=True)
+        b = randn(3, requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, a.data.sum(axis=0), atol=1e-5)
+
+    def test_scalar_broadcast(self):
+        a = randn(4, 4, requires_grad=True)
+        (a * 3.0).sum().backward()
+        assert np.allclose(a.grad, 3.0)
+
+
+class TestPointwiseFunctions:
+    def test_exp_grad(self):
+        a = tensor([0.0, 1.0], requires_grad=True)
+        a.exp().sum().backward()
+        assert np.allclose(a.grad, np.exp([0.0, 1.0]), atol=1e-5)
+
+    def test_log_grad(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        a.log().sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.5], atol=1e-6)
+
+    def test_sqrt_grad(self):
+        a = tensor([4.0, 9.0], requires_grad=True)
+        a.sqrt().sum().backward()
+        assert np.allclose(a.grad, [0.25, 1.0 / 6.0], atol=1e-5)
+
+    def test_abs_grad(self):
+        a = tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_relu_forward_and_grad(self):
+        a = tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        out = a.relu()
+        assert np.allclose(out.data, [0.0, 0.5, 2.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 1.0])
+
+    def test_sigmoid_range_and_grad(self):
+        a = randn(10, requires_grad=True)
+        out = a.sigmoid()
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+        out.sum().backward()
+        expected = out.data * (1 - out.data)
+        assert np.allclose(a.grad, expected, atol=1e-6)
+
+    def test_tanh_grad(self):
+        a = tensor([0.5], requires_grad=True)
+        a.tanh().backward()
+        assert np.allclose(a.grad, 1 - np.tanh(0.5) ** 2, atol=1e-6)
+
+    def test_clip_grad_masks_outside(self):
+        a = tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum(self):
+        a = tensor([1.0, 5.0], requires_grad=True)
+        b = tensor([3.0, 2.0], requires_grad=True)
+        out = a.maximum(b)
+        assert np.allclose(out.data, [3.0, 5.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+    def test_minimum(self):
+        a = tensor([1.0, 5.0], requires_grad=True)
+        b = tensor([3.0, 2.0], requires_grad=True)
+        out = a.minimum(b)
+        assert np.allclose(out.data, [1.0, 2.0])
+
+    def test_where_selects_and_routes_grads(self):
+        cond = np.array([True, False, True])
+        a = tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = where(cond, a, b)
+        assert np.allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestNumericGradients:
+    @pytest.mark.parametrize("op", ["exp", "sigmoid", "tanh", "sqrt"])
+    def test_pointwise_numeric(self, op, numgrad):
+        a = Tensor(np.abs(np.random.default_rng(0).normal(size=5)).astype(np.float32) + 0.5,
+                   requires_grad=True)
+
+        def run():
+            return float(getattr(Tensor(a.data, requires_grad=False), op)().sum().data)
+
+        getattr(a, op)().sum().backward()
+        expected = numgrad(run, a.data)
+        assert np.allclose(a.grad, expected, atol=2e-2)
+
+    def test_composed_expression_numeric(self, numgrad):
+        a = Tensor(np.random.default_rng(1).normal(size=(3, 3)).astype(np.float32),
+                   requires_grad=True)
+
+        def run():
+            t = Tensor(a.data)
+            return float(((t * t + t.relu()).sigmoid()).sum().data)
+
+        ((a * a + a.relu()).sigmoid()).sum().backward()
+        expected = numgrad(run, a.data)
+        assert np.allclose(a.grad, expected, atol=2e-2)

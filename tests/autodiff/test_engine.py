@@ -1,0 +1,206 @@
+"""Tests of the backward engine: accumulation, graph reuse, grad modes, checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    checkpoint,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    randn,
+    tensor,
+)
+
+
+class TestBackwardEngine:
+    def test_gradient_accumulates_across_backward_calls(self):
+        a = tensor([2.0], requires_grad=True)
+        (a * 3.0).backward()
+        (a * 3.0).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_diamond_graph_accumulates(self):
+        # y = a*a used twice downstream: d/da (a*a + a*a) = 4a
+        a = tensor([3.0], requires_grad=True)
+        b = a * a
+        (b + b).backward()
+        assert np.allclose(a.grad, [12.0])
+
+    def test_shared_subexpression(self):
+        a = tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        out = b * b + b
+        out.backward()
+        # d/da (9a^2 + 3a) = 18a + 3 = 39
+        assert np.allclose(a.grad, [39.0])
+
+    def test_non_scalar_backward_requires_grad_argument(self):
+        a = randn(3, requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_non_scalar_backward_with_grad(self):
+        a = randn(3, requires_grad=True)
+        (a * 2).backward(np.array([1.0, 2.0, 3.0], dtype=np.float32))
+        assert np.allclose(a.grad, [2.0, 4.0, 6.0])
+
+    def test_leaf_only_gets_grad(self):
+        a = tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        c = b * 3.0
+        c.backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+    def test_retain_grad_on_intermediate(self):
+        a = tensor([1.0], requires_grad=True)
+        b = (a * 2.0).retain_grad()
+        (b * 3.0).backward()
+        assert np.allclose(b.grad, [3.0])
+
+    def test_no_grad_through_non_required_inputs(self):
+        a = tensor([1.0], requires_grad=True)
+        b = tensor([2.0], requires_grad=False)
+        (a * b).backward()
+        assert a.grad is not None
+        assert b.grad is None
+
+    def test_zero_grad(self):
+        a = tensor([1.0], requires_grad=True)
+        (a * 2).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach_cuts_graph(self):
+        a = tensor([1.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        c = b * 3.0
+        assert not c.requires_grad
+
+    def test_backward_on_leaf_root(self):
+        a = tensor([1.0, 2.0], requires_grad=True)
+        a.backward(np.array([1.0, 1.0], dtype=np.float32))
+        assert np.allclose(a.grad, [1.0, 1.0])
+
+    def test_retain_graph_allows_second_backward(self):
+        a = tensor([2.0], requires_grad=True)
+        out = (a * a).sum()
+        out.backward(retain_graph=True)
+        out.backward(retain_graph=True)
+        assert np.allclose(a.grad, [8.0])
+
+    def test_deep_chain_does_not_overflow(self):
+        # Iterative topological sort must handle graphs deeper than the
+        # recursion limit would allow.
+        a = tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(2000):
+            x = x + 1.0
+        x.backward()
+        assert np.allclose(a.grad, [1.0])
+
+
+class TestGradMode:
+    def test_no_grad_disables_tracking(self):
+        a = tensor([1.0], requires_grad=True)
+        with no_grad():
+            b = a * 2.0
+        assert not b.requires_grad
+        assert b._ctx is None
+
+    def test_grad_mode_restored_after_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_grad_mode_restored_after_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_enable_grad_inside_no_grad(self):
+        a = tensor([1.0], requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                b = a * 2.0
+        assert b.requires_grad
+
+
+class TestCheckpoint:
+    def test_checkpoint_matches_direct_execution(self):
+        def fn(u, v):
+            return ((u * v).relu() + u.sigmoid()).sum()
+
+        u1 = randn(6, requires_grad=True)
+        v1 = randn(6, requires_grad=True)
+        u2 = Tensor(u1.data.copy(), requires_grad=True)
+        v2 = Tensor(v1.data.copy(), requires_grad=True)
+
+        direct = fn(u1, v1)
+        direct.backward()
+        cp = checkpoint(fn, u2, v2)
+        cp.backward()
+
+        assert np.allclose(direct.data, cp.data, atol=1e-6)
+        assert np.allclose(u1.grad, u2.grad, atol=1e-5)
+        assert np.allclose(v1.grad, v2.grad, atol=1e-5)
+
+    def test_checkpoint_forward_value(self):
+        u = randn(4, requires_grad=True)
+        out = checkpoint(lambda t: (t * 2.0).sum(), u)
+        assert np.allclose(out.data, (u.data * 2.0).sum(), atol=1e-5)
+
+    def test_checkpoint_respects_requires_grad(self):
+        u = randn(4, requires_grad=False)
+        out = checkpoint(lambda t: (t * 2.0).sum(), u)
+        assert not out.requires_grad
+
+    def test_checkpoint_rejects_non_tensor_return(self):
+        u = randn(4, requires_grad=True)
+        with pytest.raises(TypeError):
+            checkpoint(lambda t: 3.0, u)
+
+
+class TestTensorBasics:
+    def test_dtype_defaults_to_float32(self):
+        assert tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_int_arrays_stay_integer(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.dtype.kind == "i"
+
+    def test_item_and_numpy(self):
+        t = tensor([3.5])
+        assert t.item() == pytest.approx(3.5)
+        arr = t.numpy()
+        arr[0] = 0.0
+        assert t.data[0] == pytest.approx(3.5)  # numpy() returns a copy
+
+    def test_len_shape_size(self):
+        t = randn(4, 5)
+        assert len(t) == 4
+        assert t.shape == (4, 5)
+        assert t.size == 20
+        assert t.ndim == 2
+
+    def test_comparison_operators_detached(self):
+        a = randn(3, requires_grad=True)
+        mask = a > 0
+        assert not mask.requires_grad
+        assert mask.dtype == np.bool_
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(tensor([1.0], requires_grad=True))
+
+    def test_clone_is_independent(self):
+        a = tensor([1.0], requires_grad=True)
+        b = a.clone()
+        b.data[0] = 5.0
+        assert a.data[0] == pytest.approx(1.0)

@@ -1,0 +1,177 @@
+"""Unit tests for matrix multiplication, einsum and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, einsum, randn, tensor
+
+
+class TestMatMul:
+    def test_2d_forward(self):
+        a = randn(3, 4)
+        b = randn(4, 5)
+        assert np.allclose((a @ b).data, a.data @ b.data, atol=1e-5)
+
+    def test_2d_backward_shapes(self):
+        a = randn(3, 4, requires_grad=True)
+        b = randn(4, 5, requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4, 5)
+
+    def test_2d_backward_values(self):
+        a = randn(2, 3, requires_grad=True)
+        b = randn(3, 4, requires_grad=True)
+        (a @ b).sum().backward()
+        ones = np.ones((2, 4), dtype=np.float32)
+        assert np.allclose(a.grad, ones @ b.data.T, atol=1e-5)
+        assert np.allclose(b.grad, a.data.T @ ones, atol=1e-5)
+
+    def test_vector_matrix(self):
+        a = randn(4, requires_grad=True)
+        b = randn(4, 5, requires_grad=True)
+        out = a @ b
+        assert out.shape == (5,)
+        out.sum().backward()
+        assert a.grad.shape == (4,)
+        assert b.grad.shape == (4, 5)
+        assert np.allclose(a.grad, b.data.sum(axis=1), atol=1e-5)
+
+    def test_matrix_vector(self):
+        a = randn(3, 4, requires_grad=True)
+        b = randn(4, requires_grad=True)
+        out = a @ b
+        assert out.shape == (3,)
+        out.sum().backward()
+        assert np.allclose(b.grad, a.data.sum(axis=0), atol=1e-5)
+
+    def test_batched_matmul(self):
+        a = randn(2, 3, 4, requires_grad=True)
+        b = randn(2, 4, 5, requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+    def test_broadcast_batched_matmul(self):
+        a = randn(2, 3, 4, requires_grad=True)
+        b = randn(4, 5, requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 3, 5)
+        out.sum().backward()
+        assert b.grad.shape == (4, 5)
+
+    def test_numeric_gradient(self, numgrad):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 3)).astype(np.float32),
+                   requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(3, 2)).astype(np.float32),
+                   requires_grad=True)
+
+        def run():
+            return float((Tensor(a.data) @ Tensor(b.data)).sum().data)
+
+        (a @ b).sum().backward()
+        assert np.allclose(a.grad, numgrad(run, a.data), atol=2e-2)
+        assert np.allclose(b.grad, numgrad(run, b.data), atol=2e-2)
+
+
+class TestEinsum:
+    def test_einsum_matches_numpy(self):
+        a = randn(4, 3)
+        b = randn(3, 5)
+        out = einsum("ij,jk->ik", a, b)
+        assert np.allclose(out.data, np.einsum("ij,jk->ik", a.data, b.data), atol=1e-5)
+
+    def test_einsum_backward(self):
+        a = randn(2, 3, requires_grad=True)
+        b = randn(3, requires_grad=True)
+        einsum("ij,j->i", a, b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, a.data.sum(axis=0), atol=1e-5)
+
+    def test_einsum_bilinear_contraction(self):
+        # The T1 quadratic neuron uses this contraction pattern.
+        w = randn(5, 4, 4, requires_grad=True)
+        x = randn(3, 4, requires_grad=True)
+        partial = einsum("oij,nj->noi", w, x)
+        assert partial.shape == (3, 5, 4)
+        out = (partial * x.unsqueeze(1)).sum(axis=-1)
+        expected = np.einsum("ni,oij,nj->no", x.data, w.data, x.data)
+        assert np.allclose(out.data, expected, atol=1e-4)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = randn(3, 4, requires_grad=True)
+        a.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_sum_axis_keepdims(self):
+        a = randn(3, 4, requires_grad=True)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_sum_multi_axis(self):
+        a = randn(2, 3, 4, requires_grad=True)
+        out = a.sum(axis=(0, 2))
+        assert out.shape == (3,)
+
+    def test_mean_grad_scaling(self):
+        a = randn(4, 5, requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, 1.0 / 20.0)
+
+    def test_mean_axis(self):
+        a = randn(4, 5, requires_grad=True)
+        a.mean(axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0 / 4.0)
+
+    def test_max_forward_and_grad_routing(self):
+        a = tensor([[1.0, 5.0], [7.0, 3.0]], requires_grad=True)
+        out = a.max(axis=1)
+        assert np.allclose(out.data, [5.0, 7.0])
+        out.sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = tensor([[2.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad.sum(), 1.0)
+
+    def test_min(self):
+        a = tensor([[1.0, 5.0], [7.0, 3.0]], requires_grad=True)
+        out = a.min(axis=1)
+        assert np.allclose(out.data, [1.0, 3.0])
+
+    def test_global_max_scalar(self):
+        a = randn(3, 3, requires_grad=True)
+        out = a.max()
+        assert out.data.size == 1
+
+    def test_var_and_std(self):
+        a = randn(100)
+        assert np.allclose(a.var().data, a.data.var(), atol=1e-4)
+        assert np.allclose(a.std().data, a.data.std(), atol=1e-3)
+
+    def test_logsumexp_matches_naive(self):
+        a = randn(4, 7, requires_grad=True)
+        out = a.logsumexp(axis=1)
+        naive = np.log(np.exp(a.data).sum(axis=1))
+        assert np.allclose(out.data, naive, atol=1e-5)
+        out.sum().backward()
+        softmax = np.exp(a.data) / np.exp(a.data).sum(axis=1, keepdims=True)
+        assert np.allclose(a.grad, softmax, atol=1e-5)
+
+    def test_logsumexp_stable_for_large_values(self):
+        a = tensor([[1000.0, 1000.0]])
+        out = a.logsumexp(axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_argmax_argmin_are_detached(self):
+        a = randn(3, 4)
+        assert a.argmax(axis=1).shape == (3,)
+        assert a.argmin(axis=1).shape == (3,)

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for core autodiff invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, tensor
+from repro.autodiff.function import unbroadcast
+
+_float_arrays = arrays(
+    dtype=np.float32,
+    shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False, width=32),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_arrays)
+def test_sum_gradient_is_ones(data):
+    """d(sum(x))/dx == 1 for any shape."""
+    t = Tensor(data, requires_grad=True)
+    t.sum().backward()
+    assert t.grad.shape == data.shape
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_arrays)
+def test_addition_gradient_symmetry(data):
+    """Gradients of a+b match for both operands."""
+    a = Tensor(data, requires_grad=True)
+    b = Tensor(data.copy(), requires_grad=True)
+    (a + b).sum().backward()
+    assert np.allclose(a.grad, b.grad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_arrays)
+def test_mul_gradient_equals_other_operand(data):
+    a = Tensor(data, requires_grad=True)
+    b = Tensor(2.0 * np.ones_like(data), requires_grad=True)
+    (a * b).sum().backward()
+    assert np.allclose(a.grad, 2.0)
+    assert np.allclose(b.grad, data, atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_arrays)
+def test_reshape_preserves_gradient_total(data):
+    """Reshape is a bijection: gradient mass is preserved element-wise."""
+    t = Tensor(data, requires_grad=True)
+    t.reshape(-1).sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_arrays)
+def test_relu_gradient_is_indicator(data):
+    t = Tensor(data, requires_grad=True)
+    t.relu().sum().backward()
+    assert np.allclose(t.grad, (data > 0).astype(np.float32))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_float_arrays)
+def test_double_negation_identity(data):
+    t = Tensor(data, requires_grad=True)
+    out = -(-t)
+    assert np.allclose(out.data, data, atol=1e-6)
+    out.sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(dtype=np.float32, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+           elements=st.floats(-5, 5, allow_nan=False, width=32)),
+)
+def test_unbroadcast_restores_shape(grad):
+    """unbroadcast reduces any broadcast gradient back to the original shape."""
+    original_shape = (1, grad.shape[1])
+    broadcast = np.broadcast_to(grad, (3,) + grad.shape).copy()
+    reduced = unbroadcast(broadcast, original_shape)
+    assert reduced.shape == original_shape
+    # Total mass must be preserved by the summation.
+    assert np.allclose(reduced.sum(), broadcast.sum(), rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6))
+def test_matmul_gradient_shapes_always_match(n, k, m):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(n, k)).astype(np.float32), requires_grad=True)
+    b = Tensor(rng.normal(size=(k, m)).astype(np.float32), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (n, k)
+    assert b.grad.shape == (k, m)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 3), st.integers(4, 9), st.integers(1, 3))
+def test_conv_output_spatial_size_invariant(batch, channels, size, kernel):
+    """Padded 'same' convolution never changes spatial dimensions."""
+    from repro.autodiff import randn
+
+    if kernel % 2 == 0:
+        kernel += 1
+    x = randn(batch, channels, size, size)
+    w = randn(2, channels, kernel, kernel)
+    out = x.conv2d(w, stride=1, padding=kernel // 2)
+    assert out.shape == (batch, 2, size, size)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(dtype=np.float32, shape=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+           elements=st.floats(-3, 3, allow_nan=False, width=32)),
+)
+def test_softmax_rows_sum_to_one(data):
+    from repro.nn import functional as F
+
+    probs = F.softmax(Tensor(data), axis=-1)
+    assert np.allclose(probs.data.sum(axis=-1), 1.0, atol=1e-5)
+    assert np.all(probs.data >= 0)

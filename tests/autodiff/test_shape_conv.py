@@ -1,0 +1,229 @@
+"""Unit tests for shape manipulation and convolution/pooling primitives."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, cat, randn, stack, tensor
+from repro.autodiff.ops.conv import col2im, conv_output_size, im2col
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        a = randn(2, 3, 4, requires_grad=True)
+        out = a.reshape(6, 4)
+        assert out.shape == (6, 4)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_reshape_with_minus_one(self):
+        a = randn(2, 3, 4)
+        assert a.reshape(2, -1).shape == (2, 12)
+
+    def test_flatten(self):
+        a = randn(2, 3, 4, 5)
+        assert a.flatten(start_dim=1).shape == (2, 60)
+
+    def test_transpose_default_reverses(self):
+        a = randn(2, 3, 4, requires_grad=True)
+        out = a.transpose()
+        assert out.shape == (4, 3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_transpose_permutation(self):
+        a = randn(2, 3, 4, requires_grad=True)
+        out = a.transpose(1, 0, 2)
+        assert out.shape == (3, 2, 4)
+        assert np.allclose(out.data, a.data.transpose(1, 0, 2))
+
+    def test_swapaxes(self):
+        a = randn(2, 3, 4)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_squeeze_unsqueeze(self):
+        a = randn(3, 1, 4, requires_grad=True)
+        squeezed = a.squeeze(1)
+        assert squeezed.shape == (3, 4)
+        expanded = squeezed.unsqueeze(0)
+        assert expanded.shape == (1, 3, 4)
+        expanded.sum().backward()
+        assert a.grad.shape == (3, 1, 4)
+
+    def test_getitem_slice_grad(self):
+        a = randn(4, 5, requires_grad=True)
+        a[1:3, :2].sum().backward()
+        expected = np.zeros((4, 5), dtype=np.float32)
+        expected[1:3, :2] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_integer_array_accumulates(self):
+        a = randn(5, requires_grad=True)
+        index = np.array([0, 0, 2])
+        a[index].sum().backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0, 0.0, 0.0])
+
+    def test_cat_and_grad(self):
+        a = randn(2, 3, requires_grad=True)
+        b = randn(4, 3, requires_grad=True)
+        out = cat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (4, 3)
+
+    def test_stack(self):
+        parts = [randn(2, 2, requires_grad=True) for _ in range(3)]
+        out = stack(parts, axis=0)
+        assert out.shape == (3, 2, 2)
+        out.sum().backward()
+        for p in parts:
+            assert np.allclose(p.grad, 1.0)
+
+    def test_pad2d(self):
+        a = randn(1, 1, 3, 3, requires_grad=True)
+        out = a.pad2d((1, 2, 1, 2))
+        assert out.shape == (1, 1, 6, 6)
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_flip(self):
+        a = tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        out = a.flip(1)
+        assert np.allclose(out.data, [[2.0, 1.0], [4.0, 3.0]])
+        out.sum().backward()
+        assert np.allclose(a.grad, 1.0)
+
+    def test_broadcast_to(self):
+        a = randn(1, 3, requires_grad=True)
+        out = a.broadcast_to((4, 3))
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, 4.0)
+
+
+class TestIm2Col:
+    def test_output_size(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_im2col_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=np.float32).reshape(2, 3, 5, 5)
+        cols = im2col(x, 3, 3, (1, 1), (1, 1))
+        assert cols.shape == (2, 3, 3, 3, 5, 5)
+
+    def test_im2col_values_match_manual_patch(self):
+        x = np.arange(1 * 1 * 4 * 4, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 2, (1, 1), (0, 0))
+        # patch at output position (0, 0) is the top-left 2x2 block
+        assert np.allclose(cols[0, 0, :, :, 0, 0], x[0, 0, :2, :2])
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        # <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        y = rng.normal(size=(1, 2, 3, 3, 3, 3)).astype(np.float32)
+        cols = im2col(x, 3, 3, (2, 2), (1, 1))
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, 3, 3, (2, 2), (1, 1))
+        rhs = float((x * back).sum())
+        assert np.allclose(lhs, rhs, rtol=1e-4)
+
+
+class TestConv2d:
+    def test_forward_shape_stride_padding(self):
+        x = randn(2, 3, 8, 8)
+        w = randn(6, 3, 3, 3)
+        assert x.conv2d(w, stride=1, padding=1).shape == (2, 6, 8, 8)
+        assert x.conv2d(w, stride=2, padding=1).shape == (2, 6, 4, 4)
+        assert x.conv2d(w, stride=1, padding=0).shape == (2, 6, 6, 6)
+
+    def test_conv_matches_naive_loop(self):
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)).astype(np.float32))
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)).astype(np.float32))
+        out = x.conv2d(w, stride=1, padding=0).data
+        naive = np.zeros((1, 3, 3, 3), dtype=np.float32)
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    naive[0, f, i, j] = (x.data[0, :, i:i + 3, j:j + 3] * w.data[f]).sum()
+        assert np.allclose(out, naive, atol=1e-4)
+
+    def test_conv_bias(self):
+        x = randn(1, 2, 4, 4)
+        w = randn(3, 2, 3, 3)
+        b = tensor([1.0, 2.0, 3.0])
+        with_bias = x.conv2d(w, b, padding=1)
+        without = x.conv2d(w, padding=1)
+        assert np.allclose(with_bias.data - without.data,
+                           np.array([1.0, 2.0, 3.0])[None, :, None, None], atol=1e-6)
+
+    def test_conv_gradients_numeric(self, numgrad):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)).astype(np.float32), requires_grad=True)
+
+        def run():
+            return float(Tensor(x.data).conv2d(Tensor(w.data), stride=2, padding=1).sum().data)
+
+        x.conv2d(w, stride=2, padding=1).sum().backward()
+        assert np.allclose(x.grad, numgrad(run, x.data), atol=3e-2)
+        assert np.allclose(w.grad, numgrad(run, w.data), atol=3e-2)
+
+    def test_grouped_conv_shapes_and_grads(self):
+        x = randn(2, 4, 6, 6, requires_grad=True)
+        w = randn(8, 2, 3, 3, requires_grad=True)  # groups=2 -> 2 input channels per group
+        out = x.conv2d(w, stride=1, padding=1, groups=2)
+        assert out.shape == (2, 8, 6, 6)
+        out.sum().backward()
+        assert x.grad.shape == x.shape
+        assert w.grad.shape == w.shape
+
+    def test_depthwise_conv_matches_per_channel(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)).astype(np.float32))
+        w = Tensor(rng.normal(size=(3, 1, 3, 3)).astype(np.float32))
+        out = x.conv2d(w, padding=1, groups=3).data
+        for c in range(3):
+            single = Tensor(x.data[:, c:c + 1]).conv2d(Tensor(w.data[c:c + 1]), padding=1).data
+            assert np.allclose(out[:, c:c + 1], single, atol=1e-5)
+
+    def test_channel_mismatch_raises(self):
+        x = randn(1, 3, 8, 8)
+        w = randn(4, 2, 3, 3)
+        with pytest.raises(ValueError):
+            x.conv2d(w)
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        out = x.max_pool2d(2)
+        assert np.allclose(out.data, [[[[4.0]]]])
+
+    def test_max_pool_grad_routes_to_argmax(self):
+        x = tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        x.max_pool2d(2).sum().backward()
+        assert np.allclose(x.grad, [[[[0.0, 0.0], [0.0, 1.0]]]])
+
+    def test_avg_pool_forward_and_grad(self):
+        x = tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        out = x.avg_pool2d(2)
+        assert np.allclose(out.data, [[[[2.5]]]])
+        out.sum().backward()
+        assert np.allclose(x.grad, 0.25)
+
+    def test_pool_output_shapes(self):
+        x = randn(2, 3, 8, 8)
+        assert x.max_pool2d(2).shape == (2, 3, 4, 4)
+        assert x.avg_pool2d(4).shape == (2, 3, 2, 2)
+        assert x.max_pool2d(3, stride=2, padding=1).shape == (2, 3, 4, 4)
+
+    def test_upsample_nearest(self):
+        x = tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]), requires_grad=True)
+        out = x.upsample_nearest2d(2)
+        assert out.shape == (1, 1, 4, 4)
+        assert np.allclose(out.data[0, 0, :2, :2], 1.0)
+        out.sum().backward()
+        assert np.allclose(x.grad, 4.0)

@@ -1,0 +1,114 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Arguments shared by every training-flavoured smoke invocation to keep the
+#: CLI tests fast on a CPU.  The image size stays at 32 for the VGG-8 runs so
+#: all five pooling stages still see a non-empty feature map.
+FAST = ["--width-multiplier", "0.25", "--image-size", "32", "--num-classes", "4",
+        "--samples", "32", "--epochs", "1", "--batch-size", "16", "--max-batches", "2"]
+
+#: Exploration genomes have at most three pooling stages, so a smaller image is safe.
+FAST_SMALL_IMAGE = ["--width-multiplier", "0.25", "--image-size", "16", "--num-classes", "4",
+                    "--samples", "32", "--epochs", "1", "--batch-size", "16",
+                    "--max-batches", "2"]
+
+
+def run(argv, capsys) -> str:
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# Parser behaviour
+# --------------------------------------------------------------------------- #
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["profile", "--model", "transformer"])
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+
+def test_neurons_lists_every_registered_design(capsys):
+    out = run(["neurons"], capsys)
+    for name in ("T1", "T2", "T3", "T4", "T2_4", "OURS"):
+        assert name in out
+    assert "(Wa X) ∘ (Wb X) + Wc X" in out
+
+
+def test_profile_prints_parameters_and_memory(capsys):
+    out = run(["profile", "--model", "vgg8", "--neuron-type", "OURS",
+               "--width-multiplier", "0.25", "--image-size", "32", "--num-classes", "4",
+               "--batch-size", "32"], capsys)
+    assert "parameters" in out
+    assert "training memory" in out
+    assert "GiB" in out
+
+
+def test_profile_per_layer_and_latency(capsys):
+    out = run(["profile", "--model", "lenet", "--image-size", "32", "--num-classes", "4",
+               "--per-layer", "--latency", "--latency-repeats", "1", "--batch-size", "4"],
+              capsys)
+    assert "Per-layer profile" in out
+    assert "train latency / batch" in out
+
+
+def test_convert_reports_parameter_ratio(capsys):
+    out = run(["convert", "--model", "vgg8", "--neuron-type", "OURS",
+               "--width-multiplier", "0.25", "--num-classes", "4"], capsys)
+    assert "converted layers" in out
+    assert "parameter ratio" in out
+    # Converting to the three-weight-set neuron must grow the parameter count.
+    ratio_line = next(line for line in out.splitlines() if "parameter ratio" in line)
+    ratio = float(ratio_line.split("|")[-1].strip().rstrip("x"))
+    assert ratio > 1.5
+
+
+def test_train_smoke(capsys):
+    out = run(["train", "--model", "vgg8", "--neuron-type", "OURS", *FAST], capsys)
+    assert "Epoch" in out and "Train acc" in out
+    assert "1" in out
+
+
+def test_ppml_smoke(capsys):
+    out = run(["ppml", "--model", "vgg8", "--strategy", "quadratic_no_relu",
+               "--protocol", "delphi", "--width-multiplier", "0.25", "--image-size", "32",
+               "--num-classes", "4"], capsys)
+    assert "online latency before" in out
+    assert "layers quadratized" in out
+
+
+def test_ppml_cryptonets_marks_unrunnable_baseline(capsys):
+    out = run(["ppml", "--model", "vgg8", "--strategy", "square", "--protocol", "cryptonets",
+               "--width-multiplier", "0.25", "--image-size", "32", "--num-classes", "4"],
+              capsys)
+    assert "not runnable" in out
+
+
+def test_explore_random_smoke(capsys):
+    out = run(["explore", "--strategy", "random", "--budget", "3", *FAST_SMALL_IMAGE], capsys)
+    assert "random search over" in out
+    assert "Proxy acc" in out
+
+
+def test_explore_evolution_smoke(capsys):
+    out = run(["explore", "--strategy", "evolution", "--budget", "4", *FAST_SMALL_IMAGE],
+              capsys)
+    assert "evolution search over" in out

@@ -1,0 +1,38 @@
+"""Shared pytest fixtures and numerical-gradient helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils import seed_everything
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Make every test deterministic."""
+    seed_everything(0)
+    yield
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar function w.r.t. ``array`` (in place)."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    it = np.nditer(array, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = array[idx]
+        array[idx] = original + eps
+        plus = fn()
+        array[idx] = original - eps
+        minus = fn()
+        array[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad.astype(np.float32)
+
+
+@pytest.fixture
+def numgrad():
+    """Expose the numeric gradient helper as a fixture."""
+    return numeric_gradient

@@ -1,0 +1,135 @@
+"""Tests for the multi-objective (Pareto) utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import (
+    ArchitectureGenome,
+    CandidateEvaluation,
+    crowding_distance,
+    dominates,
+    hypervolume_2d,
+    non_dominated_sort,
+    pareto_front,
+)
+
+
+def make_eval(accuracy: float, parameters: int, macs: int = 1000,
+              memory: float = 1e6, width: int = 8) -> CandidateEvaluation:
+    """A synthetic evaluation (no training involved)."""
+    genome = ArchitectureGenome((1,), (width,), neuron_type="OURS")
+    return CandidateEvaluation(genome=genome, accuracy=accuracy, train_accuracy=accuracy,
+                               parameters=parameters, macs=macs,
+                               training_memory_bytes=memory, seconds=0.0)
+
+
+def distinct_evals(points):
+    """Evaluations with distinct genome keys (widths double as identifiers)."""
+    return [make_eval(acc, params, width=8 * (i + 1))
+            for i, (acc, params) in enumerate(points)]
+
+
+def test_dominates_strictly_better():
+    better = make_eval(0.9, 100)
+    worse = make_eval(0.8, 200)
+    assert dominates(better, worse)
+    assert not dominates(worse, better)
+
+
+def test_dominates_requires_strict_improvement_somewhere():
+    a = make_eval(0.9, 100)
+    b = make_eval(0.9, 100)
+    assert not dominates(a, b)
+    assert not dominates(b, a)
+
+
+def test_dominates_incomparable_points():
+    cheap_but_weak = make_eval(0.7, 50)
+    strong_but_big = make_eval(0.9, 500)
+    assert not dominates(cheap_but_weak, strong_but_big)
+    assert not dominates(strong_but_big, cheap_but_weak)
+
+
+def test_dominates_unknown_objective_raises():
+    with pytest.raises(KeyError):
+        dominates(make_eval(0.9, 10), make_eval(0.8, 20), maximize=("latency",))
+
+
+def test_pareto_front_simple_case():
+    evals = distinct_evals([(0.9, 500), (0.7, 50), (0.8, 600), (0.6, 60)])
+    front = pareto_front(evals)
+    accuracies = sorted(e.accuracy for e in front)
+    assert accuracies == [0.7, 0.9]  # (0.8, 600) dominated by (0.9, 500); (0.6, 60) by (0.7, 50)
+
+
+def test_pareto_front_deduplicates_identical_genomes():
+    single = make_eval(0.8, 100)
+    front = pareto_front([single, single])
+    assert len(front) == 1
+
+
+def test_non_dominated_sort_partitions_everything():
+    evals = distinct_evals([(0.9, 500), (0.7, 50), (0.8, 600), (0.6, 60), (0.5, 700)])
+    fronts = non_dominated_sort(evals)
+    assert sum(len(front) for front in fronts) == len(evals)
+    # Every candidate in a later front is dominated by someone in an earlier front.
+    for level in range(1, len(fronts)):
+        for candidate in fronts[level]:
+            assert any(dominates(prior, candidate) for prior in fronts[level - 1])
+
+
+def test_crowding_distance_boundaries_are_infinite():
+    front = distinct_evals([(0.9, 500), (0.8, 300), (0.7, 100)])
+    distances = crowding_distance(front)
+    assert math.isinf(distances[front[0].genome.key()])
+    assert math.isinf(distances[front[2].genome.key()])
+    assert math.isfinite(distances[front[1].genome.key()])
+    assert distances[front[1].genome.key()] > 0
+
+
+def test_crowding_distance_tiny_front_all_infinite():
+    front = distinct_evals([(0.9, 500), (0.7, 100)])
+    assert all(math.isinf(d) for d in crowding_distance(front).values())
+
+
+def test_hypervolume_empty_and_single_point():
+    assert hypervolume_2d([]) == 0.0
+    single = make_eval(0.5, 100)
+    # Reference cost defaults to the worst (=only) cost, so the rectangle is flat.
+    assert hypervolume_2d([single]) == 0.0
+    assert hypervolume_2d([single], reference=(0.0, 200)) == pytest.approx(0.5 * 100)
+
+
+def test_hypervolume_monotone_under_added_dominating_point():
+    evals = distinct_evals([(0.6, 400), (0.7, 600)])
+    base = hypervolume_2d(evals, reference=(0.0, 1000))
+    improved = evals + [make_eval(0.9, 300, width=64)]
+    assert hypervolume_2d(improved, reference=(0.0, 1000)) > base
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=1.0),
+                          st.integers(min_value=1, max_value=10_000)),
+                min_size=1, max_size=12))
+@settings(max_examples=50, deadline=None)
+def test_pareto_front_properties(points):
+    evals = distinct_evals(points)
+    front = pareto_front(evals)
+    assert 1 <= len(front) <= len(evals)
+    # No member of the front dominates another member.
+    for a in front:
+        for b in front:
+            if a is not b:
+                assert not dominates(a, b)
+    # Every candidate is dominated by or equal in objectives to some front member.
+    for candidate in evals:
+        assert any(
+            f is candidate or dominates(f, candidate)
+            or f.objectives() == candidate.objectives()
+            for f in front
+        )

@@ -1,0 +1,188 @@
+"""Tests for the proxy evaluator and the search drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageClassification
+from repro.explore import (
+    ArchitectureGenome,
+    CandidateEvaluation,
+    EvolutionConfig,
+    ProxyEvaluator,
+    SearchResult,
+    SearchSpace,
+    evolutionary_search,
+    random_search,
+)
+
+SPACE = SearchSpace(min_stages=2, max_stages=2, min_convs_per_stage=1, max_convs_per_stage=2,
+                    width_choices=(8, 16), neuron_types=("first_order", "OURS"))
+
+
+def tiny_evaluator(**overrides) -> ProxyEvaluator:
+    train = SyntheticImageClassification(num_samples=48, num_classes=4, image_size=16,
+                                         seed=0, split_seed=0)
+    test = SyntheticImageClassification(num_samples=24, num_classes=4, image_size=16,
+                                        seed=0, split_seed=1)
+    defaults = dict(num_classes=4, image_size=16, epochs=1, batch_size=16,
+                    max_batches_per_epoch=2, width_multiplier=0.5, seed=0)
+    defaults.update(overrides)
+    return ProxyEvaluator(train, test, **defaults)
+
+
+class CountingEvaluator:
+    """A deterministic, training-free evaluator for driver-behaviour tests."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, genome: ArchitectureGenome) -> CandidateEvaluation:
+        self.calls += 1
+        # A fixed deterministic "accuracy": wider + quadratic scores higher.
+        score = sum(genome.stage_widths) / 100.0 + (0.3 if genome.is_quadratic else 0.0)
+        return CandidateEvaluation(genome=genome, accuracy=score, train_accuracy=score,
+                                   parameters=sum(genome.stage_widths) * 100,
+                                   macs=10_000, training_memory_bytes=1e6, seconds=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# ProxyEvaluator
+# --------------------------------------------------------------------------- #
+
+def test_proxy_evaluator_produces_finite_objectives():
+    evaluator = tiny_evaluator()
+    genome = ArchitectureGenome((1, 1), (8, 8), neuron_type="OURS")
+    evaluation = evaluator(genome)
+    assert 0.0 <= evaluation.accuracy <= 1.0
+    assert evaluation.parameters > 0
+    assert evaluation.macs > 0
+    assert evaluation.training_memory_bytes > 0
+    assert evaluation.seconds >= 0
+    objectives = evaluation.objectives()
+    assert set(objectives) == {"accuracy", "parameters", "macs", "training_memory_bytes"}
+    assert all(np.isfinite(v) for v in objectives.values())
+
+
+def test_proxy_evaluator_caches_by_genome_key():
+    evaluator = tiny_evaluator()
+    genome = ArchitectureGenome((1, 1), (8, 8), neuron_type="first_order")
+    first = evaluator(genome)
+    second = evaluator(ArchitectureGenome((1, 1), (8, 8), neuron_type="first_order"))
+    assert first is second
+    assert evaluator.evaluations == 1
+
+
+def test_proxy_evaluator_quadratic_has_more_parameters():
+    evaluator = tiny_evaluator()
+    base = ArchitectureGenome((1, 1), (8, 8), neuron_type="first_order")
+    quad = base.with_(neuron_type="OURS")
+    assert evaluator(quad).parameters > evaluator(base).parameters
+
+
+# --------------------------------------------------------------------------- #
+# SearchResult
+# --------------------------------------------------------------------------- #
+
+def test_search_result_best_and_top():
+    counting = CountingEvaluator()
+    result = SearchResult()
+    for widths in ((8, 8), (16, 16), (8, 16)):
+        result.history.append(counting(ArchitectureGenome((1, 1), widths)))
+    assert result.best.genome.stage_widths == (16, 16)
+    top2 = result.top(2)
+    assert len(top2) == 2 and top2[0].accuracy >= top2[1].accuracy
+
+
+def test_search_result_best_empty_raises():
+    with pytest.raises(ValueError):
+        SearchResult().best
+
+
+# --------------------------------------------------------------------------- #
+# Random search
+# --------------------------------------------------------------------------- #
+
+def test_random_search_respects_budget_and_dedup():
+    counting = CountingEvaluator()
+    result = random_search(SPACE, counting, budget=12, seed=0)
+    assert result.evaluations_used == 12
+    assert len(result.history) <= 12
+    assert counting.calls == len(result.history)
+    keys = [e.genome.key() for e in result.history]
+    assert len(keys) == len(set(keys))
+    assert all(SPACE.contains(e.genome) for e in result.history)
+
+
+def test_random_search_is_deterministic_per_seed():
+    first = random_search(SPACE, CountingEvaluator(), budget=6, seed=3)
+    second = random_search(SPACE, CountingEvaluator(), budget=6, seed=3)
+    assert [e.genome.key() for e in first.history] == [e.genome.key() for e in second.history]
+
+
+def test_random_search_invalid_budget():
+    with pytest.raises(ValueError):
+        random_search(SPACE, CountingEvaluator(), budget=0)
+
+
+def test_random_search_callback_sees_every_evaluation():
+    seen = []
+    random_search(SPACE, CountingEvaluator(), budget=5, seed=1, callback=seen.append)
+    assert all(isinstance(e, CandidateEvaluation) for e in seen)
+    assert len(seen) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Evolutionary search
+# --------------------------------------------------------------------------- #
+
+def test_evolution_config_validation():
+    with pytest.raises(ValueError):
+        EvolutionConfig(population_size=1)
+    with pytest.raises(ValueError):
+        EvolutionConfig(generations=0)
+    with pytest.raises(ValueError):
+        EvolutionConfig(mutation_rate=1.5)
+    with pytest.raises(ValueError):
+        EvolutionConfig(elite_count=8, population_size=8)
+
+
+def test_evolutionary_search_runs_and_tracks_evaluations():
+    counting = CountingEvaluator()
+    config = EvolutionConfig(population_size=4, generations=2, elite_count=1)
+    generations_seen = []
+    result = evolutionary_search(SPACE, counting, config, seed=0,
+                                 callback=lambda g, pop: generations_seen.append((g, len(pop))))
+    # Generation 0 evaluates the full population; each later generation
+    # evaluates population_size - elite_count children.
+    expected = config.population_size + config.generations * (config.population_size
+                                                              - config.elite_count)
+    assert result.evaluations_used == expected
+    assert generations_seen == [(0, 4), (1, 4), (2, 4)]
+    assert all(SPACE.contains(e.genome) for e in result.history)
+
+
+def test_evolutionary_search_initial_population_validated():
+    outside = ArchitectureGenome((1, 1, 1), (8, 8, 8))  # three stages, space allows two
+    with pytest.raises(ValueError):
+        evolutionary_search(SPACE, CountingEvaluator(), initial_population=[outside])
+
+
+def test_evolutionary_search_matches_or_beats_random_with_same_budget():
+    config = EvolutionConfig(population_size=4, generations=3, elite_count=1)
+    budget = config.population_size + config.generations * (config.population_size
+                                                            - config.elite_count)
+    evolution = evolutionary_search(SPACE, CountingEvaluator(), config, seed=0)
+    random_result = random_search(SPACE, CountingEvaluator(), budget=budget, seed=0)
+    assert evolution.best.accuracy >= random_result.best.accuracy - 1e-9
+
+
+def test_evolutionary_search_with_proxy_evaluator_smoke():
+    evaluator = tiny_evaluator()
+    config = EvolutionConfig(population_size=2, generations=1, elite_count=1)
+    result = evolutionary_search(SPACE, evaluator, config, seed=0)
+    assert result.evaluations_used == 3
+    assert len(result.history) == 3
+    front = result.pareto_front()
+    assert 1 <= len(front) <= len({e.genome.key() for e in result.history})

@@ -1,0 +1,152 @@
+"""Tests for the architecture genome and search space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import randn
+from repro.explore import ArchitectureGenome, SearchSpace
+from repro.quadratic.layers.qconv import QuadraticConv2d
+
+
+SMALL_SPACE = SearchSpace(min_stages=2, max_stages=3, min_convs_per_stage=1,
+                          max_convs_per_stage=2, width_choices=(8, 16),
+                          neuron_types=("first_order", "OURS"), allow_no_activation=True)
+
+
+# --------------------------------------------------------------------------- #
+# Genome
+# --------------------------------------------------------------------------- #
+
+def test_genome_basic_views():
+    genome = ArchitectureGenome(stage_depths=(2, 1), stage_widths=(16, 32))
+    assert genome.num_stages == 2
+    assert genome.num_conv_layers == 3
+    assert genome.is_quadratic
+    assert genome.to_vgg_cfg() == [16, 16, "M", 32, "M"]
+
+
+def test_genome_first_order_flag():
+    genome = ArchitectureGenome((1,), (8,), neuron_type="first_order")
+    assert not genome.is_quadratic
+
+
+def test_genome_validation():
+    with pytest.raises(ValueError):
+        ArchitectureGenome(stage_depths=(1, 2), stage_widths=(8,))
+    with pytest.raises(ValueError):
+        ArchitectureGenome(stage_depths=(), stage_widths=())
+    with pytest.raises(ValueError):
+        ArchitectureGenome(stage_depths=(0,), stage_widths=(8,))
+    with pytest.raises(ValueError):
+        ArchitectureGenome(stage_depths=(1,), stage_widths=(0,))
+
+
+def test_genome_key_is_unique_per_configuration():
+    a = ArchitectureGenome((2, 1), (16, 32))
+    b = ArchitectureGenome((2, 1), (16, 32), use_activation=False)
+    c = ArchitectureGenome((1, 2), (16, 32))
+    assert len({a.key(), b.key(), c.key()}) == 3
+    assert a.key() == ArchitectureGenome((2, 1), (16, 32)).key()
+
+
+def test_genome_dict_roundtrip():
+    genome = ArchitectureGenome((2, 1), (16, 32), neuron_type="T4", use_activation=False)
+    restored = ArchitectureGenome.from_dict(genome.to_dict())
+    assert restored == genome
+
+
+def test_genome_build_forward_quadratic_and_first_order():
+    quadratic = ArchitectureGenome((1, 1), (8, 16), neuron_type="OURS")
+    model = quadratic.build(num_classes=5, width_multiplier=1.0)
+    assert any(isinstance(m, QuadraticConv2d) for _, m in model.named_modules())
+    assert model(randn(2, 3, 16, 16)).shape == (2, 5)
+
+    linear = quadratic.with_(neuron_type="first_order")
+    model = linear.build(num_classes=5)
+    assert not any(isinstance(m, QuadraticConv2d) for _, m in model.named_modules())
+    assert model(randn(2, 3, 16, 16)).shape == (2, 5)
+
+
+def test_genome_to_config_carries_switches():
+    genome = ArchitectureGenome((1,), (8,), use_batchnorm=False, use_activation=False)
+    config = genome.to_config(width_multiplier=0.5)
+    assert not config.use_batchnorm and not config.use_activation
+    assert config.width_multiplier == 0.5
+    assert config.neuron_type == "OURS"
+
+
+# --------------------------------------------------------------------------- #
+# Search space
+# --------------------------------------------------------------------------- #
+
+def test_space_validation():
+    with pytest.raises(ValueError):
+        SearchSpace(min_stages=0)
+    with pytest.raises(ValueError):
+        SearchSpace(min_stages=3, max_stages=2)
+    with pytest.raises(ValueError):
+        SearchSpace(width_choices=())
+    with pytest.raises(ValueError):
+        SearchSpace(neuron_types=())
+
+
+def test_space_cardinality_small_case():
+    space = SearchSpace(min_stages=1, max_stages=1, min_convs_per_stage=1,
+                        max_convs_per_stage=2, width_choices=(8, 16),
+                        neuron_types=("OURS",), allow_no_activation=False)
+    # One stage, 2 depth options x 2 width options, 1 neuron type.
+    assert space.cardinality() == 4
+
+
+def test_space_contains_rejects_out_of_range():
+    genome = ArchitectureGenome((2, 2), (8, 16), neuron_type="OURS")
+    assert SMALL_SPACE.contains(genome)
+    assert not SMALL_SPACE.contains(genome.with_(stage_widths=(8, 64)))
+    assert not SMALL_SPACE.contains(genome.with_(neuron_type="T2"))
+    assert not SMALL_SPACE.contains(genome.with_(use_batchnorm=False))
+    assert not SMALL_SPACE.contains(ArchitectureGenome((1,), (8,)))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_space_sample_always_in_space(seed):
+    rng = np.random.default_rng(seed)
+    genome = SMALL_SPACE.sample(rng)
+    assert SMALL_SPACE.contains(genome)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_space_mutation_stays_in_space_and_changes_genome(seed):
+    rng = np.random.default_rng(seed)
+    genome = SMALL_SPACE.sample(rng)
+    mutated = SMALL_SPACE.mutate(genome, rng)
+    assert SMALL_SPACE.contains(mutated)
+    assert mutated != genome
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_space_crossover_stays_in_space(seed):
+    rng = np.random.default_rng(seed)
+    first = SMALL_SPACE.sample(rng)
+    second = SMALL_SPACE.sample(rng)
+    child = SMALL_SPACE.crossover(first, second, rng)
+    assert SMALL_SPACE.contains(child)
+
+
+def test_space_crossover_inherits_genes_from_parents():
+    space = SearchSpace(min_stages=2, max_stages=2, width_choices=(8, 16, 32, 64),
+                        neuron_types=("first_order", "OURS"))
+    first = ArchitectureGenome((1, 1), (8, 8), neuron_type="first_order")
+    second = ArchitectureGenome((3, 3), (64, 64), neuron_type="OURS")
+    rng = np.random.default_rng(3)
+    child = space.crossover(first, second, rng)
+    for depth, width in zip(child.stage_depths, child.stage_widths):
+        assert depth in (1, 3)
+        assert width in (8, 64)
+    assert child.neuron_type in ("first_order", "OURS")

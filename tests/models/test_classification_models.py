@@ -1,0 +1,149 @@
+"""Tests of the classification model zoo (VGG / ResNet / MobileNet / small nets)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import randn
+from repro.builder import QuadraticModelConfig
+from repro.models import (
+    VGG,
+    FirstOrderMLP,
+    LeNet,
+    MobileNetV1,
+    QuadraticMLP,
+    ResNet,
+    SmallConvNet,
+    mobilenet_v1,
+    mobilenet_v1_quadra,
+    resnet20,
+    resnet32,
+    resnet32_quadra,
+    vgg8,
+    vgg16,
+    vgg16_quadra,
+)
+from repro.quadratic import QuadraticConv2d
+
+
+WM = 0.25  # width multiplier keeping test models small
+
+
+class TestVGG:
+    def test_vgg8_forward(self):
+        model = vgg8(num_classes=10, width_multiplier=WM)
+        assert model(randn(2, 3, 32, 32)).shape == (2, 10)
+        assert model.num_conv_layers == 5
+
+    def test_vgg16_has_13_convs(self):
+        assert vgg16(num_classes=10, width_multiplier=WM).num_conv_layers == 13
+
+    def test_vgg16_quadra_has_7_convs_and_quadratic_layers(self):
+        model = vgg16_quadra(num_classes=10, width_multiplier=WM)
+        assert model.num_conv_layers == 7
+        assert any(isinstance(m, QuadraticConv2d) for m in model.modules())
+        assert model(randn(1, 3, 32, 32)).shape == (1, 10)
+
+    def test_quadra_vgg_fewer_params_than_naive_conversion(self):
+        """The Table 3 comparison: auto-built (reduced) QuadraNN is much smaller
+        than the naive full-depth conversion."""
+        naive = vgg16(num_classes=10, neuron_type="OURS", width_multiplier=WM)
+        reduced = vgg16_quadra(num_classes=10, width_multiplier=WM)
+        assert reduced.num_parameters() < 0.5 * naive.num_parameters()
+
+    def test_naive_conversion_triples_conv_parameters(self):
+        first = vgg8(num_classes=10, width_multiplier=WM)
+        quad = vgg8(num_classes=10, neuron_type="OURS", width_multiplier=WM)
+        assert quad.num_parameters() > 2.0 * first.num_parameters()
+
+    def test_gradients_flow_through_vgg(self):
+        model = vgg8(num_classes=4, neuron_type="OURS", width_multiplier=WM)
+        model(randn(2, 3, 32, 32)).sum().backward()
+        grads = [p.grad for p in model.parameters() if p.requires_grad]
+        assert all(g is not None for g in grads)
+
+    def test_explicit_cfg(self):
+        model = VGG([16, "M", 32, "M"], num_classes=5,
+                    config=QuadraticModelConfig(neuron_type="T4"))
+        assert model(randn(1, 3, 16, 16)).shape == (1, 5)
+
+
+class TestResNet:
+    def test_resnet32_block_counts(self):
+        assert resnet32(width_multiplier=WM).block_counts == [5, 5, 5]
+        assert resnet32_quadra(width_multiplier=WM).block_counts == [2, 2, 2]
+        assert resnet20(width_multiplier=WM).block_counts == [3, 3, 3]
+
+    def test_forward_shape(self):
+        model = resnet20(num_classes=10, width_multiplier=WM)
+        assert model(randn(2, 3, 32, 32)).shape == (2, 10)
+
+    def test_quadra_resnet_smaller_than_naive_conversion(self):
+        """Auto-built [2,2,2] QuadraNN is far smaller than naively converting
+        the full [5,5,5] ResNet-32 to quadratic neurons (Table 3 contrast)."""
+        naive = resnet32(num_classes=10, neuron_type="OURS", width_multiplier=WM)
+        quadra = resnet32_quadra(num_classes=10, width_multiplier=WM)
+        baseline = resnet32(num_classes=10, width_multiplier=WM)
+        assert quadra.num_parameters() < 0.6 * naive.num_parameters()
+        # And stays in the same ballpark as the first-order baseline.
+        assert quadra.num_parameters() < 2.0 * baseline.num_parameters()
+
+    def test_quadratic_blocks_used(self):
+        model = resnet32_quadra(num_classes=10, width_multiplier=WM)
+        assert any(isinstance(m, QuadraticConv2d) for m in model.modules())
+
+    def test_downsampling_stages(self):
+        model = resnet20(num_classes=10, width_multiplier=WM)
+        feat = model.stages(model.stem(randn(1, 3, 32, 32)))
+        assert feat.shape[2:] == (8, 8)  # two stride-2 stages: 32 -> 16 -> 8
+
+    def test_gradients_flow(self):
+        model = resnet32_quadra(num_classes=4, width_multiplier=WM)
+        model(randn(2, 3, 32, 32)).sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestMobileNet:
+    def test_block_counts(self):
+        assert mobilenet_v1(width_multiplier=WM).num_dw_blocks == 13
+        assert mobilenet_v1_quadra(width_multiplier=WM).num_dw_blocks == 8
+
+    def test_forward_shape(self):
+        model = mobilenet_v1_quadra(num_classes=10, width_multiplier=WM)
+        assert model(randn(2, 3, 32, 32)).shape == (2, 10)
+
+    def test_depthwise_stays_first_order_pointwise_quadratic(self):
+        from repro import nn
+
+        model = mobilenet_v1_quadra(num_classes=10, width_multiplier=WM)
+        block = model.blocks[0]
+        assert isinstance(block.depthwise, nn.Conv2d)
+        assert isinstance(block.pointwise, QuadraticConv2d)
+
+    def test_quadra_fewer_params_than_naive(self):
+        naive = mobilenet_v1(num_classes=10, neuron_type="OURS", width_multiplier=WM)
+        reduced = mobilenet_v1_quadra(num_classes=10, width_multiplier=WM)
+        assert reduced.num_parameters() < naive.num_parameters()
+
+
+class TestSmallModels:
+    def test_small_convnet_shapes(self):
+        model = SmallConvNet(num_classes=7, image_size=32)
+        assert model(randn(2, 3, 32, 32)).shape == (2, 7)
+
+    def test_small_convnet_quadratic(self):
+        model = SmallConvNet(num_classes=7, config=QuadraticModelConfig(neuron_type="OURS"))
+        assert any(isinstance(m, QuadraticConv2d) for m in model.modules())
+
+    def test_lenet(self):
+        assert LeNet(num_classes=5)(randn(2, 3, 32, 32)).shape == (2, 5)
+
+    def test_quadratic_mlp_uses_quadratic_hidden(self):
+        from repro.quadratic import QuadraticLinear
+
+        model = QuadraticMLP([4, 8, 2])
+        assert any(isinstance(m, QuadraticLinear) for m in model.modules())
+        assert model(randn(3, 4)).shape == (3, 2)
+
+    def test_first_order_mlp(self):
+        model = FirstOrderMLP([4, 8, 2])
+        assert model(randn(3, 4)).shape == (3, 2)

@@ -1,0 +1,189 @@
+"""Tests of the SNGAN pair, detection utilities and the SSD detector."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, randn
+from repro.models import SNGANDiscriminator, SNGANGenerator, build_ssd, sngan_pair
+from repro.models.detection_utils import (
+    box_area,
+    center_to_corner,
+    corner_to_center,
+    decode_boxes,
+    encode_boxes,
+    generate_anchors,
+    iou_matrix,
+    match_anchors,
+    nms,
+)
+from repro.quadratic import QuadraticConv2d
+
+
+class TestSNGAN:
+    def test_generator_output_shape_and_range(self):
+        gen = SNGANGenerator(latent_dim=16, base_channels=8, image_size=32)
+        z = Tensor(gen.sample_latent(4))
+        out = gen(z)
+        assert out.shape == (4, 3, 32, 32)
+        assert np.all(out.data <= 1.0) and np.all(out.data >= -1.0)  # tanh output
+
+    def test_discriminator_scalar_output(self):
+        disc = SNGANDiscriminator(base_channels=8)
+        assert disc(randn(4, 3, 32, 32)).shape == (4, 1)
+
+    def test_quadratic_generator_conversion(self):
+        gen, _ = sngan_pair(latent_dim=16, base_channels=8, neuron_type="OURS")
+        assert any(isinstance(m, QuadraticConv2d) for m in gen.modules())
+
+    def test_pair_trains_one_adversarial_step(self):
+        from repro.nn import functional as F
+        from repro.optim import Adam
+
+        gen, disc = sngan_pair(latent_dim=8, base_channels=8)
+        opt_d = Adam(disc.parameters(), lr=1e-3)
+        real = randn(4, 3, 32, 32)
+        fake = gen(Tensor(gen.sample_latent(4)))
+        loss = F.hinge_loss_discriminator(disc(real), disc(Tensor(fake.data)))
+        loss.backward()
+        opt_d.step()
+        assert np.isfinite(loss.item())
+
+    def test_latent_sampling_deterministic_with_rng(self):
+        gen = SNGANGenerator(latent_dim=8, base_channels=8)
+        z1 = gen.sample_latent(3, rng=np.random.default_rng(0))
+        z2 = gen.sample_latent(3, rng=np.random.default_rng(0))
+        assert np.allclose(z1, z2)
+
+
+class TestBoxUtils:
+    def test_iou_identity(self):
+        boxes = np.array([[0.1, 0.1, 0.5, 0.5]], dtype=np.float32)
+        assert iou_matrix(boxes, boxes)[0, 0] == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        a = np.array([[0.0, 0.0, 0.2, 0.2]], dtype=np.float32)
+        b = np.array([[0.5, 0.5, 0.9, 0.9]], dtype=np.float32)
+        assert iou_matrix(a, b)[0, 0] == pytest.approx(0.0)
+
+    def test_iou_half_overlap(self):
+        a = np.array([[0.0, 0.0, 0.2, 0.2]], dtype=np.float32)
+        b = np.array([[0.1, 0.0, 0.3, 0.2]], dtype=np.float32)
+        assert iou_matrix(a, b)[0, 0] == pytest.approx(1.0 / 3.0, abs=1e-5)
+
+    def test_iou_empty_inputs(self):
+        assert iou_matrix(np.zeros((0, 4)), np.zeros((3, 4))).shape == (0, 3)
+
+    def test_corner_center_roundtrip(self):
+        boxes = np.array([[0.1, 0.2, 0.5, 0.8]], dtype=np.float32)
+        assert np.allclose(center_to_corner(corner_to_center(boxes)), boxes, atol=1e-6)
+
+    def test_encode_decode_roundtrip(self):
+        anchors = generate_anchors([4], [0.3])
+        gt = np.tile(np.array([[0.2, 0.2, 0.6, 0.6]], dtype=np.float32), (len(anchors), 1))
+        offsets = encode_boxes(gt, anchors)
+        decoded = decode_boxes(offsets, anchors)
+        assert np.allclose(decoded, gt, atol=1e-3)
+
+    def test_anchor_count_and_range(self):
+        anchors = generate_anchors([8, 4], [0.25, 0.5], aspect_ratios=(1.0, 2.0, 0.5))
+        assert len(anchors) == (64 + 16) * 3
+        assert np.all(anchors >= 0) and np.all(anchors <= 1)
+
+    def test_anchor_mismatched_args_raise(self):
+        with pytest.raises(ValueError):
+            generate_anchors([8, 4], [0.25])
+
+    def test_match_anchors_force_matches_every_gt(self):
+        anchors = generate_anchors([8], [0.25])
+        gt_boxes = np.array([[0.1, 0.1, 0.3, 0.3], [0.6, 0.6, 0.9, 0.9]], dtype=np.float32)
+        gt_labels = np.array([2, 4])
+        labels, boxes = match_anchors(anchors, gt_boxes, gt_labels)
+        assert set(np.unique(labels)) >= {0, 3, 5}  # background + both classes (+1 shift)
+        assert (labels > 0).sum() >= 2
+
+    def test_match_anchors_empty_gt(self):
+        anchors = generate_anchors([4], [0.3])
+        labels, boxes = match_anchors(anchors, np.zeros((0, 4), dtype=np.float32),
+                                      np.zeros(0, dtype=np.int64))
+        assert (labels == 0).all()
+
+    def test_nms_removes_overlapping(self):
+        boxes = np.array([
+            [0.1, 0.1, 0.5, 0.5],
+            [0.12, 0.12, 0.52, 0.52],   # heavy overlap with the first
+            [0.6, 0.6, 0.9, 0.9],
+        ], dtype=np.float32)
+        scores = np.array([0.9, 0.8, 0.7], dtype=np.float32)
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        assert 0 in keep and 2 in keep and 1 not in keep
+
+    def test_nms_empty(self):
+        assert len(nms(np.zeros((0, 4)), np.zeros(0))) == 0
+
+    def test_box_area(self):
+        assert box_area(np.array([[0.0, 0.0, 0.5, 0.5]]))[0] == pytest.approx(0.25)
+
+
+class TestSSD:
+    def _model(self, neuron_type="first_order"):
+        return build_ssd(num_classes=5, image_size=64, neuron_type=neuron_type,
+                         width_multiplier=0.25)
+
+    def test_head_shapes_match_anchors(self):
+        model = self._model()
+        cls, loc = model(randn(2, 3, 64, 64))
+        assert cls.shape == (2, len(model.anchors), model.num_classes + 1)
+        assert loc.shape == (2, len(model.anchors), 4)
+
+    def test_quadratic_backbone(self):
+        model = self._model("OURS")
+        assert any(isinstance(m, QuadraticConv2d) for m in model.backbone.modules())
+        cls, loc = model(randn(1, 3, 64, 64))
+        assert np.isfinite(cls.data).all()
+
+    def test_multibox_loss_finite_and_backprops(self):
+        model = self._model()
+        cls, loc = model(randn(2, 3, 64, 64))
+        targets = [
+            {"boxes": np.array([[0.1, 0.1, 0.4, 0.4]], dtype=np.float32),
+             "labels": np.array([1])},
+            {"boxes": np.array([[0.5, 0.5, 0.9, 0.9]], dtype=np.float32),
+             "labels": np.array([3])},
+        ]
+        loss = model.multibox_loss(cls, loc, targets)
+        assert np.isfinite(loss.item()) and loss.item() > 0
+        loss.backward()
+        assert model.cls_head1.weight.grad is not None
+
+    def test_multibox_loss_no_objects(self):
+        model = self._model()
+        cls, loc = model(randn(1, 3, 64, 64))
+        targets = [{"boxes": np.zeros((0, 4), dtype=np.float32),
+                    "labels": np.zeros(0, dtype=np.int64)}]
+        loss = model.multibox_loss(cls, loc, targets)
+        assert np.isfinite(loss.item())
+
+    def test_detect_output_format(self):
+        model = self._model()
+        detections = model.detect(randn(2, 3, 64, 64), score_threshold=0.05)
+        assert len(detections) == 2
+        for det in detections:
+            assert set(det) == {"boxes", "scores", "labels"}
+            assert det["boxes"].shape[1] == 4 if len(det["boxes"]) else True
+            if len(det["labels"]):
+                assert det["labels"].max() < model.num_classes
+
+    def test_backbone_pretraining_copy(self):
+        from repro.builder import QuadraticModelConfig
+        from repro.training.pretrain import BackbonePretrainNet
+
+        config = QuadraticModelConfig(neuron_type="first_order", width_multiplier=0.25)
+        classifier = BackbonePretrainNet(num_classes=10, config=config)
+        model = self._model()
+        state = classifier.backbone.state_dict()
+        missing = model.backbone.load_state_dict(state, strict=False)
+        # All backbone weights should be copied (no missing keys from the source).
+        assert not any(key in state for key in missing)
+        first_conv = next(p for _, p in model.backbone.named_parameters())
+        src_first = next(p for _, p in classifier.backbone.named_parameters())
+        assert np.allclose(first_conv.data, src_first.data)

@@ -1,0 +1,196 @@
+"""Tests for first-order layers: Linear, Conv2d, pooling, BatchNorm, misc."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autodiff import Tensor, no_grad, randn
+from repro.nn import functional as F
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(10, 5)
+        assert layer(randn(3, 10)).shape == (3, 5)
+
+    def test_matches_manual_affine(self):
+        layer = nn.Linear(4, 3)
+        x = randn(2, 4)
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(x).data, expected, atol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_gradients_flow(self):
+        layer = nn.Linear(4, 3)
+        layer(randn(2, 4)).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self):
+        layer = nn.Conv2d(3, 8, 3, padding=1)
+        assert layer(randn(2, 3, 16, 16)).shape == (2, 8, 16, 16)
+
+    def test_stride_halves_resolution(self):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1)
+        assert layer(randn(2, 3, 16, 16)).shape == (2, 8, 8, 8)
+
+    def test_depthwise_parameter_count(self):
+        layer = nn.Conv2d(8, 8, 3, padding=1, groups=8, bias=False)
+        assert layer.num_parameters() == 8 * 1 * 3 * 3
+
+    def test_invalid_groups_raises(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, 3, groups=2)
+
+    def test_depthwise_separable_block(self):
+        block = nn.DepthwiseSeparableConv2d(8, 16, stride=2)
+        assert block(randn(2, 8, 8, 8)).shape == (2, 16, 4, 4)
+
+
+class TestPoolingLayers:
+    def test_max_pool_layer(self):
+        assert nn.MaxPool2d(2)(randn(1, 3, 8, 8)).shape == (1, 3, 4, 4)
+
+    def test_avg_pool_layer(self):
+        assert nn.AvgPool2d(2)(randn(1, 3, 8, 8)).shape == (1, 3, 4, 4)
+
+    def test_adaptive_avg_pool_to_1(self):
+        assert nn.AdaptiveAvgPool2d(1)(randn(2, 5, 8, 8)).shape == (2, 5, 1, 1)
+
+    def test_global_avg_pool_flattens(self):
+        assert nn.GlobalAvgPool2d()(randn(2, 5, 8, 8)).shape == (2, 5)
+
+    def test_adaptive_pool_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            nn.AdaptiveAvgPool2d(3)(randn(1, 2, 8, 8))
+
+
+class TestBatchNorm:
+    def test_normalises_batch_statistics(self):
+        bn = nn.BatchNorm2d(4)
+        x = randn(8, 4, 6, 6) * 5.0 + 3.0
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 0.1
+        assert abs(float(out.data.std()) - 1.0) < 0.1
+
+    def test_running_stats_updated(self):
+        bn = nn.BatchNorm2d(4)
+        x = randn(8, 4, 6, 6) + 2.0
+        bn(x)
+        assert np.all(bn.running_mean > 0.05)
+        assert int(bn.num_batches_tracked[0]) == 1
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm2d(4)
+        for _ in range(40):
+            bn(randn(16, 4, 4, 4) + 1.0)
+        bn.eval()
+        x = randn(2, 4, 4, 4) + 1.0
+        out_eval = bn(x)
+        # With converged running stats the eval output should be roughly normalised
+        # (the input mean of +1 is removed).
+        assert abs(float(out_eval.data.mean())) < 0.5
+        # And the running mean itself should have converged near the true mean.
+        assert np.allclose(bn.running_mean, 1.0, atol=0.25)
+
+    def test_affine_parameters_learnable(self):
+        bn = nn.BatchNorm2d(3)
+        out = bn(randn(4, 3, 5, 5))
+        out.sum().backward()
+        assert bn.weight.grad is not None
+        assert bn.bias.grad is not None
+
+    def test_batchnorm1d_2d_input(self):
+        bn = nn.BatchNorm1d(6)
+        out = bn(randn(8, 6) * 3 + 1)
+        assert abs(float(out.data.mean())) < 0.1
+
+    def test_layernorm(self):
+        ln = nn.LayerNorm(10)
+        out = ln(randn(4, 10) * 4 + 2)
+        assert abs(float(out.data.mean())) < 0.1
+        assert out.shape == (4, 10)
+
+
+class TestActivationsAndMisc:
+    def test_relu_layer(self):
+        assert np.all(nn.ReLU()(randn(10)).data >= 0)
+
+    def test_leaky_relu_negative_slope(self):
+        layer = nn.LeakyReLU(0.1)
+        x = Tensor(np.array([-10.0], dtype=np.float32))
+        assert np.allclose(layer(x).data, [-1.0])
+
+    def test_identity(self):
+        x = randn(3, 3)
+        assert np.allclose(nn.Identity()(x).data, x.data)
+
+    def test_softmax_layer(self):
+        out = nn.Softmax(axis=-1)(randn(4, 6))
+        assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_flatten_layer(self):
+        assert nn.Flatten()(randn(2, 3, 4, 4)).shape == (2, 48)
+
+    def test_dropout_training_vs_eval(self):
+        layer = nn.Dropout(0.5, seed=0)
+        x = randn(1000)
+        layer.train()
+        out_train = layer(x)
+        assert (out_train.data == 0).mean() > 0.3
+        layer.eval()
+        out_eval = layer(x)
+        assert np.allclose(out_eval.data, x.data)
+
+    def test_dropout_scales_surviving_activations(self):
+        layer = nn.Dropout(0.5, seed=1)
+        x = Tensor(np.ones(10000, dtype=np.float32))
+        out = layer(x)
+        # Inverted dropout keeps the expected value approximately unchanged.
+        assert abs(float(out.data.mean()) - 1.0) < 0.1
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_upsample_layer(self):
+        assert nn.UpsampleNearest2d(2)(randn(1, 3, 4, 4)).shape == (1, 3, 8, 8)
+
+    def test_zero_pad(self):
+        assert nn.ZeroPad2d(2)(randn(1, 1, 4, 4)).shape == (1, 1, 8, 8)
+
+    def test_gelu_close_to_relu_for_large_inputs(self):
+        x = Tensor(np.array([10.0], dtype=np.float32))
+        assert np.allclose(nn.GELU()(x).data, [10.0], atol=1e-3)
+
+
+class TestSpectralNorm:
+    def test_wraps_and_runs(self):
+        layer = nn.SpectralNorm(nn.Linear(8, 4))
+        assert layer(randn(2, 8)).shape == (2, 4)
+
+    def test_constrains_spectral_norm(self):
+        base = nn.Linear(16, 16, bias=False)
+        base.weight.data *= 20.0
+        layer = nn.SpectralNorm(base, n_power_iterations=3)
+        for _ in range(5):
+            layer(randn(4, 16))
+        sigma = np.linalg.svd(base.weight.data, compute_uv=False)[0]
+        assert sigma < 2.0
+
+    def test_requires_weight_parameter(self):
+        with pytest.raises(ValueError):
+            nn.SpectralNorm(nn.ReLU())
+
+    def test_eval_mode_skips_update(self):
+        layer = nn.SpectralNorm(nn.Linear(4, 4))
+        layer.eval()
+        before = layer.module.weight.data.copy()
+        layer(randn(2, 4))
+        assert np.allclose(before, layer.module.weight.data)

@@ -1,0 +1,159 @@
+"""Tests of loss functions and weight initialisation."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autodiff import Tensor, randn
+from repro.nn import functional as F
+from repro.nn import init
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = randn(5, 4, requires_grad=True)
+        targets = np.array([0, 1, 2, 3, 0])
+        loss = F.cross_entropy(logits, targets)
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(5), targets]).mean()
+        assert np.allclose(loss.data, manual, atol=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.eye(4, dtype=np.float32) * 20.0)
+        loss = F.cross_entropy(logits, np.arange(4))
+        assert loss.item() < 1e-3
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = randn(3, 5, requires_grad=True)
+        targets = np.array([1, 0, 4])
+        F.cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(3), targets] = 1
+        assert np.allclose(logits.grad, (probs - onehot) / 3, atol=1e-5)
+
+    def test_label_smoothing_increases_loss_of_perfect_model(self):
+        logits = Tensor(np.eye(4, dtype=np.float32) * 20.0)
+        plain = F.cross_entropy(logits, np.arange(4)).item()
+        smoothed = F.cross_entropy(logits, np.arange(4), label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_reduction_modes(self):
+        logits = randn(6, 3)
+        targets = np.zeros(6, dtype=np.int64)
+        total = F.cross_entropy(logits, targets, reduction="sum").item()
+        mean = F.cross_entropy(logits, targets, reduction="mean").item()
+        none = F.cross_entropy(logits, targets, reduction="none")
+        assert np.allclose(total / 6, mean, atol=1e-5)
+        assert none.shape == (6,)
+
+    def test_invalid_reduction_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(randn(2, 3), np.zeros(2, dtype=np.int64), reduction="bogus")
+
+    def test_loss_module_wrapper(self):
+        loss_fn = nn.CrossEntropyLoss()
+        value = loss_fn(randn(4, 3), np.array([0, 1, 2, 0]))
+        assert value.data.size == 1
+
+    def test_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([[1e4, -1e4, 0.0]], dtype=np.float32), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.isfinite(logits.grad).all()
+
+
+class TestRegressionAndGANLosses:
+    def test_mse(self):
+        pred = randn(5, 3, requires_grad=True)
+        target = randn(5, 3)
+        loss = F.mse_loss(pred, target)
+        assert np.allclose(loss.data, ((pred.data - target.data) ** 2).mean(), atol=1e-5)
+
+    def test_mse_zero_for_identical(self):
+        x = randn(4)
+        assert F.mse_loss(x, Tensor(x.data.copy())).item() == pytest.approx(0.0, abs=1e-7)
+
+    def test_l1(self):
+        pred = randn(5, requires_grad=True)
+        target = np.zeros(5, dtype=np.float32)
+        loss = F.l1_loss(pred, target)
+        assert np.allclose(loss.data, np.abs(pred.data).mean(), atol=1e-6)
+
+    def test_smooth_l1_quadratic_near_zero(self):
+        pred = Tensor(np.array([0.1], dtype=np.float32))
+        target = Tensor(np.array([0.0], dtype=np.float32))
+        assert F.smooth_l1_loss(pred, target).item() == pytest.approx(0.005, abs=1e-5)
+
+    def test_smooth_l1_linear_far_from_zero(self):
+        pred = Tensor(np.array([10.0], dtype=np.float32))
+        target = Tensor(np.array([0.0], dtype=np.float32))
+        assert F.smooth_l1_loss(pred, target).item() == pytest.approx(9.5, abs=1e-4)
+
+    def test_bce_with_logits_matches_formula(self):
+        logits = randn(6, requires_grad=True)
+        targets = (np.random.default_rng(0).random(6) > 0.5).astype(np.float32)
+        loss = F.binary_cross_entropy_with_logits(logits, targets)
+        p = 1 / (1 + np.exp(-logits.data))
+        manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert np.allclose(loss.data, manual, atol=1e-5)
+
+    def test_bce_stable_for_large_logits(self):
+        logits = Tensor(np.array([100.0, -100.0], dtype=np.float32), requires_grad=True)
+        loss = F.binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0], dtype=np.float32))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-3
+
+    def test_hinge_losses(self):
+        real = Tensor(np.array([[2.0]], dtype=np.float32))
+        fake = Tensor(np.array([[-2.0]], dtype=np.float32))
+        d_loss = F.hinge_loss_discriminator(real, fake)
+        assert d_loss.item() == pytest.approx(0.0, abs=1e-6)  # well-separated -> zero loss
+        g_loss = F.hinge_loss_generator(fake)
+        assert g_loss.item() == pytest.approx(2.0, abs=1e-6)
+
+    def test_nll_loss_consistent_with_cross_entropy(self):
+        logits = randn(4, 6)
+        targets = np.array([0, 1, 2, 3])
+        ce = F.cross_entropy(logits, targets).item()
+        nll = F.nll_loss(F.log_softmax(logits, axis=-1), targets).item()
+        assert ce == pytest.approx(nll, abs=1e-5)
+
+
+class TestInit:
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((256, 128))
+        expected_std = np.sqrt(2.0 / 128)
+        assert abs(w.std() - expected_std) / expected_std < 0.15
+
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform((64, 100))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 100)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        w = init.xavier_normal((200, 200))
+        expected = np.sqrt(2.0 / 400)
+        assert abs(w.std() - expected) / expected < 0.15
+
+    def test_conv_fan_in_uses_receptive_field(self):
+        w = init.kaiming_normal((32, 16, 3, 3))
+        expected_std = np.sqrt(2.0 / (16 * 9))
+        assert abs(w.std() - expected_std) / expected_std < 0.15
+
+    def test_zeros_ones_constant(self):
+        assert np.all(init.zeros((3,)) == 0)
+        assert np.all(init.ones((3,)) == 1)
+        assert np.all(init.constant((3,), 7.0) == 7.0)
+
+    def test_seed_reproducibility(self):
+        init.seed(123)
+        a = init.kaiming_normal((10, 10))
+        init.seed(123)
+        b = init.kaiming_normal((10, 10))
+        assert np.allclose(a, b)
+
+    def test_outputs_are_float32(self):
+        assert init.kaiming_normal((4, 4)).dtype == np.float32
+        assert init.uniform((4,)).dtype == np.float32

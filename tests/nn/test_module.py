@@ -1,0 +1,161 @@
+"""Tests of the Module system: registration, traversal, state dicts, hooks."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autodiff import randn
+from repro.nn.parameter import Parameter
+
+
+class TinyNet(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8)
+        self.fc2 = nn.Linear(8, 2)
+        self.act = nn.ReLU()
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_registered(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(names) == 4
+
+    def test_modules_registered(self):
+        net = TinyNet()
+        child_names = [name for name, _ in net.named_children()]
+        assert child_names == ["fc1", "fc2", "act"]
+
+    def test_named_modules_includes_nested(self):
+        net = nn.Sequential(TinyNet(), nn.ReLU())
+        names = [name for name, _ in net.named_modules()]
+        assert "0.fc1" in names
+
+    def test_parameter_reassignment_replaces(self):
+        net = TinyNet()
+        net.fc1 = nn.Linear(4, 16)
+        assert net.fc1.out_features == 16
+        assert dict(net.named_parameters())["fc1.weight"].shape == (16, 4)
+
+    def test_plain_attribute_not_registered(self):
+        net = TinyNet()
+        net.some_flag = 42
+        assert "some_flag" not in dict(net.named_parameters())
+
+    def test_num_parameters(self):
+        net = TinyNet()
+        expected = 4 * 8 + 8 + 8 * 2 + 2
+        assert net.num_parameters() == expected
+
+    def test_register_buffer(self):
+        net = TinyNet()
+        net.register_buffer("scale", np.ones(3, dtype=np.float32))
+        assert "scale" in dict(net.named_buffers())
+
+
+class TestModesAndGrad:
+    def test_train_eval_propagates(self):
+        net = nn.Sequential(TinyNet(), nn.Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        out = net(randn(2, 4))
+        out.sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_requires_grad_freeze(self):
+        net = TinyNet()
+        net.requires_grad_(False)
+        assert all(not p.requires_grad for p in net.parameters())
+
+    def test_apply_visits_all_modules(self):
+        net = TinyNet()
+        visited = []
+        net.apply(lambda m: visited.append(type(m).__name__))
+        assert "Linear" in visited and "TinyNet" in visited
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        x = randn(3, 4)
+        net2.load_state_dict(net1.state_dict())
+        assert np.allclose(net1(x).data, net2(x).data, atol=1e-6)
+
+    def test_missing_key_raises_when_strict(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("fc1.weight")
+        with pytest.raises(ValueError):
+            net.load_state_dict(state, strict=True)
+
+    def test_non_strict_returns_missing(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("fc1.weight")
+        missing = net.load_state_dict(state, strict=False)
+        assert "fc1.weight" in missing
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state, strict=True)
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(4)
+        assert "running_mean" in bn.state_dict()
+
+
+class TestHooks:
+    def test_forward_hook_called(self):
+        net = TinyNet()
+        calls = []
+        remove = net.fc1.register_forward_hook(lambda m, inp, out: calls.append(out.shape))
+        net(randn(2, 4))
+        assert calls == [(2, 8)]
+        remove()
+        net(randn(2, 4))
+        assert len(calls) == 1
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        net = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert net(randn(3, 4)).shape == (3, 2)
+
+    def test_sequential_from_list(self):
+        net = nn.Sequential([nn.Linear(4, 4), nn.ReLU()])
+        assert len(net) == 2
+
+    def test_sequential_indexing_and_slicing(self):
+        net = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        assert isinstance(net[0], nn.Linear)
+        assert len(net[:2]) == 2
+
+    def test_sequential_append(self):
+        net = nn.Sequential(nn.Linear(4, 4))
+        net.append(nn.ReLU())
+        assert len(net) == 2
+
+    def test_module_list_registers_params(self):
+        ml = nn.ModuleList([nn.Linear(2, 2), nn.Linear(2, 2)])
+        assert len(list(ml.parameters())) == 4
+        assert len(ml) == 2
+
+    def test_module_list_forward_raises(self):
+        ml = nn.ModuleList([nn.Linear(2, 2)])
+        with pytest.raises(NotImplementedError):
+            ml(randn(1, 2))

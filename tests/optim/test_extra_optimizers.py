@@ -1,0 +1,216 @@
+"""Tests for RMSprop, Adagrad, warm restarts and gradient clipping."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff.tensor import Tensor
+from repro.nn.parameter import Parameter
+from repro.optim import (
+    SGD,
+    Adagrad,
+    CosineAnnealingWarmRestarts,
+    RMSprop,
+    clip_grad_norm_,
+    clip_grad_value_,
+)
+
+
+def quadratic_bowl_params(seed: int = 0):
+    """A single parameter whose loss is a quadratic bowl around zero."""
+    rng = np.random.default_rng(seed)
+    return Parameter(rng.normal(scale=2.0, size=(6,)).astype(np.float32))
+
+
+def run_optimizer(optimizer_factory, steps: int = 60) -> float:
+    param = quadratic_bowl_params()
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        # d/dx of 0.5 * ||x||^2 is x.
+        param.grad = param.data.copy()
+        optimizer.step()
+    return float(np.linalg.norm(param.data))
+
+
+# --------------------------------------------------------------------------- #
+# RMSprop / Adagrad
+# --------------------------------------------------------------------------- #
+
+def test_rmsprop_converges_on_quadratic_bowl():
+    assert run_optimizer(lambda p: RMSprop(p, lr=0.05)) < 0.2
+
+
+def test_rmsprop_variants_converge():
+    assert run_optimizer(lambda p: RMSprop(p, lr=0.05, momentum=0.9)) < 0.2
+    assert run_optimizer(lambda p: RMSprop(p, lr=0.05, centered=True)) < 0.5
+    assert run_optimizer(lambda p: RMSprop(p, lr=0.05, weight_decay=1e-3)) < 0.2
+
+
+def test_adagrad_converges_on_quadratic_bowl():
+    assert run_optimizer(lambda p: Adagrad(p, lr=0.5), steps=120) < 0.3
+
+
+def test_adagrad_effective_lr_decays():
+    param = Parameter(np.ones(3, dtype=np.float32))
+    optimizer = Adagrad([param], lr=0.1, lr_decay=0.5)
+    steps = []
+    for _ in range(3):
+        before = param.data.copy()
+        param.grad = np.ones_like(param.data)
+        optimizer.step()
+        steps.append(float(np.abs(before - param.data).mean()))
+    # Both the accumulator and the lr decay shrink successive steps.
+    assert steps[0] > steps[1] > steps[2]
+
+
+def test_new_optimizer_validation():
+    param = [Parameter(np.zeros(2, dtype=np.float32))]
+    with pytest.raises(ValueError):
+        RMSprop(param, lr=-1.0)
+    with pytest.raises(ValueError):
+        RMSprop(param, alpha=1.5)
+    with pytest.raises(ValueError):
+        Adagrad(param, lr=0.0)
+    with pytest.raises(ValueError):
+        Adagrad(param, lr_decay=-0.1)
+
+
+def test_optimizers_skip_parameters_without_gradients():
+    frozen = Parameter(np.ones(2, dtype=np.float32), requires_grad=False)
+    active = Parameter(np.ones(2, dtype=np.float32))
+    for optimizer in (RMSprop([frozen, active], lr=0.1), Adagrad([frozen, active], lr=0.1)):
+        active.grad = np.ones_like(active.data)
+        frozen.grad = None
+        before = frozen.data.copy()
+        optimizer.step()
+        np.testing.assert_array_equal(frozen.data, before)
+
+
+def test_rmsprop_trains_a_small_model():
+    model = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+    optimizer = RMSprop(model.parameters(), lr=0.01)
+    loss_fn = nn.CrossEntropyLoss()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 4)).astype(np.float32)
+    y = (x[:, 0] > 0).astype(np.int64)
+    losses = []
+    for _ in range(25):
+        optimizer.zero_grad()
+        loss = loss_fn(model(Tensor(x)), y)
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    assert losses[-1] < losses[0]
+
+
+# --------------------------------------------------------------------------- #
+# Warm restarts
+# --------------------------------------------------------------------------- #
+
+def test_warm_restarts_validation():
+    param = [Parameter(np.zeros(2, dtype=np.float32))]
+    optimizer = SGD(param, lr=0.1)
+    with pytest.raises(ValueError):
+        CosineAnnealingWarmRestarts(optimizer, t_0=0)
+    with pytest.raises(ValueError):
+        CosineAnnealingWarmRestarts(optimizer, t_0=5, t_mult=0)
+
+
+def test_warm_restarts_restart_returns_to_base_lr():
+    param = [Parameter(np.zeros(2, dtype=np.float32))]
+    optimizer = SGD(param, lr=0.1)
+    scheduler = CosineAnnealingWarmRestarts(optimizer, t_0=4)
+    lrs = [scheduler.current_lr]
+    for _ in range(8):
+        scheduler.step()
+        lrs.append(scheduler.current_lr)
+    assert lrs[0] == pytest.approx(0.1)
+    # Within a cycle the lr decays monotonically...
+    assert lrs[1] < lrs[0] and lrs[3] < lrs[2]
+    # ...and at the start of the next cycle (epoch 4) it restarts at the base lr.
+    assert lrs[4] == pytest.approx(0.1)
+    assert lrs[8] == pytest.approx(0.1)
+
+
+def test_warm_restarts_t_mult_stretches_cycles():
+    param = [Parameter(np.zeros(2, dtype=np.float32))]
+    optimizer = SGD(param, lr=0.1)
+    scheduler = CosineAnnealingWarmRestarts(optimizer, t_0=2, t_mult=2)
+    lrs = [scheduler.current_lr]
+    for _ in range(6):
+        scheduler.step()
+        lrs.append(scheduler.current_lr)
+    # Cycle boundaries at epochs 2 and 6 (lengths 2 then 4).
+    assert lrs[2] == pytest.approx(0.1)
+    assert lrs[6] == pytest.approx(0.1)
+    # Epoch 4 is the midpoint of the second (length-4) cycle.
+    assert lrs[4] == pytest.approx(0.05, rel=1e-6)
+
+
+def test_warm_restarts_single_cycle_matches_cosine():
+    from repro.optim import CosineAnnealingLR
+
+    def lr_trace(make_scheduler):
+        param = [Parameter(np.zeros(2, dtype=np.float32))]
+        optimizer = SGD(param, lr=0.2)
+        scheduler = make_scheduler(optimizer)
+        trace = [scheduler.current_lr]
+        for _ in range(4):
+            scheduler.step()
+            trace.append(scheduler.current_lr)
+        return trace
+
+    restarts = lr_trace(lambda opt: CosineAnnealingWarmRestarts(opt, t_0=5))
+    cosine = lr_trace(lambda opt: CosineAnnealingLR(opt, t_max=5))
+    np.testing.assert_allclose(restarts, cosine, rtol=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# Gradient clipping
+# --------------------------------------------------------------------------- #
+
+def test_clip_grad_norm_scales_down_large_gradients():
+    params = [Parameter(np.zeros(4, dtype=np.float32)) for _ in range(2)]
+    for p in params:
+        p.grad = np.full(4, 3.0, dtype=np.float32)
+    total = clip_grad_norm_(params, max_norm=1.0)
+    assert total == pytest.approx(math.sqrt(8 * 9.0), rel=1e-5)
+    new_norm = math.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params))
+    assert new_norm == pytest.approx(1.0, rel=1e-3)
+
+
+def test_clip_grad_norm_leaves_small_gradients_untouched():
+    param = Parameter(np.zeros(3, dtype=np.float32))
+    param.grad = np.array([0.1, 0.1, 0.1], dtype=np.float32)
+    before = param.grad.copy()
+    total = clip_grad_norm_([param], max_norm=10.0)
+    np.testing.assert_array_equal(param.grad, before)
+    assert total == pytest.approx(float(np.linalg.norm(before)), rel=1e-5)
+
+
+def test_clip_grad_norm_inf_norm_and_empty():
+    param = Parameter(np.zeros(3, dtype=np.float32))
+    param.grad = np.array([1.0, -5.0, 2.0], dtype=np.float32)
+    total = clip_grad_norm_([param], max_norm=2.0, norm_type=float("inf"))
+    assert total == pytest.approx(5.0)
+    assert float(np.abs(param.grad).max()) <= 2.0 + 1e-5
+    assert clip_grad_norm_([], max_norm=1.0) == 0.0
+
+
+def test_clip_grad_value_clamps_elementwise():
+    param = Parameter(np.zeros(4, dtype=np.float32))
+    param.grad = np.array([-3.0, -0.5, 0.5, 3.0], dtype=np.float32)
+    clip_grad_value_([param], clip_value=1.0)
+    np.testing.assert_allclose(param.grad, [-1.0, -0.5, 0.5, 1.0])
+
+
+def test_clip_validation():
+    with pytest.raises(ValueError):
+        clip_grad_norm_([], max_norm=0.0)
+    with pytest.raises(ValueError):
+        clip_grad_value_([], clip_value=-1.0)

@@ -1,0 +1,197 @@
+"""Tests for SGD / Adam optimizers and LR schedulers."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+import repro.optim as optim
+from repro.autodiff import Tensor, randn
+from repro.nn.parameter import Parameter
+
+
+def quadratic_bowl_step(optimizer, param):
+    """One optimisation step on f(w) = ||w||^2 / 2 whose gradient is w."""
+    optimizer.zero_grad()
+    param.grad = param.data.copy()
+    optimizer.step()
+
+
+class TestSGD:
+    def test_vanilla_step_matches_formula(self):
+        p = Parameter(np.array([1.0, -2.0], dtype=np.float32))
+        opt = optim.SGD([p], lr=0.1)
+        p.grad = np.array([0.5, 0.5], dtype=np.float32)
+        opt.step()
+        assert np.allclose(p.data, [0.95, -2.05])
+
+    def test_converges_on_quadratic_bowl(self):
+        p = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+        opt = optim.SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_bowl_step(opt, p)
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        p_plain = Parameter(np.array([5.0], dtype=np.float32))
+        p_momentum = Parameter(np.array([5.0], dtype=np.float32))
+        opt_plain = optim.SGD([p_plain], lr=0.01)
+        opt_momentum = optim.SGD([p_momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            quadratic_bowl_step(opt_plain, p_plain)
+            quadratic_bowl_step(opt_momentum, p_momentum)
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = optim.SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = optim.SGD([p], lr=0.1)
+        opt.step()  # no grad set: should not move or crash
+        assert np.allclose(p.data, [1.0])
+
+    def test_frozen_parameters_not_updated(self):
+        p = Parameter(np.array([1.0], dtype=np.float32), requires_grad=False)
+        opt = optim.SGD([p], lr=0.1)
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            optim.SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.ones(3))
+        opt = optim.SGD([p], lr=0.1)
+        p.grad = np.ones(3, dtype=np.float32)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_converges_on_quadratic_bowl(self):
+        p = Parameter(np.array([5.0, -3.0], dtype=np.float32))
+        opt = optim.Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_bowl_step(opt, p)
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_first_step_size_approximately_lr(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = optim.Adam([p], lr=0.1)
+        p.grad = np.array([100.0], dtype=np.float32)
+        opt.step()
+        # Adam normalises by the gradient magnitude: first step ≈ lr.
+        assert abs((1.0 - p.data[0]) - 0.1) < 0.01
+
+    def test_adamw_decouples_weight_decay(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = optim.AdamW([p], lr=0.1, weight_decay=0.1)
+        p.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        assert p.data[0] == pytest.approx(0.99, abs=1e-5)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            optim.Adam([Parameter(np.zeros(1))], betas=(1.5, 0.9))
+
+    def test_trains_small_network_better_than_init(self):
+        net = nn.Sequential(nn.Linear(4, 16), nn.ReLU(), nn.Linear(16, 1))
+        opt = optim.Adam(net.parameters(), lr=1e-2)
+        x = randn(32, 4)
+        y = Tensor((x.data[:, :1] ** 2).astype(np.float32))
+        loss_fn = nn.MSELoss()
+        first = loss_fn(net(x), y).item()
+        for _ in range(50):
+            opt.zero_grad()
+            loss = loss_fn(net(x), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5
+
+
+class TestSchedulers:
+    def _make(self, lr=0.1):
+        p = Parameter(np.zeros(1))
+        return optim.SGD([p], lr=lr)
+
+    def test_cosine_annealing_endpoints(self):
+        opt = self._make(lr=0.1)
+        sched = optim.CosineAnnealingLR(opt, t_max=10)
+        assert opt.lr == pytest.approx(0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-6)
+
+    def test_cosine_midpoint_half(self):
+        opt = self._make(lr=0.2)
+        sched = optim.CosineAnnealingLR(opt, t_max=10)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._make(0.1)
+        sched = optim.CosineAnnealingLR(opt, t_max=20)
+        values = []
+        for _ in range(20):
+            values.append(opt.lr)
+            sched.step()
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_step_lr(self):
+        opt = self._make(0.1)
+        sched = optim.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            lrs.append(round(opt.lr, 6))
+            sched.step()
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[2] == pytest.approx(0.01)
+        assert lrs[4] == pytest.approx(0.001)
+
+    def test_multistep_lr_matches_paper_recipe(self):
+        # SSD recipe: decay 10x at the two milestones.
+        opt = self._make(1e-3)
+        sched = optim.MultiStepLR(opt, milestones=[8, 10], gamma=0.1)
+        for _ in range(8):
+            sched.step()
+        assert opt.lr == pytest.approx(1e-4, rel=1e-5)
+        for _ in range(2):
+            sched.step()
+        assert opt.lr == pytest.approx(1e-5, rel=1e-5)
+
+    def test_lambda_lr(self):
+        opt = self._make(0.1)
+        sched = optim.LambdaLR(opt, lambda epoch: 1.0 / (epoch + 1))
+        sched.step()
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_warmup_cosine(self):
+        opt = self._make(0.1)
+        sched = optim.WarmupCosineLR(opt, warmup_steps=5, t_max=10)
+        assert opt.lr < 0.1  # still warming up at step 0
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, rel=1e-5)
+
+    def test_param_groups_scaled_together(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        opt = optim.SGD([{"params": [p1], "lr": 0.1}, {"params": [p2], "lr": 0.01}], lr=0.1)
+        sched = optim.StepLR(opt, step_size=1, gamma=0.5)
+        sched.step()
+        assert opt.param_groups[0]["lr"] == pytest.approx(0.05)
+        assert opt.param_groups[1]["lr"] == pytest.approx(0.005)

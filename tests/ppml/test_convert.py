@@ -1,0 +1,145 @@
+"""Tests for the ReLU → PPML-friendly model conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import models, nn
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers.activations import Identity, ReLU, Square
+from repro.nn.layers.pooling import AvgPool2d, MaxPool2d
+from repro.ppml import (
+    count_relu_modules,
+    ppml_savings,
+    remove_activations,
+    replace_maxpool_with_avgpool,
+    replace_relu_with_square,
+    to_ppml_friendly,
+)
+from repro.quadratic.layers.qconv import QuadraticConv2d
+
+
+def tiny_vgg():
+    return models.vgg8(num_classes=4, width_multiplier=0.1)
+
+
+def forward_ok(model, image_size: int = 32) -> tuple:
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, image_size, image_size))
+               .astype(np.float32))
+    return model(x).shape
+
+
+def test_square_activation_forward_and_gradient():
+    sq = Square(scale=2.0, linear=0.5)
+    x = Tensor(np.array([[1.0, -2.0, 3.0]], dtype=np.float32), requires_grad=True)
+    y = sq(x)
+    np.testing.assert_allclose(y.data, 2.0 * x.data ** 2 + 0.5 * x.data, rtol=1e-6)
+    y.sum().backward()
+    np.testing.assert_allclose(x.grad, 4.0 * x.data + 0.5, rtol=1e-6)
+
+
+def test_count_relu_modules():
+    model = tiny_vgg()
+    assert count_relu_modules(model) == 5  # one ReLU per conv block in VGG-8
+
+
+def test_replace_relu_with_square_inplace():
+    model = tiny_vgg()
+    replaced = replace_relu_with_square(model)
+    assert replaced == 5
+    assert count_relu_modules(model) == 0
+    squares = [m for _, m in model.named_modules() if isinstance(m, Square)]
+    assert len(squares) == 5
+    # Replacement instances are not shared.
+    assert len({id(m) for m in squares}) == 5
+    assert forward_ok(model) == (2, 4)
+
+
+def test_remove_activations_uses_identity():
+    model = tiny_vgg()
+    removed = remove_activations(model)
+    assert removed == 5
+    assert count_relu_modules(model) == 0
+    assert any(isinstance(m, Identity) for _, m in model.named_modules())
+    assert forward_ok(model) == (2, 4)
+
+
+def test_replace_maxpool_with_avgpool_preserves_geometry():
+    model = tiny_vgg()
+    pools_before = [m for _, m in model.named_modules() if isinstance(m, MaxPool2d)]
+    replaced = replace_maxpool_with_avgpool(model)
+    assert replaced == len(pools_before) == 5
+    assert not any(isinstance(m, MaxPool2d) for _, m in model.named_modules())
+    assert forward_ok(model) == (2, 4)
+
+
+def test_skip_names_protects_layers():
+    model = tiny_vgg()
+    replaced = replace_relu_with_square(model, skip_names=("features.2",))
+    assert replaced == 4
+    assert count_relu_modules(model) == 1
+
+
+def test_to_ppml_friendly_square_strategy():
+    model = tiny_vgg()
+    converted, report = to_ppml_friendly(model, strategy="square", inplace=False)
+    assert report.strategy == "square"
+    assert report.relu_modules_before == 5 and report.relu_modules_after == 0
+    assert report.activations_replaced == 5
+    assert report.maxpools_replaced == 5
+    assert report.layers_quadratized == 0
+    assert report.relu_free
+    # Parameters unchanged by activation substitution.
+    assert report.parameter_ratio == pytest.approx(1.0)
+    # inplace=False leaves the original untouched.
+    assert count_relu_modules(model) == 5
+    assert forward_ok(converted) == (2, 4)
+
+
+def test_to_ppml_friendly_quadratic_no_relu_strategy():
+    model = tiny_vgg()
+    converted, report = to_ppml_friendly(model, strategy="quadratic_no_relu", inplace=False)
+    assert report.layers_quadratized == 5
+    assert report.relu_modules_after == 0
+    assert report.parameter_ratio > 1.0  # three weight sets per quadratic conv
+    assert any(isinstance(m, QuadraticConv2d) for _, m in converted.named_modules())
+    assert forward_ok(converted) == (2, 4)
+
+
+def test_to_ppml_friendly_quadratic_keeps_relu():
+    model = tiny_vgg()
+    converted, report = to_ppml_friendly(model, strategy="quadratic", inplace=False)
+    assert report.layers_quadratized == 5
+    assert report.relu_modules_after == 5
+    assert not report.relu_free
+
+
+def test_to_ppml_friendly_unknown_strategy():
+    with pytest.raises(ValueError):
+        to_ppml_friendly(tiny_vgg(), strategy="garbled-everything")
+
+
+def test_ppml_savings_quadratic_conversion_wins_under_delphi():
+    model = tiny_vgg()
+    converted, _ = to_ppml_friendly(model, strategy="quadratic_no_relu", inplace=False)
+    savings = ppml_savings(model, converted, (3, 32, 32), protocol="delphi")
+    assert savings.latency_ratio < 0.5
+    assert savings.communication_ratio < 0.5
+    assert not savings.became_runnable  # Delphi could already run the ReLU model
+
+
+def test_ppml_savings_unlocks_cryptonets():
+    model = nn.Sequential(
+        nn.Conv2d(3, 8, 3, padding=1),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(8, 4),
+    )
+    converted, _ = to_ppml_friendly(model, strategy="square", inplace=False)
+    savings = ppml_savings(model, converted, (3, 16, 16), protocol="cryptonets")
+    assert not savings.before.runnable
+    assert savings.after.runnable
+    assert savings.became_runnable
+    assert savings.latency_ratio == 0.0

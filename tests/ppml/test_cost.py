@@ -1,0 +1,134 @@
+"""Tests for PPML operation counting and cost estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.ppml import (
+    analyse_model,
+    compare_protocols,
+    count_operations,
+    estimate_cost,
+    format_cost_report,
+)
+from repro.quadratic import typenew
+
+
+def small_relu_net(channels: int = 8) -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(3, channels, 3, padding=1),
+        nn.BatchNorm2d(channels),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(channels, channels, 3, padding=1),
+        nn.ReLU(),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(channels, 4),
+    )
+
+
+def small_quadratic_net(channels: int = 8) -> nn.Sequential:
+    return nn.Sequential(
+        typenew(3, channels, kernel_size=3, padding=1),
+        nn.BatchNorm2d(channels),
+        nn.AvgPool2d(2),
+        typenew(channels, channels, kernel_size=3, padding=1),
+        nn.GlobalAvgPool2d(),
+        nn.Linear(channels, 4),
+    )
+
+
+def test_count_operations_relu_net():
+    ops = count_operations(small_relu_net(), (3, 16, 16))
+    by_type = {}
+    for op in ops:
+        by_type.setdefault(op.layer_type, []).append(op)
+
+    assert "Conv2d" in by_type and "ReLU" in by_type and "Linear" in by_type
+    # First ReLU acts on an 8x16x16 map.
+    first_relu = by_type["ReLU"][0]
+    assert first_relu.relu_ops == 8 * 16 * 16
+    assert first_relu.macs == 0 and first_relu.mult_ops == 0
+    # First conv: 8 filters, 3x3x3 kernel over 16x16 positions.
+    first_conv = by_type["Conv2d"][0]
+    assert first_conv.macs == 8 * 3 * 3 * 3 * 16 * 16
+    assert first_conv.relu_ops == 0
+    # MaxPool counts comparisons, not MACs.
+    pool = by_type["MaxPool2d"][0]
+    assert pool.relu_ops > 0 and pool.macs == 0
+
+
+def test_count_operations_quadratic_net_has_no_relu_ops():
+    ops = count_operations(small_quadratic_net(), (3, 16, 16))
+    assert sum(op.relu_ops for op in ops) == 0
+    assert sum(op.mult_ops for op in ops) > 0
+    # The OURS quadratic conv owns three weight sets, so it costs three times
+    # the MACs of the equivalent first-order conv.
+    qconv = next(op for op in ops if op.layer_type == "QuadraticConv2d")
+    assert qconv.macs == 3 * 8 * 3 * 3 * 3 * 16 * 16
+
+
+def test_count_operations_batch_size_scales_elementwise_counts():
+    ops1 = count_operations(small_relu_net(), (3, 16, 16), batch_size=1)
+    ops4 = count_operations(small_relu_net(), (3, 16, 16), batch_size=4)
+    relu1 = sum(op.relu_ops for op in ops1)
+    relu4 = sum(op.relu_ops for op in ops4)
+    assert relu4 == 4 * relu1
+
+
+def test_relu_dominates_delphi_cost_for_relu_net():
+    report = analyse_model(small_relu_net(), (3, 16, 16), protocol="delphi")
+    assert report.runnable
+    assert report.relu_share() > 0.9
+
+
+def test_quadratic_net_is_cheaper_under_delphi():
+    relu_report = analyse_model(small_relu_net(), (3, 16, 16), protocol="delphi")
+    quad_report = analyse_model(small_quadratic_net(), (3, 16, 16), protocol="delphi")
+    assert quad_report.total.microseconds < relu_report.total.microseconds
+    assert quad_report.total.bytes < relu_report.total.bytes
+    assert quad_report.relu_count == 0
+
+
+def test_relu_net_not_runnable_under_cryptonets():
+    report = analyse_model(small_relu_net(), (3, 16, 16), protocol="cryptonets")
+    assert not report.runnable
+    assert not report.total.finite()
+
+
+def test_quadratic_net_runnable_under_cryptonets():
+    report = analyse_model(small_quadratic_net(), (3, 16, 16), protocol="cryptonets")
+    assert report.runnable
+    assert report.multiplicative_depth <= report.protocol.multiplicative_depth_limit
+
+
+def test_compare_protocols_counts_once_and_covers_all():
+    reports = compare_protocols(small_quadratic_net(), (3, 16, 16))
+    assert set(reports) == {"delphi", "gazelle", "cryptonets"}
+    mults = {name: rep.mult_count for name, rep in reports.items()}
+    # The operation counts are protocol independent.
+    assert len(set(mults.values())) == 1
+
+
+def test_estimate_cost_empty_operations():
+    report = estimate_cost([], "delphi")
+    assert report.total.bytes == 0 and report.total.microseconds == 0
+    assert report.runnable
+    assert report.relu_share() == 0.0
+
+
+def test_format_cost_report_renders_totals_and_layers():
+    report = analyse_model(small_relu_net(), (3, 16, 16), protocol="delphi")
+    short = format_cost_report(report)
+    assert "TOTAL" in short and "delphi" in short
+    detailed = format_cost_report(report, per_layer=True)
+    assert detailed.count("\n") > short.count("\n")
+    assert "ReLU" in detailed
+
+
+def test_format_cost_report_marks_unrunnable():
+    report = analyse_model(small_relu_net(), (3, 16, 16), protocol="cryptonets")
+    text = format_cost_report(report)
+    assert "not runnable" in text

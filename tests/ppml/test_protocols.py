@@ -1,0 +1,81 @@
+"""Tests for the PPML protocol cost models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.ppml import (
+    CRYPTONETS,
+    DELPHI,
+    GAZELLE,
+    PROTOCOLS,
+    OperationCosts,
+    Protocol,
+    ProtocolCost,
+    available_protocols,
+    resolve_protocol,
+)
+
+
+def test_registry_contains_presets():
+    assert set(available_protocols()) == {"delphi", "gazelle", "cryptonets"}
+    for name in available_protocols():
+        assert PROTOCOLS[name].name == name
+
+
+def test_resolve_protocol_by_name_and_instance():
+    assert resolve_protocol("delphi") is DELPHI
+    assert resolve_protocol("DELPHI") is DELPHI
+    assert resolve_protocol(GAZELLE) is GAZELLE
+
+
+def test_resolve_protocol_unknown_raises():
+    with pytest.raises(KeyError):
+        resolve_protocol("sgx")
+
+
+def test_relu_dominates_mult_in_hybrid_protocols():
+    # The structural fact the whole analysis relies on: a garbled ReLU is far
+    # more expensive than a secure multiplication.
+    for proto in (DELPHI, GAZELLE):
+        assert proto.costs.relu_bytes > 10 * proto.costs.mult_bytes
+        assert proto.costs.relu_us > 10 * proto.costs.mult_us
+
+
+def test_cryptonets_cannot_evaluate_relu():
+    assert not CRYPTONETS.supports_relu
+    cost = CRYPTONETS.relu_cost(1)
+    assert math.isinf(cost.bytes) and math.isinf(cost.microseconds)
+    assert not cost.finite()
+    # Zero ReLUs are free even for CryptoNets.
+    assert CRYPTONETS.relu_cost(0).finite()
+
+
+def test_cost_scales_linearly_with_count():
+    one = DELPHI.relu_cost(1)
+    thousand = DELPHI.relu_cost(1000)
+    assert thousand.bytes == pytest.approx(1000 * one.bytes)
+    assert thousand.microseconds == pytest.approx(1000 * one.microseconds)
+
+
+def test_protocol_cost_addition_and_units():
+    a = ProtocolCost(bytes=1e6, microseconds=2e3)
+    b = ProtocolCost(bytes=2e6, microseconds=3e3)
+    c = a + b
+    assert c.bytes == 3e6 and c.microseconds == 5e3
+    assert c.megabytes == pytest.approx(3.0)
+    assert c.milliseconds == pytest.approx(5.0)
+    a += b
+    assert a.bytes == 3e6
+
+
+def test_custom_protocol():
+    cheap_relu = Protocol(
+        name="oblivious-trusted-hw",
+        reference="hypothetical",
+        costs=OperationCosts(0.0, 0.001, 1.0, 0.01, 1.0, 0.01),
+    )
+    assert cheap_relu.relu_cost(10).bytes == 10.0
+    assert resolve_protocol(cheap_relu) is cheap_relu

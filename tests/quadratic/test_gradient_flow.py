@@ -1,0 +1,110 @@
+"""Tests of the gradient-flow analysis (paper P3, Eq. 1/4, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import randn
+from repro.quadratic import (
+    GradientFlowProbe,
+    QuadraticLinear,
+    theoretical_attenuation,
+    vanishing_depth,
+)
+
+
+class TestTheoreticalAttenuation:
+    def test_linear_path_prevents_vanishing(self):
+        """Designs with a linear/identity path keep much larger deep-layer gradients."""
+        for depth in (8, 16, 32):
+            assert theoretical_attenuation("OURS", depth) > theoretical_attenuation("T4", depth)
+
+    def test_no_linear_path_vanishes_exponentially(self):
+        shallow = theoretical_attenuation("T4", 4)
+        deep = theoretical_attenuation("T4", 16)
+        assert deep < shallow * 1e-3
+
+    def test_t4_identity_also_protected(self):
+        assert theoretical_attenuation("T4_ID", 16) > theoretical_attenuation("T4", 16) * 1e3
+
+    def test_depth_one_is_unity(self):
+        assert theoretical_attenuation("T2", 1) == pytest.approx(1.0)
+
+    def test_vanishing_depth_ordering(self):
+        # T2/T3/T4 should hit the vanishing threshold at shallow depth;
+        # the linear-path designs should survive to the max depth.
+        assert vanishing_depth("T4", threshold=1e-4) < 20
+        assert vanishing_depth("OURS", threshold=1e-4, max_depth=64) == 64
+
+    def test_matches_paper_table2_story(self):
+        """VGG-8 trains for all designs; VGG-16 only with the linear/identity path."""
+        depth_8_ok = all(theoretical_attenuation(t, 8) > 1e-6 for t in ("T2", "T3", "T4"))
+        depth_16_dead = all(theoretical_attenuation(t, 16) < 1e-6 for t in ("T2", "T3", "T4"))
+        depth_16_alive = all(theoretical_attenuation(t, 16) > 1e-6 for t in ("T4_ID", "OURS"))
+        assert depth_8_ok and depth_16_dead and depth_16_alive
+
+
+class TestMeasuredGradientFlow:
+    def _deep_plain_qdnn(self, neuron_type: str, depth: int, width: int = 12,
+                         batchnorm: bool = False):
+        layers = []
+        for _ in range(depth):
+            layers.append(QuadraticLinear(width, width, neuron_type=neuron_type, bias=False))
+            if batchnorm:
+                layers.append(nn.BatchNorm1d(width))
+        layers.append(nn.Linear(width, 2))
+        return nn.Sequential(*layers)
+
+    def _first_layer_grad_norm(self, model) -> float:
+        x = randn(16, 12)
+        out = model(x)
+        out.sum().backward()
+        first = model[0]
+        name = first.weight_parameter_names()[0]
+        return float(np.linalg.norm(getattr(first, name).grad))
+
+    def test_deep_plain_qdnn_without_bn_is_numerically_unstable(self):
+        """Design insight 2: without BatchNorm the repeated squaring of
+        activations in a deep plain QDNN produces extreme values, so the
+        first-layer gradients are not usable (non-finite or enormous)."""
+        with np.errstate(all="ignore"):
+            norm = self._first_layer_grad_norm(self._deep_plain_qdnn("T4", depth=6))
+        assert (not np.isfinite(norm)) or norm > 1e3
+
+    def test_batchnorm_restores_finite_gradients(self):
+        """With BatchNorm after every quadratic layer the same depth trains sanely."""
+        norm = self._first_layer_grad_norm(
+            self._deep_plain_qdnn("OURS", depth=6, batchnorm=True)
+        )
+        assert np.isfinite(norm) and norm > 0
+
+    def test_probe_records_history(self):
+        model = self._deep_plain_qdnn("OURS", 3)
+        probe = GradientFlowProbe(model)
+        for _ in range(2):
+            model.zero_grad()
+            model(randn(4, 12)).sum().backward()
+            probe.snapshot()
+        assert all(len(v) == 2 for v in probe.history.values())
+        assert all(np.isfinite(v).all() for v in probe.history.values())
+
+    def test_probe_layer_filter(self):
+        model = self._deep_plain_qdnn("OURS", 3)
+        probe = GradientFlowProbe(model, layer_filter=["0."])
+        model(randn(4, 12)).sum().backward()
+        snap = probe.snapshot()
+        assert all(name.startswith("0.") for name in snap)
+
+    def test_probe_layer_series_sums_matching_parameters(self):
+        model = self._deep_plain_qdnn("OURS", 2)
+        probe = GradientFlowProbe(model)
+        model(randn(4, 12)).sum().backward()
+        probe.snapshot()
+        series = probe.layer_series("0.")
+        assert len(series) == 1 and series[0] > 0
+
+    def test_probe_zero_before_backward(self):
+        model = self._deep_plain_qdnn("OURS", 2)
+        probe = GradientFlowProbe(model)
+        snap = probe.snapshot()
+        assert all(v == 0.0 for v in snap.values())

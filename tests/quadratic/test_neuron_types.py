@@ -1,0 +1,125 @@
+"""Tests of the neuron-type registry and complexity model (paper Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.quadratic import NEURON_TYPES, available_types, resolve_type
+from repro.quadratic.complexity import (
+    complexity_table,
+    conv_layer_cost,
+    first_order_conv_cost,
+    first_order_linear_cost,
+    linear_layer_cost,
+)
+
+
+class TestRegistry:
+    def test_all_paper_types_present(self):
+        for name in ["T1", "T1_PURE", "T2", "T3", "T4", "T1_2", "T2_4", "T4_ID", "OURS"]:
+            assert name in NEURON_TYPES
+
+    def test_resolve_canonical_and_alias(self):
+        assert resolve_type("OURS").name == "OURS"
+        assert resolve_type("ours").name == "OURS"
+        assert resolve_type("typenew").name == "OURS"
+        assert resolve_type("fan").name == "T2_4"
+        assert resolve_type("bu").name == "T4"
+        assert resolve_type("type2").name == "T2"
+
+    def test_resolve_case_insensitive(self):
+        assert resolve_type("t4_id").name == "T4_ID"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            resolve_type("T99")
+
+    def test_available_types_matches_registry(self):
+        assert set(available_types()) == set(NEURON_TYPES)
+
+    def test_our_design_has_linear_path_and_three_weight_sets(self):
+        spec = resolve_type("OURS")
+        assert spec.has_linear_path
+        assert spec.weight_sets == 3
+        assert not spec.full_rank
+
+    def test_t1_designs_are_full_rank(self):
+        assert resolve_type("T1").full_rank
+        assert resolve_type("T1_PURE").full_rank
+        assert resolve_type("T1_2").full_rank
+
+    def test_issue_annotations_match_paper(self):
+        # P1 (approximation capability) is attributed to T2 and T3 only.
+        assert "P1" in resolve_type("T2").issues
+        assert "P1" in resolve_type("T3").issues
+        assert "P1" not in resolve_type("T4").issues
+        # Our design resolves all listed issues.
+        assert resolve_type("OURS").issues == ()
+
+    def test_describe_contains_formula(self):
+        assert "Wa" in resolve_type("OURS").describe()
+
+
+class TestComplexityModel:
+    def test_first_order_linear_params(self):
+        cost = first_order_linear_cost(64, 32)
+        assert cost.parameters == 64 * 32 + 32
+
+    def test_ours_has_three_times_first_order_params(self):
+        ours = linear_layer_cost("OURS", 64, 32, bias=False)
+        first = first_order_linear_cost(64, 32, bias=False)
+        assert ours.parameters == 3 * first.parameters
+
+    def test_t4_has_two_weight_sets(self):
+        t4 = linear_layer_cost("T4", 64, 32, bias=False)
+        first = first_order_linear_cost(64, 32, bias=False)
+        assert t4.parameters == 2 * first.parameters
+
+    def test_t2_t3_same_params_as_first_order(self):
+        for name in ("T2", "T3"):
+            cost = linear_layer_cost(name, 64, 32, bias=False)
+            assert cost.parameters == first_order_linear_cost(64, 32, bias=False).parameters
+
+    def test_t1_quadratic_in_input_size(self):
+        small = linear_layer_cost("T1_PURE", 8, 4, bias=False).parameters
+        large = linear_layer_cost("T1_PURE", 16, 4, bias=False).parameters
+        # Doubling n should roughly quadruple the full-rank parameter count.
+        assert large / small == pytest.approx(4.0, rel=0.05)
+
+    def test_ours_linear_in_input_size(self):
+        small = linear_layer_cost("OURS", 8, 4, bias=False).parameters
+        large = linear_layer_cost("OURS", 16, 4, bias=False).parameters
+        assert large / small == pytest.approx(2.0, rel=0.05)
+
+    def test_conv_cost_matches_instantiated_layer(self):
+        from repro.quadratic import QuadraticConv2d
+
+        layer = QuadraticConv2d(8, 16, kernel_size=3, neuron_type="OURS", bias=True)
+        cost = conv_layer_cost("OURS", 8, 16, 3, bias=True)
+        assert cost.parameters == layer.num_parameters()
+
+    def test_conv_cost_matches_t1_layer(self):
+        from repro.quadratic import QuadraticConv2dT1
+
+        layer = QuadraticConv2dT1(4, 6, kernel_size=3, neuron_type="T1_PURE", bias=True)
+        cost = conv_layer_cost("T1_PURE", 4, 6, 3, bias=True)
+        assert cost.parameters == layer.num_parameters()
+
+    def test_macs_scale_with_output_positions(self):
+        single = conv_layer_cost("OURS", 8, 8, 3, output_hw=(1, 1)).macs
+        grid = conv_layer_cost("OURS", 8, 8, 3, output_hw=(4, 4)).macs
+        assert grid == pytest.approx(16 * single, rel=1e-6)
+
+    def test_complexity_table_covers_all_types(self):
+        table = complexity_table(32, 32)
+        assert set(table) == set(NEURON_TYPES)
+
+    def test_table1_ordering_t1_most_expensive(self):
+        table = complexity_table(64, 64)
+        assert table["T1_PURE"].parameters > table["OURS"].parameters > table["T2"].parameters
+
+    def test_relative_to(self):
+        ours = linear_layer_cost("OURS", 64, 64, bias=False)
+        first = first_order_linear_cost(64, 64, bias=False)
+        ratio_params, ratio_macs = ours.relative_to(first)
+        assert ratio_params == pytest.approx(3.0)
+        assert ratio_macs > 2.9

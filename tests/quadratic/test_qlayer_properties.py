@@ -1,0 +1,166 @@
+"""Property-based tests across every registered quadratic neuron design.
+
+These complement the per-type unit tests in ``test_qlayers.py``: instead of
+checking one hand-picked configuration per design, they assert invariants that
+must hold for *any* registered type — the parameter count predicted by the
+Table-1 registry, second-order polynomial behaviour of the layer function,
+numeric gradient correctness and state-dict round-tripping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import no_grad
+from repro.autodiff.tensor import Tensor
+from repro.quadratic import NEURON_TYPES, QuadraticLinear, quadratic_layer, resolve_type
+from repro.quadratic.layers.qconv import QuadraticConv2d, QuadraticConv2dT1
+
+#: Types usable with the dense QuadraticLinear layer (every registered design).
+ALL_TYPES = sorted(NEURON_TYPES)
+#: Types whose convolutional form composes from first-order convs (non-full-rank).
+COMPOSABLE_TYPES = sorted(name for name, spec in NEURON_TYPES.items() if not spec.full_rank)
+
+neuron_type = st.sampled_from(ALL_TYPES)
+composable_type = st.sampled_from(COMPOSABLE_TYPES)
+
+
+def dense_layer(name: str, in_features: int = 4, out_features: int = 3,
+                bias: bool = True) -> QuadraticLinear:
+    if resolve_type(name).name == "T4_ID":
+        out_features = in_features  # the identity path needs matching dimensions
+    return QuadraticLinear(in_features, out_features, neuron_type=name, bias=bias)
+
+
+# --------------------------------------------------------------------------- #
+# Parameter counts follow the Table-1 registry
+# --------------------------------------------------------------------------- #
+
+@given(name=neuron_type, in_features=st.integers(2, 6), out_features=st.integers(2, 6))
+@settings(max_examples=40, deadline=None)
+def test_dense_parameter_count_matches_registry(name, in_features, out_features):
+    spec = resolve_type(name)
+    if name == "T4_ID" and in_features != out_features:
+        in_features = out_features  # identity path needs matching dimensions
+    layer = QuadraticLinear(in_features, out_features, neuron_type=name, bias=False)
+    expected = spec.weight_sets * in_features * out_features
+    if spec.full_rank:
+        expected += out_features * in_features * in_features
+    assert layer.num_parameters() == expected
+
+
+@given(name=composable_type, channels=st.integers(2, 5))
+@settings(max_examples=25, deadline=None)
+def test_conv_parameter_count_matches_registry(name, channels):
+    spec = resolve_type(name)
+    layer = QuadraticConv2d(channels, channels, kernel_size=3, padding=1, neuron_type=name,
+                            bias=False)
+    assert layer.num_parameters() == spec.weight_sets * channels * channels * 3 * 3
+
+
+# --------------------------------------------------------------------------- #
+# Every design computes a polynomial of degree exactly two in its input
+# --------------------------------------------------------------------------- #
+
+@given(name=neuron_type, seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_dense_layer_output_is_second_order_polynomial(name, seed):
+    rng = np.random.default_rng(seed)
+    layer = dense_layer(name, in_features=3, out_features=3, bias=False)
+    x0 = rng.normal(size=(1, 3)).astype(np.float64)
+    direction = rng.normal(size=(1, 3)).astype(np.float64)
+
+    h = 0.5
+    with no_grad():
+        values = np.array([
+            float(layer(Tensor((x0 + i * h * direction).astype(np.float32))).sum().item())
+            for i in range(4)
+        ], dtype=np.float64)
+    third_difference = np.diff(np.diff(np.diff(values)))
+    scale = max(np.abs(values).max(), 1.0)
+    # Third finite differences of a quadratic polynomial vanish (float32 noise aside).
+    assert np.all(np.abs(third_difference) <= 5e-3 * scale)
+
+
+@given(name=neuron_type, seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_pure_second_order_terms_scale_quadratically(name, seed):
+    """For designs without a linear path, f(t·x) == t²·f(x) when bias is off."""
+    spec = resolve_type(name)
+    if spec.has_linear_path:
+        return  # mixed first/second order terms are covered by the polynomial test
+    rng = np.random.default_rng(seed)
+    layer = dense_layer(name, bias=False)
+    x = rng.normal(size=(2, 4)).astype(np.float32)
+    with no_grad():
+        base = layer(Tensor(x)).data
+        scaled = layer(Tensor(3.0 * x)).data
+    np.testing.assert_allclose(scaled, 9.0 * base, rtol=1e-4, atol=1e-5)
+
+
+# --------------------------------------------------------------------------- #
+# Gradients are correct for every design (numeric check, dense layers)
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", ALL_TYPES)
+def test_dense_weight_gradients_match_numeric(name, numgrad):
+    layer = dense_layer(name, in_features=3, out_features=2)
+    x_data = np.random.default_rng(7).normal(size=(2, 3)).astype(np.float32)
+
+    def loss_value():
+        with no_grad():
+            return float(layer(Tensor(x_data)).sum().item())
+
+    weight_name = layer.weight_parameter_names()[0]
+    weight = layer._parameters[weight_name]
+    expected = numgrad(loss_value, weight.data)
+
+    layer.zero_grad()
+    layer(Tensor(x_data)).sum().backward()
+    np.testing.assert_allclose(weight.grad, expected, rtol=2e-2, atol=2e-2)
+
+
+@pytest.mark.parametrize("name", ALL_TYPES)
+def test_dense_input_gradients_are_finite_and_nonzero(name):
+    layer = dense_layer(name)
+    x = Tensor(np.random.default_rng(3).normal(size=(2, 4)).astype(np.float32),
+               requires_grad=True)
+    layer(x).sum().backward()
+    assert x.grad is not None
+    assert np.isfinite(x.grad).all()
+    assert np.abs(x.grad).sum() > 0
+
+
+# --------------------------------------------------------------------------- #
+# Factory / state dict round trips
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("name", COMPOSABLE_TYPES)
+def test_factory_conv_forward_shape_for_every_composable_type(name):
+    layer = quadratic_layer(name, 3, 6, kernel_size=3, stride=1, padding=1) \
+        if name != "T4_ID" else quadratic_layer(name, 6, 6, kernel_size=3, padding=1)
+    in_channels = layer.in_channels
+    x = Tensor(np.random.default_rng(0).normal(size=(2, in_channels, 8, 8)).astype(np.float32))
+    assert layer(x).shape == (2, layer.out_channels, 8, 8)
+
+
+@given(name=neuron_type)
+@settings(max_examples=15, deadline=None)
+def test_state_dict_roundtrip_reproduces_outputs(name):
+    source = dense_layer(name, in_features=4, out_features=4)
+    target = dense_layer(name, in_features=4, out_features=4)
+    target.load_state_dict(source.state_dict())
+    x = Tensor(np.random.default_rng(11).normal(size=(3, 4)).astype(np.float32))
+    with no_grad():
+        np.testing.assert_allclose(source(x).data, target(x).data, rtol=1e-6, atol=1e-7)
+
+
+def test_full_rank_conv_parameter_count_is_quadratic_in_patch():
+    small = QuadraticConv2dT1(2, 4, kernel_size=3, bias=False)
+    large = QuadraticConv2dT1(4, 4, kernel_size=3, bias=False)
+    # Doubling the input channels doubles the patch size and quadruples the
+    # bilinear tensor (the P2 memory-explosion mechanism).
+    assert large.num_parameters() == 4 * small.num_parameters()

@@ -1,0 +1,90 @@
+"""Tests of seeding, logging tables and serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+from repro.utils import (
+    MetricLogger,
+    current_seed,
+    format_table,
+    seed_everything,
+    spawn_rng,
+)
+
+
+class TestSeeding:
+    def test_seed_everything_reproducible_init(self):
+        seed_everything(7)
+        a = init.kaiming_normal((8, 8))
+        seed_everything(7)
+        b = init.kaiming_normal((8, 8))
+        assert np.allclose(a, b)
+
+    def test_current_seed(self):
+        seed_everything(42)
+        assert current_seed() == 42
+
+    def test_spawn_rng_independent_streams(self):
+        seed_everything(1)
+        a = spawn_rng(0).random(5)
+        b = spawn_rng(1).random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_rng_reproducible(self):
+        seed_everything(1)
+        a = spawn_rng(3).random(5)
+        seed_everything(1)
+        b = spawn_rng(3).random(5)
+        assert np.allclose(a, b)
+
+    def test_numpy_global_seeded(self):
+        seed_everything(9)
+        a = np.random.rand(3)
+        seed_everything(9)
+        b = np.random.rand(3)
+        assert np.allclose(a, b)
+
+
+class TestMetricLogger:
+    def test_log_and_mean(self):
+        logger = MetricLogger()
+        logger.log(loss=1.0)
+        logger.log(loss=3.0)
+        assert logger.mean("loss") == pytest.approx(2.0)
+        assert logger.last("loss") == pytest.approx(3.0)
+
+    def test_window_mean(self):
+        logger = MetricLogger()
+        for value in (10.0, 1.0, 3.0):
+            logger.log(loss=value)
+        assert logger.mean("loss", window=2) == pytest.approx(2.0)
+
+    def test_missing_key_is_nan(self):
+        assert np.isnan(MetricLogger().mean("nope"))
+
+    def test_summary(self):
+        logger = MetricLogger()
+        logger.log(a=1.0, b=2.0)
+        assert set(logger.summary()) == {"a", "b"}
+
+    def test_elapsed_positive(self):
+        assert MetricLogger().elapsed() >= 0.0
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["model", "acc"], [["vgg", 0.93], ["resnet", 0.91]],
+                            title="Table X")
+        assert "Table X" in text
+        assert "model" in text and "vgg" in text
+        assert "0.93" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["x", 1.0]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1])  # header and separator same width
+
+    def test_handles_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
