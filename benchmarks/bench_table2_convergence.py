@@ -7,12 +7,13 @@ plain network gets deep (VGG-16 collapses to 10% = chance), while the
 identity and linear-term designs keep training; residual structures save all
 designs.
 
-This benchmark reproduces the same contrast at reduced scale: a shallow plain
-QDNN, a deep plain QDNN and a small residual QDNN trained on the synthetic
-CIFAR-10 stand-in.  The structural claim checked is the *relative* one —
-designs with a linear path must beat the pure second-order designs on the
-deep plain network by a wide margin, and the deep plain network must not be a
-problem for our design.
+This benchmark reproduces the same contrast at reduced scale — and it is
+ported to the unified experiment API: every plain-VGG variant is a
+genome-based :class:`~repro.experiment.ModelSpec`, the residual variant is
+the registry model ``resnet8``, and training runs through the
+:class:`~repro.experiment.Experiment` facade.  Only the T4+Identity plain
+network (whose channel-changing layers need a mixed T4/T4_ID construction)
+is built by hand and *injected* into the same facade.
 """
 
 import numpy as np
@@ -22,81 +23,97 @@ from common import BATCH_SIZE, IMAGE_SIZE, MAX_BATCHES, NUM_CLASSES, WIDTH, clas
 from repro import nn
 from repro.builder import QuadraticModelConfig
 from repro.builder.constructors import conv_block
-from repro.models import ResNet, vgg_from_cfg
-from repro.training import train_classifier
+from repro.experiment import DataSpec, Experiment, ExperimentSpec, ModelSpec, TrainSpec
 from repro.utils import print_table
 
 DESIGNS = ["T2", "T3", "T4", "T4_ID", "OURS"]
 
-# Scaled structures standing in for VGG-8 / VGG-16 / ResNet-32.
-SHALLOW_CFG = [16, "M", 32, "M"]                                  # "VGG-8"
-DEEP_CFG = [16, 16, "M", 32, 32, 32, "M", 32, 32, 32, "M"]        # "VGG-16"
-RESNET_BLOCKS = [1, 1, 1]                                         # "ResNet-32"
+# Scaled structures standing in for VGG-8 / VGG-16 / ResNet-32, expressed as
+# architecture genomes (per-stage conv counts and widths).
+SHALLOW_GENOME = {"stage_depths": [1, 1], "stage_widths": [16, 32]}                 # "VGG-8"
+DEEP_GENOME = {"stage_depths": [2, 3, 3], "stage_widths": [16, 32, 32]}            # "VGG-16"
 
 EPOCHS = 4
 CHANCE = 1.0 / NUM_CLASSES
 
 
-def _train(model, train_set, test_set, seed):
-    # Table 2 is the convergence-at-depth experiment, so it gets a slightly
-    # larger budget than the other benches: every batch of the synthetic
-    # training set, four epochs.
-    return train_classifier(model, train_set, test_set, epochs=EPOCHS, batch_size=BATCH_SIZE,
-                            lr=0.05, max_batches_per_epoch=None, seed=seed)
+def _spec(model: ModelSpec, seed_offset: int) -> ExperimentSpec:
+    """Table 2's training budget: every batch of the synthetic set, 4 epochs."""
+    return ExperimentSpec(
+        seed=1234 + seed_offset,  # fresh_seed()-compatible model-init seeding
+        model=model,
+        data=DataSpec(num_classes=NUM_CLASSES, image_size=IMAGE_SIZE),
+        train=TrainSpec(epochs=EPOCHS, batch_size=BATCH_SIZE, lr=0.05,
+                        max_batches_per_epoch=None, seed=3),
+        steps=["build", "fit"],
+    )
 
 
-def _build_plain(cfg, design):
-    if design != "T4_ID":
-        config = QuadraticModelConfig(neuron_type=design, width_multiplier=WIDTH,
-                                      use_batchnorm=True, use_activation=True)
-        return vgg_from_cfg(cfg, num_classes=NUM_CLASSES, config=config)
+def _plain_spec(genome: dict, design: str, seed_offset: int) -> ExperimentSpec:
+    model = ModelSpec(genome={**genome, "neuron_type": design},
+                      num_classes=NUM_CLASSES, width_multiplier=WIDTH)
+    return _spec(model, seed_offset)
 
-    # T4+Identity needs matching input/output channels, so channel-changing
-    # layers (the stem and stage transitions) use plain T4 while every
-    # same-width layer adds the identity mapping — the closest faithful
-    # rendering of the Table 2 baseline inside a VGG-style config.
+
+def _resnet_spec(design: str, seed_offset: int) -> ExperimentSpec:
+    if design == "T4_ID":
+        # Residual blocks change channel counts; fall back to T4 inside blocks,
+        # the residual connection itself provides the identity path (as in the paper).
+        design = "T4"
+    model = ModelSpec(name="resnet8", neuron_type=design, num_classes=NUM_CLASSES,
+                      width_multiplier=WIDTH)
+    return _spec(model, seed_offset)
+
+
+def _build_t4_id_plain(genome: dict):
+    """T4+Identity needs matching input/output channels, so channel-changing
+    layers (the stem and stage transitions) use plain T4 while every
+    same-width layer adds the identity mapping — the closest faithful
+    rendering of the Table 2 baseline inside a VGG-style config."""
     id_config = QuadraticModelConfig(neuron_type="T4_ID", width_multiplier=WIDTH)
     t4_config = QuadraticModelConfig(neuron_type="T4", width_multiplier=WIDTH)
     layers = []
     channels = 3
-    for item in cfg:
-        if item == "M":
-            layers.append(nn.MaxPool2d(2))
-            continue
-        width = id_config.scaled(int(item))
-        config = id_config if width == channels else t4_config
-        layers.extend(conv_block(config, channels, width))
-        channels = width
+    for depth, width in zip(genome["stage_depths"], genome["stage_widths"]):
+        for _ in range(depth):
+            scaled = id_config.scaled(int(width))
+            config = id_config if scaled == channels else t4_config
+            layers.extend(conv_block(config, channels, scaled))
+            channels = scaled
+        layers.append(nn.MaxPool2d(2))
     features = nn.Sequential(*layers)
     head = nn.Sequential(nn.GlobalAvgPool2d(), nn.Linear(channels, NUM_CLASSES))
     return nn.Sequential(features, head)
 
 
-def _build_resnet(design):
-    config = QuadraticModelConfig(neuron_type=design, width_multiplier=WIDTH)
-    if design == "T4_ID":
-        # Residual blocks change channel counts; fall back to T4 inside blocks,
-        # the residual connection itself provides the identity path (as in the paper).
-        config = QuadraticModelConfig(neuron_type="T4", width_multiplier=WIDTH)
-    return ResNet(RESNET_BLOCKS, num_classes=NUM_CLASSES, config=config)
-
-
 def test_table2_convergence_of_neuron_designs(benchmark):
     fresh_seed(2)
-    train_set, test_set = classification_data()
+    datasets = classification_data()
+    train_set, _ = datasets
 
     results = {}
     rows = []
     for design_index, design in enumerate(DESIGNS):
         row = [design]
         entry = {}
-        for structure_index, (structure, builder) in enumerate((
-            ("VGG-8 (shallow plain)", lambda d=design: _build_plain(SHALLOW_CFG, d)),
-            ("VGG-16 (deep plain)", lambda d=design: _build_plain(DEEP_CFG, d)),
-            ("ResNet-32 (residual)", lambda d=design: _build_resnet(d)),
-        )):
-            fresh_seed(100 * design_index + structure_index)
-            history = _train(builder(), train_set, test_set, seed=3)
+        structures = (
+            ("VGG-8 (shallow plain)", SHALLOW_GENOME),
+            ("VGG-16 (deep plain)", DEEP_GENOME),
+            ("ResNet-32 (residual)", None),
+        )
+        for structure_index, (structure, genome) in enumerate(structures):
+            seed_offset = 100 * design_index + structure_index
+            if genome is None:
+                experiment = Experiment(_resnet_spec(design, seed_offset), datasets=datasets)
+            elif design == "T4_ID":
+                fresh_seed(seed_offset)
+                model = _build_t4_id_plain(genome)
+                experiment = Experiment(_plain_spec(genome, "T4", seed_offset),
+                                        model=model, datasets=datasets)
+            else:
+                experiment = Experiment(_plain_spec(genome, design, seed_offset),
+                                        datasets=datasets)
+            history = experiment.fit()
             train_acc = history.final_train_accuracy
             test_acc = history.final_test_accuracy
             row.extend([round(train_acc, 3), round(test_acc, 3)])
@@ -126,7 +143,7 @@ def test_table2_convergence_of_neuron_designs(benchmark):
         assert results[design]["VGG-8 (shallow plain)"]["train"] > CHANCE + 0.05
 
     # Timed kernel: one training step of the deep plain QDNN with our neuron.
-    model = _build_plain(DEEP_CFG, "OURS")
+    model = Experiment(_plain_spec(DEEP_GENOME, "OURS", 0)).build()
     from repro.autodiff import Tensor
     from repro.nn.losses import CrossEntropyLoss
 

@@ -4,18 +4,17 @@ Run with::
 
     python examples/image_classification.py
 
-The script takes a first-order convolutional network, converts it to a QDNN
-with the auto-builder (layer replacement), trains both on the synthetic
-CIFAR-10 stand-in, and compares accuracy, parameter count and training
-memory — a miniature version of the paper's Table 3 experiment.
+Each Table-3-style row is one declarative :class:`~repro.experiment.ExperimentSpec`:
+the first-order baseline is ``ModelSpec(neuron_type="first_order")``, and the
+QuadraNN variants simply set ``auto_build=True`` so the
+:class:`~repro.builder.AutoBuilder` converts the first-order structure to the
+paper's quadratic neuron during ``Experiment.build()``.  The
+``fit``/``evaluate``/``profile`` steps then run through the same facade — a
+miniature version of the paper's Table 3 experiment with no hand-wiring.
 """
 
-from repro.builder import AutoBuilder, QuadraticModelConfig
-from repro.data.synthetic import SyntheticImageClassification
-from repro.models import SmallConvNet
-from repro.profiler import estimate_training_memory, profile_model
-from repro.training import train_classifier
-from repro.utils import print_table, seed_everything
+from repro.experiment import DataSpec, Experiment, ExperimentSpec, ModelSpec, ProfileSpec, TrainSpec
+from repro.utils import print_table
 
 EPOCHS = 3
 BATCH_SIZE = 32
@@ -23,35 +22,43 @@ IMAGE_SIZE = 16
 NUM_CLASSES = 6
 
 
-def main() -> None:
-    seed_everything(0)
-    train_set = SyntheticImageClassification(num_samples=256, num_classes=NUM_CLASSES,
-                                             image_size=IMAGE_SIZE, split_seed=0)
-    test_set = SyntheticImageClassification(num_samples=128, num_classes=NUM_CLASSES,
-                                            image_size=IMAGE_SIZE, split_seed=1)
+def variant_spec(name: str, neuron_type: str, hybrid: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        seed=1,
+        model=ModelSpec(
+            name="small_convnet",
+            neuron_type=neuron_type,
+            num_classes=NUM_CLASSES,
+            width_multiplier=0.5,
+            hybrid_bp=hybrid,
+            auto_build=neuron_type != "first_order",
+            extra={"image_size": IMAGE_SIZE},
+        ),
+        data=DataSpec(num_samples=256, test_samples=128, num_classes=NUM_CLASSES,
+                      image_size=IMAGE_SIZE),
+        train=TrainSpec(epochs=EPOCHS, batch_size=BATCH_SIZE, lr=0.05),
+        profile=ProfileSpec(batch_size=BATCH_SIZE),
+        steps=["build", "fit", "profile"],
+    )
 
+
+def main() -> None:
     rows = []
     for name, neuron_type, hybrid in (("First-order CNN", "first_order", False),
                                       ("QuadraNN (auto-built)", "OURS", False),
                                       ("QuadraNN (hybrid BP)", "OURS", True)):
-        seed_everything(1)
-        model = SmallConvNet(num_classes=NUM_CLASSES, image_size=IMAGE_SIZE,
-                             config=QuadraticModelConfig(neuron_type="first_order",
-                                                         width_multiplier=0.5))
+        experiment = Experiment(variant_spec(name, neuron_type, hybrid))
+        experiment.build()
         if neuron_type != "first_order":
-            report = AutoBuilder(neuron_type=neuron_type, hybrid_bp=hybrid).convert(model)
-            print(f"{name}: converted {report.converted_layers} layers "
-                  f"({report.parameters_before:,} → {report.parameters_after:,} parameters)")
-
-        memory = estimate_training_memory(model, (3, IMAGE_SIZE, IMAGE_SIZE),
-                                          num_classes=NUM_CLASSES)
-        history = train_classifier(model, train_set, test_set, epochs=EPOCHS,
-                                   batch_size=BATCH_SIZE, lr=0.05)
-        profile = profile_model(model, (3, IMAGE_SIZE, IMAGE_SIZE))
+            print(f"{name}: auto-built with {experiment.results['build']['parameters']:,} "
+                  f"parameters")
+        history = experiment.fit()
+        profile = experiment.profile()
         rows.append([
             name,
-            f"{profile.total_parameters:,}",
-            f"{memory.total_bytes(BATCH_SIZE) / 2**20:.1f} MiB",
+            f"{profile['parameters']:,}",
+            f"{profile['training_memory_bytes'] / 2**20:.1f} MiB",
             f"{history.final_train_accuracy:.3f}",
             f"{history.best_test_accuracy:.3f}",
         ])

@@ -1,27 +1,35 @@
-"""Quickstart: build quadratic layers and see why they beat linear neurons on XOR.
+"""Quickstart: one declarative spec drives everything in the library.
 
 Run with::
 
     python examples/quickstart.py
 
-The script builds the paper's quadratic neuron (``f(X) = (Wa X) ∘ (Wb X) + Wc X``)
-via the ``qua.typenew`` factory, trains a one-hidden-layer quadratic network and a
-linear classifier on the XOR problem, and prints their accuracies — the classic
-demonstration that a quadratic neuron separates what a linear neuron cannot.
+The script shows the unified ``repro.experiment`` API: an
+:class:`~repro.experiment.ExperimentSpec` describes the model / data /
+training recipe as plain data, and the :class:`~repro.experiment.Experiment`
+facade builds and trains it.  It then repeats the classic demonstration that
+a quadratic neuron separates what a linear neuron cannot (XOR, circle
+boundary), with both contenders expressed as specs — and shows that every
+spec round-trips losslessly through JSON (the same file format
+``python -m repro run`` executes).
 """
 
 from repro import nn
 from repro import quadratic as qua
 from repro.autodiff import randn
-from repro.data import TensorDataset
-from repro.data.synthetic import circle_dataset, xor_dataset
-from repro.models import FirstOrderMLP, QuadraticMLP
-from repro.training import train_classifier
+from repro.experiment import (
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    ModelSpec,
+    TrainSpec,
+    neuron_names,
+)
 from repro.utils import print_table, seed_everything
 
 
 def build_a_quadratic_model() -> nn.Module:
-    """The paper's construction-function pattern: quadratic layers are ordinary modules."""
+    """Quadratic layers stay ordinary modules for ad-hoc composition (paper P4)."""
     layers = []
     in_channels = 3
     for width in (16, 32):
@@ -32,35 +40,54 @@ def build_a_quadratic_model() -> nn.Module:
     return nn.Sequential(*layers)
 
 
+def toy_spec(dataset: str, quadratic: bool) -> ExperimentSpec:
+    """A one-hidden-layer quadratic MLP vs. a linear classifier, as specs."""
+    if quadratic:
+        model = ModelSpec(name="mlp", neuron_type="OURS", num_classes=2,
+                          extra={"layer_sizes": [2, 4]})
+    else:
+        model = ModelSpec(name="mlp", neuron_type="first_order", num_classes=2,
+                          extra={"layer_sizes": [2], "activation": False})
+    return ExperimentSpec(
+        name=f"{dataset}-{'quadratic' if quadratic else 'linear'}",
+        model=model,
+        data=DataSpec(name=dataset, num_samples=400, test_samples=100),
+        train=TrainSpec(epochs=15, batch_size=64, lr=0.05),
+        steps=["build", "fit"],
+    )
+
+
 def main() -> None:
     seed_everything(0)
 
-    # 1. Quadratic layers compose exactly like first-order layers (paper P4).
+    # 1. The composition API still works: quadratic layers are plain modules.
     model = build_a_quadratic_model()
     logits = model(randn(4, 3, 32, 32))
     print(f"Quadratic CNN built with qua.typenew(): output shape {logits.shape}, "
           f"{model.num_parameters():,} parameters\n")
 
-    # 2. XOR and the circle boundary: one quadratic hidden layer vs. a linear model.
+    # 2. XOR and the circle boundary, driven entirely by declarative specs.
     rows = []
-    for task_name, (x, y) in (("XOR gate", xor_dataset(400)),
-                              ("circle boundary", circle_dataset(400))):
-        dataset = TensorDataset(x, y)
-        quadratic = QuadraticMLP([2, 4, 2], neuron_type="OURS")
-        linear = FirstOrderMLP([2, 2], activation=False)
-        acc_quadratic = train_classifier(quadratic, dataset, epochs=15, batch_size=64,
-                                         lr=0.05).final_train_accuracy
-        acc_linear = train_classifier(linear, dataset, epochs=15, batch_size=64,
-                                      lr=0.05).final_train_accuracy
-        rows.append([task_name, f"{acc_quadratic:.3f}", f"{acc_linear:.3f}"])
+    for task_name, dataset in (("XOR gate", "xor"), ("circle boundary", "circle")):
+        accuracies = {}
+        for quadratic in (True, False):
+            spec = toy_spec(dataset, quadratic)
+            # Specs are pure data: they survive a JSON round-trip unchanged.
+            spec = ExperimentSpec.from_json(spec.to_json())
+            history = Experiment(spec).fit()
+            accuracies[quadratic] = history.final_train_accuracy
+        rows.append([task_name, f"{accuracies[True]:.3f}", f"{accuracies[False]:.3f}"])
 
     print_table(["Task", "Quadratic (1 hidden layer)", "Linear classifier"], rows,
                 title="Quadratic vs. linear neurons on toy tasks")
 
-    # 3. The neuron-type registry: every design from the paper's Table 1.
+    # 3. The registries every spec references: neuron designs from Table 1.
     print("\nRegistered quadratic neuron designs (paper Table 1):")
-    for name in qua.available_types():
+    for name in neuron_names():
+        if name == "first_order":
+            continue
         print(f"  {qua.resolve_type(name).describe()}")
+    print("\nThe same flow from the shell:  python -m repro run smoke")
 
 
 if __name__ == "__main__":

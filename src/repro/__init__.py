@@ -6,6 +6,8 @@ on top of a from-scratch NumPy autodiff substrate.
 
 Subpackages
 -----------
+``experiment`` the unified experiment API: registries, declarative specs and
+               the ``Experiment`` facade (core entry point)
 ``autodiff``   reverse-mode autodiff engine (Tensor, Function, checkpointing)
 ``nn``         Module/Parameter layer library, losses, initialisation
 ``optim``      SGD/Adam optimizers and learning-rate schedulers
@@ -23,22 +25,44 @@ Subpackages
 
 Quickstart
 ----------
->>> from repro import quadratic as qua
+Everything in the library is driven by one declarative spec and one facade:
+
+>>> from repro.experiment import Experiment, ExperimentSpec, ModelSpec, TrainSpec
+>>> spec = ExperimentSpec(
+...     model=ModelSpec(name="vgg8", neuron_type="OURS", width_multiplier=0.25),
+...     train=TrainSpec(epochs=1, max_batches_per_epoch=2),
+... )
+>>> exp = Experiment(spec)
+>>> model = exp.build()        # registry model + auto-builder switches
+>>> history = exp.fit()        # the paper's SGD + cosine recipe
+>>> costs = exp.profile()      # parameters / MACs / training memory
+>>> _, ppml = exp.to_ppml()    # ReLU→quadratic PPML conversion + online cost
+
+Specs round-trip through JSON, so the same run works from the shell::
+
+    python -m repro run spec.json --out results.json
+    python -m repro list models        # what a spec may reference
+    python -m repro run smoke          # bundled end-to-end preset
+
+Quadratic layers remain ordinary modules for ad-hoc composition:
+
 >>> from repro import nn
->>> model = nn.Sequential(
+>>> from repro import quadratic as qua
+>>> block = nn.Sequential(
 ...     qua.typenew(3, 16, kernel_size=3, padding=1),   # the paper's neuron
 ...     nn.BatchNorm2d(16),
 ...     nn.ReLU(),
 ... )
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 from . import (
     analysis,
     autodiff,
     builder,
     data,
+    experiment,
     explore,
     metrics,
     models,
@@ -58,6 +82,7 @@ __all__ = [
     "data",
     "quadratic",
     "builder",
+    "experiment",
     "explore",
     "models",
     "ppml",

@@ -84,7 +84,9 @@ class QuadraticModelConfig:
 
     @property
     def is_first_order(self) -> bool:
-        return self.neuron_type.lower() in ("first_order", "first-order", "linear", "fo")
+        from ..quadratic.neuron_types import is_first_order
+
+        return is_first_order(self.neuron_type)
 
 
 def scale_vgg_cfg(cfg: Sequence[Union[int, str]], multiplier: float) -> List[Union[int, str]]:

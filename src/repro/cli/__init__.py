@@ -1,18 +1,22 @@
 """``repro.cli`` — command-line interface to the QuadraLib reproduction.
 
-The CLI wraps the library's most common workflows so they can be driven
-without writing Python — the "simple-to-use" usage mode the paper promises for
-the open-source release::
+The CLI is a shell over :mod:`repro.experiment`: a single declarative JSON
+spec drives build → fit → evaluate → profile → ppml, and the component
+registries are browsable by name::
 
-    python -m repro neurons                 # Table-1 view of the neuron designs
+    python -m repro run spec.json --out results.json   # execute a spec
+    python -m repro run smoke                          # bundled preset
+    python -m repro list models                        # registry listings
+    python -m repro list neurons
+    python -m repro list datasets
     python -m repro profile --model vgg16 --neuron-type OURS
-    python -m repro convert --model vgg16
-    python -m repro train --model vgg8 --neuron-type OURS --epochs 2
-    python -m repro ppml --model vgg8 --strategy quadratic_no_relu
-    python -m repro explore --budget 8
+    python -m repro neurons                            # Table-1 view
 
-Every subcommand prints fixed-width tables (the same renderer the benchmark
-harness uses) and exits with status 0 on success.
+The pre-redesign workflow subcommands (``train`` / ``convert`` / ``ppml`` /
+``explore``) keep working as deprecation shims that assemble the equivalent
+spec internally and emit one ``DeprecationWarning`` naming the new entry
+point.  Every subcommand prints fixed-width tables (the same renderer the
+benchmark harness uses) and exits with status 0 on success.
 """
 
 from .main import build_parser, main

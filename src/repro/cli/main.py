@@ -1,58 +1,229 @@
-"""Argument parsing and subcommand implementations of the QuadraLib CLI."""
+"""Argument parsing and subcommand implementations of the QuadraLib CLI.
+
+The CLI is a thin shell over :mod:`repro.experiment`: ``repro run`` executes a
+declarative JSON spec (or a bundled preset) through the
+:class:`~repro.experiment.Experiment` facade, and ``repro list`` prints the
+component registries a spec may reference.  The pre-redesign workflow
+subcommands (``train`` / ``convert`` / ``ppml`` / ``explore``) keep working as
+deprecation shims that assemble the equivalent spec internally.
+"""
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..builder.auto_builder import AutoBuilder
-from ..builder.config import QuadraticModelConfig
-from ..data.synthetic import SyntheticImageClassification
-from ..nn.module import Module
-from ..profiler.flops import profile_model
-from ..profiler.latency import profile_latency
-from ..profiler.memory import estimate_training_memory
+from ..experiment import (
+    ARCHITECTURES,
+    DATASETS,
+    MODELS,
+    OPTIMIZERS,
+    TRAINERS,
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    ModelSpec,
+    PPMLSpec,
+    ProfileSpec,
+    SearchSpec,
+    TrainSpec,
+    get_preset,
+    neuron_names,
+    preset_names,
+)
 from ..quadratic.neuron_types import NEURON_TYPES
+from ..utils.deprecation import warn_deprecated
 from ..utils.logging import format_table
-from ..utils.seed import seed_everything
 
-#: Model families the CLI can build, mapped to their factory in ``repro.models``.
-MODEL_CHOICES = ("vgg8", "vgg16", "vgg16_quadra", "resnet20", "resnet32", "resnet32_quadra",
-                 "mobilenet_v1", "mobilenet_v1_quadra", "lenet")
+#: Model families the CLI can build — the model registry's keys.
+MODEL_CHOICES = tuple(MODELS.names())
+
+#: Models usable by the image-workload subcommands (``mlp`` takes vectors).
+IMAGE_MODEL_CHOICES = tuple(name for name in MODEL_CHOICES if name != "mlp")
+
+#: Component families ``repro list`` can print.
+LIST_CHOICES = ("models", "neurons", "datasets", "trainers", "optimizers",
+                "architectures", "presets")
 
 
-def _build_model(name: str, neuron_type: str, num_classes: int,
-                 width_multiplier: float) -> Module:
-    """Instantiate one of the zoo models with the requested neuron type."""
-    from .. import models
-
-    factories: Dict[str, Callable[..., Module]] = {
-        "vgg8": models.vgg8,
-        "vgg16": models.vgg16,
-        "vgg16_quadra": models.vgg16_quadra,
-        "resnet20": models.resnet20,
-        "resnet32": models.resnet32,
-        "resnet32_quadra": models.resnet32_quadra,
-        "mobilenet_v1": models.mobilenet_v1,
-        "mobilenet_v1_quadra": models.mobilenet_v1_quadra,
-    }
-    if name == "lenet":
-        return models.LeNet(num_classes=num_classes)
-    if name not in factories:
-        raise KeyError(f"unknown model '{name}'; choose from {MODEL_CHOICES}")
-    return factories[name](num_classes=num_classes, neuron_type=neuron_type,
-                           width_multiplier=width_multiplier)
+class CLIError(Exception):
+    """A user-facing CLI error (bad spec, unknown component) — no traceback."""
 
 
 def _print(text: str, stream=None) -> None:
     print(text, file=stream or sys.stdout)
 
 
+def _experiment(spec: ExperimentSpec, **kwargs) -> Experiment:
+    """Wrap spec validation errors as :class:`CLIError` (internal errors pass)."""
+    try:
+        return Experiment(spec, **kwargs)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+
+
+def _legacy_spec(args: argparse.Namespace, **overrides) -> ExperimentSpec:
+    """The ExperimentSpec equivalent of the legacy model/data flag soup."""
+    samples = getattr(args, "samples", 256)
+    # LeNet and SmallConvNet size their classifier head from the input
+    # resolution; the zoo backbones are resolution-agnostic.
+    extra = ({"image_size": args.image_size}
+             if args.model in ("lenet", "small_convnet") else {})
+    spec = ExperimentSpec(
+        seed=args.seed,
+        model=ModelSpec(
+            name=args.model,
+            neuron_type=getattr(args, "neuron_type", "OURS"),
+            num_classes=args.num_classes,
+            width_multiplier=args.width_multiplier,
+            extra=extra,
+        ),
+        data=DataSpec(
+            num_samples=samples,
+            test_samples=max(samples // 2, 16),
+            num_classes=args.num_classes,
+            image_size=args.image_size,
+            seed=args.seed,
+        ),
+        train=TrainSpec(
+            epochs=getattr(args, "epochs", 2),
+            batch_size=getattr(args, "batch_size", 32),
+            lr=getattr(args, "lr", 0.05),
+            max_batches_per_epoch=getattr(args, "max_batches", None),
+            seed=args.seed,
+        ),
+    )
+    return spec.with_(**overrides) if overrides else spec
+
+
 # --------------------------------------------------------------------------- #
-# Subcommands
+# The new entry points: run / list
+# --------------------------------------------------------------------------- #
+
+def _print_run_summary(summary: dict) -> None:
+    """Render the per-step results of an Experiment.run() as tables."""
+    results = summary["results"]
+    spec = summary["spec"]
+    if "build" in results:
+        build = results["build"]
+        rows = [["model", build["model"]], ["neuron type", build["neuron_type"]],
+                ["auto-build", "yes" if build["auto_build"] else "no"],
+                ["parameters", f"{build['parameters']:,}"]]
+        _print(format_table(["Metric", "Value"], rows,
+                            title=f"Experiment '{spec['name']}': build"))
+    if "fit" in results:
+        fit = results["fit"]
+        history = fit.get("history", {})
+        rows = [[epoch + 1, round(loss, 4), round(train_acc, 3),
+                 round(test_acc, 3) if test_acc is not None else "-"]
+                for epoch, (loss, train_acc, test_acc)
+                in enumerate(zip(history.get("train_loss", []),
+                                 history.get("train_accuracy", []),
+                                 history.get("test_accuracy", [])
+                                 or [None] * len(history.get("train_loss", []))))]
+        _print(format_table(["Epoch", "Train loss", "Train acc", "Test acc"], rows,
+                            title=f"fit ({fit['seconds']:.1f}s)"))
+    if "evaluate" in results:
+        _print(format_table(["Metric", "Value"],
+                            [["test accuracy", round(results["evaluate"]["test_accuracy"], 3)]],
+                            title="evaluate"))
+    if "profile" in results:
+        profile = results["profile"]
+        rows = [["parameters", f"{profile['parameters']:,}"],
+                ["MACs (one sample)", f"{profile['macs']:,}"],
+                [f"training memory @ batch {profile['memory_batch_size']}",
+                 f"{profile['training_memory_bytes'] / 1024 ** 3:.2f} GiB"]]
+        if "train_ms_per_batch" in profile:
+            rows.append(["train latency / batch", f"{profile['train_ms_per_batch']:.1f} ms"])
+            rows.append(["inference latency / batch",
+                         f"{profile['inference_ms_per_batch']:.1f} ms"])
+        _print(format_table(["Metric", "Value"], rows, title="profile"))
+    if "ppml" in results:
+        ppml = results["ppml"]
+        rows = [["strategy", ppml["strategy"]], ["protocol", ppml["protocol"]],
+                ["activations replaced", ppml["activations_replaced"]],
+                ["layers quadratized", ppml["layers_quadratized"]],
+                ["online latency before",
+                 "not runnable" if ppml["online_latency_ms_before"] is None
+                 else f"{ppml['online_latency_ms_before']:.1f} ms"],
+                ["online latency after", f"{ppml['online_latency_ms_after']:.1f} ms"],
+                ["online comm before",
+                 "not runnable" if ppml["online_comm_mb_before"] is None
+                 else f"{ppml['online_comm_mb_before']:.1f} MB"],
+                ["online comm after", f"{ppml['online_comm_mb_after']:.1f} MB"]]
+        _print(format_table(["Metric", "Value"], rows, title="ppml"))
+    if "search" in results:
+        search = results["search"]
+        rows = [[entry["key"], f"{entry['parameters']:,}", round(entry["accuracy"], 3)]
+                for entry in search["top"]]
+        _print(format_table(["Candidate", "#Param", "Proxy acc"], rows,
+                            title=f"{search['strategy']} search over "
+                                  f"{search['cardinality']:,} structures "
+                                  f"({search['evaluations_used']} evaluations)"))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute a JSON experiment spec (or bundled preset) end to end."""
+    if os.path.exists(args.spec):
+        try:
+            spec = ExperimentSpec.load(args.spec)
+        except ValueError as error:  # includes json.JSONDecodeError
+            raise CLIError(f"could not parse spec file '{args.spec}': {error}") from None
+    else:
+        try:
+            spec = get_preset(args.spec)
+        except ValueError:
+            raise CLIError(
+                f"'{args.spec}' is neither a spec file nor a bundled preset; "
+                f"presets: {', '.join(preset_names())}") from None
+    if args.steps:
+        spec = spec.with_(steps=[step.strip() for step in args.steps.split(",")])
+    experiment = _experiment(spec)
+    summary = experiment.run()
+    if args.json:
+        import json
+
+        _print(json.dumps(summary, indent=2, default=float))
+    else:
+        _print_run_summary(summary)
+    if args.out:
+        experiment.save_results(args.out)
+        _print(f"\nresults written to {args.out}")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print one component registry as a table."""
+    what = args.what
+    if what == "models":
+        rows = [[name] for name in MODELS.names()]
+        _print(format_table(["Model"], rows, title="Registered models"))
+    elif what == "neurons":
+        return cmd_neurons(args)
+    elif what == "datasets":
+        rows = [[name] for name in DATASETS.names()]
+        _print(format_table(["Dataset"], rows, title="Registered datasets"))
+    elif what == "trainers":
+        rows = [[name] for name in TRAINERS.names()]
+        _print(format_table(["Trainer"], rows, title="Registered trainers"))
+    elif what == "optimizers":
+        rows = [[name] for name in OPTIMIZERS.names()]
+        _print(format_table(["Optimizer"], rows, title="Registered optimizers"))
+    elif what == "architectures":
+        rows = [[name, entry["family"], str(entry["cfg"])]
+                for name, entry in ARCHITECTURES.items()]
+        _print(format_table(["Architecture", "Family", "Configuration"], rows,
+                            title="Registered structure configurations"))
+    else:
+        rows = [[name] for name in preset_names()]
+        _print(format_table(["Preset"], rows, title="Bundled experiment presets"))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Informational subcommands
 # --------------------------------------------------------------------------- #
 
 def cmd_neurons(args: argparse.Namespace) -> int:
@@ -70,38 +241,49 @@ def cmd_neurons(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     """Parameters, MACs, training memory and latency of one model."""
-    seed_everything(args.seed)
-    model = _build_model(args.model, args.neuron_type, args.num_classes, args.width_multiplier)
-    input_shape = (3, args.image_size, args.image_size)
-    profile = profile_model(model, input_shape)
-    memory = estimate_training_memory(model, input_shape)
+    spec = _legacy_spec(args)
+    spec = spec.with_(profile=ProfileSpec(batch_size=args.batch_size, latency=args.latency,
+                                          latency_repeats=args.latency_repeats,
+                                          per_layer=args.per_layer))
+    experiment = _experiment(spec)
+    profile = experiment.profile()
     rows = [
-        ["parameters", f"{profile.total_parameters:,}"],
-        ["MACs (one sample)", f"{profile.total_macs:,}"],
+        ["parameters", f"{profile['parameters']:,}"],
+        ["MACs (one sample)", f"{profile['macs']:,}"],
         ["training memory @ batch "
-         f"{args.batch_size}", f"{memory.total_bytes(args.batch_size) / 1024 ** 3:.2f} GiB"],
+         f"{args.batch_size}", f"{profile['training_memory_bytes'] / 1024 ** 3:.2f} GiB"],
     ]
     if args.latency:
-        latency = profile_latency(model, input_shape, batch_size=min(args.batch_size, 8),
-                                  num_classes=args.num_classes,
-                                  iterations=args.latency_repeats)
-        rows.append(["train latency / batch", f"{latency.train_ms_per_batch:.1f} ms"])
-        rows.append(["inference latency / batch", f"{latency.inference_ms_per_batch:.1f} ms"])
+        rows.append(["train latency / batch", f"{profile['train_ms_per_batch']:.1f} ms"])
+        rows.append(["inference latency / batch",
+                     f"{profile['inference_ms_per_batch']:.1f} ms"])
     _print(format_table(["Metric", "Value"], rows,
                         title=f"{args.model} (neuron type {args.neuron_type})"))
     if args.per_layer:
-        layer_rows = [[l.name, l.layer_type, f"{l.parameters:,}", f"{l.macs:,}"]
-                      for l in profile.layers]
+        layer_rows = [[layer["name"], layer["type"], f"{layer['parameters']:,}",
+                       f"{layer['macs']:,}"] for layer in profile["layers"]]
         _print("")
         _print(format_table(["Layer", "Type", "#Param", "MACs"], layer_rows,
                             title="Per-layer profile"))
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# Legacy workflow subcommands (deprecation shims over the experiment API)
+# --------------------------------------------------------------------------- #
+
 def cmd_convert(args: argparse.Namespace) -> int:
     """Convert a first-order model to a QDNN with the auto-builder."""
+    from ..builder.auto_builder import AutoBuilder
+    from ..utils.seed import seed_everything
+
+    warn_deprecated(
+        "the 'repro convert' subcommand",
+        "'repro run <spec.json>' with ModelSpec(auto_build=True)",
+    )
     seed_everything(args.seed)
-    model = _build_model(args.model, "first_order", args.num_classes, args.width_multiplier)
+    spec = _legacy_spec(args)
+    model = spec.model.with_(neuron_type="first_order").build()
     params_before = model.num_parameters()
     builder = AutoBuilder(neuron_type=args.neuron_type, hybrid_bp=args.hybrid_bp,
                           convert_linear=args.convert_linear)
@@ -119,22 +301,12 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 def cmd_train(args: argparse.Namespace) -> int:
     """Train a model on the synthetic classification workload."""
-    from ..training.classification import train_classifier
-
-    seed_everything(args.seed)
-    train_set = SyntheticImageClassification(num_samples=args.samples,
-                                             num_classes=args.num_classes,
-                                             image_size=args.image_size, seed=args.seed,
-                                             split_seed=0)
-    test_set = SyntheticImageClassification(num_samples=max(args.samples // 2, 16),
-                                            num_classes=args.num_classes,
-                                            image_size=args.image_size, seed=args.seed,
-                                            split_seed=1)
-    model = _build_model(args.model, args.neuron_type, args.num_classes, args.width_multiplier)
-    with np.errstate(all="ignore"):
-        history = train_classifier(model, train_set, test_set, epochs=args.epochs,
-                                   batch_size=args.batch_size, lr=args.lr,
-                                   max_batches_per_epoch=args.max_batches, seed=args.seed)
+    warn_deprecated(
+        "the 'repro train' subcommand",
+        "'repro run <spec.json>' (see 'repro list presets' for starting points)",
+    )
+    experiment = _experiment(_legacy_spec(args))
+    history = experiment.fit()
     rows = [[epoch + 1, round(loss, 4), round(train_acc, 3), round(test_acc, 3)]
             for epoch, (loss, train_acc, test_acc)
             in enumerate(zip(history.train_loss, history.train_accuracy,
@@ -146,26 +318,28 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_ppml(args: argparse.Namespace) -> int:
     """PPML online-cost analysis before/after conversion."""
-    from .. import ppml
-
-    seed_everything(args.seed)
-    model = _build_model(args.model, "first_order", args.num_classes, args.width_multiplier)
-    input_shape = (3, args.image_size, args.image_size)
-    converted, report = ppml.to_ppml_friendly(model, strategy=args.strategy, inplace=False)
-    savings = ppml.ppml_savings(model, converted, input_shape, protocol=args.protocol)
+    warn_deprecated(
+        "the 'repro ppml' subcommand",
+        "'repro run <spec.json>' with a PPMLSpec and steps=['build', 'ppml']",
+    )
+    spec = _legacy_spec(args)
+    spec = spec.with_(model=spec.model.with_(neuron_type="first_order"),
+                      ppml=PPMLSpec(strategy=args.strategy, protocol=args.protocol))
+    experiment = _experiment(spec)
+    _, result = experiment.to_ppml()
     rows = [
         ["strategy", args.strategy],
         ["protocol", args.protocol],
-        ["activations replaced", report.activations_replaced],
-        ["layers quadratized", report.layers_quadratized],
+        ["activations replaced", result["activations_replaced"]],
+        ["layers quadratized", result["layers_quadratized"]],
         ["online latency before",
-         "not runnable" if not savings.before.runnable
-         else f"{savings.before.total.milliseconds:.1f} ms"],
-        ["online latency after", f"{savings.after.total.milliseconds:.1f} ms"],
+         "not runnable" if result["online_latency_ms_before"] is None
+         else f"{result['online_latency_ms_before']:.1f} ms"],
+        ["online latency after", f"{result['online_latency_ms_after']:.1f} ms"],
         ["online comm before",
-         "not runnable" if not savings.before.runnable
-         else f"{savings.before.total.megabytes:.1f} MB"],
-        ["online comm after", f"{savings.after.total.megabytes:.1f} MB"],
+         "not runnable" if result["online_comm_mb_before"] is None
+         else f"{result['online_comm_mb_before']:.1f} MB"],
+        ["online comm after", f"{result['online_comm_mb_after']:.1f} MB"],
     ]
     _print(format_table(["Metric", "Value"], rows,
                         title=f"PPML conversion of {args.model} under {args.protocol}"))
@@ -174,39 +348,31 @@ def cmd_ppml(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     """Random / evolutionary exploration on the synthetic proxy task."""
-    from .. import explore
-
-    seed_everything(args.seed)
-    train_set = SyntheticImageClassification(num_samples=args.samples,
-                                             num_classes=args.num_classes,
-                                             image_size=args.image_size, seed=args.seed,
-                                             split_seed=0)
-    test_set = SyntheticImageClassification(num_samples=max(args.samples // 2, 16),
-                                            num_classes=args.num_classes,
-                                            image_size=args.image_size, seed=args.seed,
-                                            split_seed=1)
-    space = explore.SearchSpace(
-        min_stages=2, max_stages=3, min_convs_per_stage=1, max_convs_per_stage=2,
-        width_choices=(16, 32, 64), neuron_types=("first_order", "OURS"),
+    warn_deprecated(
+        "the 'repro explore' subcommand",
+        "'repro run <spec.json>' with a SearchSpec and steps=['search']",
     )
-    evaluator = explore.ProxyEvaluator(train_set, test_set, num_classes=args.num_classes,
-                                       image_size=args.image_size, epochs=args.epochs,
-                                       batch_size=args.batch_size,
-                                       max_batches_per_epoch=args.max_batches,
-                                       width_multiplier=args.width_multiplier, lr=args.lr,
-                                       seed=args.seed)
-    with np.errstate(all="ignore"):
-        if args.strategy == "random":
-            result = explore.random_search(space, evaluator, budget=args.budget, seed=args.seed)
-        else:
-            config = explore.EvolutionConfig(population_size=max(args.budget // 2, 2),
-                                             generations=2, elite_count=1)
-            result = explore.evolutionary_search(space, evaluator, config, seed=args.seed)
+    spec = _legacy_spec(args)
+    spec = spec.with_(
+        search=SearchSpec(
+            strategy=args.strategy, budget=args.budget, top=args.top,
+            epochs=args.epochs, batch_size=args.batch_size,
+            max_batches_per_epoch=args.max_batches, lr=args.lr,
+            space={"min_stages": 2, "max_stages": 3,
+                   "min_convs_per_stage": 1, "max_convs_per_stage": 2,
+                   "width_choices": [16, 32, 64],
+                   "neuron_types": ["first_order", "OURS"]},
+        ),
+        steps=["search"],
+    )
+    experiment = _experiment(spec)
+    result = experiment.search()
+    search = experiment.results["search"]
     rows = [[e.genome.key(), e.genome.neuron_type, e.genome.num_conv_layers,
              f"{e.parameters:,}", round(e.accuracy, 3)] for e in result.top(args.top)]
     _print(format_table(["Candidate", "Neuron", "#Conv", "#Param", "Proxy acc"], rows,
-                        title=f"{args.strategy} search over {space.cardinality():,} structures "
-                              f"({result.evaluations_used} evaluations)"))
+                        title=f"{args.strategy} search over {search['cardinality']:,} structures "
+                              f"({search['evaluations_used']} evaluations)"))
     return 0
 
 
@@ -215,8 +381,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 
 def _add_model_arguments(parser: argparse.ArgumentParser, default_model: str = "vgg8") -> None:
-    parser.add_argument("--model", default=default_model, choices=MODEL_CHOICES,
-                        help="model family from the zoo")
+    parser.add_argument("--model", default=default_model, choices=IMAGE_MODEL_CHOICES,
+                        help="model family from the registry ('repro list models')")
     parser.add_argument("--neuron-type", default="OURS",
                         help="neuron design (first_order, OURS, T2, T3, T4, fan, ...)")
     parser.add_argument("--num-classes", type=int, default=10)
@@ -243,6 +409,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec (JSON file or preset name)")
+    run.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
+    run.add_argument("--steps", default=None,
+                     help="comma-separated pipeline steps overriding the spec "
+                          "(build,fit,evaluate,profile,ppml,search)")
+    run.add_argument("--out", default=None, help="write the results JSON to this path")
+    run.add_argument("--json", action="store_true",
+                     help="print the results as JSON instead of tables")
+    run.set_defaults(func=cmd_run)
+
+    lister = subparsers.add_parser("list", help="list registered components")
+    lister.add_argument("what", choices=LIST_CHOICES)
+    lister.set_defaults(func=cmd_list)
+
     neurons = subparsers.add_parser("neurons", help="list the quadratic neuron designs (Table 1)")
     neurons.set_defaults(func=cmd_neurons)
 
@@ -254,7 +435,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--latency-repeats", type=int, default=3)
     profile.set_defaults(func=cmd_profile)
 
-    convert = subparsers.add_parser("convert", help="auto-build a QDNN from a first-order model")
+    convert = subparsers.add_parser(
+        "convert", help="[deprecated: use 'run'] auto-build a QDNN from a first-order model")
     _add_model_arguments(convert, default_model="vgg16")
     convert.add_argument("--hybrid-bp", action="store_true",
                          help="use the memory-efficient symbolic-backward layers")
@@ -262,19 +444,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also convert dense layers")
     convert.set_defaults(func=cmd_convert)
 
-    train = subparsers.add_parser("train", help="train a model on the synthetic workload")
+    train = subparsers.add_parser(
+        "train", help="[deprecated: use 'run'] train a model on the synthetic workload")
     _add_model_arguments(train)
     _add_training_arguments(train)
     train.set_defaults(func=cmd_train)
 
-    ppml = subparsers.add_parser("ppml", help="PPML online-cost analysis and conversion")
+    ppml = subparsers.add_parser(
+        "ppml", help="[deprecated: use 'run'] PPML online-cost analysis and conversion")
     _add_model_arguments(ppml)
     ppml.add_argument("--strategy", default="quadratic_no_relu",
                       choices=("square", "quadratic", "quadratic_no_relu"))
     ppml.add_argument("--protocol", default="delphi", choices=("delphi", "gazelle", "cryptonets"))
     ppml.set_defaults(func=cmd_ppml)
 
-    explore = subparsers.add_parser("explore", help="architecture search on the proxy task")
+    explore = subparsers.add_parser(
+        "explore", help="[deprecated: use 'run'] architecture search on the proxy task")
     _add_model_arguments(explore)
     _add_training_arguments(explore)
     explore.add_argument("--strategy", default="random", choices=("random", "evolution"))
@@ -287,6 +472,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import warnings
+
+    # Deprecation shims must be visible on the console (Python hides
+    # DeprecationWarning outside __main__ by default).
+    warnings.simplefilter("default", DeprecationWarning)
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except CLIError as error:
+        # Spec validation and registry lookups; a traceback would bury the
+        # message.  Internal errors still propagate with a full traceback.
+        _print(f"error: {error}", stream=sys.stderr)
+        return 2

@@ -1,0 +1,78 @@
+"""``repro.experiment`` — the unified, declarative experiment API (core).
+
+This package is the canonical way to run anything in the library.  It has
+three layers:
+
+* **registries** (:mod:`repro.experiment.registry`) — models, architectures,
+  datasets, neuron types, trainers and optimizers registered by name;
+* **specs** (:mod:`repro.experiment.spec`) — the JSON-round-trippable
+  :class:`ExperimentSpec` dataclass family describing a whole run as data;
+* **the facade** (:mod:`repro.experiment.experiment`) — :class:`Experiment`,
+  whose ``build``/``fit``/``evaluate``/``profile``/``to_ppml``/``search``
+  methods drive the existing builder, trainers, profilers, PPML converter and
+  exploration loops.
+
+Example
+-------
+>>> from repro.experiment import Experiment, ExperimentSpec, ModelSpec, TrainSpec
+>>> spec = ExperimentSpec(
+...     model=ModelSpec(name="vgg8", neuron_type="OURS", width_multiplier=0.25),
+...     train=TrainSpec(epochs=1, max_batches_per_epoch=2),
+... )
+>>> results = Experiment(spec).run()          # build → fit → evaluate → profile → ppml
+>>> restored = ExperimentSpec.from_json(spec.to_json())   # lossless round-trip
+
+The same spec saved as JSON drives the CLI: ``python -m repro run spec.json``.
+"""
+
+from .experiment import Experiment
+from .presets import PRESETS, get_preset, preset_names
+from .registry import (
+    ARCHITECTURES,
+    DATASETS,
+    MODELS,
+    NEURONS,
+    OPTIMIZERS,
+    TRAINERS,
+    Registry,
+    check_neuron_type,
+    is_first_order,
+    neuron_names,
+)
+from .spec import (
+    PIPELINE_STEPS,
+    SPEC_VERSION,
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    PPMLSpec,
+    ProfileSpec,
+    SearchSpec,
+    TrainSpec,
+)
+
+__all__ = [
+    "Registry",
+    "MODELS",
+    "ARCHITECTURES",
+    "DATASETS",
+    "NEURONS",
+    "TRAINERS",
+    "OPTIMIZERS",
+    "neuron_names",
+    "check_neuron_type",
+    "is_first_order",
+    "SPEC_VERSION",
+    "PIPELINE_STEPS",
+    "ExperimentSpec",
+    "ModelSpec",
+    "DataSpec",
+    "TrainSpec",
+    "ProfileSpec",
+    "PPMLSpec",
+    "SearchSpec",
+    "Experiment",
+    "PRESETS",
+    "get_preset",
+    "preset_names",
+]

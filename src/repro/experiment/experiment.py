@@ -1,0 +1,273 @@
+"""The :class:`Experiment` facade — one object that drives every workflow.
+
+``Experiment`` turns a declarative :class:`repro.experiment.ExperimentSpec`
+into the library's concrete machinery: the model zoo and auto-builder
+(``build``), the trainers (``fit``), the evaluator (``evaluate``), the
+profilers (``profile``), the PPML converter (``to_ppml``) and the design
+exploration drivers (``search``).  ``run()`` executes the spec's pipeline
+steps in order and collects one JSON-serializable results dict, which is what
+``python -m repro run spec.json`` prints and saves.
+
+Example
+-------
+>>> from repro.experiment import Experiment, ExperimentSpec, ModelSpec
+>>> spec = ExperimentSpec(model=ModelSpec(name="vgg8", neuron_type="OURS"))
+>>> exp = Experiment(spec)
+>>> history = exp.fit()
+>>> results = exp.run()            # the full build→fit→evaluate→profile→ppml pipeline
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..nn.module import Module
+from ..utils.seed import seed_everything
+from ..utils.serialization import save_results
+from . import registry as reg
+from .spec import PIPELINE_STEPS, ExperimentSpec
+
+
+class Experiment:
+    """Facade over build / fit / evaluate / profile / ppml / search.
+
+    Parameters
+    ----------
+    spec : ExperimentSpec or dict
+        The declarative description of the run (dicts are deserialized).
+    model : Module, optional
+        Pre-built model to use instead of building from ``spec.model``
+        (benchmarks use this to drive custom structures through the same
+        pipeline).  ``build()`` is a no-op when a model is injected.
+    datasets : (train, test) tuple, optional
+        Pre-built datasets to use instead of building from ``spec.data``.
+    """
+
+    def __init__(self, spec, model: Optional[Module] = None,
+                 datasets: Optional[Tuple[Any, Any]] = None) -> None:
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        if not isinstance(spec, ExperimentSpec):
+            raise TypeError(f"spec must be an ExperimentSpec or dict, got {type(spec).__name__}")
+        spec.validate()
+        self.spec = spec
+        self.model: Optional[Module] = model
+        self._injected_model = model is not None
+        self._datasets = datasets
+        self.history = None
+        self.results: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_file(cls, path: str, **kwargs) -> "Experiment":
+        """Load a JSON spec from disk and wrap it."""
+        return cls(ExperimentSpec.load(path), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str, **kwargs) -> "Experiment":
+        return cls(ExperimentSpec.from_json(text), **kwargs)
+
+    # ------------------------------------------------------------------- build
+    def build(self) -> Module:
+        """Instantiate the model from the spec (seeded for reproducibility)."""
+        if self.model is None:
+            seed_everything(self.spec.seed)
+            self.model = self.spec.model.build()
+        self.results["build"] = {
+            "model": self.spec.model.name if self.spec.model.genome is None else "genome",
+            "neuron_type": self.spec.model.effective_neuron_type,
+            "auto_build": self.spec.model.auto_build,
+            "parameters": self.model.num_parameters(),
+        }
+        return self.model
+
+    def datasets(self) -> Tuple[Any, Any]:
+        """The (train, test) datasets of the spec (built once, then cached)."""
+        if self._datasets is None:
+            self._datasets = (self.spec.data.build(train=True),
+                              self.spec.data.build(train=False))
+        return self._datasets
+
+    # --------------------------------------------------------------------- fit
+    def fit(self):
+        """Train the model with the spec's trainer and optimizer; returns history."""
+        model = self.model if self.model is not None else self.build()
+        train_set, test_set = self.datasets()
+        trainer = reg.TRAINERS.get(self.spec.train.trainer)
+        optimizer_factory = self._optimizer_factory()
+        start = time.perf_counter()
+        with np.errstate(all="ignore"):
+            self.history = trainer(model, train_set, test_set, self.spec.train,
+                                   optimizer_factory=optimizer_factory)
+        result = {"seconds": time.perf_counter() - start}
+        if hasattr(self.history, "to_dict"):
+            result["history"] = self.history.to_dict()
+            result["final_train_accuracy"] = self.history.final_train_accuracy
+            result["final_test_accuracy"] = self.history.final_test_accuracy
+        self.results["fit"] = result
+        return self.history
+
+    def _optimizer_factory(self) -> Callable:
+        train = self.spec.train
+        optimizer_cls = reg.OPTIMIZERS.get(train.optimizer)
+
+        def factory(params):
+            kwargs: Dict[str, Any] = {"lr": train.lr, "weight_decay": train.weight_decay}
+            if train.optimizer == "sgd":
+                kwargs["momentum"] = train.momentum
+            return optimizer_cls(params, **kwargs)
+
+        return factory
+
+    # ---------------------------------------------------------------- evaluate
+    def evaluate(self) -> float:
+        """Top-1 accuracy of the (trained) model on the test split."""
+        from ..data.dataloader import DataLoader
+        from ..training.classification import evaluate_classifier
+
+        model = self.model if self.model is not None else self.build()
+        _, test_set = self.datasets()
+        loader = DataLoader(test_set, batch_size=self.spec.train.batch_size)
+        accuracy = evaluate_classifier(model, loader)
+        self.results["evaluate"] = {"test_accuracy": accuracy}
+        return accuracy
+
+    # ----------------------------------------------------------------- profile
+    def profile(self) -> Dict[str, Any]:
+        """Parameters / MACs / training memory (and optionally latency)."""
+        from ..profiler.flops import profile_model
+        from ..profiler.latency import profile_latency
+        from ..profiler.memory import estimate_training_memory
+
+        model = self.model if self.model is not None else self.build()
+        input_shape = self.spec.data.input_shape
+        profile_cfg = self.spec.profile
+        flops = profile_model(model, input_shape)
+        memory = estimate_training_memory(model, input_shape,
+                                          num_classes=self.spec.model.num_classes)
+        result: Dict[str, Any] = {
+            "parameters": flops.total_parameters,
+            "macs": flops.total_macs,
+            "training_memory_bytes": memory.total_bytes(profile_cfg.batch_size),
+            "memory_batch_size": profile_cfg.batch_size,
+        }
+        if profile_cfg.per_layer:
+            result["layers"] = [
+                {"name": layer.name, "type": layer.layer_type,
+                 "parameters": layer.parameters, "macs": layer.macs}
+                for layer in flops.layers
+            ]
+        if profile_cfg.latency:
+            latency = profile_latency(model, input_shape,
+                                      batch_size=min(profile_cfg.batch_size, 8),
+                                      num_classes=self.spec.model.num_classes,
+                                      iterations=profile_cfg.latency_repeats)
+            result["train_ms_per_batch"] = latency.train_ms_per_batch
+            result["inference_ms_per_batch"] = latency.inference_ms_per_batch
+        self.results["profile"] = result
+        return result
+
+    # -------------------------------------------------------------------- ppml
+    def to_ppml(self) -> Tuple[Module, Dict[str, Any]]:
+        """Convert to a PPML-friendly model and report the online-cost savings."""
+        from .. import ppml
+
+        model = self.model if self.model is not None else self.build()
+        cfg = self.spec.ppml
+        converted, report = ppml.to_ppml_friendly(model, strategy=cfg.strategy, inplace=False)
+        savings = ppml.ppml_savings(model, converted, self.spec.data.input_shape,
+                                    protocol=cfg.protocol)
+        result = {
+            "strategy": cfg.strategy,
+            "protocol": cfg.protocol,
+            "activations_replaced": report.activations_replaced,
+            "layers_quadratized": report.layers_quadratized,
+            "before_runnable": savings.before.runnable,
+            "after_runnable": savings.after.runnable,
+            "online_latency_ms_before": (savings.before.total.milliseconds
+                                         if savings.before.runnable else None),
+            "online_latency_ms_after": savings.after.total.milliseconds,
+            "online_comm_mb_before": (savings.before.total.megabytes
+                                      if savings.before.runnable else None),
+            "online_comm_mb_after": savings.after.total.megabytes,
+        }
+        self.results["ppml"] = result
+        return converted, result
+
+    # ------------------------------------------------------------------ search
+    def search(self):
+        """Run the spec's design exploration; returns a SearchResult."""
+        from ..explore.evaluate import ProxyEvaluator
+        from ..explore.evolution import EvolutionConfig, evolutionary_search
+        from ..explore.random_search import random_search
+
+        cfg = self.spec.search
+        if cfg is None:
+            raise ValueError("this spec has no 'search' section")
+        seed_everything(self.spec.seed)
+        train_set, test_set = self.datasets()
+        space = cfg.build_space()
+        evaluator = ProxyEvaluator(train_set, test_set,
+                                   num_classes=self.spec.data.num_classes,
+                                   image_size=self.spec.data.image_size,
+                                   epochs=cfg.epochs, batch_size=cfg.batch_size,
+                                   max_batches_per_epoch=cfg.max_batches_per_epoch,
+                                   width_multiplier=self.spec.model.width_multiplier,
+                                   lr=cfg.lr, seed=self.spec.seed)
+        with np.errstate(all="ignore"):
+            if cfg.strategy == "random":
+                result = random_search(space, evaluator, budget=cfg.budget,
+                                       seed=self.spec.seed)
+            else:
+                evo = EvolutionConfig(population_size=max(cfg.budget // 2, 2),
+                                      generations=2, elite_count=1)
+                result = evolutionary_search(space, evaluator, evo, seed=self.spec.seed)
+        self.results["search"] = {
+            "strategy": cfg.strategy,
+            "evaluations_used": result.evaluations_used,
+            "cardinality": space.cardinality(),
+            "top": [
+                {"key": entry.genome.key(), "genome": entry.genome.to_dict(),
+                 "accuracy": entry.accuracy, "parameters": entry.parameters}
+                for entry in result.top(cfg.top)
+            ],
+        }
+        return result
+
+    # --------------------------------------------------------------------- run
+    def run(self, steps: Optional[Tuple[str, ...]] = None) -> Dict[str, Any]:
+        """Execute the pipeline steps in the order requested; returns all results.
+
+        Steps run exactly as listed (a spec may e.g. profile before fitting).
+        Note that ``ppml`` is an *analysis* step: it converts a copy of the
+        model to price the savings, and later steps keep operating on the
+        original — to train a converted model, call :meth:`to_ppml` and feed
+        the returned module into a new ``Experiment(spec, model=converted)``.
+        """
+        requested = list(steps) if steps is not None else list(self.spec.steps)
+        unknown = [step for step in requested if step not in PIPELINE_STEPS]
+        if unknown:
+            raise ValueError(f"unknown pipeline step(s) {unknown}; valid: {PIPELINE_STEPS}")
+        dispatch = {
+            "build": self.build,
+            "fit": self.fit,
+            "evaluate": self.evaluate,
+            "profile": self.profile,
+            "ppml": self.to_ppml,
+            "search": self.search,
+        }
+        for step in requested:
+            dispatch[step]()
+        return self.summary()
+
+    def summary(self) -> Dict[str, Any]:
+        """Spec + per-step results as one JSON-serializable dict."""
+        return {"spec": self.spec.to_dict(), "results": dict(self.results)}
+
+    def save_results(self, path: str) -> str:
+        """Persist :meth:`summary` as JSON (via ``utils.serialization``)."""
+        save_results(self.summary(), path)
+        return path

@@ -1,0 +1,113 @@
+"""Bundled experiment specs (``python -m repro run <preset>``).
+
+Presets are ordinary :class:`ExperimentSpec` values expressed in code so the
+CLI and the integration tests have known-fast, known-good starting points.
+``repro run smoke`` is wired into CI as the end-to-end canary: if the spec →
+build → fit → evaluate → profile → ppml path breaks, that test breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .spec import (
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    PPMLSpec,
+    ProfileSpec,
+    SearchSpec,
+    TrainSpec,
+)
+
+PRESETS: Dict[str, Callable[[], ExperimentSpec]] = {}
+
+
+def register_preset(name: str):
+    def _add(fn: Callable[[], ExperimentSpec]) -> Callable[[], ExperimentSpec]:
+        PRESETS[name] = fn
+        return fn
+    return _add
+
+
+def preset_names():
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> ExperimentSpec:
+    """Instantiate a bundled spec by name (``ValueError`` on unknown names)."""
+    if name not in PRESETS:
+        raise ValueError(
+            f"unknown preset '{name}'; bundled presets: {', '.join(preset_names())}"
+        )
+    return PRESETS[name]()
+
+
+@register_preset("smoke")
+def smoke_spec() -> ExperimentSpec:
+    """A quadratic VGG-8 on CIFAR-shaped synthetic data, a few batches only.
+
+    Small enough for a CI smoke test, yet it exercises the full pipeline:
+    registry model build, training, evaluation, analytical profiling and the
+    PPML cost comparison.
+    """
+    return ExperimentSpec(
+        name="smoke",
+        seed=0,
+        model=ModelSpec(name="vgg8", neuron_type="OURS", num_classes=4,
+                        width_multiplier=0.125),
+        data=DataSpec(name="synthetic_classification", num_samples=32, test_samples=16,
+                      num_classes=4, image_size=32),
+        train=TrainSpec(epochs=1, batch_size=16, lr=0.05, max_batches_per_epoch=2),
+        profile=ProfileSpec(batch_size=32),
+        ppml=PPMLSpec(strategy="quadratic_no_relu", protocol="delphi"),
+        steps=["build", "fit", "evaluate", "profile", "ppml"],
+    )
+
+
+@register_preset("vgg8-quadratic")
+def vgg8_quadratic_spec() -> ExperimentSpec:
+    """The paper's shallow QDNN workflow at CIFAR-10 scale (slower than smoke)."""
+    return ExperimentSpec(
+        name="vgg8-quadratic",
+        seed=0,
+        model=ModelSpec(name="vgg8", neuron_type="OURS", num_classes=10,
+                        width_multiplier=0.5),
+        data=DataSpec(name="synthetic_classification", num_samples=256, test_samples=128,
+                      num_classes=10, image_size=32),
+        train=TrainSpec(epochs=2, batch_size=32, lr=0.05),
+        profile=ProfileSpec(batch_size=128, latency=True, latency_repeats=2),
+        ppml=PPMLSpec(strategy="quadratic_no_relu", protocol="delphi"),
+        steps=["build", "fit", "evaluate", "profile", "ppml"],
+    )
+
+
+@register_preset("autobuild-resnet")
+def autobuild_resnet_spec() -> ExperimentSpec:
+    """Auto-builder workflow: first-order ResNet-20 converted to the paper's neuron."""
+    return ExperimentSpec(
+        name="autobuild-resnet",
+        seed=0,
+        model=ModelSpec(name="resnet20", neuron_type="OURS", num_classes=10,
+                        width_multiplier=0.25, auto_build=True),
+        data=DataSpec(num_samples=128, test_samples=64, num_classes=10, image_size=32),
+        train=TrainSpec(epochs=1, batch_size=16, max_batches_per_epoch=4),
+        steps=["build", "fit", "evaluate", "profile"],
+    )
+
+
+@register_preset("explore-small")
+def explore_small_spec() -> ExperimentSpec:
+    """Tiny random design exploration over plain QDNN structures."""
+    return ExperimentSpec(
+        name="explore-small",
+        seed=0,
+        model=ModelSpec(width_multiplier=0.25),
+        data=DataSpec(num_samples=32, test_samples=16, num_classes=4, image_size=16),
+        search=SearchSpec(strategy="random", budget=3, top=3,
+                          space={"min_stages": 2, "max_stages": 3,
+                                 "min_convs_per_stage": 1, "max_convs_per_stage": 2,
+                                 "width_choices": [16, 32],
+                                 "neuron_types": ["first_order", "OURS"]}),
+        steps=["search"],
+    )

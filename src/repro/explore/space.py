@@ -74,7 +74,9 @@ class ArchitectureGenome:
 
     @property
     def is_quadratic(self) -> bool:
-        return self.neuron_type.lower() not in ("first_order", "first-order", "linear", "fo")
+        from ..quadratic.neuron_types import is_first_order
+
+        return not is_first_order(self.neuron_type)
 
     def to_vgg_cfg(self) -> List[Union[int, str]]:
         """The genome as a VGG channel configuration (with ``"M"`` pool markers)."""
@@ -96,12 +98,13 @@ class ArchitectureGenome:
         )
 
     def build(self, num_classes: int, width_multiplier: float = 1.0,
-              in_channels: int = 3) -> Module:
+              in_channels: int = 3, hybrid_bp: bool = False) -> Module:
         """Instantiate the candidate as a trainable model."""
         from ..models.vgg import VGG
 
         return VGG(self.to_vgg_cfg(), num_classes=num_classes,
-                   config=self.to_config(width_multiplier), in_channels=in_channels)
+                   config=self.to_config(width_multiplier, hybrid_bp=hybrid_bp),
+                   in_channels=in_channels)
 
     # ----------------------------------------------------------- serialisation
     def key(self) -> str:

@@ -19,7 +19,7 @@ from .layers.hybrid import (
 )
 from .layers.qconv import QuadraticConv2d, QuadraticConv2dT1
 from .layers.qlinear import QuadraticLinear
-from .neuron_types import resolve_type
+from .neuron_types import ALIASES, available_types, resolve_type
 
 #: Convolutional symbolic-backward (hybrid BP) implementations per neuron type.
 _HYBRID_CONV_LAYERS = {
@@ -40,8 +40,21 @@ def quadratic_layer(neuron_type: str, in_features: int, out_features: int,
     where one exists (convolutions of the ``OURS``, ``T4`` and ``T2_4`` designs,
     dense layers of the ``OURS`` design); other designs fall back to composed
     autodiff.
+
+    Raises
+    ------
+    ValueError
+        If ``neuron_type`` is not a registered design or alias; the message
+        lists every registered neuron type.
     """
-    spec = resolve_type(neuron_type)
+    try:
+        spec = resolve_type(neuron_type)
+    except KeyError:
+        raise ValueError(
+            f"unknown neuron type {neuron_type!r} for quadratic_layer(); "
+            f"registered neuron types: {', '.join(available_types())} "
+            f"(aliases: {', '.join(sorted(ALIASES))})"
+        ) from None
     if kernel_size is None:
         if hybrid_bp and spec.name == "OURS":
             return HybridQuadraticLinear(in_features, out_features, bias=bias)

@@ -174,6 +174,15 @@ ALIASES: Dict[str, str] = {
 }
 
 
+#: Accepted spellings of the non-quadratic baseline "neuron type".
+FIRST_ORDER_NAMES: Tuple[str, ...] = ("first_order", "first-order", "linear", "fo")
+
+
+def is_first_order(name: str) -> bool:
+    """Whether ``name`` denotes the first-order (linear) baseline."""
+    return str(name).strip().lower() in FIRST_ORDER_NAMES
+
+
 def resolve_type(name: str) -> NeuronSpec:
     """Return the :class:`NeuronSpec` for a canonical name or alias."""
     key = name.strip()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from ..nn.module import Module
 from ..optim.lr_scheduler import CosineAnnealingLR, LRScheduler
 from ..optim.sgd import SGD
 from ..quadratic.gradients import GradientFlowProbe
+from ..utils.deprecation import warn_deprecated
 
 
 @dataclass
@@ -55,6 +56,30 @@ class TrainingHistory:
         """True if training never exceeded chance-level ``floor`` accuracy."""
         return self.final_train_accuracy <= floor
 
+    # ------------------------------------------------------------ persistence
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data view so specs, benchmarks and the CLI can persist runs."""
+        return {
+            "train_loss": [float(v) for v in self.train_loss],
+            "train_accuracy": [float(v) for v in self.train_accuracy],
+            "test_accuracy": [float(v) for v in self.test_accuracy],
+            "seconds_per_batch": [float(v) for v in self.seconds_per_batch],
+            "gradient_norms": {name: [float(v) for v in values]
+                               for name, values in self.gradient_norms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TrainingHistory":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored for forward compat)."""
+        return cls(
+            train_loss=[float(v) for v in data.get("train_loss", [])],
+            train_accuracy=[float(v) for v in data.get("train_accuracy", [])],
+            test_accuracy=[float(v) for v in data.get("test_accuracy", [])],
+            seconds_per_batch=[float(v) for v in data.get("seconds_per_batch", [])],
+            gradient_norms={name: [float(v) for v in values]
+                            for name, values in data.get("gradient_norms", {}).items()},
+        )
+
 
 def evaluate_classifier(model: Module, loader: DataLoader) -> float:
     """Top-1 accuracy of ``model`` over a data loader."""
@@ -77,6 +102,33 @@ def train_classifier(model: Module, train_dataset: Dataset, test_dataset: Option
                      grad_probe_layers: Optional[Sequence[str]] = None,
                      max_batches_per_epoch: Optional[int] = None,
                      seed: int = 0) -> TrainingHistory:
+    """Deprecated direct-call trainer; see :class:`repro.experiment.Experiment`.
+
+    The loop itself is unchanged (it still trains exactly as before); new code
+    should declare the recipe in a :class:`repro.experiment.TrainSpec` and call
+    ``Experiment(spec).fit()`` so the run is serializable and reproducible.
+    """
+    warn_deprecated(
+        "repro.training.train_classifier(model, dataset, ...)",
+        "repro.experiment.Experiment(spec).fit() with a TrainSpec",
+    )
+    return _train_classifier_impl(model, train_dataset, test_dataset, epochs=epochs,
+                                  batch_size=batch_size, lr=lr, momentum=momentum,
+                                  weight_decay=weight_decay, scheduler=scheduler,
+                                  label_smoothing=label_smoothing,
+                                  grad_probe_layers=grad_probe_layers,
+                                  max_batches_per_epoch=max_batches_per_epoch, seed=seed)
+
+
+def _train_classifier_impl(model: Module, train_dataset: Dataset,
+                           test_dataset: Optional[Dataset] = None,
+                           epochs: int = 5, batch_size: int = 64, lr: float = 0.1,
+                           momentum: float = 0.9, weight_decay: float = 5e-4,
+                           scheduler: str = "cosine", label_smoothing: float = 0.0,
+                           grad_probe_layers: Optional[Sequence[str]] = None,
+                           max_batches_per_epoch: Optional[int] = None,
+                           seed: int = 0,
+                           optimizer_factory: Optional[Callable] = None) -> TrainingHistory:
     """Train a classifier with the paper's SGD + CosineAnnealing recipe.
 
     Parameters
@@ -86,12 +138,20 @@ def train_classifier(model: Module, train_dataset: Dataset, test_dataset: Option
         epoch (used to regenerate Fig. 7).
     max_batches_per_epoch : int, optional
         Cap on batches per epoch so benchmark rows finish quickly.
+    optimizer_factory : callable, optional
+        ``factory(parameters) -> Optimizer`` override; defaults to the paper's
+        SGD recipe.  The experiment API uses this to honour
+        ``TrainSpec.optimizer``.
     """
     loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=True, drop_last=True,
                         seed=seed)
     test_loader = (DataLoader(test_dataset, batch_size=batch_size) if test_dataset is not None
                    else None)
-    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+    if optimizer_factory is not None:
+        optimizer = optimizer_factory(model.parameters())
+    else:
+        optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
+                        weight_decay=weight_decay)
     lr_scheduler: Optional[LRScheduler] = None
     if scheduler == "cosine":
         lr_scheduler = CosineAnnealingLR(optimizer, t_max=max(epochs, 1))

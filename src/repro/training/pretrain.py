@@ -19,7 +19,7 @@ from ..data.synthetic.classification import SyntheticImageClassification
 from ..models.ssd import SSD, SSDBackbone
 from ..nn import GlobalAvgPool2d, Linear, MaxPool2d, Sequential
 from ..nn.module import Module
-from .classification import TrainingHistory, train_classifier
+from .classification import TrainingHistory, _train_classifier_impl
 
 
 class BackbonePretrainNet(Module):
@@ -47,8 +47,9 @@ def pretrain_backbone(config: QuadraticModelConfig, dataset: SyntheticImageClass
                       seed: int = 0) -> Tuple[Dict[str, np.ndarray], TrainingHistory]:
     """Train a backbone-shaped classifier and return its backbone state dict."""
     model = BackbonePretrainNet(num_classes=dataset.num_classes, config=config)
-    history = train_classifier(model, dataset, epochs=epochs, batch_size=batch_size, lr=lr,
-                               max_batches_per_epoch=max_batches_per_epoch, seed=seed)
+    history = _train_classifier_impl(model, dataset, epochs=epochs, batch_size=batch_size,
+                                     lr=lr, max_batches_per_epoch=max_batches_per_epoch,
+                                     seed=seed)
     return model.backbone.state_dict(), history
 
 

@@ -1,0 +1,37 @@
+"""Once-per-process deprecation warnings for the legacy API surfaces.
+
+The :mod:`repro.experiment` redesign keeps every pre-existing entry point
+working, but routes users to the new declarative API through a *single*
+``DeprecationWarning`` per legacy surface (not one per call, which would
+drown training logs).  Tests can reset the bookkeeping via
+:func:`reset_deprecation_warnings`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_deprecated(key: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit one ``DeprecationWarning`` for ``key``, naming the new-API path.
+
+    Subsequent calls with the same ``key`` are silent until
+    :func:`reset_deprecation_warnings` is called.
+    """
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(
+        f"{key} is deprecated; use {replacement} instead "
+        f"(see repro.experiment for the unified API)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecation warnings have fired (test helper)."""
+    _WARNED.clear()

@@ -1,0 +1,74 @@
+"""Integration smoke tests for the redesigned CLI (``repro run`` / ``repro list``).
+
+``repro run smoke`` is the CI canary for the whole declarative pipeline: a
+bundled spec drives build → fit → evaluate → profile → ppml through the same
+code path a user's ``python -m repro run spec.json`` takes, and the results
+must serialize back to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiment import ExperimentSpec, get_preset
+
+
+def run(argv, capsys) -> str:
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_bundled_smoke_preset(self, capsys, tmp_path):
+        out_path = tmp_path / "results.json"
+        out = run(["run", "smoke", "--out", str(out_path)], capsys)
+        for step in ("build", "fit", "evaluate", "profile", "ppml"):
+            assert step in out
+        data = json.loads(out_path.read_text())
+        assert data["spec"]["model"]["name"] == "vgg8"
+        assert data["spec"]["model"]["neuron_type"] == "OURS"
+        for step in ("build", "fit", "evaluate", "profile", "ppml"):
+            assert step in data["results"]
+        assert data["results"]["build"]["parameters"] > 0
+        assert data["results"]["ppml"]["online_latency_ms_after"] > 0
+
+    def test_run_spec_file_round_trip(self, capsys, tmp_path):
+        # A spec written to disk drives the same pipeline as the preset.
+        spec = get_preset("smoke").with_(name="from-file")
+        spec_path = spec.save(str(tmp_path / "spec.json"))
+        out_path = tmp_path / "results.json"
+        run(["run", spec_path, "--steps", "build,profile", "--out", str(out_path)], capsys)
+        data = json.loads(out_path.read_text())
+        assert list(data["results"]) == ["build", "profile"]
+        assert ExperimentSpec.from_dict(data["spec"]).name == "from-file"
+
+    def test_run_json_output(self, capsys):
+        out = run(["run", "smoke", "--steps", "build", "--json"], capsys)
+        data = json.loads(out)
+        assert data["results"]["build"]["model"] == "vgg8"
+
+    def test_run_unknown_spec_fails_with_preset_listing(self, capsys):
+        assert main(["run", "does-not-exist"]) == 2
+        err = capsys.readouterr().err
+        assert "presets" in err and "smoke" in err
+
+
+class TestList:
+    @pytest.mark.parametrize("what,needle", [
+        ("models", "vgg8"),
+        ("neurons", "OURS"),
+        ("datasets", "synthetic_classification"),
+        ("trainers", "classifier"),
+        ("optimizers", "sgd"),
+        ("architectures", "VGG16"),
+        ("presets", "smoke"),
+    ])
+    def test_list_each_registry(self, what, needle, capsys):
+        assert needle in run(["list", what], capsys)
+
+    def test_list_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["list", "gadgets"])

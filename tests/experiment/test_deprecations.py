@@ -1,0 +1,76 @@
+"""The legacy call signatures keep working behind single deprecation warnings."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.builder import quadratize_module
+from repro.data.synthetic import SyntheticImageClassification
+from repro.models import SmallConvNet
+from repro.nn.layers.conv import Conv2d
+from repro.training import train_classifier
+from repro.utils import reset_deprecation_warnings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def _tiny_data():
+    return SyntheticImageClassification(num_samples=16, num_classes=3, image_size=8,
+                                        split_seed=0)
+
+
+class TestTrainerShim:
+    def test_old_signature_warns_and_still_trains(self):
+        model = SmallConvNet(num_classes=3, image_size=8)
+        with pytest.warns(DeprecationWarning, match="Experiment"):
+            history = train_classifier(model, _tiny_data(), epochs=1, batch_size=8,
+                                       max_batches_per_epoch=1)
+        # The shim delegates to the unchanged loop: one epoch of real training.
+        assert len(history.train_loss) == 1
+        assert history.train_loss[0] == history.train_loss[0]  # not NaN by accident
+
+    def test_warning_fires_exactly_once(self):
+        model = SmallConvNet(num_classes=3, image_size=8)
+        data = _tiny_data()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            train_classifier(model, data, epochs=1, batch_size=8, max_batches_per_epoch=1)
+            train_classifier(model, data, epochs=1, batch_size=8, max_batches_per_epoch=1)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "Experiment" in str(deprecations[0].message)
+
+
+class TestBuilderShim:
+    def test_old_signature_warns_and_still_converts(self):
+        model = SmallConvNet(num_classes=3, image_size=8)
+        convs_before = sum(1 for _, m in model.named_modules() if isinstance(m, Conv2d))
+        with pytest.warns(DeprecationWarning, match="auto_build"):
+            converted = quadratize_module(model, neuron_type="OURS")
+        assert converted == convs_before > 0
+
+    def test_warning_fires_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            quadratize_module(SmallConvNet(num_classes=3, image_size=8))
+            quadratize_module(SmallConvNet(num_classes=3, image_size=8))
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+
+class TestCliShims:
+    def test_legacy_train_subcommand_warns_and_trains(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="repro run"):
+            assert main(["train", "--model", "lenet", "--width-multiplier", "0.25",
+                         "--image-size", "16", "--num-classes", "3", "--samples", "16",
+                         "--epochs", "1", "--batch-size", "8", "--max-batches", "1"]) == 0
+        assert "Train acc" in capsys.readouterr().out

@@ -1,0 +1,161 @@
+"""Tests for the Experiment facade (build / fit / evaluate / profile / ppml / search)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiment import (
+    DataSpec,
+    Experiment,
+    ExperimentSpec,
+    ModelSpec,
+    PPMLSpec,
+    ProfileSpec,
+    SearchSpec,
+    TrainSpec,
+    get_preset,
+    preset_names,
+)
+from repro.models import SmallConvNet
+from repro.training.classification import TrainingHistory
+
+
+def _tiny_spec(**overrides) -> ExperimentSpec:
+    spec = ExperimentSpec(
+        name="tiny",
+        model=ModelSpec(name="small_convnet", neuron_type="OURS", num_classes=4,
+                        width_multiplier=0.25, extra={"image_size": 16}),
+        data=DataSpec(num_samples=32, test_samples=16, num_classes=4, image_size=16),
+        train=TrainSpec(epochs=1, batch_size=8, max_batches_per_epoch=2),
+        profile=ProfileSpec(batch_size=8),
+        ppml=PPMLSpec(),
+    )
+    return spec.with_(**overrides) if overrides else spec
+
+
+class TestExperimentSteps:
+    def test_build_returns_model_and_records_parameters(self):
+        experiment = Experiment(_tiny_spec())
+        model = experiment.build()
+        assert model.num_parameters() > 0
+        assert experiment.results["build"]["parameters"] == model.num_parameters()
+        assert experiment.results["build"]["neuron_type"] == "OURS"
+
+    def test_build_is_reproducible_from_the_spec(self):
+        first = Experiment(_tiny_spec()).build()
+        second = Experiment(_tiny_spec()).build()
+        for (name_a, param_a), (name_b, param_b) in zip(first.named_parameters(),
+                                                        second.named_parameters()):
+            assert name_a == name_b
+            assert (param_a.data == param_b.data).all()
+
+    def test_fit_returns_history_and_serializable_results(self):
+        experiment = Experiment(_tiny_spec())
+        history = experiment.fit()
+        assert isinstance(history, TrainingHistory)
+        assert len(history.train_loss) == 1
+        # The whole summary must be JSON-serializable.
+        text = json.dumps(experiment.summary(), default=float)
+        assert "train_loss" in text
+
+    def test_fit_honours_the_optimizer_registry(self):
+        experiment = Experiment(_tiny_spec(train=TrainSpec(optimizer="adam", epochs=1,
+                                                           batch_size=8,
+                                                           max_batches_per_epoch=2)))
+        history = experiment.fit()
+        assert len(history.train_loss) == 1
+
+    def test_evaluate_returns_accuracy_in_unit_interval(self):
+        experiment = Experiment(_tiny_spec())
+        accuracy = experiment.evaluate()
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_profile_reports_parameters_macs_memory(self):
+        experiment = Experiment(_tiny_spec(profile=ProfileSpec(batch_size=8, per_layer=True)))
+        profile = experiment.profile()
+        assert profile["parameters"] > 0
+        assert profile["macs"] > 0
+        assert profile["training_memory_bytes"] > 0
+        assert len(profile["layers"]) > 0
+
+    def test_to_ppml_reports_savings(self):
+        experiment = Experiment(_tiny_spec(
+            model=ModelSpec(name="small_convnet", neuron_type="first_order", num_classes=4,
+                            width_multiplier=0.25, extra={"image_size": 16})))
+        converted, result = experiment.to_ppml()
+        assert result["activations_replaced"] > 0
+        assert result["online_latency_ms_after"] < result["online_latency_ms_before"]
+
+    def test_search_step(self):
+        spec = _tiny_spec(
+            search=SearchSpec(strategy="random", budget=2, top=2,
+                              space={"min_stages": 2, "max_stages": 2,
+                                     "min_convs_per_stage": 1, "max_convs_per_stage": 1,
+                                     "width_choices": [16],
+                                     "neuron_types": ["first_order", "OURS"]}),
+            steps=["search"],
+        )
+        experiment = Experiment(spec)
+        result = experiment.search()
+        assert result.evaluations_used >= 1
+        assert experiment.results["search"]["top"]
+
+    def test_run_executes_requested_steps_in_order(self):
+        experiment = Experiment(_tiny_spec())
+        summary = experiment.run()
+        assert list(summary["results"]) == ["build", "fit", "evaluate", "profile", "ppml"]
+        assert summary["spec"]["name"] == "tiny"
+
+    def test_run_honours_a_non_canonical_step_order(self):
+        experiment = Experiment(_tiny_spec(steps=["build", "profile", "fit"]))
+        summary = experiment.run()
+        assert list(summary["results"]) == ["build", "profile", "fit"]
+
+    def test_run_rejects_unknown_steps(self):
+        with pytest.raises(ValueError, match="unknown pipeline step"):
+            Experiment(_tiny_spec()).run(steps=("deploy",))
+
+    def test_save_results_round_trips_through_json(self, tmp_path):
+        experiment = Experiment(_tiny_spec(steps=["build", "profile"]))
+        experiment.run()
+        path = experiment.save_results(str(tmp_path / "out.json"))
+        data = json.loads(open(path).read())
+        assert data["results"]["profile"]["parameters"] > 0
+        # A spec reloaded from the results file rebuilds the same experiment.
+        restored = ExperimentSpec.from_dict(data["spec"])
+        assert restored == experiment.spec
+
+
+class TestExperimentInjection:
+    def test_injected_model_skips_spec_build(self):
+        model = SmallConvNet(num_classes=4, image_size=16)
+        experiment = Experiment(_tiny_spec(), model=model)
+        assert experiment.build() is model
+
+    def test_injected_datasets_are_used(self):
+        spec = _tiny_spec()
+        train_set = spec.data.build(train=True)
+        test_set = spec.data.build(train=False)
+        experiment = Experiment(spec, datasets=(train_set, test_set))
+        assert experiment.datasets() == (train_set, test_set)
+
+    def test_dict_spec_accepted(self):
+        experiment = Experiment(_tiny_spec().to_dict())
+        assert experiment.spec.name == "tiny"
+
+    def test_invalid_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            Experiment(42)
+
+
+class TestPresets:
+    def test_presets_are_listed_and_valid(self):
+        assert "smoke" in preset_names()
+        for name in preset_names():
+            get_preset(name).validate()
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="bundled presets"):
+            get_preset("nope")

@@ -1,0 +1,108 @@
+"""Tests for the component registries behind the unified experiment API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.builder.config import MOBILENET_CFGS, RESNET_BLOCKS, VGG_CFGS
+from repro.experiment import (
+    ARCHITECTURES,
+    DATASETS,
+    MODELS,
+    NEURONS,
+    OPTIMIZERS,
+    TRAINERS,
+    ModelSpec,
+    Registry,
+    check_neuron_type,
+    is_first_order,
+    neuron_names,
+)
+from repro.nn.module import Module
+from repro.quadratic.neuron_types import NEURON_TYPES
+
+
+class TestRegistryMechanics:
+    def test_register_and_get(self):
+        registry = Registry("thing")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert "a" in registry and "b" not in registry
+        assert len(registry) == 1
+
+    def test_register_as_decorator(self):
+        registry = Registry("thing")
+
+        @registry.register("fn")
+        def fn():
+            return 42
+
+        assert registry.get("fn") is fn
+
+    def test_lookup_is_case_insensitive(self):
+        registry = Registry("thing")
+        registry.register("MiXeD", "x")
+        assert registry.get("mixed") == "x"
+        assert registry.get("MIXED") == "x"
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("a", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("A", 2)
+
+    def test_unknown_name_lists_registered_entries(self):
+        registry = Registry("widget")
+        registry.register("alpha", 1)
+        registry.register("beta", 2)
+        with pytest.raises(ValueError, match="alpha, beta"):
+            registry.get("gamma")
+
+
+class TestBuiltinRegistries:
+    def test_every_zoo_model_is_registered(self):
+        for name in ("vgg8", "vgg16", "vgg16_quadra", "resnet20", "resnet32",
+                     "resnet32_quadra", "mobilenet_v1", "mobilenet_v1_quadra",
+                     "lenet", "small_convnet", "mlp"):
+            assert name in MODELS
+
+    def test_model_factories_build_modules(self):
+        spec = ModelSpec(name="lenet", neuron_type="first_order", num_classes=3)
+        model = MODELS.get("lenet")(spec)
+        assert isinstance(model, Module)
+
+    def test_architecture_tables_migrated(self):
+        # The former VGG_CFGS / RESNET_BLOCKS / MOBILENET_CFGS tables are all
+        # reachable by name through the registry.
+        for name, cfg in VGG_CFGS.items():
+            entry = ARCHITECTURES.get(name)
+            assert entry["family"] == "vgg" and entry["cfg"] == list(cfg)
+        for name, blocks in RESNET_BLOCKS.items():
+            assert ARCHITECTURES.get(name)["cfg"] == list(blocks)
+        for name, cfg in MOBILENET_CFGS.items():
+            assert ARCHITECTURES.get(name)["cfg"] == [list(b) for b in cfg]
+
+    def test_neuron_registry_mirrors_table1(self):
+        for name in NEURON_TYPES:
+            assert name in NEURONS
+        assert "first_order" in NEURONS
+        assert neuron_names()[0] == "first_order"
+
+    def test_check_neuron_type_resolves_aliases(self):
+        assert check_neuron_type("typenew") == "OURS"
+        assert check_neuron_type("fan") == "T2_4"
+        assert check_neuron_type("linear") == "first_order"
+        assert is_first_order("first_order") and not is_first_order("OURS")
+
+    def test_check_neuron_type_unknown_raises_value_error(self):
+        with pytest.raises(ValueError, match="registered neuron types"):
+            check_neuron_type("T99")
+
+    def test_trainer_and_optimizer_registries(self):
+        assert "classifier" in TRAINERS
+        for name in ("sgd", "adam", "adamw", "rmsprop", "adagrad"):
+            assert name in OPTIMIZERS
+
+    def test_dataset_registry(self):
+        for name in ("synthetic_classification", "xor", "circle"):
+            assert name in DATASETS

@@ -1,0 +1,135 @@
+"""Spec serialization: ExperimentSpec -> to_dict -> from_dict -> build().
+
+The contract of the declarative API is that a spec is pure data: JSON
+round-tripping must be lossless, and a model built from the restored spec
+must be structurally identical (same parameter names and shapes) to one
+built from the original.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiment import (
+    SPEC_VERSION,
+    DataSpec,
+    ExperimentSpec,
+    ModelSpec,
+    SearchSpec,
+    TrainSpec,
+)
+from repro.utils import seed_everything
+
+
+def _parameter_shapes(model):
+    return {name: tuple(param.data.shape) for name, param in model.named_parameters()}
+
+
+def _assert_build_matches(spec: ModelSpec):
+    seed_everything(0)
+    original = spec.build()
+    restored_spec = ModelSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert restored_spec == spec
+    seed_everything(0)
+    restored = restored_spec.build()
+    assert _parameter_shapes(original) == _parameter_shapes(restored)
+
+
+class TestModelSpecRoundTrip:
+    def test_vgg_spec_round_trips_structurally(self):
+        _assert_build_matches(ModelSpec(name="vgg8", neuron_type="OURS", num_classes=5,
+                                        width_multiplier=0.25))
+
+    def test_resnet_spec_round_trips_structurally(self):
+        _assert_build_matches(ModelSpec(name="resnet8", neuron_type="T4", num_classes=7,
+                                        width_multiplier=0.25))
+
+    def test_mlp_spec_round_trips_structurally(self):
+        _assert_build_matches(ModelSpec(name="mlp", neuron_type="OURS", num_classes=3,
+                                        extra={"layer_sizes": [4, 8]}))
+
+    def test_autobuild_spec_round_trips_structurally(self):
+        _assert_build_matches(ModelSpec(name="small_convnet", neuron_type="OURS",
+                                        num_classes=4, width_multiplier=0.25,
+                                        auto_build=True,
+                                        extra={"image_size": 16}))
+
+    def test_genome_spec_round_trips_structurally(self):
+        genome = {"stage_depths": [1, 2], "stage_widths": [16, 32], "neuron_type": "OURS"}
+        _assert_build_matches(ModelSpec(genome=genome, num_classes=4,
+                                        width_multiplier=0.5))
+
+    def test_genome_inherits_model_spec_fields_it_omits(self):
+        from repro.nn.layers.normalization import BatchNorm2d
+
+        spec = ModelSpec(genome={"stage_depths": [1], "stage_widths": [16]},
+                         neuron_type="T4", use_batchnorm=False, num_classes=3)
+        model = spec.build()
+        neuron_types = [module.spec.name for _, module in model.named_modules()
+                        if hasattr(module, "spec")]
+        assert neuron_types == ["T4"]
+        assert not any(isinstance(m, BatchNorm2d) for _, m in model.named_modules())
+
+    def test_genome_explicit_fields_win_over_model_spec(self):
+        spec = ModelSpec(genome={"stage_depths": [1], "stage_widths": [16],
+                                 "neuron_type": "T2"},
+                         neuron_type="T4", num_classes=3)
+        model = spec.build()
+        neuron_types = [module.spec.name for _, module in model.named_modules()
+                        if hasattr(module, "spec")]
+        assert neuron_types == ["T2"]
+        assert spec.effective_neuron_type == "T2"
+
+
+class TestExperimentSpecRoundTrip:
+    def test_full_spec_json_round_trip_is_lossless(self):
+        spec = ExperimentSpec(
+            name="rt",
+            seed=3,
+            model=ModelSpec(name="vgg8", neuron_type="T2_4", num_classes=6,
+                            width_multiplier=0.5, hybrid_bp=True),
+            data=DataSpec(num_samples=64, test_samples=32, num_classes=6, image_size=16),
+            train=TrainSpec(trainer="classifier", optimizer="adam", epochs=3,
+                            batch_size=8, lr=0.01, max_batches_per_epoch=2),
+            search=SearchSpec(strategy="evolution", budget=4,
+                              space={"width_choices": [16, 32]}),
+            steps=["build", "fit", "search"],
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.to_dict() == spec.to_dict()
+
+    def test_save_and_load(self, tmp_path):
+        spec = ExperimentSpec(model=ModelSpec(name="lenet", neuron_type="first_order"))
+        path = spec.save(str(tmp_path / "spec.json"))
+        assert ExperimentSpec.load(path) == spec
+
+    def test_version_is_written_and_checked(self):
+        spec = ExperimentSpec()
+        assert spec.to_dict()["version"] == SPEC_VERSION
+        future = spec.to_dict()
+        future["version"] = SPEC_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ExperimentSpec.from_dict(future).validate()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ExperimentSpec field"):
+            ExperimentSpec.from_dict({"frobnicate": 1})
+        with pytest.raises(ValueError, match="unknown ModelSpec field"):
+            ModelSpec.from_dict({"name": "vgg8", "depth": 3})
+
+    def test_unknown_components_rejected_at_validation(self):
+        with pytest.raises(ValueError, match="registered models"):
+            ExperimentSpec(model=ModelSpec(name="transformer")).validate()
+        with pytest.raises(ValueError, match="registered trainers"):
+            ExperimentSpec(train=TrainSpec(trainer="rl")).validate()
+        with pytest.raises(ValueError, match="registered optimizers"):
+            ExperimentSpec(train=TrainSpec(optimizer="lion")).validate()
+        with pytest.raises(ValueError, match="registered datasets"):
+            ExperimentSpec(data=DataSpec(name="imagenet")).validate()
+        with pytest.raises(ValueError, match="unknown pipeline step"):
+            ExperimentSpec(steps=["build", "deploy"]).validate()
+        with pytest.raises(ValueError, match="requires a SearchSpec"):
+            ExperimentSpec(steps=["search"]).validate()

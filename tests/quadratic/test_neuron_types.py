@@ -33,6 +33,22 @@ class TestRegistry:
         with pytest.raises(KeyError):
             resolve_type("T99")
 
+    def test_quadratic_layer_unknown_type_lists_registered_designs(self):
+        from repro.quadratic import quadratic_layer
+
+        with pytest.raises(ValueError) as excinfo:
+            quadratic_layer("T99", 4, 4, kernel_size=3)
+        message = str(excinfo.value)
+        for name in available_types():
+            assert name in message
+        assert "typenew" in message  # aliases are listed too
+
+    def test_factory_functions_raise_value_error_on_unknown_type(self):
+        from repro.quadratic import quadratic_layer
+
+        with pytest.raises(ValueError, match="registered neuron types"):
+            quadratic_layer("definitely_not_a_neuron", 4, 4)
+
     def test_available_types_matches_registry(self):
         assert set(available_types()) == set(NEURON_TYPES)
 

@@ -94,6 +94,29 @@ class TestClassificationTraining:
         h2 = train_classifier(m2, TensorDataset(x, y), epochs=2, batch_size=32, seed=1)
         assert np.allclose(h1.train_loss, h2.train_loss, atol=1e-6)
 
+    def test_history_round_trips_through_dicts(self):
+        import json
+
+        from repro.training.classification import TrainingHistory
+
+        x, y = xor_dataset(128)
+        model = QuadraticMLP([2, 8, 2])
+        history = train_classifier(model, TensorDataset(x, y), TensorDataset(x, y),
+                                   epochs=2, batch_size=32, grad_probe_layers=["0."])
+        restored = TrainingHistory.from_dict(json.loads(json.dumps(history.to_dict())))
+        assert restored.train_loss == history.train_loss
+        assert restored.train_accuracy == history.train_accuracy
+        assert restored.test_accuracy == history.test_accuracy
+        assert restored.gradient_norms == history.gradient_norms
+        assert restored.final_test_accuracy == history.final_test_accuracy
+
+    def test_history_from_dict_tolerates_missing_keys(self):
+        from repro.training.classification import TrainingHistory
+
+        restored = TrainingHistory.from_dict({"train_loss": [1.0, 0.5]})
+        assert restored.train_loss == [1.0, 0.5]
+        assert restored.test_accuracy == []
+
 
 class TestGANTraining:
     def test_losses_recorded_and_finite(self):
