@@ -15,6 +15,8 @@ Subpackages
 ``quadratic``  quadratic neuron types, layers, hybrid back-propagation (core)
 ``builder``    configuration-driven construction and the QDNN auto-builder (core)
 ``explore``    architecture search / design exploration over QDNN structures
+``inference``  compiled no-grad forward paths, fused quadratic kernels and
+               the micro-batching ``BatchedPredictor`` serving entry point
 ``models``     VGG / ResNet / MobileNet / SNGAN / SSD model zoo
 ``profiler``   training-memory, latency and FLOPs profilers
 ``ppml``       privacy-preserving inference cost models and ReLU→quadratic conversion
@@ -64,6 +66,7 @@ from . import (
     data,
     experiment,
     explore,
+    inference,
     metrics,
     models,
     nn,
@@ -84,6 +87,7 @@ __all__ = [
     "builder",
     "experiment",
     "explore",
+    "inference",
     "models",
     "ppml",
     "profiler",

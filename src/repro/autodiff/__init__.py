@@ -9,7 +9,13 @@ checkpointing.
 
 from .checkpoint import checkpoint
 from .function import Context, Function, unbroadcast
-from .grad_mode import enable_grad, is_grad_enabled, no_grad, set_grad_enabled
+from .grad_mode import (
+    enable_grad,
+    inference_mode,
+    is_grad_enabled,
+    no_grad,
+    set_grad_enabled,
+)
 from .tensor import (
     Tensor,
     arange,
@@ -35,6 +41,7 @@ __all__ = [
     "unbroadcast",
     "checkpoint",
     "no_grad",
+    "inference_mode",
     "enable_grad",
     "is_grad_enabled",
     "set_grad_enabled",

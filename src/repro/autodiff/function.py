@@ -132,6 +132,13 @@ class Function:
 
         ctx = _FunctionContext(cls)
 
+        if not is_grad_enabled():
+            # Inference fast path: nothing will ever call backward, so skip
+            # the parent bookkeeping and the requires_grad propagation scan
+            # entirely.  save_for_backward is already a no-op in this mode.
+            raw = [a.data if isinstance(a, Tensor) else a for a in args]
+            return Tensor(cls.forward(ctx, *raw, **kwargs), _copy=False)
+
         raw_args: List[Any] = []
         tensor_inputs: List[Optional["Tensor"]] = []
         for a in args:
@@ -144,8 +151,7 @@ class Function:
 
         out_data = cls.forward(ctx, *raw_args, **kwargs)
 
-        grad_enabled = is_grad_enabled()
-        requires_grad = grad_enabled and any(
+        requires_grad = any(
             t is not None and t.requires_grad for t in tensor_inputs
         )
 

@@ -4,6 +4,11 @@ The autodiff engine records an operation graph only while gradient mode is
 enabled.  ``no_grad`` mirrors ``torch.no_grad``: inside the context, newly
 created tensors never receive a ``grad_fn`` and never require gradients, which
 makes pure inference both faster and lighter on memory.
+
+With gradient mode disabled, :meth:`Function.apply` takes a slimmer dispatch
+path: no parent tracking and no ``requires_grad`` propagation scan at all.
+``inference_mode`` is the serving-flavoured spelling of the same switch, used
+by :mod:`repro.inference`.
 """
 
 from __future__ import annotations
@@ -62,3 +67,16 @@ def enable_grad():
         yield
     finally:
         _mode.enabled = previous
+
+
+@contextlib.contextmanager
+def inference_mode():
+    """Context manager for pure-inference execution.
+
+    Today this delegates to :func:`no_grad` — same semantics, same fast
+    dispatch path.  It exists as a distinct entry point so serving code reads
+    as what it is; the compiled forward paths in :mod:`repro.inference` run
+    inside it.
+    """
+    with no_grad():
+        yield

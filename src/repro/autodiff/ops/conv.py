@@ -30,12 +30,15 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: Tuple[int, int],
-           padding: Tuple[int, int]) -> np.ndarray:
+           padding: Tuple[int, int], out: np.ndarray = None) -> np.ndarray:
     """Lower image patches into a column tensor.
 
     Parameters
     ----------
     x : array of shape (N, C, H, W)
+    out : optional pre-allocated destination of shape (N, C, kh, kw, OH, OW);
+        the compiled inference path passes a pooled buffer here so the
+        biggest allocation of the convolution is paid only once per shape.
     Returns
     -------
     array of shape (N, C, kh, kw, OH, OW)
@@ -47,7 +50,11 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: Tuple[int, int],
     ow = conv_output_size(w, kw, sw, pw)
     if ph or pw:
         x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    cols_shape = (n, c, kh, kw, oh, ow)
+    if out is not None and out.shape == cols_shape and out.dtype == x.dtype:
+        cols = out
+    else:
+        cols = np.empty(cols_shape, dtype=x.dtype)
     for i in range(kh):
         i_max = i + sh * oh
         for j in range(kw):

@@ -164,20 +164,24 @@ def _print_run_summary(summary: dict) -> None:
                                   f"({search['evaluations_used']} evaluations)"))
 
 
+def _load_spec(reference: str) -> ExperimentSpec:
+    """Resolve a spec argument: a JSON file path or a bundled preset name."""
+    if os.path.exists(reference):
+        try:
+            return ExperimentSpec.load(reference)
+        except ValueError as error:  # includes json.JSONDecodeError
+            raise CLIError(f"could not parse spec file '{reference}': {error}") from None
+    try:
+        return get_preset(reference)
+    except ValueError:
+        raise CLIError(
+            f"'{reference}' is neither a spec file nor a bundled preset; "
+            f"presets: {', '.join(preset_names())}") from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute a JSON experiment spec (or bundled preset) end to end."""
-    if os.path.exists(args.spec):
-        try:
-            spec = ExperimentSpec.load(args.spec)
-        except ValueError as error:  # includes json.JSONDecodeError
-            raise CLIError(f"could not parse spec file '{args.spec}': {error}") from None
-    else:
-        try:
-            spec = get_preset(args.spec)
-        except ValueError:
-            raise CLIError(
-                f"'{args.spec}' is neither a spec file nor a bundled preset; "
-                f"presets: {', '.join(preset_names())}") from None
+    spec = _load_spec(args.spec)
     if args.steps:
         spec = spec.with_(steps=[step.strip() for step in args.steps.split(",")])
     experiment = _experiment(spec)
@@ -219,6 +223,56 @@ def cmd_list(args: argparse.Namespace) -> int:
     else:
         rows = [[name] for name in preset_names()]
         _print(format_table(["Preset"], rows, title="Bundled experiment presets"))
+    return 0
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    """Serve a spec's model through the compiled micro-batching inference path."""
+    import numpy as np
+
+    from ..inference import measure_serving
+
+    spec = _load_spec(args.spec)
+    experiment = _experiment(spec)
+    model = experiment.build()
+    model.eval()
+
+    rng = np.random.default_rng(spec.seed)
+    input_shape = spec.data.input_shape
+    samples = rng.standard_normal((args.samples,) + tuple(input_shape)).astype(np.float32)
+
+    compiled = experiment.compile_inference()
+    results = {
+        "model": spec.model.name,
+        "neuron_type": spec.model.effective_neuron_type,
+        **measure_serving(model, compiled, samples,
+                          max_batch_size=args.max_batch_size,
+                          max_wait=args.max_wait, repeats=args.repeats),
+    }
+    experiment.results["infer"] = results
+    if args.json:
+        import json
+
+        _print(json.dumps(results, indent=2, default=float))
+    else:
+        rows = [
+            ["model", f"{results['model']} ({results['neuron_type']})"],
+            ["compiled steps", results["compiled_steps"]],
+            ["fallback modules", results["fallback_modules"]],
+            ["max |compiled - eager|", f"{results['max_abs_diff']:.2e}"],
+            ["eager latency / sample", f"{results['eager_ms_per_sample']:.2f} ms"],
+            ["compiled latency / sample", f"{results['compiled_ms_per_sample']:.2f} ms"],
+            ["speedup", f"{results['speedup']:.2f}x"],
+            ["batched throughput", f"{results['throughput_samples_per_s']:,.0f} samples/s"],
+            ["micro-batches", f"{results['batches']} "
+                              f"(mean size {results['mean_batch_size']:.1f})"],
+        ]
+        _print(format_table(["Metric", "Value"], rows,
+                            title=f"Compiled inference: {args.samples} samples, "
+                                  f"max batch {args.max_batch_size}"))
+    if args.out:
+        experiment.save_results(args.out)
+        _print(f"\nresults written to {args.out}")
     return 0
 
 
@@ -423,6 +477,22 @@ def build_parser() -> argparse.ArgumentParser:
     lister = subparsers.add_parser("list", help="list registered components")
     lister.add_argument("what", choices=LIST_CHOICES)
     lister.set_defaults(func=cmd_list)
+
+    infer = subparsers.add_parser(
+        "infer", help="compiled micro-batched inference on a spec's model")
+    infer.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
+    infer.add_argument("--samples", type=int, default=64,
+                       help="synthetic samples to serve through the predictor")
+    infer.add_argument("--max-batch-size", type=int, default=8,
+                       help="micro-batch size cap of the BatchedPredictor")
+    infer.add_argument("--max-wait", type=float, default=0.002,
+                       help="seconds the predictor waits to fill a micro-batch")
+    infer.add_argument("--repeats", type=int, default=5,
+                       help="timing repetitions for the latency comparison")
+    infer.add_argument("--out", default=None, help="write the results JSON to this path")
+    infer.add_argument("--json", action="store_true",
+                       help="print the results as JSON instead of a table")
+    infer.set_defaults(func=cmd_infer)
 
     neurons = subparsers.add_parser("neurons", help="list the quadratic neuron designs (Table 1)")
     neurons.set_defaults(func=cmd_neurons)

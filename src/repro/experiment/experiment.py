@@ -57,6 +57,7 @@ class Experiment:
         self.model: Optional[Module] = model
         self._injected_model = model is not None
         self._datasets = datasets
+        self._compiled = None
         self.history = None
         self.results: Dict[str, Any] = {}
 
@@ -169,6 +170,43 @@ class Experiment:
             result["inference_ms_per_batch"] = latency.inference_ms_per_batch
         self.results["profile"] = result
         return result
+
+    # --------------------------------------------------------------- inference
+    def compile_inference(self, recompile: bool = False):
+        """Lower the built model to the compiled no-grad serving path.
+
+        Returns a :class:`repro.inference.CompiledModel` — a flat list of
+        NumPy callables with fused quadratic kernels and pooled buffers that
+        matches the eager forward's outputs without building any graph.  The
+        result is cached; pass ``recompile=True`` after structural changes to
+        the model.
+        """
+        from ..inference import compile_model
+
+        if self._compiled is None or recompile or self._compiled.model is not self.model:
+            model = self.model if self.model is not None else self.build()
+            self._compiled = compile_model(model)
+        self.results["compile"] = {
+            "steps": self._compiled.num_steps,
+            "fallback_modules": len(self._compiled.fallback_modules),
+        }
+        return self._compiled
+
+    def predictor(self, max_batch_size: int = 8, max_wait: float = 0.002,
+                  **kwargs) -> "Any":
+        """A micro-batching :class:`repro.inference.BatchedPredictor`.
+
+        Serves the (cached) compiled model from :meth:`compile_inference`:
+        single samples are coalesced (up to ``max_batch_size`` within
+        ``max_wait`` seconds) into one compiled forward.  Close it when done
+        (it is a context manager), and don't call the compiled model directly
+        while the predictor is serving — they share one buffer pool.
+        """
+        from ..inference import BatchedPredictor
+
+        return BatchedPredictor(self.compile_inference(),
+                                max_batch_size=max_batch_size,
+                                max_wait=max_wait, **kwargs)
 
     # -------------------------------------------------------------------- ppml
     def to_ppml(self) -> Tuple[Module, Dict[str, Any]]:

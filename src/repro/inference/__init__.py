@@ -1,0 +1,45 @@
+"""``repro.inference`` — the compiled, gradient-free serving path.
+
+Training needs the autodiff graph; serving does not.  This package turns a
+trained :class:`~repro.nn.module.Module` into a flat list of closed-over
+NumPy callables (:func:`compile_model`), fuses the quadratic combination
+step into ``out=``-buffered element-wise kernels with a shared ``im2col``
+lowering per layer, and micro-batches single-sample traffic through the
+compiled path (:class:`BatchedPredictor`).
+
+Compiled outputs are verified (tests + ``benchmarks/bench_inference_throughput``)
+to match the eager forward; single-sample latency drops by well over 2× on
+the quadratic backbones because the three weight projections of the paper's
+neuron share one patch lowering and skip all graph construction.
+
+Example
+-------
+>>> from repro.experiment import Experiment, get_preset
+>>> exp = Experiment(get_preset("smoke"))
+>>> exp.build()
+>>> compiled = exp.compile_inference()      # or: compile_model(exp.model)
+>>> logits = compiled(batch)                # raw NumPy in, raw NumPy out
+>>> with exp.predictor(max_batch_size=8) as served:
+...     out = served.predict(batch[0])      # single sample, micro-batched
+"""
+
+from .buffers import BufferPool
+from .compiler import CompiledModel, compile_model, register_compile_rule
+from .evaluation import max_abs_diff, measure_serving
+from .predictor import BatchedPredictor, PendingPrediction, PredictorStats
+
+#: Alias so ``repro.inference.compile(model)`` reads like the spec'd API.
+compile = compile_model
+
+__all__ = [
+    "BufferPool",
+    "CompiledModel",
+    "compile_model",
+    "compile",
+    "register_compile_rule",
+    "BatchedPredictor",
+    "PendingPrediction",
+    "PredictorStats",
+    "max_abs_diff",
+    "measure_serving",
+]

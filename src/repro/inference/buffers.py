@@ -1,0 +1,60 @@
+"""Reusable output buffers for the compiled inference path.
+
+Eager evaluation allocates a fresh array for every intermediate result of
+every layer, every call.  At serving time the intermediate *shapes* are
+stable — the same model sees the same input resolution and a small set of
+micro-batch sizes — so the compiled path rents its scratch space from a
+:class:`BufferPool` instead: one persistent array per (step, role, shape)
+triple, written through NumPy ``out=`` arguments.  After the first call with
+a given batch size a compiled forward performs close to zero element-wise
+allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+
+class BufferPool:
+    """A keyed pool of NumPy scratch arrays.
+
+    Buffers are identified by an arbitrary hashable ``key`` (the compiler
+    uses ``(step_index, role)``) plus the requested shape and dtype, so the
+    same step can serve several batch sizes without aliasing.  Contents are
+    never zeroed — callers must fully overwrite what they rent.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[Hashable, Tuple[int, ...], np.dtype], np.ndarray] = {}
+        #: buffers handed out since creation (cache hits + misses); for tests
+        self.requests = 0
+        #: buffers actually allocated (cache misses)
+        self.allocations = 0
+
+    def get(self, key: Hashable, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """Rent the buffer for ``key`` at ``shape``; allocated once, then reused."""
+        full_key = (key, tuple(int(s) for s in shape), np.dtype(dtype))
+        self.requests += 1
+        buffer = self._buffers.get(full_key)
+        if buffer is None:
+            buffer = np.empty(full_key[1], dtype=full_key[2])
+            self._buffers[full_key] = buffer
+            self.allocations += 1
+        return buffer
+
+    def clear(self) -> None:
+        """Drop every cached buffer (e.g. after an input-resolution change)."""
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __repr__(self) -> str:
+        return f"BufferPool({len(self)} buffers, {self.nbytes / 1024 ** 2:.2f} MiB)"

@@ -68,6 +68,10 @@ class MobileNetV1(Module):
     def forward(self, x):
         return self.head(self.blocks(self.stem(x)))
 
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.stem, self.blocks, self.head)
+
     def extra_repr(self) -> str:
         return f"dw_blocks={self.num_dw_blocks}, type={self.config.neuron_type}"
 

@@ -75,6 +75,10 @@ class ResNet(Module):
     def forward(self, x):
         return self.head(self.stages(self.stem(x)))
 
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.stem, self.stages, self.head)
+
     def extra_repr(self) -> str:
         return f"blocks={self.block_counts}, type={self.config.neuron_type}"
 

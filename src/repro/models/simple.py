@@ -54,6 +54,10 @@ class SmallConvNet(Module):
     def forward(self, x):
         return self.classifier(self.features(x))
 
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.features, self.classifier)
+
 
 class QuadraticMLP(Module):
     """MLP whose hidden layers are quadratic (toy tasks / unit tests)."""
@@ -68,6 +72,10 @@ class QuadraticMLP(Module):
     def forward(self, x):
         return self.net(x)
 
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.net,)
+
 
 class FirstOrderMLP(Module):
     """Plain MLP baseline for the toy comparisons."""
@@ -80,6 +88,10 @@ class FirstOrderMLP(Module):
 
     def forward(self, x):
         return self.net(x)
+
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.net,)
 
 
 class LeNet(Module):
@@ -107,3 +119,7 @@ class LeNet(Module):
 
     def forward(self, x):
         return self.classifier(self.features(x))
+
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.features, self.classifier)

@@ -39,6 +39,10 @@ class VGG(Module):
     def forward(self, x):
         return self.classifier(self.features(x))
 
+    def inference_plan(self):
+        """Execution stages for :func:`repro.inference.compile_model`."""
+        return (self.features, self.classifier)
+
     def extra_repr(self) -> str:
         return f"conv_layers={self.num_conv_layers}, type={self.config.neuron_type}"
 

@@ -23,20 +23,51 @@ class LatencyReport:
     batch_size: int
     warmup_iterations: int
     timed_iterations: int
+    #: forward time of the compiled no-grad path (``compiled=True`` only).
+    compiled_ms_per_batch: Optional[float] = None
+
+    @property
+    def compiled_speedup(self) -> Optional[float]:
+        """Eager-inference over compiled-inference time (None if not measured)."""
+        if not self.compiled_ms_per_batch:
+            return None
+        return self.inference_ms_per_batch / self.compiled_ms_per_batch
 
 
 def _median_ms(samples) -> float:
     return float(np.median(np.asarray(samples)) * 1000.0)
 
 
+def median_runtime_ms(fn, warmup: int = 1, iterations: int = 3) -> float:
+    """Median wall-clock milliseconds of ``fn()`` over ``iterations`` runs.
+
+    The shared timing primitive behind :func:`profile_latency`, the
+    ``repro infer`` CLI and the inference benchmark — one definition so the
+    three surfaces always measure the same way.
+    """
+    samples = []
+    for i in range(warmup + iterations):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if i >= warmup:
+            samples.append(elapsed)
+    return _median_ms(samples)
+
+
 def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size: int = 8,
                     num_classes: Optional[int] = None, warmup: int = 1,
-                    iterations: int = 3, seed: int = 0) -> LatencyReport:
+                    iterations: int = 3, seed: int = 0,
+                    compiled: bool = False) -> LatencyReport:
     """Measure train (forward+backward) and inference (forward-only) time per batch.
 
     The absolute numbers are CPU times on the NumPy substrate; the benchmark
     tables report them alongside the paper's GPU milliseconds because only the
     *relative* ordering between model variants is expected to transfer.
+
+    With ``compiled=True`` the model is additionally lowered through
+    :func:`repro.inference.compile_model` and the compiled forward is timed,
+    filling ``compiled_ms_per_batch`` in the report.
     """
     rng = np.random.default_rng(seed)
     c, h, w = input_shape
@@ -45,35 +76,38 @@ def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size
     loss_fn = CrossEntropyLoss()
 
     # ---- training iteration timing
-    model.train(True)
-    train_samples = []
-    for i in range(warmup + iterations):
+    def train_step() -> None:
         model.zero_grad()
-        start = time.perf_counter()
         out = model(x)
         loss = loss_fn(out, labels) if labels is not None and out.ndim == 2 else out.sum()
         loss.backward()
-        elapsed = time.perf_counter() - start
-        if i >= warmup:
-            train_samples.append(elapsed)
+
+    model.train(True)
+    train_ms = median_runtime_ms(train_step, warmup=warmup, iterations=iterations)
     model.zero_grad()
 
     # ---- inference timing
     model.train(False)
-    infer_samples = []
     with no_grad():
-        for i in range(warmup + iterations):
-            start = time.perf_counter()
-            model(x)
-            elapsed = time.perf_counter() - start
-            if i >= warmup:
-                infer_samples.append(elapsed)
+        infer_ms = median_runtime_ms(lambda: model(x), warmup=warmup,
+                                     iterations=iterations)
+    # ---- compiled inference timing (optional; still in eval mode so any
+    # fallback modules see the same semantics as the eager timing above)
+    compiled_ms = None
+    if compiled:
+        from ..inference import compile_model
+
+        compiled_model = compile_model(model)
+        raw = x.data
+        compiled_ms = median_runtime_ms(lambda: compiled_model(raw),
+                                        warmup=warmup, iterations=iterations)
     model.train(True)
 
     return LatencyReport(
-        train_ms_per_batch=_median_ms(train_samples),
-        inference_ms_per_batch=_median_ms(infer_samples),
+        train_ms_per_batch=train_ms,
+        inference_ms_per_batch=infer_ms,
         batch_size=batch_size,
         warmup_iterations=warmup,
         timed_iterations=iterations,
+        compiled_ms_per_batch=compiled_ms,
     )

@@ -1,42 +1,68 @@
 """Functional forms of the quadratic neuron computations.
 
-Each function maps first-order responses (already computed with standard
-linear/conv primitives) into the quadratic neuron output of a given type.
-Keeping the *combination* step separate from the *projection* step is what
-makes the paper's implementation-feasibility point concrete (P4): every
-quadratic design except T1 can be assembled from first-order layers plus
-element-wise operations that any DNN library already provides.
+Every quadratic neuron in the library is evaluated in two stages, and this
+module is the single place where that split is defined:
+
+* **Projection** — first-order responses of the input, computed with the
+  standard linear/conv primitives a layer owns: ``Wa X``, ``Wb X``, ``Wc X``,
+  the squared-input projection ``W X²``, the raw identity path ``X`` and (for
+  the T1 family only) the full-rank bilinear term ``Xᵀ W X``.  Projections
+  live in the layer classes (:mod:`repro.quadratic.layers`), because they
+  depend on the layer kind (dense vs convolutional).
+* **Combination** — the cheap element-wise step that assembles those
+  responses into the neuron output: Hadamard products and sums.  Combinations
+  live here, as one ``combine_*`` function per neuron type, because they are
+  identical for dense and convolutional layers.
+
+Keeping the combination separate from the projection is what makes the
+paper's implementation-feasibility point concrete (P4): every quadratic
+design except T1 can be assembled from first-order layers plus element-wise
+operations that any DNN library already provides.
+
+Two parallel families are exposed:
+
+* ``combine_*`` / ``COMBINERS`` operate on autodiff :class:`Tensor` values and
+  participate in the gradient graph — the training path.
+* ``fused_combine_*`` / ``FUSED_COMBINERS`` operate on raw NumPy arrays and
+  fuse the Hadamard-product-plus-sum into ``np.multiply``/``np.add`` calls
+  with ``out=`` buffers — the inference path used by
+  :mod:`repro.inference`, where no graph is recorded and intermediate
+  allocations can be recycled across calls.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 from ..autodiff.tensor import Tensor
 
 
 def combine_t2(square_response: Tensor) -> Tensor:
-    """T2: the projection of the squared input, ``Wa X²`` (already projected)."""
+    """T2 (Goyal et al.): ``Wa X²`` — the projection of the squared input,
+    already projected, so the combination is the identity."""
     return square_response
 
 
 def combine_t3(response_a: Tensor) -> Tensor:
-    """T3: square of a first-order response, ``(Wa X)²``."""
+    """T3 (Bu & Karpatne): ``(Wa X)²`` — square of a first-order response."""
     return response_a * response_a
 
 
 def combine_t4(response_a: Tensor, response_b: Tensor) -> Tensor:
-    """T4: Hadamard product of two first-order responses, ``(Wa X) ∘ (Wb X)``."""
+    """T4 (Bu & Karpatne): ``(Wa X) ∘ (Wb X)`` — Hadamard product of two
+    first-order responses."""
     return response_a * response_b
 
 
 def combine_t4_identity(response_a: Tensor, response_b: Tensor, identity: Tensor) -> Tensor:
-    """T4 + identity mapping, ``(Wa X) ∘ (Wb X) + X`` (Table 2 baseline)."""
+    """T4 + identity mapping: ``(Wa X) ∘ (Wb X) + X`` (Table 2 baseline)."""
     return response_a * response_b + identity
 
 
 def combine_t2_4(response_a: Tensor, response_b: Tensor, square_response: Tensor) -> Tensor:
-    """Fan et al. (2018): ``(Wa X) ∘ (Wb X) + Wc X²``."""
+    """T2&4 (Fan et al., 2018): ``(Wa X) ∘ (Wb X) + Wc X²``."""
     return response_a * response_b + square_response
 
 
@@ -51,14 +77,15 @@ def combine_ours(response_a: Tensor, response_b: Tensor, linear_response: Tensor
 
 
 def combine_t1(bilinear_response: Tensor, linear_response: Optional[Tensor] = None) -> Tensor:
-    """T1: bilinear term ``Xᵀ Wa X`` plus an optional linear term ``Wb X``."""
+    """T1 (Cheung & Leung): ``Xᵀ Wa X + Wb X`` — the full-rank bilinear term
+    plus an optional linear term (omit it for the pure ``Xᵀ Wa X`` variant)."""
     if linear_response is None:
         return bilinear_response
     return bilinear_response + linear_response
 
 
 def combine_t1_2(bilinear_response: Tensor, square_response: Tensor) -> Tensor:
-    """Milenkovic et al. (1996): ``Xᵀ Wa X + Wb X²``."""
+    """T1&2 (Milenkovic et al., 1996): ``Xᵀ Wa X + Wb X²``."""
     return bilinear_response + square_response
 
 
@@ -79,7 +106,7 @@ REQUIRED_RESPONSES: Dict[str, tuple] = {
     "OURS": ("a", "b", "c"),
 }
 
-#: Combination function per canonical type name.
+#: Combination function per canonical type name (autodiff / training path).
 COMBINERS: Dict[str, Callable[..., Tensor]] = {
     "T1": combine_t1,
     "T1_PURE": combine_t1,
@@ -90,4 +117,86 @@ COMBINERS: Dict[str, Callable[..., Tensor]] = {
     "T1_2": combine_t1_2,
     "T2_4": combine_t2_4,
     "OURS": combine_ours,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Fused raw-ndarray combiners (inference path)
+# --------------------------------------------------------------------------- #
+#
+# Each fused combiner computes exactly the same arithmetic as its Tensor
+# counterpart above — same operations, same order, so compiled inference
+# outputs are bit-identical to the eager forward — but writes through an
+# ``out=`` buffer so the quadratic combination performs no allocation at all
+# when the caller recycles buffers across calls (repro.inference.BufferPool).
+
+def fused_combine_t2(sq: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T2: the combination is the identity; copy only when a buffer is given."""
+    if out is None:
+        return sq
+    np.copyto(out, sq)
+    return out
+
+
+def fused_combine_t3(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T3: ``a²`` in one ``np.multiply`` pass."""
+    return np.multiply(a, a, out=out)
+
+
+def fused_combine_t4(a: np.ndarray, b: np.ndarray,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T4: ``a ∘ b`` in one ``np.multiply`` pass."""
+    return np.multiply(a, b, out=out)
+
+
+def fused_combine_t4_identity(a: np.ndarray, b: np.ndarray, identity: np.ndarray,
+                              out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T4_ID: ``a ∘ b + X`` — one multiply, one add, zero temporaries."""
+    out = np.multiply(a, b, out=out)
+    return np.add(out, identity, out=out)
+
+
+def fused_combine_t2_4(a: np.ndarray, b: np.ndarray, sq: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T2&4: ``a ∘ b + Wc X²`` — one multiply, one add."""
+    out = np.multiply(a, b, out=out)
+    return np.add(out, sq, out=out)
+
+
+def fused_combine_ours(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
+    """The paper's neuron: ``a ∘ b + c`` — one multiply, one add."""
+    out = np.multiply(a, b, out=out)
+    return np.add(out, c, out=out)
+
+
+def fused_combine_t1(bilinear: np.ndarray, linear: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T1: bilinear term plus optional linear term."""
+    if linear is None:
+        if out is None:
+            return bilinear
+        np.copyto(out, bilinear)
+        return out
+    return np.add(bilinear, linear, out=out)
+
+
+def fused_combine_t1_2(bilinear: np.ndarray, sq: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
+    """T1&2: ``Xᵀ Wa X + Wb X²`` — a single add."""
+    return np.add(bilinear, sq, out=out)
+
+
+#: Fused combination function per canonical type name (inference path).
+#: Signatures mirror ``COMBINERS`` with a trailing optional ``out=`` buffer.
+FUSED_COMBINERS: Dict[str, Callable[..., np.ndarray]] = {
+    "T1": fused_combine_t1,
+    "T1_PURE": fused_combine_t1,
+    "T2": fused_combine_t2,
+    "T3": fused_combine_t3,
+    "T4": fused_combine_t4,
+    "T4_ID": fused_combine_t4_identity,
+    "T1_2": fused_combine_t1_2,
+    "T2_4": fused_combine_t2_4,
+    "OURS": fused_combine_ours,
 }

@@ -112,3 +112,24 @@ def test_explore_evolution_smoke(capsys):
     out = run(["explore", "--strategy", "evolution", "--budget", "4", *FAST_SMALL_IMAGE],
               capsys)
     assert "evolution search over" in out
+
+
+def test_infer_smoke(capsys):
+    out = run(["infer", "smoke", "--samples", "8", "--repeats", "1",
+               "--max-batch-size", "4"], capsys)
+    assert "compiled latency / sample" in out
+    assert "batched throughput" in out
+    # The compiled path must agree with the eager forward (bit-identical on
+    # the smoke model).
+    diff_line = next(line for line in out.splitlines() if "max |compiled - eager|" in line)
+    assert float(diff_line.split("|")[-1].strip()) <= 1e-6
+
+
+def test_infer_json_output(capsys):
+    import json
+
+    out = run(["infer", "smoke", "--samples", "4", "--repeats", "1", "--json"], capsys)
+    payload = json.loads(out)
+    assert payload["fallback_modules"] == 0
+    assert payload["max_abs_diff"] <= 1e-6
+    assert payload["compiled_ms_per_sample"] > 0

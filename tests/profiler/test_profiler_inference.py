@@ -1,0 +1,90 @@
+"""Profilers against the compiled inference path: same outputs, fewer allocations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.function import Function
+from repro.autodiff.tensor import Tensor
+from repro.experiment import ModelSpec
+from repro.inference import compile_model
+from repro.profiler.flops import profile_model
+from repro.profiler.latency import profile_latency
+from repro.utils import seed_everything
+
+INPUT_SHAPE = (3, 16, 16)
+
+
+def build_model():
+    seed_everything(0)
+    return ModelSpec(name="small_convnet", neuron_type="OURS", num_classes=4,
+                     width_multiplier=0.25, extra={"image_size": 16}).build()
+
+
+class TestLatencyProfiler:
+    def test_compiled_timing_is_reported(self):
+        model = build_model()
+        report = profile_latency(model, INPUT_SHAPE, batch_size=2, num_classes=4,
+                                 warmup=0, iterations=1, compiled=True)
+        assert report.compiled_ms_per_batch is not None
+        assert report.compiled_ms_per_batch > 0
+        assert report.compiled_speedup is not None
+        assert report.compiled_speedup > 0
+
+    def test_compiled_timing_off_by_default(self):
+        model = build_model()
+        report = profile_latency(model, INPUT_SHAPE, batch_size=2, num_classes=4,
+                                 warmup=0, iterations=1)
+        assert report.compiled_ms_per_batch is None
+        assert report.compiled_speedup is None
+
+
+class TestFlopsProfilerAgainstCompiled:
+    def test_compilation_does_not_disturb_the_profile(self):
+        model = build_model()
+        before = profile_model(model, INPUT_SHAPE)
+        compiled = compile_model(model)
+        after = profile_model(model, INPUT_SHAPE)
+        assert after.total_parameters == before.total_parameters
+        assert after.total_macs == before.total_macs
+        assert len(after.layers) == len(before.layers)
+
+        # ... and the compiled forward still matches the probe forward.
+        x = np.random.default_rng(0).standard_normal((2,) + INPUT_SHAPE).astype(np.float32)
+        model.eval()
+        np.testing.assert_array_equal(compiled(x), model(Tensor(x)).data)
+
+    def test_compiled_forward_performs_fewer_graph_dispatches(self, monkeypatch):
+        """The compiled path must not touch Function.apply at all."""
+        model = build_model()
+        model.eval()
+        compiled = compile_model(model)
+        x = np.random.default_rng(1).standard_normal((1,) + INPUT_SHAPE).astype(np.float32)
+        compiled(x)  # warm the buffer pool before counting
+
+        counter = {"applies": 0}
+        original_apply = Function.apply.__func__
+
+        def counting_apply(cls, *args, **kwargs):
+            counter["applies"] += 1
+            return original_apply(cls, *args, **kwargs)
+
+        monkeypatch.setattr(Function, "apply", classmethod(counting_apply))
+
+        model(Tensor(x))
+        eager_dispatches = counter["applies"]
+        assert eager_dispatches > 10  # the eager forward is graph-heavy
+
+        counter["applies"] = 0
+        compiled(x)
+        assert counter["applies"] == 0
+
+    def test_compiled_forward_allocates_nothing_new_in_steady_state(self):
+        model = build_model()
+        compiled = compile_model(model)
+        x = np.random.default_rng(2).standard_normal((1,) + INPUT_SHAPE).astype(np.float32)
+        compiled(x)
+        steady = compiled.pool.allocations
+        for _ in range(3):
+            compiled(x)
+        assert compiled.pool.allocations == steady
