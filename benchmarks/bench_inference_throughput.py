@@ -16,13 +16,17 @@ pipeline the ``repro infer`` CLI reports:
    sample at a time (the serving scenario).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_inference_throughput.py``.
+``--quick`` (or ``REPRO_BENCH_QUICK=1``) is the CI regression-gate mode:
+fewer repetitions and a shorter sweep, same assertions — it still fails the
+build if the compiled path stops being ≥ 2x faster than eager or stops
+matching it numerically, and it still writes the JSON result artifact.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from common import fresh_seed, save_experiment
+from common import fresh_seed, quick_mode, save_experiment
 
 from repro.experiment import Experiment, get_preset
 from repro.inference import measure_serving
@@ -36,12 +40,21 @@ SERVE_SAMPLES = 128
 #: batch sizes for the throughput sweep
 BATCH_SIZES = (1, 2, 4, 8, 16)
 
+#: quick (CI gate) mode: same checks, smaller measurement budget
+QUICK_REPEATS = 10
+QUICK_SERVE_SAMPLES = 32
+QUICK_BATCH_SIZES = (1, 4, 8)
+
 #: acceptance thresholds (the issue's bar for this subsystem)
 MIN_SPEEDUP = 2.0
 MAX_ABS_DIFF = 1e-6
 
 
 def main() -> None:
+    quick = quick_mode()
+    repeats = QUICK_REPEATS if quick else REPEATS
+    serve_samples = QUICK_SERVE_SAMPLES if quick else SERVE_SAMPLES
+    batch_sizes = QUICK_BATCH_SIZES if quick else BATCH_SIZES
     fresh_seed()
     experiment = Experiment(get_preset("smoke"))
     model = experiment.build()
@@ -50,11 +63,11 @@ def main() -> None:
 
     rng = np.random.default_rng(0)
     shape = experiment.spec.data.input_shape
-    samples = rng.standard_normal((SERVE_SAMPLES,) + shape).astype(np.float32)
+    samples = rng.standard_normal((serve_samples,) + shape).astype(np.float32)
 
     # ---- 1 + 2 + serving: the shared measurement pipeline
     results = measure_serving(model, compiled, samples, max_batch_size=8,
-                              max_wait=0.002, repeats=REPEATS)
+                              max_wait=0.002, repeats=repeats)
     assert results["max_abs_diff"] <= MAX_ABS_DIFF, (
         f"compiled forward diverges from eager: "
         f"max |diff| = {results['max_abs_diff']:.3e}")
@@ -66,10 +79,10 @@ def main() -> None:
     # ---- 3. batched throughput sweep
     sweep_rows = []
     sweep_results = []
-    for batch_size in BATCH_SIZES:
+    for batch_size in batch_sizes:
         batch = rng.standard_normal((batch_size,) + shape).astype(np.float32)
         batch_ms = median_runtime_ms(lambda b=batch: compiled(b),
-                                     iterations=max(REPEATS // 2, 5))
+                                     iterations=max(repeats // 2, 5))
         throughput = batch_size / (batch_ms / 1000.0)
         sweep_rows.append([batch_size, f"{batch_ms:.2f}", f"{throughput:,.0f}"])
         sweep_results.append({"batch_size": batch_size, "ms_per_batch": batch_ms,
@@ -89,13 +102,15 @@ def main() -> None:
             ["micro-batches", f"{results['batches']} "
                               f"(mean size {results['mean_batch_size']:.1f})"],
         ],
-        title="Compiled inference engine (smoke preset, quadratic VGG-8)",
+        title="Compiled inference engine (smoke preset, quadratic VGG-8)"
+              + (" — quick/CI mode" if quick else ""),
     ))
     print()
     print(format_table(["Batch size", "ms / batch", "samples / s"], sweep_rows,
                        title="Compiled throughput sweep"))
 
     save_experiment("inference_throughput", {
+        "quick_mode": quick,
         **results,
         "throughput_sweep": sweep_results,
     })

@@ -72,6 +72,20 @@ def fresh_seed(offset: int = 0) -> None:
     seed_everything(1234 + offset)
 
 
+def quick_mode(argv=None) -> bool:
+    """True when a benchmark runs as the CI regression gate.
+
+    Enabled by the ``--quick`` flag or the ``REPRO_BENCH_QUICK`` env var
+    (any value but ``""``/``"0"``).  Quick mode shrinks measurement budgets
+    but keeps every assertion — one shared detector so the CI gates cannot
+    drift apart on what "quick" means.
+    """
+    import sys
+
+    argv = sys.argv[1:] if argv is None else argv
+    return "--quick" in argv or os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
 def mb(nbytes: float) -> float:
     """Bytes → mebibytes."""
     return float(nbytes) / (1024 ** 2)

@@ -17,6 +17,8 @@ Subpackages
 ``explore``    architecture search / design exploration over QDNN structures
 ``inference``  compiled no-grad forward paths, fused quadratic kernels and
                the micro-batching ``BatchedPredictor`` serving entry point
+``serve``      scale-out serving: multi-process worker pool, HTTP front door,
+               response cache, backpressure (``repro serve``)
 ``models``     VGG / ResNet / MobileNet / SNGAN / SSD model zoo
 ``profiler``   training-memory, latency and FLOPs profilers
 ``ppml``       privacy-preserving inference cost models and ReLU→quadratic conversion
@@ -57,7 +59,7 @@ Quadratic layers remain ordinary modules for ad-hoc composition:
 ... )
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 from . import (
     analysis,
@@ -74,6 +76,7 @@ from . import (
     ppml,
     profiler,
     quadratic,
+    serve,
     training,
     utils,
 )
@@ -88,6 +91,7 @@ __all__ = [
     "experiment",
     "explore",
     "inference",
+    "serve",
     "models",
     "ppml",
     "profiler",

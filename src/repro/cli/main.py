@@ -169,7 +169,11 @@ def _load_spec(reference: str) -> ExperimentSpec:
     if os.path.exists(reference):
         try:
             return ExperimentSpec.load(reference)
-        except ValueError as error:  # includes json.JSONDecodeError
+        # ValueError covers json.JSONDecodeError and spec validation;
+        # TypeError/KeyError cover structurally wrong JSON (e.g. a list where
+        # a section object belongs).  All are the user's file, not a bug, so
+        # none deserve a traceback.
+        except (ValueError, TypeError, KeyError) as error:
             raise CLIError(f"could not parse spec file '{reference}': {error}") from None
     try:
         return get_preset(reference)
@@ -273,6 +277,118 @@ def cmd_infer(args: argparse.Namespace) -> int:
     if args.out:
         experiment.save_results(args.out)
         _print(f"\nresults written to {args.out}")
+    return 0
+
+
+def _serve_config(args: argparse.Namespace):
+    """Build a ServeConfig from the serve subcommand's flags."""
+    from ..serve import ServeConfig
+
+    try:
+        return ServeConfig(workers=args.workers, host=args.host, port=args.port,
+                           max_batch_size=args.max_batch_size, max_wait=args.max_wait,
+                           queue_depth=args.queue_depth, watermark=args.watermark,
+                           cache_size=args.cache_size)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+
+
+def _serve_self_test(experiment: Experiment, server, num_requests: int,
+                     as_json: bool) -> int:
+    """POST synthetic samples at our own front door; verify against the
+    in-process predictor bit for bit.  Returns the process exit code."""
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    import numpy as np
+
+    spec = experiment.spec
+    rng = np.random.default_rng(spec.seed)
+    samples = rng.standard_normal(
+        (num_requests,) + tuple(spec.data.input_shape)).astype(np.float32)
+    # max_batch_size=1 so both sides run strict batch-of-1 forwards — the
+    # sequential HTTP requests below are batch-of-1 in the workers too.
+    with experiment.predictor(max_batch_size=1) as predictor:
+        expected = [predictor.predict(sample) for sample in samples]
+
+    def post(sample: "np.ndarray") -> dict:
+        body = json.dumps({"input": sample.tolist()}).encode()
+        request = urllib.request.Request(
+            f"{server.url}/predict", data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            raise CLIError(
+                f"self-test POST /predict failed with HTTP {error.code}: "
+                f"{error.read().decode(errors='replace')[:200]}") from None
+        except urllib.error.URLError as error:
+            raise CLIError(f"self-test could not reach {server.url}: "
+                           f"{error.reason}") from None
+
+    outputs = []
+    start = time.perf_counter()
+    for sample in samples:
+        outputs.append(np.asarray(post(sample)["output"], dtype=np.float32))
+    elapsed = time.perf_counter() - start
+    # A repeat of the *most recent* sample must come from the LRU cache —
+    # the first one may legitimately have been evicted when N > cache size.
+    # Skipped entirely when the operator disabled the cache (--cache-size 0).
+    cache_hit = None
+    if server.config.cache_size > 0:
+        repeat = post(samples[-1])
+        cache_hit = bool(repeat["cached"]) and np.array_equal(
+            np.asarray(repeat["output"], dtype=np.float32), outputs[-1])
+
+    identical = all(np.array_equal(out, exp) for out, exp in zip(outputs, expected))
+    results = {
+        "requests": num_requests,
+        "bit_identical": identical,
+        "cache_hit_identical": cache_hit,
+        "seconds": elapsed,
+        "throughput_rps": num_requests / elapsed if elapsed > 0 else float("inf"),
+        "workers_alive": server.pool.alive_workers(),
+    }
+    if as_json:
+        _print(json.dumps(results, indent=2, default=float))
+    else:
+        rows = [["requests answered", num_requests],
+                ["bit-identical to Experiment.predictor()", "yes" if identical else "NO"],
+                ["cache hit bit-identical",
+                 "skipped (cache disabled)" if cache_hit is None
+                 else ("yes" if cache_hit else "NO")],
+                ["throughput", f"{results['throughput_rps']:.1f} req/s"],
+                ["workers alive", results["workers_alive"]]]
+        _print(format_table(["Check", "Result"], rows,
+                            title=f"Serve self-test against {server.url}"))
+    return 0 if identical and cache_hit is not False else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a spec's model over HTTP from a pool of worker processes."""
+    spec = _load_spec(args.spec)
+    config = _serve_config(args)          # flag validation before the build
+    if args.self_test is not None and args.self_test < 1:
+        raise CLIError(f"--self-test needs at least 1 request, got {args.self_test}")
+    experiment = _experiment(spec)
+    experiment.build()
+    server = experiment.serve(config=config)
+    with server:
+        _print(f"serving '{spec.name}' on {server.url} with {config.workers} "
+               f"worker(s) — POST /predict, GET /healthz, GET /stats")
+        if args.self_test is not None:
+            return _serve_self_test(experiment, server, args.self_test, args.json)
+        _print("press Ctrl+C to drain and stop")
+        import time
+
+        try:
+            while True:
+                time.sleep(1)
+        except KeyboardInterrupt:
+            _print("draining ...")
     return 0
 
 
@@ -457,10 +573,13 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level ``python -m repro`` argument parser."""
+    from .. import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="QuadraLib reproduction: quadratic neural network tooling",
     )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser(
@@ -493,6 +612,32 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--json", action="store_true",
                        help="print the results as JSON instead of a table")
     infer.set_defaults(func=cmd_infer)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a spec's model over HTTP from a pool of worker processes")
+    serve.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes, each with its own compiled model")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="TCP port for the HTTP front door (0 = OS-assigned)")
+    serve.add_argument("--max-batch-size", type=int, default=8,
+                       help="micro-batch cap of each worker's predictor")
+    serve.add_argument("--max-wait", type=float, default=0.002,
+                       help="seconds each worker waits to fill a micro-batch")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="bound of each worker's request queue")
+    serve.add_argument("--watermark", type=int, default=0,
+                       help="shed load (HTTP 503) beyond this many requests in "
+                            "flight (0 = workers * queue-depth)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU response cache entries (0 disables caching)")
+    serve.add_argument("--self-test", type=int, default=None, metavar="N",
+                       help="serve N synthetic requests against this server, verify "
+                            "them bit-for-bit against the in-process predictor, then exit")
+    serve.add_argument("--json", action="store_true",
+                       help="print the self-test results as JSON instead of a table")
+    serve.set_defaults(func=cmd_serve)
 
     neurons = subparsers.add_parser("neurons", help="list the quadratic neuron designs (Table 1)")
     neurons.set_defaults(func=cmd_neurons)

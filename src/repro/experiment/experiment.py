@@ -208,6 +208,44 @@ class Experiment:
                                 max_batch_size=max_batch_size,
                                 max_wait=max_wait, **kwargs)
 
+    def serve(self, workers: Optional[int] = None, port: Optional[int] = None,
+              host: Optional[str] = None, config: "Any" = None,
+              **config_kwargs) -> "Any":
+        """A scale-out :class:`repro.serve.ServingServer` for this experiment.
+
+        Ships the spec and the (built, possibly trained) model's weights to
+        ``workers`` worker processes — each compiles its own copy and
+        micro-batches its own traffic — and fronts them with the stdlib HTTP
+        endpoint (``POST /predict`` with an LRU response cache,
+        ``GET /healthz``, ``GET /stats``).  The server is returned
+        *unstarted*: use it as a context manager (or call ``start()``).
+
+        Extra keyword arguments become :class:`repro.serve.ServeConfig`
+        fields (``max_batch_size``, ``queue_depth``, ``watermark``,
+        ``cache_size``, ...), or pass a full ``config`` to control
+        everything.
+        """
+        from ..serve import ServeConfig, ServingServer
+
+        overrides = dict(config_kwargs)
+        if workers is not None:
+            overrides["workers"] = workers
+        if port is not None:
+            overrides["port"] = port
+        if host is not None:
+            overrides["host"] = host
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ValueError(
+                f"pass either a full ServeConfig or keyword overrides, not both "
+                f"(got config plus {sorted(overrides)})")
+        model = self.model if self.model is not None else self.build()
+        self.results["serve"] = {"workers": config.workers,
+                                 "cache_size": config.cache_size,
+                                 "watermark": config.effective_watermark}
+        return ServingServer(self.spec, state=model.state_dict(), config=config)
+
     # -------------------------------------------------------------------- ppml
     def to_ppml(self) -> Tuple[Module, Dict[str, Any]]:
         """Convert to a PPML-friendly model and report the online-cost savings."""

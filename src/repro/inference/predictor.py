@@ -148,7 +148,9 @@ class BatchedPredictor:
         # sample can never slip in behind the stop sentinel and hang.
         with self._lock:
             if self._closed:
-                raise RuntimeError("predictor is closed")
+                raise RuntimeError(
+                    "cannot submit: this predictor has been shut down; create a "
+                    "new BatchedPredictor to serve more samples")
             self.stats.requests += 1
             self._queue.put(pending)
         if self._autostart:
@@ -163,8 +165,12 @@ class BatchedPredictor:
         """Start the worker thread (idempotent)."""
         with self._lock:
             if self._closed:
-                raise RuntimeError("predictor is closed")
+                raise RuntimeError(
+                    "cannot start: this predictor has been shut down; create a "
+                    "new BatchedPredictor to serve more samples")
             if self._worker is None or not self._worker.is_alive():
+                # Always a daemon: an abandoned predictor (close() never
+                # called) must not keep the interpreter alive at exit.
                 self._worker = threading.Thread(target=self._serve, daemon=True,
                                                 name="repro-batched-predictor")
                 self._worker.start()
@@ -257,6 +263,11 @@ class BatchedPredictor:
             if leftover is not _STOP:
                 leftover._reject(RuntimeError(
                     "predictor closed before this sample was served"))
+
+    #: ``shutdown()`` is the serving-facing name for :meth:`close` — the
+    #: worker-pool integration (``repro.serve``) standardised on it.  Both
+    #: are idempotent and safe to call from any thread.
+    shutdown = close
 
     def __enter__(self) -> "BatchedPredictor":
         return self

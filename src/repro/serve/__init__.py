@@ -1,0 +1,54 @@
+"""``repro.serve`` — scale-out serving: worker pool + HTTP front door.
+
+PR 2's :class:`~repro.inference.BatchedPredictor` made one process fast;
+this package makes N of them a service.  A :class:`WorkerPool` shards
+inference across worker processes (each rebuilds the model from the spec
+and weights it receives over IPC, compiles it, and micro-batches its own
+traffic), with least-loaded dispatch, crash respawn + request retry, and
+explicit admission control.  :class:`ServingServer` puts a stdlib HTTP
+front door on top: ``POST /predict`` with an LRU response cache,
+``GET /healthz`` (flips to 503 while draining) and ``GET /stats``.
+
+Example
+-------
+>>> from repro.experiment import Experiment, get_preset
+>>> exp = Experiment(get_preset("smoke"))
+>>> exp.build()
+>>> with exp.serve(workers=2, port=0) as server:
+...     out = server.predict(sample)        # same path as POST /predict
+...     print(server.url)                   # point curl here
+
+Entry points: :meth:`repro.experiment.Experiment.serve` and the
+``repro serve <spec|preset> --workers N --port P`` CLI subcommand.
+"""
+
+from .cache import LRUCache, input_digest
+from .config import ServeConfig
+from .http import ServingApp, ServingHTTPServer, ServingServer
+from .metrics import EndpointMetrics, ServingMetrics
+from .pool import (
+    PoolClosed,
+    PoolFuture,
+    PoolSaturated,
+    WorkerCrashed,
+    WorkerPool,
+)
+from .worker import build_serving_predictor, worker_main
+
+__all__ = [
+    "LRUCache",
+    "input_digest",
+    "ServeConfig",
+    "ServingApp",
+    "ServingHTTPServer",
+    "ServingServer",
+    "EndpointMetrics",
+    "ServingMetrics",
+    "PoolClosed",
+    "PoolFuture",
+    "PoolSaturated",
+    "WorkerCrashed",
+    "WorkerPool",
+    "build_serving_predictor",
+    "worker_main",
+]

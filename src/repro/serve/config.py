@@ -1,0 +1,114 @@
+"""Declarative configuration for the scale-out serving subsystem.
+
+One :class:`ServeConfig` value describes everything about a deployment that
+is *not* the model: how many worker processes to run, how deep their request
+queues may grow, when the front door starts shedding load, and how the HTTP
+endpoint binds.  Like the experiment specs, it is a plain dataclass that
+round-trips through dicts so the CLI, :meth:`repro.experiment.Experiment.serve`
+and the tests all configure the same machinery the same way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Start methods the pool accepts.  ``spawn`` is the default everywhere: it
+#: never inherits the parent's threads (the parent may be running predictor
+#: worker threads or HTTP handler threads, which make ``fork`` unsafe), at the
+#: cost of re-importing the library in each worker (~0.5 s).
+START_METHODS = ("spawn", "fork", "forkserver")
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the worker pool and its HTTP front door.
+
+    Parameters
+    ----------
+    workers : int
+        Worker processes in the pool.  Each runs its own compiled model and
+        micro-batching predictor, so throughput scales with cores.
+    max_batch_size, max_wait :
+        Forwarded to each worker's :class:`~repro.inference.BatchedPredictor`.
+    queue_depth : int
+        Bound of each worker's request queue.  A full queue is backpressure:
+        the dispatcher refuses the request instead of buffering unboundedly.
+    watermark : int
+        Load-shedding threshold on requests in flight across the whole pool.
+        Once reached, new submissions raise :class:`~repro.serve.PoolSaturated`
+        (the HTTP layer answers ``503``).  ``0`` picks the default
+        ``workers * queue_depth``.
+    max_retries : int
+        How many times a request orphaned by a worker crash is retried on a
+        respawned/other worker before the error is surfaced to the caller.
+    request_timeout, startup_timeout, drain_timeout : float
+        Seconds to wait for (respectively) one prediction, all workers to
+        report ready, and in-flight requests to finish during shutdown.
+    start_method : str
+        ``multiprocessing`` start method; see :data:`START_METHODS`.
+    host, port :
+        HTTP bind address.  ``port=0`` asks the OS for a free port (the bound
+        port is available as ``ServingServer.port``).
+    cache_size : int
+        Entries in the front door's LRU response cache (``0`` disables it).
+    """
+
+    workers: int = 2
+    max_batch_size: int = 8
+    max_wait: float = 0.002
+    queue_depth: int = 32
+    watermark: int = 0
+    max_retries: int = 1
+    request_timeout: float = 30.0
+    startup_timeout: float = 60.0
+    drain_timeout: float = 30.0
+    start_method: str = "spawn"
+    host: str = "127.0.0.1"
+    port: int = 8100
+    cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        for name in ("request_timeout", "startup_timeout", "drain_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.watermark < 0:
+            raise ValueError(f"watermark must be >= 0 (0 = auto), got {self.watermark}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.start_method not in START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {START_METHODS}, got '{self.start_method}'")
+
+    @property
+    def effective_watermark(self) -> int:
+        """The in-flight ceiling actually enforced (resolves ``watermark=0``)."""
+        return self.watermark if self.watermark > 0 else self.workers * self.queue_depth
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeConfig":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ServeConfig field(s) {unknown}; valid: {sorted(known)}")
+        return cls(**data)
+
+    def with_(self, **changes: Any) -> "ServeConfig":
+        return dataclasses.replace(self, **changes)

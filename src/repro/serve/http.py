@@ -1,0 +1,279 @@
+"""Stdlib-only HTTP front door over the worker pool.
+
+Three endpoints, all JSON:
+
+* ``POST /predict`` — body ``{"input": <nested list>}`` shaped like the
+  spec's ``data.input_shape``.  Answers ``{"output": [...], "cached": bool}``.
+  Malformed JSON or a wrong shape is ``400``; a saturated pool or a draining
+  server is ``503`` (load shedding); a worker failure that exhausted its
+  retries is ``500``.
+* ``GET /healthz`` — ``200 {"status": "ok"}`` while serving, ``503`` with
+  ``"draining"``/``"unhealthy"`` while shutting down or with dead workers.
+* ``GET /stats`` — cache, per-endpoint latency and pool counters.
+
+The server is a :class:`http.server.ThreadingHTTPServer` (one thread per
+connection) whose handlers do no inference themselves — they parse, consult
+the LRU cache, and block on a :class:`~repro.serve.pool.PoolFuture`, so many
+connections can wait on the pool concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from .cache import LRUCache, input_digest
+from .config import ServeConfig
+from .metrics import ServingMetrics
+from .pool import PoolClosed, PoolSaturated, WorkerCrashed, WorkerPool
+
+
+class ServingApp:
+    """Transport-free request handling: parse → cache → pool → JSON.
+
+    Separated from the HTTP plumbing so tests (and in-process callers like
+    ``ServingServer.predict``) can drive the exact request path without a
+    socket.
+    """
+
+    def __init__(self, pool: WorkerPool, input_shape: Tuple[int, ...],
+                 config: Optional[ServeConfig] = None) -> None:
+        self.pool = pool
+        self.input_shape = tuple(input_shape)
+        self.config = config or getattr(pool, "config", ServeConfig())
+        self.cache = LRUCache(self.config.cache_size)
+        self.metrics = ServingMetrics()
+        self.draining = False
+
+    # ----------------------------------------------------------------- /predict
+    def predict_array(self, sample: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Answer one sample through cache + pool; returns (output, cached)."""
+        sample = np.asarray(sample, dtype=np.float32)
+        key = input_digest(sample)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, True
+        output = np.asarray(self.pool.predict(sample))
+        # The same array is handed to the caller and kept by the cache, so
+        # freeze it — a caller mutating its result would otherwise silently
+        # corrupt every future cache hit for this input.
+        output.setflags(write=False)
+        self.cache.put(key, output)
+        return output, False
+
+    def predict_payload(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        """The full ``POST /predict`` semantics; returns (status, body)."""
+        if self.draining:
+            return 503, {"error": "server is draining; no new requests accepted"}
+        if not isinstance(payload, dict) or "input" not in payload:
+            return 400, {"error": 'request body must be a JSON object {"input": [...]}'}
+        try:
+            sample = np.asarray(payload["input"], dtype=np.float32)
+        except (TypeError, ValueError) as error:
+            return 400, {"error": f"could not parse 'input' as a float array: {error}"}
+        if sample.shape != self.input_shape:
+            return 400, {"error": f"'input' has shape {list(sample.shape)}; this model "
+                                  f"serves shape {list(self.input_shape)}"}
+        try:
+            output, was_cached = self.predict_array(sample)
+        except PoolSaturated as error:
+            return 503, {"error": f"overloaded: {error}"}
+        except PoolClosed as error:
+            return 503, {"error": f"shutting down: {error}"}
+        except (WorkerCrashed, TimeoutError, RuntimeError) as error:
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+        return 200, {"output": np.asarray(output).tolist(), "cached": was_cached}
+
+    # ----------------------------------------------------------------- /healthz
+    def healthz(self) -> Tuple[int, Dict[str, Any]]:
+        alive = self.pool.alive_workers()
+        total = self.config.workers
+        if self.draining:
+            return 503, {"status": "draining", "workers_alive": alive,
+                         "workers_total": total}
+        if alive == 0 or not self.pool.accepting:
+            return 503, {"status": "unhealthy", "workers_alive": alive,
+                         "workers_total": total}
+        return 200, {"status": "ok", "workers_alive": alive, "workers_total": total}
+
+    # ------------------------------------------------------------------- /stats
+    def stats(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "serving": self.metrics.to_dict(),
+            "cache": self.cache.stats(),
+            "pool": self.pool.stats(),
+            "draining": self.draining,
+        }
+
+
+class _ServingHandler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs to the :class:`ServingApp` and records latency."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    @property
+    def app(self) -> ServingApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging would swamp the benchmark/test output
+
+    def _answer(self, endpoint: str, status: int, body: Dict[str, Any],
+                started: float, shed: bool = False) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.app.metrics.endpoint(endpoint).record(latency_ms, status, shed=shed)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        started = time.perf_counter()
+        if self.path == "/healthz":
+            status, body = self.app.healthz()
+            self._answer("/healthz", status, body, started)
+        elif self.path == "/stats":
+            status, body = self.app.stats()
+            self._answer("/stats", status, body, started)
+        else:
+            # Metrics-bucket unknown paths under one key: per-path entries
+            # would let a fuzzer grow the counter map without bound.
+            self._answer("other", 404, {"error": f"no such endpoint: {self.path}"},
+                         started)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        started = time.perf_counter()
+        if self.path != "/predict":
+            self._answer("other", 404, {"error": f"no such endpoint: {self.path}"},
+                         started)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"")
+        except (TypeError, ValueError) as error:
+            self._answer("/predict", 400,
+                         {"error": f"request body is not valid JSON: {error}"}, started)
+            return
+        status, body = self.app.predict_payload(payload)
+        self._answer("/predict", status, body, started, shed=status == 503)
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a :class:`ServingApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], app: ServingApp) -> None:
+        super().__init__(address, _ServingHandler)
+        self.app = app
+
+
+class ServingServer:
+    """The deployable unit: worker pool + HTTP front door, one lifecycle.
+
+    Built by :meth:`repro.experiment.Experiment.serve` and the ``repro
+    serve`` CLI.  Construction is cheap; :meth:`start` spawns the workers,
+    waits until they are ready, and binds the HTTP socket.
+
+    Example
+    -------
+    >>> server = experiment.serve(workers=2, port=0)   # port 0: OS-assigned
+    >>> with server:                                   # start() ... close()
+    ...     print(server.url)                          # http://127.0.0.1:PORT
+    ...     out = server.predict(sample)               # in-process request path
+    """
+
+    def __init__(self, spec, state: Optional[Dict[str, np.ndarray]] = None,
+                 config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.pool = WorkerPool(spec, state=state, config=self.config)
+        self.app: Optional[ServingApp] = None
+        self._httpd: Optional[ServingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._input_shape = self._infer_input_shape(self.pool.spec_dict)
+        self._closed = False
+
+    @staticmethod
+    def _infer_input_shape(spec_dict: Dict[str, Any]) -> Tuple[int, ...]:
+        from ..experiment import ExperimentSpec
+
+        return tuple(ExperimentSpec.from_dict(spec_dict).data.input_shape)
+
+    # ---------------------------------------------------------------- lifecycle
+    def start(self) -> "ServingServer":
+        """Start workers, then bind and serve HTTP in a background thread."""
+        if self._closed:
+            raise RuntimeError("this server has been closed; build a new one")
+        if self._httpd is not None:
+            return self
+        self.pool.start()
+        try:
+            self.app = ServingApp(self.pool, self._input_shape, self.config)
+            self._httpd = ServingHTTPServer((self.config.host, self.config.port), self.app)
+        except BaseException:
+            # e.g. EADDRINUSE — the already-running workers must not leak.
+            self.pool.close(timeout=5.0)
+            raise
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True,
+                                        name="repro-serve-http")
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful once started; resolves ``port=0``)."""
+        if self._httpd is None:
+            return self.config.port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def predict(self, sample: np.ndarray) -> np.ndarray:
+        """In-process request through the exact cache + pool path HTTP uses."""
+        if self.app is None:
+            raise RuntimeError("server not started; call start() first")
+        output, _ = self.app.predict_array(sample)
+        return output
+
+    def drain(self, wait: bool = True, timeout: Optional[float] = None) -> bool:
+        """Flip /healthz to draining, stop admissions, optionally wait empty."""
+        if self.app is not None:
+            self.app.draining = True
+        if not wait:
+            self.pool.stop_accepting()
+            return False
+        return self.pool.drain(timeout=timeout)
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain, stop the HTTP listener, shut the pool down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.drain(wait=True, timeout=min(timeout, self.config.drain_timeout))
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self.pool.close(timeout=timeout)
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("serving" if self._httpd else "new")
+        return f"ServingServer({self.url}, workers={self.config.workers}, {state})"

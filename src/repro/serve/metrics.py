@@ -1,0 +1,80 @@
+"""Per-endpoint latency and outcome counters for the HTTP front door.
+
+Nothing fancy — a lock-guarded counter set per endpoint (requests, errors,
+shed requests, total/max latency) that serializes to the ``GET /stats``
+payload.  Kept separate from the pool's own counters so the front door can
+report both: what HTTP saw, and what the pool did about it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict
+
+
+class EndpointMetrics:
+    """Counters for one endpoint (requests, status classes, latency)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0       # 4xx: the caller's fault
+        self.failures = 0     # 5xx: our fault (includes shed load)
+        self.shed = 0         # the 503 subset rejected by backpressure
+        self.total_ms = 0.0
+        self.max_ms = 0.0
+
+    def record(self, latency_ms: float, status: int, shed: bool = False) -> None:
+        with self._lock:
+            self.requests += 1
+            if 400 <= status < 500:
+                self.errors += 1
+            elif status >= 500:
+                self.failures += 1
+            if shed:
+                self.shed += 1
+            self.total_ms += latency_ms
+            self.max_ms = max(self.max_ms, latency_ms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            mean = self.total_ms / self.requests if self.requests else 0.0
+            return {
+                "requests": self.requests,
+                "errors_4xx": self.errors,
+                "failures_5xx": self.failures,
+                "shed": self.shed,
+                "mean_ms": round(mean, 3),
+                "max_ms": round(self.max_ms, 3),
+            }
+
+
+class ServingMetrics:
+    """All endpoint counters plus uptime/throughput for ``GET /stats``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+        self.started_at = time.time()
+
+    def endpoint(self, name: str) -> EndpointMetrics:
+        with self._lock:
+            metrics = self._endpoints.get(name)
+            if metrics is None:
+                metrics = self._endpoints[name] = EndpointMetrics(name)
+            return metrics
+
+    def to_dict(self) -> Dict[str, Any]:
+        uptime = time.time() - self.started_at
+        with self._lock:
+            endpoints = {name: metrics.to_dict()
+                         for name, metrics in sorted(self._endpoints.items())}
+        predict = endpoints.get("/predict", {})
+        served = predict.get("requests", 0)
+        return {
+            "uptime_seconds": round(uptime, 3),
+            "throughput_rps": round(served / uptime, 3) if uptime > 0 else 0.0,
+            "endpoints": endpoints,
+        }

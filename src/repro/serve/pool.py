@@ -1,0 +1,548 @@
+"""The parent-process side of the serving pool: dispatch, respawn, drain.
+
+:class:`WorkerPool` owns N worker processes (see :mod:`repro.serve.worker`),
+one bounded request queue per worker, and one shared response queue.  A
+dispatcher thread in the parent resolves responses into caller-held
+:class:`PoolFuture` handles and doubles as the supervisor: whenever a worker
+process dies it respawns a replacement and either retries the requests the
+dead worker had in flight (up to ``max_retries`` attempts) or rejects them
+with :class:`WorkerCrashed`.
+
+Admission control is explicit and two-layered:
+
+* a **watermark** on total requests in flight across the pool — beyond it
+  :meth:`WorkerPool.submit` raises :class:`PoolSaturated` (the HTTP front
+  door turns that into ``503``), and
+* the **bounded per-worker queues** — even a confused caller that ignores
+  :class:`PoolSaturated` cannot buffer unboundedly.
+
+Dispatch is least-loaded with round-robin tie-breaking: each submission goes
+to the alive worker with the fewest requests in flight, so a worker stuck on
+a slow request stops receiving new ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..experiment import ExperimentSpec
+from .config import ServeConfig
+from .worker import worker_main
+
+
+class PoolSaturated(RuntimeError):
+    """The pool is at its admission watermark — shed this request."""
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker died with this request in flight and no retries remained."""
+
+
+class PoolClosed(RuntimeError):
+    """The pool is draining or closed and accepts no new requests."""
+
+
+class PoolFuture:
+    """Handle for one request travelling through the pool."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = 30.0):
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"pool response not ready after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _Request:
+    """Parent-side bookkeeping for one in-flight request."""
+
+    __slots__ = ("request_id", "kind", "payload", "future", "attempts", "worker_id")
+
+    def __init__(self, request_id: int, kind: str, payload) -> None:
+        self.request_id = request_id
+        self.kind = kind
+        self.payload = payload
+        self.future = PoolFuture()
+        self.attempts = 0
+        self.worker_id: Optional[int] = None
+
+
+class _WorkerHandle:
+    """One worker process plus its queues and in-flight set.
+
+    Every worker gets a *private* pair of queues.  Sharing one response queue
+    across the pool would be simpler, but a worker SIGKILLed while its feeder
+    thread holds the shared queue's write lock poisons that queue for every
+    other worker (this is why ``concurrent.futures`` declares a whole
+    ProcessPoolExecutor broken on one crash).  With per-worker channels, a
+    crash can only corrupt queues that die with the worker.
+    """
+
+    def __init__(self, worker_id: int, generation: int, process, request_queue,
+                 response_queue) -> None:
+        self.worker_id = worker_id
+        self.generation = generation
+        self.process = process
+        self.request_queue = request_queue
+        self.response_queue = response_queue
+        self.in_flight: Dict[int, _Request] = {}
+        self.ready = threading.Event()
+        self.served = 0
+        self.last_used = 0
+        self.stopping = False
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "generation": self.generation,
+            "pid": self.process.pid,
+            "alive": self.alive,
+            "ready": self.ready.is_set(),
+            "served": self.served,
+            "in_flight": len(self.in_flight),
+        }
+
+
+#: Consecutive died-before-ready crashes after which a worker slot is given
+#: up on instead of respawned — a deterministic startup crash (bad config,
+#: corrupt weights) must not become an infinite spawn storm.
+MAX_EARLY_CRASHES = 3
+
+
+class WorkerPool:
+    """Shard compiled-model inference across a pool of worker processes.
+
+    Parameters
+    ----------
+    spec : ExperimentSpec or dict
+        The experiment whose model the workers serve.  Serialized to a plain
+        dict for IPC; each worker rebuilds and compiles the model itself.
+    state : dict, optional
+        Trained weights (``model.state_dict()``) shipped to every worker so
+        all of them answer with identical bits.  ``None`` serves the freshly
+        built (seeded) model.
+    config : ServeConfig
+
+    Example
+    -------
+    >>> pool = WorkerPool(spec, state=model.state_dict(),
+    ...                   config=ServeConfig(workers=2))
+    >>> with pool:                       # starts workers, waits for ready
+    ...     out = pool.predict(sample)   # or submit() for a future
+    """
+
+    def __init__(self, spec, state: Optional[Dict[str, np.ndarray]] = None,
+                 config: Optional[ServeConfig] = None) -> None:
+        if isinstance(spec, ExperimentSpec):
+            spec = spec.to_dict()
+        self.spec_dict = dict(spec)
+        self.state = dict(state) if state else {}
+        self.config = config or ServeConfig()
+        self._ctx = None
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._requests: Dict[int, _Request] = {}
+        self._lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self._rr = itertools.count()            # round-robin tie breaker
+        self._dispatcher: Optional[threading.Thread] = None
+        #: per-slot count of consecutive crashes before reporting ready
+        self._early_crashes: Dict[int, int] = {}
+        self._started = False
+        self._accepting = False
+        self._closed = False
+        # counters (all mutated under the lock)
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.retried = 0
+        self.respawns = 0
+        self.rejected_saturated = 0
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> "WorkerPool":
+        """Spawn the workers and block until every one reports ready."""
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("this pool has been closed; create a new WorkerPool")
+            if self._started:
+                return self
+            self._started = True
+            self._accepting = True
+            import multiprocessing
+
+            self._ctx = multiprocessing.get_context(self.config.start_method)
+            for worker_id in range(self.config.workers):
+                self._workers[worker_id] = self._spawn(worker_id, generation=0)
+        self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True,
+                                            name="repro-pool-dispatcher")
+        self._dispatcher.start()
+        deadline = time.monotonic() + self.config.startup_timeout
+        for worker_id in range(self.config.workers):
+            # Poll the *current* handle: the supervisor may have respawned the
+            # slot behind our back, and a slot that keeps crashing before
+            # ready fails fast instead of burning the whole startup timeout.
+            while True:
+                with self._lock:
+                    handle = self._workers.get(worker_id)
+                    gave_up = self._early_crashes.get(worker_id, 0) >= MAX_EARLY_CRASHES
+                if handle is not None and handle.ready.wait(0.05):
+                    break
+                dead = handle is None or not handle.alive
+                if (dead and gave_up) or time.monotonic() >= deadline:
+                    reason = ("keeps crashing during startup "
+                              f"({MAX_EARLY_CRASHES} consecutive attempts)" if gave_up
+                              else f"did not become ready within "
+                                   f"{self.config.startup_timeout}s")
+                    self.close(timeout=1.0)
+                    raise RuntimeError(
+                        f"worker {worker_id} {reason}; check the spec/weights "
+                        f"and the serve configuration")
+        return self
+
+    def _spawn(self, worker_id: int, generation: int) -> _WorkerHandle:
+        """Create one worker process (caller holds the lock)."""
+        request_queue = self._ctx.Queue(maxsize=self.config.queue_depth)
+        response_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.spec_dict, self.state, self.config.max_batch_size,
+                  self.config.max_wait, self.config.request_timeout,
+                  request_queue, response_queue),
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        process.start()
+        return _WorkerHandle(worker_id, generation, process, request_queue, response_queue)
+
+    def stop_accepting(self) -> None:
+        """Refuse new submissions while letting in-flight work finish."""
+        with self._lock:
+            self._accepting = False
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting requests; wait for the in-flight set to empty.
+
+        Returns True when everything in flight completed within ``timeout``
+        (default: the config's ``drain_timeout``).
+        """
+        with self._lock:
+            self._accepting = False
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.config.drain_timeout)
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._requests:
+                    return True
+            time.sleep(0.01)
+        with self._lock:
+            return not self._requests
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Drain, stop the workers, reject anything still unresolved (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._accepting = False
+            started = self._started
+        if not started:
+            return
+        self.drain(timeout=min(timeout, self.config.drain_timeout))
+        with self._lock:
+            handles = list(self._workers.values())
+            for handle in handles:
+                handle.stopping = True
+                try:
+                    handle.request_queue.put_nowait(None)
+                except queue_module.Full:
+                    pass
+        for handle in handles:
+            handle.process.join(timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+        with self._lock:
+            leftovers = list(self._requests.values())
+            self._requests.clear()
+            for handle in self._workers.values():
+                handle.in_flight.clear()
+        for request in leftovers:
+            request.future._reject(PoolClosed(
+                "pool closed before this request was answered"))
+        if self._dispatcher is not None and self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ serving
+    def submit(self, sample: np.ndarray) -> PoolFuture:
+        """Dispatch one sample to the least-loaded worker; returns a future.
+
+        Raises :class:`PoolSaturated` once the pool-wide in-flight count
+        reaches the watermark (or the chosen worker's queue is full), and
+        :class:`PoolClosed` when the pool is draining or closed.
+        """
+        return self._submit("predict", np.asarray(sample, dtype=np.float32))
+
+    def submit_sleep(self, seconds: float) -> PoolFuture:
+        """Occupy one worker for ``seconds`` (drain/failure testing, warm-up)."""
+        return self._submit("sleep", float(seconds))
+
+    def predict(self, sample: np.ndarray, timeout: Optional[float] = None):
+        """Blocking convenience wrapper around :meth:`submit`."""
+        effective = timeout if timeout is not None else self.config.request_timeout
+        return self.submit(sample).result(timeout=effective)
+
+    def _submit(self, kind: str, payload) -> PoolFuture:
+        with self._lock:
+            if not self._started:
+                raise PoolClosed("pool not started; call start() or use it as a "
+                                 "context manager")
+            if self._closed or not self._accepting:
+                raise PoolClosed("pool is draining/closed and accepts no new requests")
+            if len(self._requests) >= self.config.effective_watermark:
+                self.rejected_saturated += 1
+                raise PoolSaturated(
+                    f"{len(self._requests)} requests in flight >= watermark "
+                    f"{self.config.effective_watermark}; retry later")
+            request = _Request(next(self._request_ids), kind, payload)
+            self._dispatch(request)
+            self.submitted += 1
+        return request.future
+
+    def _dispatch(self, request: _Request) -> None:
+        """Enqueue ``request`` on the best worker (caller holds the lock)."""
+        candidates = [handle for handle in self._workers.values()
+                      if handle.alive and not handle.stopping]
+        if not candidates:
+            respawnable = (not self._closed and any(
+                self._early_crashes.get(worker_id, 0) < MAX_EARLY_CRASHES
+                for worker_id in self._workers))
+            if respawnable:
+                # The supervisor is (about to be) respawning — transient, so
+                # shed rather than fail: callers can retry, HTTP says 503.
+                self.rejected_saturated += 1
+                raise PoolSaturated(
+                    "no alive workers right now (respawn in progress); retry later")
+            self.failed += 1
+            request.future._reject(WorkerCrashed("no alive workers in the pool"))
+            return
+        # Least-loaded first; equal loads rotate round-robin so sequential
+        # traffic still spreads across the pool.
+        candidates.sort(key=lambda handle: (len(handle.in_flight), handle.last_used))
+        request.attempts += 1
+        for handle in candidates:
+            try:
+                handle.request_queue.put_nowait(
+                    (request.request_id, request.kind, request.payload))
+            except queue_module.Full:
+                continue
+            request.worker_id = handle.worker_id
+            handle.in_flight[request.request_id] = request
+            handle.last_used = next(self._rr)
+            self._requests[request.request_id] = request
+            return
+        # Every queue is full — that is backpressure too.
+        self.rejected_saturated += 1
+        raise PoolSaturated("every worker queue is full; retry later")
+
+    # --------------------------------------------------------------- dispatcher
+    def _dispatch_loop(self) -> None:
+        """Resolve responses and supervise worker processes."""
+        last_liveness_check = 0.0
+        while True:
+            with self._lock:
+                if self._closed and not self._requests:
+                    break
+                handles = list(self._workers.values())
+            got_any = False
+            for handle in handles:
+                got_any |= self._drain_responses(handle)
+            now = time.monotonic()
+            if now - last_liveness_check >= 0.1:
+                last_liveness_check = now
+                self._reap_dead_workers()
+            if not got_any:
+                time.sleep(0.002)
+
+    def _drain_responses(self, handle: _WorkerHandle, limit: int = 64) -> bool:
+        """Process everything currently readable on one worker's channel."""
+        got_any = False
+        for _ in range(limit):
+            try:
+                message = handle.response_queue.get_nowait()
+            except (queue_module.Empty, EOFError, OSError):
+                break
+            got_any = True
+            self._handle_message(message)
+        return got_any
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        if kind == "ready":
+            _, worker_id, _pid = message
+            with self._lock:
+                handle = self._workers.get(worker_id)
+                self._early_crashes[worker_id] = 0    # the slot proved viable
+            if handle is not None:
+                handle.ready.set()
+            return
+        if kind == "bye":
+            return
+        _, request_id, payload = message
+        with self._lock:
+            request = self._requests.pop(request_id, None)
+            if request is None:
+                return  # already rejected (e.g. its worker was declared dead)
+            handle = self._workers.get(request.worker_id)
+            if handle is not None:
+                handle.in_flight.pop(request_id, None)
+                handle.served += 1
+            if kind == "ok":
+                self.completed += 1
+            else:
+                self.failed += 1
+        if kind == "ok":
+            request.future._resolve(payload)
+        else:
+            request.future._reject(RuntimeError(f"worker error: {payload}"))
+
+    def _reap_dead_workers(self) -> None:
+        """Respawn crashed workers; retry or reject their orphaned requests."""
+        with self._lock:
+            dead = [handle for handle in self._workers.values()
+                    if not handle.alive and not handle.stopping]
+        if not dead:
+            return
+        # Collect any answers a worker managed to send before dying, so those
+        # requests resolve normally instead of being retried (done outside
+        # the lock — _handle_message locks per message).
+        for handle in dead:
+            self._drain_responses(handle)
+        # Charge never-ready deaths against the slot's crash budget, then
+        # spawn replacements OUTSIDE the lock — a spawn re-imports the
+        # library and pickles the weights (~1 s), and holding the lock that
+        # long would stall every submit and response in the pool.  Only this
+        # (dispatcher) thread reaps, so there is no double-spawn race.
+        with self._lock:
+            closed = self._closed
+            for handle in dead:
+                if (self._workers.get(handle.worker_id) is handle
+                        and not handle.ready.is_set()):
+                    self._early_crashes[handle.worker_id] = \
+                        self._early_crashes.get(handle.worker_id, 0) + 1
+            budgets = dict(self._early_crashes)
+        replacements: Dict[int, _WorkerHandle] = {}
+        if not closed:
+            for handle in dead:
+                if budgets.get(handle.worker_id, 0) >= MAX_EARLY_CRASHES:
+                    continue  # deterministic startup crash: give the slot up
+                replacements[handle.worker_id] = self._spawn(
+                    handle.worker_id, generation=handle.generation + 1)
+        to_retry: List[_Request] = []
+        to_reject: List[_Request] = []
+        with self._lock:
+            for handle in dead:
+                if self._workers.get(handle.worker_id) is not handle:
+                    continue  # already replaced by an earlier reap
+                orphans = list(handle.in_flight.values())
+                handle.in_flight.clear()
+                replacement = replacements.get(handle.worker_id)
+                if replacement is not None and not self._closed:
+                    self._workers[handle.worker_id] = replacement
+                    self.respawns += 1
+                else:
+                    # Slot given up (crash budget spent) or pool closing:
+                    # stop re-reaping this dead handle every supervisor tick.
+                    handle.stopping = True
+                for request in orphans:
+                    self._requests.pop(request.request_id, None)
+                    if request.attempts <= self.config.max_retries and not self._closed:
+                        to_retry.append(request)
+                    else:
+                        to_reject.append(request)
+            for request in to_retry:
+                self.retried += 1
+                try:
+                    self._dispatch(request)
+                except PoolSaturated:
+                    to_reject.append(request)
+            for request in to_reject:
+                self.failed += 1
+        # A replacement that lost the install race (pool closed mid-spawn)
+        # must not leak as an orphan process.
+        for worker_id, replacement in replacements.items():
+            with self._lock:
+                installed = self._workers.get(worker_id) is replacement
+            if not installed:
+                replacement.process.terminate()
+        for request in to_reject:
+            request.future._reject(WorkerCrashed(
+                f"worker {request.worker_id} died with this request in flight "
+                f"(attempt {request.attempts}/{1 + self.config.max_retries})"))
+
+    # -------------------------------------------------------------------- state
+    @property
+    def accepting(self) -> bool:
+        with self._lock:
+            return self._started and self._accepting and not self._closed
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._requests)
+
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(1 for handle in self._workers.values() if handle.alive)
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the pool (for ``GET /stats``)."""
+        with self._lock:
+            return {
+                "workers": [handle.describe() for handle in self._workers.values()],
+                "accepting": self._started and self._accepting and not self._closed,
+                "in_flight": len(self._requests),
+                "watermark": self.config.effective_watermark,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "retried": self.retried,
+                "respawns": self.respawns,
+                "rejected_saturated": self.rejected_saturated,
+            }
+
+    def __repr__(self) -> str:
+        return (f"WorkerPool(workers={self.config.workers}, "
+                f"alive={self.alive_workers()}, in_flight={self.in_flight()})")

@@ -1,0 +1,137 @@
+"""The worker-process side of the serving pool.
+
+Each worker is an independent OS process that receives the experiment spec
+and the trained weights over IPC (both pickle cleanly: the spec as a plain
+dict, the weights as a name → ``np.ndarray`` state dict), rebuilds the model,
+compiles it, and serves requests from its own bounded queue through a private
+:class:`~repro.inference.BatchedPredictor`.  Because every worker starts from
+the same serialized weights and the compiled path is deterministic, any
+worker answers any request with the same bits.
+
+The wire protocol is deliberately tiny — picklable tuples in both directions:
+
+* parent → worker: ``(request_id, kind, payload)`` where ``kind`` is
+  ``"predict"`` (payload: one float32 sample) or ``"sleep"`` (payload:
+  seconds; used by drain tests and warm-up probes to occupy a worker
+  deterministically); ``None`` tells the worker to drain and exit.
+* worker → parent, on the shared response queue:
+  ``("ready", worker_id, pid)`` once serving can begin,
+  ``("ok", request_id, output)`` / ``("err", request_id, message)`` per
+  request, and ``("bye", worker_id)`` on graceful exit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+#: Message kinds a worker understands.
+REQUEST_KINDS = ("predict", "sleep")
+
+
+def execute_request(predictor, kind: str, payload: Any, timeout: float) -> Any:
+    """Run one already-parsed request on this worker's predictor."""
+    if kind == "predict":
+        return predictor.predict(np.asarray(payload, dtype=np.float32), timeout=timeout)
+    if kind == "sleep":
+        time.sleep(float(payload))
+        return None
+    raise ValueError(f"unknown request kind '{kind}'; valid: {REQUEST_KINDS}")
+
+
+def build_serving_predictor(spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
+                            max_batch_size: int, max_wait: float):
+    """Rebuild the model from its IPC form and wrap it for serving.
+
+    Split out of :func:`worker_main` so tests can exercise the
+    deserialize → build → load → compile path in-process.
+    """
+    from ..experiment import ExperimentSpec
+    from ..inference import BatchedPredictor
+    from ..utils.seed import seed_everything
+
+    spec = ExperimentSpec.from_dict(spec_dict)
+    # Seeded exactly like Experiment.build(), so even a worker that receives
+    # no weights reproduces the parent's freshly built model.
+    seed_everything(spec.seed)
+    model = spec.model.build()
+    if state:
+        model.load_state_dict(dict(state))
+    model.eval()
+    return BatchedPredictor(model, max_batch_size=max_batch_size, max_wait=max_wait)
+
+
+def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
+                max_batch_size: int, max_wait: float, request_timeout: float,
+                request_queue, response_queue) -> None:
+    """Entry point executed inside each pool process.
+
+    Top-level (not a closure) so it imports cleanly under the ``spawn`` start
+    method.  The loop coalesces whatever is already queued into one submit
+    wave so the predictor's micro-batching sees real batches, not a strict
+    one-at-a-time stream.
+    """
+    import queue as queue_module
+    import signal
+
+    # A terminal Ctrl+C delivers SIGINT to the whole foreground process
+    # group.  The *parent* owns the shutdown (drain, then sentinel/terminate)
+    # — a worker that died on the KeyboardInterrupt would fail every request
+    # it had in flight instead of draining gracefully.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+
+    predictor = build_serving_predictor(spec_dict, state, max_batch_size, max_wait)
+    response_queue.put(("ready", worker_id, os.getpid()))
+    running = True
+    try:
+        while running:
+            message = request_queue.get()
+            if message is None:
+                break
+            wave = [message]
+            # Greedily pull everything already waiting (up to one predictor
+            # batch) so concurrent requests share a compiled forward.
+            while len(wave) < max_batch_size:
+                try:
+                    extra = request_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                if extra is None:
+                    running = False
+                    break
+                wave.append(extra)
+            _serve_wave(predictor, wave, request_timeout, response_queue)
+    finally:
+        predictor.shutdown()
+        response_queue.put(("bye", worker_id))
+
+
+def _serve_wave(predictor, wave, request_timeout: float, response_queue) -> None:
+    """Answer one coalesced wave of requests, isolating per-request errors."""
+    pending: list[Tuple[int, Any]] = []
+    for request_id, kind, payload in wave:
+        if kind == "predict":
+            # Submit the whole wave before collecting so the predictor can
+            # batch it; errors surface per-handle below.
+            try:
+                pending.append((request_id, predictor.submit(
+                    np.asarray(payload, dtype=np.float32))))
+            except BaseException as error:  # noqa: BLE001 — must answer the caller
+                response_queue.put(("err", request_id, f"{type(error).__name__}: {error}"))
+        else:
+            try:
+                result = execute_request(predictor, kind, payload, request_timeout)
+                response_queue.put(("ok", request_id, result))
+            except BaseException as error:  # noqa: BLE001
+                response_queue.put(("err", request_id, f"{type(error).__name__}: {error}"))
+    for request_id, handle in pending:
+        try:
+            response_queue.put(("ok", request_id, handle.result(timeout=request_timeout)))
+        except BaseException as error:  # noqa: BLE001
+            response_queue.put(("err", request_id, f"{type(error).__name__}: {error}"))

@@ -1,0 +1,96 @@
+"""Local (`act`-style) validation of the CI pipeline definition.
+
+CI configuration is code that never runs on a developer's machine, which is
+exactly why it rots.  These tests parse ``.github/workflows/ci.yml`` and
+check the properties the repo depends on: it is valid YAML with the expected
+jobs, every third-party action is pinned to a version, and the tier-1 job
+runs *exactly* the ROADMAP's tier-1 verify command, so the gate and the
+documentation can never drift apart.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml", reason="workflow validation needs PyYAML")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+WORKFLOW_PATH = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+ROADMAP_PATH = REPO_ROOT / "ROADMAP.md"
+
+EXPECTED_JOBS = {"tests", "lint", "smoke", "bench-gate"}
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    return yaml.safe_load(WORKFLOW_PATH.read_text())
+
+
+def roadmap_tier1_command() -> str:
+    """The backticked command on the ROADMAP's 'Tier-1 verify' line."""
+    match = re.search(r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`", ROADMAP_PATH.read_text())
+    assert match, "ROADMAP.md no longer declares a tier-1 verify line"
+    return match.group(1)
+
+
+def all_steps(workflow: dict):
+    for job_name, job in workflow["jobs"].items():
+        for step in job["steps"]:
+            yield job_name, step
+
+
+def test_workflow_parses_and_declares_the_expected_jobs(workflow):
+    assert set(workflow["jobs"]) == EXPECTED_JOBS
+    # `on:` parses as the YAML boolean key True — both push and PR trigger.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers and "push" in triggers
+
+
+def test_every_action_is_version_pinned(workflow):
+    uses = [(job, step["uses"]) for job, step in all_steps(workflow) if "uses" in step]
+    assert uses, "workflow uses no actions at all?"
+    for job_name, action in uses:
+        assert re.search(r"@v\d+$", action), (
+            f"job '{job_name}' uses unpinned action '{action}'")
+
+
+def test_tier1_job_runs_the_roadmap_verify_command_verbatim(workflow):
+    tier1 = roadmap_tier1_command()
+    run_commands = [step.get("run", "") for _, step in all_steps(workflow)]
+    assert any(tier1 in command for command in run_commands), (
+        f"no CI step runs the ROADMAP tier-1 command: {tier1}")
+
+
+def test_tests_job_covers_the_supported_python_matrix(workflow):
+    matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.12"]
+
+
+def test_smoke_job_runs_pipeline_docs_and_serve(workflow):
+    smoke_runs = [step.get("run", "") for job, step in all_steps(workflow)
+                  if job == "smoke"]
+    joined = " ".join(smoke_runs)
+    assert "repro run smoke" in joined
+    assert "tests/docs" in joined
+    assert "repro serve smoke" in joined and "--self-test" in joined
+
+
+def test_bench_gate_runs_quick_benchmarks_and_uploads_results(workflow):
+    steps = workflow["jobs"]["bench-gate"]["steps"]
+    runs = " ".join(step.get("run", "") for step in steps)
+    assert "bench_inference_throughput.py --quick" in runs
+    assert "bench_serving_scaleout.py --quick" in runs
+    upload = next(step for step in steps if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["path"].startswith("benchmarks/results")
+
+
+def test_lint_job_compiles_and_ruffs(workflow):
+    runs = " ".join(step.get("run", "")
+                    for job, step in all_steps(workflow) if job == "lint")
+    assert "compileall" in runs
+    assert "ruff check" in runs
+    # The ruff config the job refers to must actually exist.
+    assert "[tool.ruff" in (REPO_ROOT / "pyproject.toml").read_text()

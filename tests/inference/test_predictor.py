@@ -82,7 +82,7 @@ class TestBatchedPredictor:
     def test_submit_after_close_raises(self):
         predictor = BatchedPredictor(small_model())
         predictor.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(RuntimeError, match="shut down"):
             predictor.submit(samples(1)[0])
 
     def test_close_is_idempotent(self):
@@ -103,7 +103,7 @@ class TestBatchedPredictor:
     def test_start_after_close_raises(self):
         predictor = BatchedPredictor(small_model(), autostart=False)
         predictor.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(RuntimeError, match="shut down"):
             predictor.start()
 
     def test_constructor_validation(self):
@@ -111,6 +111,55 @@ class TestBatchedPredictor:
             BatchedPredictor(small_model(), max_batch_size=0)
         with pytest.raises(ValueError):
             BatchedPredictor(small_model(), max_wait=-1.0)
+
+
+class TestShutdownRobustness:
+    """Shutdown semantics hardened for the repro.serve pool integration."""
+
+    def test_shutdown_is_an_idempotent_alias_of_close(self):
+        predictor = BatchedPredictor(small_model())
+        predictor.predict(samples(1)[0])
+        predictor.shutdown()
+        predictor.shutdown()          # double-shutdown must be a no-op
+        predictor.close()             # and mixing the two names is fine
+
+    def test_submit_after_shutdown_raises_a_clear_error(self):
+        predictor = BatchedPredictor(small_model())
+        predictor.predict(samples(1)[0])
+        predictor.shutdown()
+        with pytest.raises(RuntimeError, match="create a new BatchedPredictor"):
+            predictor.submit(samples(1)[0])
+        # A second violation gets the same clear answer, not a hang.
+        with pytest.raises(RuntimeError, match="create a new BatchedPredictor"):
+            predictor.submit(samples(1)[0])
+
+    def test_worker_thread_is_daemonized(self):
+        predictor = BatchedPredictor(small_model())
+        predictor.predict(samples(1)[0])
+        assert predictor._worker is not None and predictor._worker.daemon
+        predictor.shutdown()
+
+    def test_abandoned_predictor_does_not_hang_interpreter_exit(self):
+        # A predictor that was never closed must not keep the interpreter
+        # alive: its worker is a daemon thread.  Run a real interpreter so we
+        # observe actual process exit, with a hard timeout as the failure mode.
+        import subprocess
+        import sys
+
+        script = (
+            "import numpy as np\n"
+            "from repro import nn\n"
+            "from repro.inference import BatchedPredictor\n"
+            "model = nn.Sequential(nn.Flatten(), nn.Linear(12, 8))\n"
+            "predictor = BatchedPredictor(model, max_batch_size=4)\n"
+            "out = predictor.predict(np.zeros((3, 2, 2), dtype=np.float32))\n"
+            "assert out.shape == (8,)\n"
+            "print('served-without-close')\n"   # predictor deliberately abandoned
+        )
+        result = subprocess.run([sys.executable, "-c", script], timeout=60,
+                                capture_output=True, text=True)
+        assert result.returncode == 0, result.stderr
+        assert "served-without-close" in result.stdout
 
 
 class TestBatchDependenceWarning:

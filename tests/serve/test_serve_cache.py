@@ -1,0 +1,75 @@
+"""LRU response cache: digests, eviction, bit-identical hits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import LRUCache, input_digest
+
+
+class TestInputDigest:
+    def test_equal_arrays_share_a_digest(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        b = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert input_digest(a) == input_digest(b)
+
+    def test_value_shape_and_dtype_all_matter(self):
+        flat = np.arange(12, dtype=np.float32)
+        assert input_digest(flat) != input_digest(flat.reshape(3, 4))
+        assert input_digest(flat) != input_digest(flat.astype(np.float64))
+        bumped = flat.copy()
+        bumped[0] += 1e-7
+        assert input_digest(flat) != input_digest(bumped)
+
+    def test_non_contiguous_arrays_are_handled(self):
+        base = np.arange(16, dtype=np.float32).reshape(4, 4)
+        view = base[:, ::2]
+        assert input_digest(view) == input_digest(np.ascontiguousarray(view))
+
+
+class TestLRUCache:
+    def test_hit_returns_the_exact_stored_payload(self):
+        cache = LRUCache(capacity=4)
+        key = input_digest(np.ones(3, dtype=np.float32))
+        payload = np.array([1.5, -2.25, 3.125], dtype=np.float32)
+        cache.put(key, payload)
+        hit = cache.get(key)
+        # Bit-identical: same bytes, same dtype — in fact the same array.
+        assert hit is payload
+        assert np.array_equal(hit, payload)
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_miss_is_counted(self):
+        cache = LRUCache(capacity=4)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_least_recently_used_entry_is_evicted(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.float32(1))
+        cache.put("b", np.float32(2))
+        assert cache.get("a") is not None    # refresh "a"; "b" is now oldest
+        cache.put("c", np.float32(3))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_capacity_zero_disables_caching(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", np.float32(1))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+    def test_stats_snapshot(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", np.float32(1))
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats == {"capacity": 2, "entries": 1, "hits": 1,
+                         "misses": 1, "evictions": 0}

@@ -1,0 +1,48 @@
+"""ServeConfig validation and round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig
+
+
+class TestServeConfig:
+    def test_defaults_validate(self):
+        config = ServeConfig()
+        assert config.workers == 2
+        assert config.effective_watermark == config.workers * config.queue_depth
+
+    def test_explicit_watermark_wins(self):
+        assert ServeConfig(watermark=5).effective_watermark == 5
+
+    @pytest.mark.parametrize("field, value", [
+        ("workers", 0),
+        ("max_batch_size", 0),
+        ("max_wait", -0.1),
+        ("queue_depth", 0),
+        ("watermark", -1),
+        ("max_retries", -1),
+        ("cache_size", -1),
+        ("request_timeout", 0),
+        ("startup_timeout", -1.0),
+        ("drain_timeout", 0),
+        ("start_method", "thread"),
+    ])
+    def test_invalid_values_raise(self, field, value):
+        with pytest.raises(ValueError):
+            ServeConfig(**{field: value})
+
+    def test_dict_round_trip(self):
+        config = ServeConfig(workers=3, watermark=9, cache_size=0, port=0)
+        clone = ServeConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ServeConfig field"):
+            ServeConfig.from_dict({"workres": 2})
+
+    def test_with_returns_modified_copy(self):
+        config = ServeConfig()
+        changed = config.with_(workers=4)
+        assert changed.workers == 4 and config.workers == 2
