@@ -19,6 +19,8 @@ Subpackages
                the micro-batching ``BatchedPredictor`` serving entry point
 ``serve``      scale-out serving: multi-process worker pool, HTTP front door,
                response cache, backpressure (``repro serve``)
+``engine``     the unified callback-driven training engine: one ``Trainer``
+               under every task loop, checkpoint/resume, task adapters
 ``models``     VGG / ResNet / MobileNet / SNGAN / SSD model zoo
 ``profiler``   training-memory, latency and FLOPs profilers
 ``ppml``       privacy-preserving inference cost models and ReLU→quadratic conversion
@@ -66,6 +68,7 @@ from . import (
     autodiff,
     builder,
     data,
+    engine,
     experiment,
     explore,
     inference,
@@ -88,6 +91,7 @@ __all__ = [
     "data",
     "quadratic",
     "builder",
+    "engine",
     "experiment",
     "explore",
     "inference",

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 
 from ..experiment import (
     ARCHITECTURES,
+    CALLBACKS,
     DATASETS,
     MODELS,
     OPTIMIZERS,
@@ -45,7 +46,7 @@ IMAGE_MODEL_CHOICES = tuple(name for name in MODEL_CHOICES if name != "mlp")
 
 #: Component families ``repro list`` can print.
 LIST_CHOICES = ("models", "neurons", "datasets", "trainers", "optimizers",
-                "architectures", "presets")
+                "callbacks", "architectures", "presets")
 
 
 class CLIError(Exception):
@@ -183,11 +184,47 @@ def _load_spec(reference: str) -> ExperimentSpec:
             f"presets: {', '.join(preset_names())}") from None
 
 
+def _checkpoint_payload(path: str) -> dict:
+    """Load a training checkpoint for the CLI (readable errors, no traceback)."""
+    from ..utils.serialization import load_training_checkpoint
+
+    if not os.path.exists(path):
+        raise CLIError(f"checkpoint '{path}' does not exist")
+    try:
+        return load_training_checkpoint(path)
+    except (ValueError, OSError, KeyError) as error:
+        raise CLIError(f"could not load checkpoint '{path}': {error}") from None
+
+
+def _spec_from_checkpoint(payload: dict, path: str) -> ExperimentSpec:
+    """The experiment spec a checkpoint embeds (written by Experiment.fit)."""
+    spec_dict = payload.get("spec")
+    if not spec_dict:
+        raise CLIError(
+            f"checkpoint '{path}' embeds no experiment spec (it was written by a "
+            f"direct engine run); resume it through repro.engine.Trainer instead")
+    try:
+        return ExperimentSpec.from_dict(spec_dict)
+    except (ValueError, TypeError, KeyError) as error:
+        raise CLIError(f"checkpoint '{path}' embeds an unreadable spec: {error}") from None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Execute a JSON experiment spec (or bundled preset) end to end."""
     spec = _load_spec(args.spec)
     if args.steps:
         spec = spec.with_(steps=[step.strip() for step in args.steps.split(",")])
+    train_overrides = {}
+    if args.checkpoint_dir is not None:
+        train_overrides["checkpoint_dir"] = args.checkpoint_dir
+    if args.checkpoint_every is not None:
+        train_overrides["checkpoint_every"] = args.checkpoint_every
+    if args.stop_after_epoch is not None:
+        train_overrides["stop_after_epoch"] = args.stop_after_epoch
+    if args.prefetch:
+        train_overrides["prefetch"] = True
+    if train_overrides:
+        spec = spec.with_(train=spec.train.with_(**train_overrides))
     experiment = _experiment(spec)
     summary = experiment.run()
     if args.json:
@@ -205,6 +242,10 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_list(args: argparse.Namespace) -> int:
     """Print one component registry as a table."""
     what = args.what
+    if what not in LIST_CHOICES:
+        raise CLIError(
+            f"unknown component family '{what}'; valid families: "
+            f"{', '.join(LIST_CHOICES)}")
     if what == "models":
         rows = [[name] for name in MODELS.names()]
         _print(format_table(["Model"], rows, title="Registered models"))
@@ -219,6 +260,11 @@ def cmd_list(args: argparse.Namespace) -> int:
     elif what == "optimizers":
         rows = [[name] for name in OPTIMIZERS.names()]
         _print(format_table(["Optimizer"], rows, title="Registered optimizers"))
+    elif what == "callbacks":
+        rows = [[name, next(iter((cls.__doc__ or "").strip().splitlines()), "")]
+                for name, cls in CALLBACKS.items()]
+        _print(format_table(["Callback", "Purpose"], rows,
+                            title="Registered training-engine callbacks"))
     elif what == "architectures":
         rows = [[name, entry["family"], str(entry["cfg"])]
                 for name, entry in ARCHITECTURES.items()]
@@ -368,16 +414,41 @@ def _serve_self_test(experiment: Experiment, server, num_requests: int,
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve a spec's model over HTTP from a pool of worker processes."""
-    spec = _load_spec(args.spec)
+    """Serve a spec's model over HTTP from a pool of worker processes.
+
+    ``--from-checkpoint`` serves *trained* weights: the spec is read from the
+    checkpoint file and the model's parameters are restored from it before
+    the worker pool ships them out.
+    """
+    if (args.spec is None) == (args.from_checkpoint is None):
+        raise CLIError("pass either a spec (file or preset) or --from-checkpoint, "
+                       "not both and not neither")
     config = _serve_config(args)          # flag validation before the build
     if args.self_test is not None and args.self_test < 1:
         raise CLIError(f"--self-test needs at least 1 request, got {args.self_test}")
-    experiment = _experiment(spec)
-    experiment.build()
+    origin = ""
+    if args.from_checkpoint is not None:
+        payload = _checkpoint_payload(args.from_checkpoint)
+        if payload.get("task") != "classification":
+            raise CLIError(
+                f"--from-checkpoint needs a classification checkpoint, got task "
+                f"'{payload.get('task')}'")
+        spec = _spec_from_checkpoint(payload, args.from_checkpoint)
+        experiment = _experiment(spec)
+        model = experiment.build()
+        try:
+            model.load_state_dict(payload["adapter"]["model"])
+        except (KeyError, ValueError) as error:
+            raise CLIError(f"checkpoint weights do not fit the embedded spec's "
+                           f"model: {error}") from None
+        origin = f" (checkpoint epoch {payload.get('epoch')})"
+    else:
+        spec = _load_spec(args.spec)
+        experiment = _experiment(spec)
+        experiment.build()
     server = experiment.serve(config=config)
     with server:
-        _print(f"serving '{spec.name}' on {server.url} with {config.workers} "
+        _print(f"serving '{spec.name}'{origin} on {server.url} with {config.workers} "
                f"worker(s) — POST /predict, GET /healthz, GET /stats")
         if args.self_test is not None:
             return _serve_self_test(experiment, server, args.self_test, args.json)
@@ -470,19 +541,39 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    """Train a model on the synthetic classification workload."""
-    warn_deprecated(
-        "the 'repro train' subcommand",
-        "'repro run <spec.json>' (see 'repro list presets' for starting points)",
-    )
-    experiment = _experiment(_legacy_spec(args))
-    history = experiment.fit()
-    rows = [[epoch + 1, round(loss, 4), round(train_acc, 3), round(test_acc, 3)]
+    """Train a model on the synthetic classification workload.
+
+    With ``--resume <checkpoint>`` the run is rebuilt entirely from the spec
+    embedded in the checkpoint file — model, data, recipe and RNG streams all
+    restore, so the completed training is bit-identical to one that was never
+    interrupted.
+    """
+    if args.resume is not None:
+        payload = _checkpoint_payload(args.resume)
+        spec = _spec_from_checkpoint(payload, args.resume)
+        # Clear any stop request the interrupted run carried; keep its
+        # checkpoint_dir so the resumed run goes on writing checkpoints.
+        spec = spec.with_(train=spec.train.with_(resume_from=args.resume,
+                                                 stop_after_epoch=None))
+        experiment = _experiment(spec)
+        history = experiment.fit()
+        title = (f"Resumed '{spec.name}' from epoch {payload.get('epoch')} "
+                 f"of {spec.train.epochs}")
+    else:
+        warn_deprecated(
+            "the 'repro train' subcommand",
+            "'repro run <spec.json>' (see 'repro list presets' for starting points)",
+        )
+        experiment = _experiment(_legacy_spec(args))
+        history = experiment.fit()
+        title = f"Training {args.model} ({args.neuron_type}) on synthetic data"
+    test_accuracy = history.test_accuracy or [None] * len(history.train_loss)
+    rows = [[epoch + 1, round(loss, 4), round(train_acc, 3),
+             round(test_acc, 3) if test_acc is not None else "-"]
             for epoch, (loss, train_acc, test_acc)
-            in enumerate(zip(history.train_loss, history.train_accuracy,
-                             history.test_accuracy))]
+            in enumerate(zip(history.train_loss, history.train_accuracy, test_accuracy))]
     _print(format_table(["Epoch", "Train loss", "Train acc", "Test acc"], rows,
-                        title=f"Training {args.model} ({args.neuron_type}) on synthetic data"))
+                        title=title))
     return 0
 
 
@@ -591,10 +682,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", default=None, help="write the results JSON to this path")
     run.add_argument("--json", action="store_true",
                      help="print the results as JSON instead of tables")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="write full training checkpoints (model + optimizer + "
+                          "scheduler + RNG + history) to this directory")
+    run.add_argument("--checkpoint-every", type=int, default=None, metavar="K",
+                     help="checkpoint every K completed epochs (default 1)")
+    run.add_argument("--stop-after-epoch", type=int, default=None, metavar="N",
+                     help="stop the fit step cleanly after N total epochs "
+                          "(simulates an interrupt; resume with 'repro train --resume')")
+    run.add_argument("--prefetch", action="store_true",
+                     help="overlap batch assembly with compute via the "
+                          "prefetching data pipeline")
     run.set_defaults(func=cmd_run)
 
     lister = subparsers.add_parser("list", help="list registered components")
-    lister.add_argument("what", choices=LIST_CHOICES)
+    lister.add_argument("what", metavar="family",
+                        help=f"component family: {', '.join(LIST_CHOICES)}")
     lister.set_defaults(func=cmd_list)
 
     infer = subparsers.add_parser(
@@ -615,7 +718,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve", help="serve a spec's model over HTTP from a pool of worker processes")
-    serve.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
+    serve.add_argument("spec", nargs="?", default=None,
+                       help="path to a spec JSON file, or a bundled preset name "
+                            "(omit when using --from-checkpoint)")
+    serve.add_argument("--from-checkpoint", default=None, metavar="CKPT",
+                       help="serve the trained weights of a training checkpoint "
+                            "(spec and parameters both come from the file)")
     serve.add_argument("--workers", type=int, default=2,
                        help="worker processes, each with its own compiled model")
     serve.add_argument("--host", default="127.0.0.1")
@@ -660,9 +768,14 @@ def build_parser() -> argparse.ArgumentParser:
     convert.set_defaults(func=cmd_convert)
 
     train = subparsers.add_parser(
-        "train", help="[deprecated: use 'run'] train a model on the synthetic workload")
+        "train", help="train on the synthetic workload (--resume continues a "
+                      "checkpoint; the flag-soup form is deprecated: use 'run')")
     _add_model_arguments(train)
     _add_training_arguments(train)
+    train.add_argument("--resume", default=None, metavar="CKPT",
+                       help="resume from a training checkpoint written by "
+                            "'repro run --checkpoint-dir' (model flags are ignored; "
+                            "the run rebuilds from the spec inside the checkpoint)")
     train.set_defaults(func=cmd_train)
 
     ppml = subparsers.add_parser(

@@ -2,15 +2,25 @@
 
 from . import synthetic, transforms
 from .dataloader import DataLoader, default_collate
-from .dataset import ConcatDataset, Dataset, Subset, TensorDataset, random_split
+from .dataset import (
+    ConcatDataset,
+    Dataset,
+    Subset,
+    TensorDataset,
+    TransformDataset,
+    random_split,
+)
+from .prefetch import PrefetchDataLoader
 
 __all__ = [
     "Dataset",
     "TensorDataset",
+    "TransformDataset",
     "Subset",
     "ConcatDataset",
     "random_split",
     "DataLoader",
+    "PrefetchDataLoader",
     "default_collate",
     "transforms",
     "synthetic",

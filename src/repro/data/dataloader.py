@@ -69,6 +69,16 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    # ------------------------------------------------------------- persistence
+    def rng_state(self) -> dict:
+        """JSON-serialisable state of the shuffling RNG (for checkpoints)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore the shuffling RNG so epoch k+1 reshuffles exactly as if the
+        loader had already served k epochs (checkpoint resume)."""
+        self._rng.bit_generator.state = state
+
     def __iter__(self) -> Iterator:
         indices = np.arange(len(self.dataset))
         if self.shuffle:

@@ -39,6 +39,40 @@ class TensorDataset(Dataset):
         return item if len(item) > 1 else item[0]
 
 
+class TransformDataset(Dataset):
+    """Apply a per-sample transform to the first element of each item.
+
+    For ``(image, label)`` datasets the transform runs on the image and the
+    label passes through; for single-array datasets it runs on the sample
+    itself.  This is how transform-heavy pipelines are expressed for the
+    prefetching loader without baking augmentation into every dataset class.
+    """
+
+    def __init__(self, dataset: Dataset, transform) -> None:
+        self.dataset = dataset
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __getitem__(self, index: int):
+        item = self.dataset[index]
+        if isinstance(item, tuple):
+            return (self.transform(item[0]),) + item[1:]
+        return self.transform(item)
+
+    # ------------------------------------------------------------- persistence
+    def rng_state(self):
+        """The transform pipeline's RNG state, if it exposes one (checkpoints)."""
+        if hasattr(self.transform, "rng_state"):
+            return self.transform.rng_state()
+        return None
+
+    def set_rng_state(self, state) -> None:
+        if state is not None and hasattr(self.transform, "set_rng_state"):
+            self.transform.set_rng_state(state)
+
+
 class Subset(Dataset):
     """A view of a dataset restricted to the given indices."""
 
@@ -51,6 +85,18 @@ class Subset(Dataset):
 
     def __getitem__(self, index: int):
         return self.dataset[self.indices[index]]
+
+    # ------------------------------------------------------------- persistence
+    def rng_state(self):
+        """Delegate to the underlying dataset so augmentation RNG streams
+        behind a split/view still land in training checkpoints."""
+        if hasattr(self.dataset, "rng_state"):
+            return self.dataset.rng_state()
+        return None
+
+    def set_rng_state(self, state) -> None:
+        if state is not None and hasattr(self.dataset, "set_rng_state"):
+            self.dataset.set_rng_state(state)
 
 
 def random_split(dataset: Dataset, lengths: Sequence[int],
@@ -86,3 +132,17 @@ class ConcatDataset(Dataset):
         dataset_idx = int(np.searchsorted(self.cumulative, index, side="right"))
         prev = 0 if dataset_idx == 0 else int(self.cumulative[dataset_idx - 1])
         return self.datasets[dataset_idx][index - prev]
+
+    # ------------------------------------------------------------- persistence
+    def rng_state(self):
+        """Per-member RNG states (``None`` for members without one)."""
+        states = [d.rng_state() if hasattr(d, "rng_state") else None
+                  for d in self.datasets]
+        return states if any(state is not None for state in states) else None
+
+    def set_rng_state(self, states) -> None:
+        if states is None:
+            return
+        for dataset, state in zip(self.datasets, states):
+            if state is not None and hasattr(dataset, "set_rng_state"):
+                dataset.set_rng_state(state)

@@ -1,0 +1,147 @@
+"""Prefetching data pipeline: overlap batch assembly with compute.
+
+The synchronous :class:`~repro.data.dataloader.DataLoader` assembles each
+batch (indexing the dataset, running per-sample transforms, collating) on the
+training thread, so transform time and compute time add up.
+:class:`PrefetchDataLoader` wraps any loader and moves that assembly onto a
+background worker thread feeding a bounded queue: while the trainer crunches
+batch *k*, the worker is already building batches *k+1 … k+depth*.  NumPy
+releases the GIL inside its kernels, so the two threads genuinely overlap on
+multi-core hosts.
+
+Determinism is preserved exactly:
+
+* the worker iterates the *wrapped* loader, so batch order, shuffling RNG
+  advancement and collation are bit-identical to a synchronous epoch;
+* ``max_batches`` stops the worker at the cap, so per-sample transform RNGs
+  (e.g. :class:`~repro.data.transforms.RandomCrop`) never advance past what a
+  capped synchronous epoch would have consumed.
+
+``benchmarks/bench_dataloader_prefetch.py`` gates the speedup on
+transform-heavy configurations.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Iterator, Optional
+
+
+class _EndOfEpoch:
+    """Sentinel the worker enqueues after the last batch."""
+
+
+class _WorkerError:
+    """Wrapper carrying an exception from the worker to the consumer."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class PrefetchDataLoader:
+    """Iterate a wrapped loader with a background prefetching worker.
+
+    Parameters
+    ----------
+    loader : iterable of batches
+        The synchronous loader to wrap (usually a :class:`DataLoader`).
+    depth : int
+        Bound of the prefetch queue — how many assembled batches may wait
+        ahead of the consumer.  Small values (2–4) capture almost all of the
+        overlap without holding many batches in memory.
+    max_batches : int, optional
+        Stop assembling after this many batches per epoch.  Pass the training
+        loop's ``max_batches_per_epoch`` here so transform RNG streams match a
+        capped synchronous run bit for bit.
+    """
+
+    def __init__(self, loader: Any, depth: int = 2,
+                 max_batches: Optional[int] = None) -> None:
+        if depth < 1:
+            raise ValueError(f"prefetch depth must be at least 1, got {depth}")
+        if max_batches is not None and max_batches < 0:
+            raise ValueError(f"max_batches must be non-negative, got {max_batches}")
+        self.loader = loader
+        self.depth = int(depth)
+        self.max_batches = max_batches
+
+    # ------------------------------------------------------------- delegation
+    @property
+    def dataset(self):
+        return self.loader.dataset
+
+    @property
+    def batch_size(self):
+        return self.loader.batch_size
+
+    def rng_state(self) -> dict:
+        return self.loader.rng_state()
+
+    def set_rng_state(self, state: dict) -> None:
+        self.loader.set_rng_state(state)
+
+    def __len__(self) -> int:
+        n = len(self.loader)
+        if self.max_batches is not None:
+            return min(n, self.max_batches)
+        return n
+
+    # -------------------------------------------------------------- iteration
+    def __iter__(self) -> Iterator:
+        batches: "queue.Queue" = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+
+        def assemble() -> None:
+            produced = 0
+            try:
+                source = iter(self.loader)
+                while True:
+                    # Check the cap BEFORE pulling: pulling batch k+1 would run
+                    # its transforms and advance their RNGs past what a capped
+                    # synchronous epoch consumes.
+                    if self.max_batches is not None and produced >= self.max_batches:
+                        break
+                    try:
+                        batch = next(source)
+                    except StopIteration:
+                        break
+                    # Poll `stop` while the queue is full so an early-exiting
+                    # consumer (break / divergence) never leaves us blocked.
+                    while not stop.is_set():
+                        try:
+                            batches.put(batch, timeout=0.05)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                    produced += 1
+                batches.put(_EndOfEpoch())
+            except BaseException as error:  # propagate dataset/transform failures
+                while not stop.is_set():
+                    try:
+                        batches.put(_WorkerError(error), timeout=0.05)
+                        break
+                    except queue.Full:  # consumer busy; retry until it drains or stops
+                        continue
+
+        worker = threading.Thread(target=assemble, name="repro-prefetch", daemon=True)
+        worker.start()
+        try:
+            while True:
+                item = batches.get()
+                if isinstance(item, _EndOfEpoch):
+                    break
+                if isinstance(item, _WorkerError):
+                    raise item.error
+                yield item
+        finally:
+            stop.set()
+            # Drain so a worker blocked on put() can observe `stop` and exit.
+            while True:
+                try:
+                    batches.get_nowait()
+                except queue.Empty:
+                    break
+            worker.join(timeout=5.0)

@@ -13,6 +13,23 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 
+class _StatefulTransform:
+    """Mixin for transforms drawing from an RNG stream.
+
+    Exposing the stream's state lets training checkpoints capture augmentation
+    position, so a resumed run draws the exact crops/flips/noise an
+    uninterrupted run would have (bit-identical resume).
+    """
+
+    _rng: np.random.Generator
+
+    def rng_state(self) -> dict:
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
+
 class Compose:
     """Apply transforms in sequence."""
 
@@ -23,6 +40,17 @@ class Compose:
         for transform in self.transforms:
             image = transform(image)
         return image
+
+    # ------------------------------------------------------------- persistence
+    def rng_state(self) -> list:
+        """Per-transform RNG states (``None`` for stateless members)."""
+        return [transform.rng_state() if hasattr(transform, "rng_state") else None
+                for transform in self.transforms]
+
+    def set_rng_state(self, states: Sequence) -> None:
+        for transform, state in zip(self.transforms, states):
+            if state is not None and hasattr(transform, "set_rng_state"):
+                transform.set_rng_state(state)
 
 
 class Normalize:
@@ -36,7 +64,7 @@ class Normalize:
         return (image - self.mean) / self.std
 
 
-class RandomHorizontalFlip:
+class RandomHorizontalFlip(_StatefulTransform):
     """Flip the image left-right with probability ``p``."""
 
     def __init__(self, p: float = 0.5, seed: int = 0) -> None:
@@ -49,7 +77,7 @@ class RandomHorizontalFlip:
         return image
 
 
-class RandomCrop:
+class RandomCrop(_StatefulTransform):
     """Pad by ``padding`` pixels then crop back to the original size."""
 
     def __init__(self, size: int, padding: int = 4, seed: int = 0) -> None:
@@ -66,7 +94,7 @@ class RandomCrop:
         return padded[:, top:top + self.size, left:left + self.size].copy()
 
 
-class GaussianNoise:
+class GaussianNoise(_StatefulTransform):
     """Add i.i.d. Gaussian noise (simple data augmentation / robustness probe)."""
 
     def __init__(self, std: float = 0.01, seed: int = 0) -> None:

@@ -1,0 +1,271 @@
+"""Typed callback/hook system of the unified training engine.
+
+A :class:`Callback` observes (and may steer) a :class:`~repro.engine.Trainer`
+run through a fixed set of hooks:
+
+========================  ====================================================
+hook                      fired
+========================  ====================================================
+``on_train_begin``        once, before the first epoch (or the resumed epoch)
+``on_epoch_begin``        before each epoch's batch loop
+``on_batch_begin``        before each training step
+``on_batch_end``          after each training step, with the step metrics
+``on_eval``               after the adapter's epoch-end work (evaluation,
+                          history bookkeeping), with the epoch metrics
+``on_epoch_end``          after ``on_eval`` — checkpointing hangs off this
+``on_checkpoint``         after a checkpoint file has been written
+``on_train_end``          once, after the loop exits (even on divergence)
+========================  ====================================================
+
+Callbacks may set ``trainer.should_stop = True`` from any hook to end the run
+gracefully after the current epoch (:class:`EarlyStopping` does exactly
+that).  The built-in callbacks are registered by name in the ``CALLBACKS``
+registry (``repro list callbacks``).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Any, Callable, Dict, Optional
+
+
+class Callback:
+    """Base class: override any subset of the hooks (all default to no-ops).
+
+    Stateful callbacks (e.g. :class:`EarlyStopping`'s best/patience counters)
+    should also override :meth:`state_dict` / :meth:`load_state_dict` so
+    checkpoints capture them — the trainer saves callback state positionally
+    and restores it on resume, keeping resumed runs bit-identical even when a
+    callback influences when training stops.
+    """
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable state a checkpoint should capture (default: none)."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` (default: no-op)."""
+
+    def on_train_begin(self, trainer) -> None:
+        pass
+
+    def on_train_end(self, trainer, history) -> None:
+        pass
+
+    def on_epoch_begin(self, trainer, epoch: int) -> None:
+        pass
+
+    def on_epoch_end(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        pass
+
+    def on_batch_begin(self, trainer, epoch: int, batch_index: int) -> None:
+        pass
+
+    def on_batch_end(self, trainer, epoch: int, batch_index: int,
+                     metrics: Dict[str, Any]) -> None:
+        pass
+
+    def on_eval(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        pass
+
+    def on_checkpoint(self, trainer, epoch: int, path: str) -> None:
+        pass
+
+
+class CallbackList(Callback):
+    """Dispatch every hook to a list of callbacks, in order."""
+
+    def __init__(self, callbacks=()) -> None:
+        self.callbacks = [_coerce_callback(cb) for cb in callbacks]
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(_coerce_callback(callback))
+
+    def __iter__(self):
+        return iter(self.callbacks)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+    def on_train_begin(self, trainer) -> None:
+        for cb in self.callbacks:
+            cb.on_train_begin(trainer)
+
+    def on_train_end(self, trainer, history) -> None:
+        for cb in self.callbacks:
+            cb.on_train_end(trainer, history)
+
+    def on_epoch_begin(self, trainer, epoch: int) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_begin(trainer, epoch)
+
+    def on_epoch_end(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        for cb in self.callbacks:
+            cb.on_epoch_end(trainer, epoch, metrics)
+
+    def on_batch_begin(self, trainer, epoch: int, batch_index: int) -> None:
+        for cb in self.callbacks:
+            cb.on_batch_begin(trainer, epoch, batch_index)
+
+    def on_batch_end(self, trainer, epoch: int, batch_index: int,
+                     metrics: Dict[str, Any]) -> None:
+        for cb in self.callbacks:
+            cb.on_batch_end(trainer, epoch, batch_index, metrics)
+
+    def on_eval(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        for cb in self.callbacks:
+            cb.on_eval(trainer, epoch, metrics)
+
+    def on_checkpoint(self, trainer, epoch: int, path: str) -> None:
+        for cb in self.callbacks:
+            cb.on_checkpoint(trainer, epoch, path)
+
+
+def _coerce_callback(candidate) -> Callback:
+    if isinstance(candidate, Callback):
+        return candidate
+    raise TypeError(
+        f"callbacks must be repro.engine.Callback instances, got "
+        f"{type(candidate).__name__}")
+
+
+class LambdaCallback(Callback):
+    """Build a callback from plain functions (quick experiments, tests).
+
+    >>> cb = LambdaCallback(on_epoch_end=lambda trainer, epoch, metrics: print(epoch))
+    """
+
+    def __init__(self, **hooks: Callable) -> None:
+        valid = {name for name in dir(Callback) if name.startswith("on_")}
+        unknown = sorted(set(hooks) - valid)
+        if unknown:
+            raise ValueError(f"unknown callback hook(s) {unknown}; valid: {sorted(valid)}")
+        for name, fn in hooks.items():
+            setattr(self, name, fn)
+
+
+class ProgressCallback(Callback):
+    """Print one line of metrics per epoch (the engine's training log)."""
+
+    def __init__(self, printer: Callable[[str], None] = print) -> None:
+        self.printer = printer
+
+    def on_epoch_end(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        rendered = "  ".join(
+            f"{key}={value:.4f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in metrics.items())
+        self.printer(f"epoch {epoch + 1}/{trainer.adapter.num_epochs}  {rendered}")
+
+
+class EarlyStopping(Callback):
+    """Stop training when a monitored epoch metric stops improving.
+
+    Parameters
+    ----------
+    monitor : str
+        Key in the epoch metrics dict (e.g. ``"test_accuracy"``,
+        ``"train_loss"``).  Epochs that do not report the key are ignored.
+    mode : str
+        ``"max"`` (higher is better) or ``"min"``.
+    patience : int
+        Epochs without improvement tolerated before requesting a stop.
+    min_delta : float
+        Smallest change that counts as an improvement.
+    """
+
+    def __init__(self, monitor: str = "test_accuracy", mode: str = "max",
+                 patience: int = 3, min_delta: float = 0.0) -> None:
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        if patience < 1:
+            raise ValueError(f"patience must be at least 1, got {patience}")
+        self.monitor = monitor
+        self.mode = mode
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best: Optional[float] = None
+        self.stale = 0
+
+    def _improved(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "max":
+            return value > self.best + self.min_delta
+        return value < self.best - self.min_delta
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"best": self.best, "stale": self.stale}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        best = state.get("best")
+        self.best = None if best is None else float(best)
+        self.stale = int(state.get("stale", 0))
+
+    def on_epoch_end(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        value = metrics.get(self.monitor)
+        if value is None:
+            return
+        value = float(value)
+        if self._improved(value):
+            self.best = value
+            self.stale = 0
+        else:
+            self.stale += 1
+            if self.stale >= self.patience:
+                trainer.should_stop = True
+
+
+class CheckpointCallback(Callback):
+    """Write a full training checkpoint every ``every`` completed epochs.
+
+    Files are named ``epoch_<k>.npz`` (``k`` = completed epochs) inside
+    ``directory``; the newest checkpoint is also mirrored atomically to
+    ``latest.npz`` so resume commands never have to guess a filename.  With
+    ``keep`` set, older ``epoch_*.npz`` files beyond the newest ``keep`` are
+    pruned.
+    """
+
+    LATEST = "latest.npz"
+
+    def __init__(self, directory: str, every: int = 1,
+                 keep: Optional[int] = None) -> None:
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be at least 1, got {every}")
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be at least 1 (or None), got {keep}")
+        self.directory = directory
+        self.every = int(every)
+        self.keep = keep
+
+    def on_epoch_end(self, trainer, epoch: int, metrics: Dict[str, Any]) -> None:
+        completed = epoch + 1
+        last_epoch = completed >= trainer.adapter.num_epochs
+        if completed % self.every and not last_epoch:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, f"epoch_{completed:03d}.npz")
+        trainer.save_checkpoint(path)
+        # Mirror to latest.npz atomically (copy to temp, then rename over).
+        latest = os.path.join(self.directory, self.LATEST)
+        tmp = latest + ".tmp"
+        shutil.copyfile(path, tmp)
+        os.replace(tmp, latest)
+        if self.keep is not None:
+            self._prune()
+
+    def _prune(self) -> None:
+        def epoch_of(name: str) -> Optional[int]:
+            try:
+                return int(name[len("epoch_"):-len(".npz")])
+            except ValueError:
+                return None
+
+        # Sort numerically: past epoch 999 the zero-padding stops aligning
+        # with lexicographic order (``epoch_1000`` < ``epoch_101``).
+        epochs = sorted(
+            (epoch, name) for name in os.listdir(self.directory)
+            if name.startswith("epoch_") and name.endswith(".npz")
+            and (epoch := epoch_of(name)) is not None)
+        for _, name in epochs[:-self.keep]:
+            os.remove(os.path.join(self.directory, name))

@@ -29,6 +29,7 @@ from .experiment import Experiment
 from .presets import PRESETS, get_preset, preset_names
 from .registry import (
     ARCHITECTURES,
+    CALLBACKS,
     DATASETS,
     MODELS,
     NEURONS,
@@ -59,6 +60,7 @@ __all__ = [
     "NEURONS",
     "TRAINERS",
     "OPTIMIZERS",
+    "CALLBACKS",
     "neuron_names",
     "check_neuron_type",
     "is_first_order",

@@ -93,17 +93,42 @@ class Experiment:
         return self._datasets
 
     # --------------------------------------------------------------------- fit
-    def fit(self):
-        """Train the model with the spec's trainer and optimizer; returns history."""
+    def fit(self, callbacks=()):
+        """Train the model with the spec's trainer and optimizer; returns history.
+
+        Training runs through the unified engine (:mod:`repro.engine`): the
+        spec's checkpoint fields (``train.checkpoint_dir`` / ``resume_from`` /
+        ``stop_after_epoch``) and prefetch fields flow into the engine, the
+        whole spec is embedded into every checkpoint so ``repro train
+        --resume <ckpt>`` can rebuild the run from the file alone, and extra
+        ``callbacks`` hook into the epoch/batch/eval/checkpoint events.
+        """
         model = self.model if self.model is not None else self.build()
         train_set, test_set = self.datasets()
         trainer = reg.TRAINERS.get(self.spec.train.trainer)
         optimizer_factory = self._optimizer_factory()
+        # Engine extras beyond the original PR 1 trainer contract.  They are
+        # only passed when the trainer accepts them, so custom trainers
+        # registered against the old 4+1-argument signature keep working.
+        extras = {"callbacks": callbacks, "experiment_spec": self.spec.to_dict()}
+        try:
+            import inspect
+
+            parameters = inspect.signature(trainer).parameters
+            if not any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+                extras = {key: value for key, value in extras.items()
+                          if key in parameters}
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            pass
         start = time.perf_counter()
         with np.errstate(all="ignore"):
             self.history = trainer(model, train_set, test_set, self.spec.train,
-                                   optimizer_factory=optimizer_factory)
+                                   optimizer_factory=optimizer_factory, **extras)
         result = {"seconds": time.perf_counter() - start}
+        if self.spec.train.checkpoint_dir is not None:
+            result["checkpoint_dir"] = self.spec.train.checkpoint_dir
+        if self.spec.train.resume_from is not None:
+            result["resumed_from"] = self.spec.train.resume_from
         if hasattr(self.history, "to_dict"):
             result["history"] = self.history.to_dict()
             result["final_train_accuracy"] = self.history.final_train_accuracy

@@ -49,7 +49,8 @@ def smoke_spec() -> ExperimentSpec:
 
     Small enough for a CI smoke test, yet it exercises the full pipeline:
     registry model build, training, evaluation, analytical profiling and the
-    PPML cost comparison.
+    PPML cost comparison.  Two (tiny) epochs, so the CI resume smoke can stop
+    after epoch 1 and ``repro train --resume`` has real work left.
     """
     return ExperimentSpec(
         name="smoke",
@@ -58,7 +59,7 @@ def smoke_spec() -> ExperimentSpec:
                         width_multiplier=0.125),
         data=DataSpec(name="synthetic_classification", num_samples=32, test_samples=16,
                       num_classes=4, image_size=32),
-        train=TrainSpec(epochs=1, batch_size=16, lr=0.05, max_batches_per_epoch=2),
+        train=TrainSpec(epochs=2, batch_size=16, lr=0.05, max_batches_per_epoch=2),
         profile=ProfileSpec(batch_size=32),
         ppml=PPMLSpec(strategy="quadratic_no_relu", protocol="delphi"),
         steps=["build", "fit", "evaluate", "profile", "ppml"],

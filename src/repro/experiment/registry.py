@@ -15,8 +15,14 @@ Registries
                    ``RESNET_BLOCKS`` / ``MOBILENET_CFGS`` tables)
 ``DATASETS``       ``name -> factory(DataSpec, train: bool) -> Dataset``
 ``NEURONS``        quadratic neuron designs (views of ``NEURON_TYPES``)
-``TRAINERS``       ``name -> trainer(model, train_set, test_set, TrainSpec)``
+``TRAINERS``       ``name -> trainer(model, train_set, test_set, TrainSpec,
+                   optimizer_factory=None, callbacks=(), experiment_spec=None)``
+                   — ``Experiment.fit`` passes ``callbacks``/``experiment_spec``
+                   only to trainers whose signature accepts them, so trainers
+                   registered against the older 4+1-argument contract keep
+                   working (they just don't see the engine extras)
 ``OPTIMIZERS``     ``name -> Optimizer class``
+``CALLBACKS``      ``name -> repro.engine.Callback subclass``
 
 New components register with the decorator form::
 
@@ -100,6 +106,7 @@ DATASETS = Registry("dataset")
 NEURONS = Registry("neuron type")
 TRAINERS = Registry("trainer")
 OPTIMIZERS = Registry("optimizer")
+CALLBACKS = Registry("callback")
 
 
 # --------------------------------------------------------------------------- #
@@ -255,19 +262,40 @@ _register_datasets()
 # --------------------------------------------------------------------------- #
 
 def _register_trainers() -> None:
-    from ..training import classification
+    from ..engine import run_classification
 
     @TRAINERS.register("classifier")
     def classifier_trainer(model, train_set, test_set, spec,
-                           optimizer_factory: Optional[Callable] = None):
-        return classification._train_classifier_impl(
+                           optimizer_factory: Optional[Callable] = None,
+                           callbacks=(), experiment_spec=None):
+        """The engine-backed classification trainer.
+
+        ``callbacks`` and ``experiment_spec`` (the full spec dict embedded
+        into checkpoints for ``repro train --resume``) come from the
+        :class:`Experiment` facade; the checkpoint/prefetch knobs come from
+        the ``TrainSpec`` itself.
+        """
+        return run_classification(
             model, train_set, test_set,
             epochs=spec.epochs, batch_size=spec.batch_size, lr=spec.lr,
             momentum=spec.momentum, weight_decay=spec.weight_decay,
             scheduler=spec.scheduler, label_smoothing=spec.label_smoothing,
             max_batches_per_epoch=spec.max_batches_per_epoch, seed=spec.seed,
             optimizer_factory=optimizer_factory,
+            prefetch=spec.prefetch, prefetch_depth=spec.prefetch_depth,
+            checkpoint_dir=spec.checkpoint_dir, checkpoint_every=spec.checkpoint_every,
+            resume_from=spec.resume_from, stop_after_epoch=spec.stop_after_epoch,
+            callbacks=callbacks, spec=experiment_spec,
         )
+
+
+def _register_callbacks() -> None:
+    from ..engine import CheckpointCallback, EarlyStopping, LambdaCallback, ProgressCallback
+
+    CALLBACKS.register("checkpoint", CheckpointCallback)
+    CALLBACKS.register("early_stopping", EarlyStopping)
+    CALLBACKS.register("progress", ProgressCallback)
+    CALLBACKS.register("lambda", LambdaCallback)
 
 
 def _register_optimizers() -> None:
@@ -282,3 +310,4 @@ def _register_optimizers() -> None:
 
 _register_trainers()
 _register_optimizers()
+_register_callbacks()

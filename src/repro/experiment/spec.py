@@ -22,7 +22,13 @@ from ..builder.config import QuadraticModelConfig
 from . import registry as reg
 
 #: Schema version written into every serialized spec.
-SPEC_VERSION = 1
+#:
+#: * v1 — the original PR 1 schema.
+#: * v2 — :class:`TrainSpec` gained the engine fields (``checkpoint_dir``,
+#:   ``checkpoint_every``, ``resume_from``, ``stop_after_epoch``,
+#:   ``prefetch``, ``prefetch_depth``).  v1 files still load: the new fields
+#:   default to "off".
+SPEC_VERSION = 2
 
 #: Pipeline steps an :class:`ExperimentSpec` may request, in execution order.
 PIPELINE_STEPS = ("build", "fit", "evaluate", "profile", "ppml", "search")
@@ -184,6 +190,19 @@ class TrainSpec(_SpecBase):
     label_smoothing: float = 0.0
     max_batches_per_epoch: Optional[int] = None
     seed: int = 0
+    # ------------------------------------------------ engine fields (spec v2)
+    #: directory receiving full training checkpoints (``None`` disables them).
+    checkpoint_dir: Optional[str] = None
+    #: write a checkpoint every this many completed epochs.
+    checkpoint_every: int = 1
+    #: resume from this checkpoint file before training further.
+    resume_from: Optional[str] = None
+    #: stop cleanly once this many total epochs are complete (CI interrupt).
+    stop_after_epoch: Optional[int] = None
+    #: overlap batch assembly with compute via :class:`PrefetchDataLoader`.
+    prefetch: bool = False
+    #: bounded-queue depth of the prefetching pipeline.
+    prefetch_depth: int = 2
 
     def validate(self) -> None:
         if self.trainer not in reg.TRAINERS:
@@ -199,6 +218,18 @@ class TrainSpec(_SpecBase):
         if self.epochs < 1 or self.batch_size < 1:
             raise ValueError(
                 f"epochs and batch_size must be positive, got {self.epochs}/{self.batch_size}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be at least 1, got {self.checkpoint_every}"
+            )
+        if self.stop_after_epoch is not None and self.stop_after_epoch < 1:
+            raise ValueError(
+                f"stop_after_epoch must be at least 1, got {self.stop_after_epoch}"
+            )
+        if self.prefetch_depth < 1:
+            raise ValueError(
+                f"prefetch_depth must be at least 1, got {self.prefetch_depth}"
             )
 
 

@@ -22,7 +22,8 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..profiler.flops import profile_model
 from ..profiler.memory import estimate_training_memory
-from ..training.classification import TrainingHistory, _train_classifier_impl
+from ..engine import run_classification
+from ..training.classification import TrainingHistory
 from .space import ArchitectureGenome
 
 
@@ -132,7 +133,7 @@ class ProxyEvaluator:
     def train(self, model, seed: int) -> TrainingHistory:
         """Run the proxy training (overridable, e.g. for zero-cost proxies)."""
         with np.errstate(all="ignore"):
-            return _train_classifier_impl(
+            return run_classification(
                 model, self.train_dataset, self.test_dataset,
                 epochs=self.epochs, batch_size=self.batch_size, lr=self.lr,
                 max_batches_per_epoch=self.max_batches_per_epoch, seed=seed)

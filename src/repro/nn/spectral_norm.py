@@ -53,20 +53,22 @@ class SpectralNorm(Module):
         if not weight_names:
             raise ValueError("SpectralNorm requires the wrapped module to expose a weight parameter")
         self.weight_names = list(weight_names)
-        self._u = {
-            name: np.random.default_rng(0).standard_normal(
-                module._parameters[name].shape[0]
-            ).astype(np.float32)
-            for name in self.weight_names
-        }
+        # The power-iteration vectors are registered buffers so checkpoints
+        # capture them: resuming with a re-seeded u would re-converge over a
+        # few steps, but the run would no longer be bit-identical.
+        for name in self.weight_names:
+            self.register_buffer(
+                f"u_{name}",
+                np.random.default_rng(0).standard_normal(
+                    module._parameters[name].shape[0]).astype(np.float32))
 
     def forward(self, *args, **kwargs):
         if self.training:
             for name in self.weight_names:
                 param: Parameter = self.module._parameters[name]
-                sigma, u = _power_iteration(param.data, self._u[name],
+                sigma, u = _power_iteration(param.data, self._buffers[f"u_{name}"],
                                             self.n_power_iterations)
-                self._u[name] = u
+                self.register_buffer(f"u_{name}", u.astype(np.float32))
                 param.data /= sigma
         return self.module(*args, **kwargs)
 

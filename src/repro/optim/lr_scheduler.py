@@ -35,6 +35,23 @@ class LRScheduler:
     def current_lr(self) -> float:
         return self.optimizer.param_groups[0]["lr"]
 
+    # ------------------------------------------------------------- persistence
+    def state_dict(self) -> dict:
+        """Position of the schedule (for training checkpoints)."""
+        return {"last_epoch": int(self.last_epoch), "base_lrs": list(self.base_lrs)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the schedule position and re-apply the learning rate.
+
+        A freshly constructed scheduler sits at epoch 0; loading moves it to
+        the checkpointed epoch and sets each group's lr to the value an
+        uninterrupted run would have at that point.
+        """
+        self.base_lrs = [float(lr) for lr in state["base_lrs"]]
+        self.last_epoch = int(state["last_epoch"])
+        for group, lr in zip(self.optimizer.param_groups, self.get_lr()):
+            group["lr"] = lr
+
 
 class CosineAnnealingLR(LRScheduler):
     """Cosine decay from the base lr to ``eta_min`` over ``t_max`` steps."""

@@ -61,10 +61,60 @@ class Optimizer:
         for group in self.param_groups:
             group["lr"] = lr
 
+    def _flat_parameters(self) -> List[Parameter]:
+        """Every managed parameter in deterministic (group, position) order."""
+        return [p for group in self.param_groups for p in group["params"]]
+
     def state_dict(self) -> Dict:
-        """Hyper-parameters only (buffers are keyed by object identity)."""
+        """Serializable view: hyper-parameters plus per-parameter state.
+
+        In-memory state is keyed by parameter *identity* (``id``), which does
+        not survive a process restart, so the serialized form re-keys each
+        entry by the parameter's flat index across ``param_groups`` — the
+        order :meth:`_flat_parameters` yields, which is deterministic for a
+        rebuilt model.
+        """
+        state: Dict[str, Dict] = {}
+        for index, param in enumerate(self._flat_parameters()):
+            entry = self.state.get(id(param))
+            if entry:
+                state[str(index)] = {
+                    key: (np.array(value) if isinstance(value, np.ndarray) else value)
+                    for key, value in entry.items()
+                }
         return {
             "param_groups": [
                 {k: v for k, v in g.items() if k != "params"} for g in self.param_groups
-            ]
+            ],
+            "state": state,
         }
+
+    def load_state_dict(self, state_dict: Dict) -> None:
+        """Restore hyper-parameters and per-parameter state (checkpoint resume).
+
+        The optimizer must manage the same parameters (same count and order)
+        as the one that produced the ``state_dict``.
+        """
+        groups = state_dict.get("param_groups", [])
+        if len(groups) != len(self.param_groups):
+            raise ValueError(
+                f"checkpoint has {len(groups)} param group(s), optimizer has "
+                f"{len(self.param_groups)}")
+        for group, saved in zip(self.param_groups, groups):
+            for key, value in saved.items():
+                if key == "params":
+                    continue
+                # JSON round-trips tuples (e.g. Adam's betas) as lists.
+                group[key] = tuple(value) if isinstance(value, list) else value
+        flat = self._flat_parameters()
+        self.state.clear()
+        for index_key, entry in state_dict.get("state", {}).items():
+            index = int(index_key)
+            if not 0 <= index < len(flat):
+                raise ValueError(
+                    f"checkpoint state refers to parameter {index}, but the "
+                    f"optimizer manages only {len(flat)}")
+            self.state[id(flat[index])] = {
+                key: (np.array(value) if isinstance(value, np.ndarray) else value)
+                for key, value in entry.items()
+            }

@@ -1,15 +1,17 @@
-"""Classification training loop (the recipe of paper Sec. 5.2, scaled down).
+"""Classification training (the recipe of paper Sec. 5.2, scaled down).
 
 The paper trains with SGD + CosineAnnealing, initial learning rate 0.1,
-200 epochs, batch 256/128.  ``train_classifier`` keeps that recipe but lets
-benchmarks shrink epochs/batches so every Table 2/3/4 row trains in CPU time.
+200 epochs, batch 256/128.  The loop itself now lives in the unified
+training engine (:mod:`repro.engine`) as :class:`ClassificationAdapter`;
+this module keeps the public surface — :class:`TrainingHistory`,
+:func:`evaluate_classifier` and the (deprecated) :func:`train_classifier`
+signature — bit-for-bit compatible with the pre-engine loop.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,18 +19,13 @@ from ..autodiff import no_grad
 from ..autodiff.tensor import Tensor
 from ..data.dataloader import DataLoader
 from ..data.dataset import Dataset
-from ..metrics.classification import accuracy
-from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Module
-from ..optim.lr_scheduler import CosineAnnealingLR, LRScheduler
-from ..optim.sgd import SGD
-from ..quadratic.gradients import GradientFlowProbe
 from ..utils.deprecation import warn_deprecated
 
 
 @dataclass
 class TrainingHistory:
-    """Per-epoch metrics collected by :func:`train_classifier`."""
+    """Per-epoch metrics collected by the classification trainer."""
 
     train_loss: List[float] = field(default_factory=list)
     train_accuracy: List[float] = field(default_factory=list)
@@ -69,15 +66,26 @@ class TrainingHistory:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "TrainingHistory":
-        """Inverse of :meth:`to_dict` (unknown keys are ignored for forward compat)."""
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "TrainingHistory":
+        """Inverse of :meth:`to_dict`, tolerant of older/partial JSON.
+
+        Unknown keys are ignored (forward compat); missing or ``None``-valued
+        optional fields fall back to empty (backward compat), so histories
+        written before a field existed — or by a newer library with extra
+        fields — always load.
+        """
+        data = data or {}
+
+        def _floats(key: str) -> List[float]:
+            return [float(v) for v in (data.get(key) or [])]
+
         return cls(
-            train_loss=[float(v) for v in data.get("train_loss", [])],
-            train_accuracy=[float(v) for v in data.get("train_accuracy", [])],
-            test_accuracy=[float(v) for v in data.get("test_accuracy", [])],
-            seconds_per_batch=[float(v) for v in data.get("seconds_per_batch", [])],
-            gradient_norms={name: [float(v) for v in values]
-                            for name, values in data.get("gradient_norms", {}).items()},
+            train_loss=_floats("train_loss"),
+            train_accuracy=_floats("train_accuracy"),
+            test_accuracy=_floats("test_accuracy"),
+            seconds_per_batch=_floats("seconds_per_batch"),
+            gradient_norms={str(name): [float(v) for v in (values or [])]
+                            for name, values in (data.get("gradient_norms") or {}).items()},
         )
 
 
@@ -104,98 +112,38 @@ def train_classifier(model: Module, train_dataset: Dataset, test_dataset: Option
                      seed: int = 0) -> TrainingHistory:
     """Deprecated direct-call trainer; see :class:`repro.experiment.Experiment`.
 
-    The loop itself is unchanged (it still trains exactly as before); new code
-    should declare the recipe in a :class:`repro.experiment.TrainSpec` and call
+    The recipe is unchanged (it still trains exactly as before, now through
+    the shared :mod:`repro.engine` loop); new code should declare the recipe
+    in a :class:`repro.experiment.TrainSpec` and call
     ``Experiment(spec).fit()`` so the run is serializable and reproducible.
     """
+    from ..engine import run_classification
+
     warn_deprecated(
         "repro.training.train_classifier(model, dataset, ...)",
         "repro.experiment.Experiment(spec).fit() with a TrainSpec",
     )
-    return _train_classifier_impl(model, train_dataset, test_dataset, epochs=epochs,
-                                  batch_size=batch_size, lr=lr, momentum=momentum,
-                                  weight_decay=weight_decay, scheduler=scheduler,
-                                  label_smoothing=label_smoothing,
-                                  grad_probe_layers=grad_probe_layers,
-                                  max_batches_per_epoch=max_batches_per_epoch, seed=seed)
+    return run_classification(model, train_dataset, test_dataset, epochs=epochs,
+                              batch_size=batch_size, lr=lr, momentum=momentum,
+                              weight_decay=weight_decay, scheduler=scheduler,
+                              label_smoothing=label_smoothing,
+                              grad_probe_layers=grad_probe_layers,
+                              max_batches_per_epoch=max_batches_per_epoch, seed=seed)
 
 
-def _train_classifier_impl(model: Module, train_dataset: Dataset,
-                           test_dataset: Optional[Dataset] = None,
-                           epochs: int = 5, batch_size: int = 64, lr: float = 0.1,
-                           momentum: float = 0.9, weight_decay: float = 5e-4,
-                           scheduler: str = "cosine", label_smoothing: float = 0.0,
-                           grad_probe_layers: Optional[Sequence[str]] = None,
-                           max_batches_per_epoch: Optional[int] = None,
-                           seed: int = 0,
-                           optimizer_factory: Optional[Callable] = None) -> TrainingHistory:
-    """Train a classifier with the paper's SGD + CosineAnnealing recipe.
+def __getattr__(name: str):
+    """Deprecation shims for the pre-engine loop internals.
 
-    Parameters
-    ----------
-    grad_probe_layers : list of str, optional
-        Parameter-name substrings whose gradient norms should be recorded each
-        epoch (used to regenerate Fig. 7).
-    max_batches_per_epoch : int, optional
-        Cap on batches per epoch so benchmark rows finish quickly.
-    optimizer_factory : callable, optional
-        ``factory(parameters) -> Optimizer`` override; defaults to the paper's
-        SGD recipe.  The experiment API uses this to honour
-        ``TrainSpec.optimizer``.
+    The loop body that used to live here moved to
+    :class:`repro.engine.ClassificationAdapter`; importing the old private
+    implementation keeps working behind a single :class:`DeprecationWarning`.
     """
-    loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=True, drop_last=True,
-                        seed=seed)
-    test_loader = (DataLoader(test_dataset, batch_size=batch_size) if test_dataset is not None
-                   else None)
-    if optimizer_factory is not None:
-        optimizer = optimizer_factory(model.parameters())
-    else:
-        optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
-                        weight_decay=weight_decay)
-    lr_scheduler: Optional[LRScheduler] = None
-    if scheduler == "cosine":
-        lr_scheduler = CosineAnnealingLR(optimizer, t_max=max(epochs, 1))
-    loss_fn = CrossEntropyLoss(label_smoothing=label_smoothing)
-    probe = GradientFlowProbe(model, layer_filter=grad_probe_layers) if grad_probe_layers else None
+    if name == "_train_classifier_impl":
+        from ..engine import run_classification
 
-    history = TrainingHistory()
-    model.train(True)
-    for _ in range(epochs):
-        epoch_losses, epoch_accs, batch_times = [], [], []
-        for batch_index, (images, labels) in enumerate(loader):
-            if max_batches_per_epoch is not None and batch_index >= max_batches_per_epoch:
-                break
-            start = time.perf_counter()
-            optimizer.zero_grad()
-            logits = model(Tensor(np.asarray(images, dtype=np.float32)))
-            loss = loss_fn(logits, labels)
-            loss.backward()
-            optimizer.step()
-            batch_times.append(time.perf_counter() - start)
-
-            loss_value = loss.item()
-            if not np.isfinite(loss_value):
-                # Divergence (e.g. gradient explosion in deep plain QDNNs):
-                # record and stop, mirroring a failed paper run.
-                history.train_loss.append(float("inf"))
-                history.train_accuracy.append(1.0 / logits.shape[-1])
-                if test_loader is not None:
-                    history.test_accuracy.append(1.0 / logits.shape[-1])
-                return history
-            epoch_losses.append(loss_value)
-            epoch_accs.append(accuracy(logits, labels))
-        if probe is not None:
-            probe.snapshot()
-
-        history.train_loss.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
-        history.train_accuracy.append(float(np.mean(epoch_accs)) if epoch_accs else float("nan"))
-        history.seconds_per_batch.append(float(np.mean(batch_times)) if batch_times else float("nan"))
-        if test_loader is not None:
-            history.test_accuracy.append(evaluate_classifier(model, test_loader))
-            model.train(True)
-        if lr_scheduler is not None:
-            lr_scheduler.step()
-
-    if probe is not None:
-        history.gradient_norms = {name: list(values) for name, values in probe.history.items()}
-    return history
+        warn_deprecated(
+            "repro.training.classification._train_classifier_impl",
+            "repro.engine.run_classification (the unified training engine)",
+        )
+        return run_classification
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

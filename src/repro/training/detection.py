@@ -1,9 +1,14 @@
-"""SSD detector training and evaluation (paper Sec. 5.4, scaled down)."""
+"""SSD detector training and evaluation (paper Sec. 5.4, scaled down).
+
+The loop now runs through the unified engine
+(:class:`repro.engine.DetectionAdapter`); :func:`train_detector` is a thin
+adapter preserving the original signature and history semantics bit for bit.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -12,8 +17,6 @@ from ..data.dataloader import DataLoader
 from ..data.synthetic.detection import SyntheticDetectionDataset, detection_collate
 from ..metrics.detection import evaluate_detections
 from ..models.ssd import SSD
-from ..optim.lr_scheduler import MultiStepLR
-from ..optim.sgd import SGD
 
 
 @dataclass
@@ -26,6 +29,16 @@ class DetectionTrainingHistory:
     def final_loss(self) -> float:
         return self.loss[-1] if self.loss else float("nan")
 
+    # ------------------------------------------------------------ persistence
+    def to_dict(self) -> Dict[str, Any]:
+        return {"loss": [float(v) for v in self.loss]}
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "DetectionTrainingHistory":
+        """Tolerant inverse of :meth:`to_dict` (missing/None fields → empty)."""
+        data = data or {}
+        return cls(loss=[float(v) for v in (data.get("loss") or [])])
+
 
 def train_detector(model: SSD, dataset: SyntheticDetectionDataset, epochs: int = 3,
                    batch_size: int = 8, lr: float = 1e-3, momentum: float = 0.9,
@@ -37,28 +50,12 @@ def train_detector(model: SSD, dataset: SyntheticDetectionDataset, epochs: int =
     The paper decays the learning rate 10× at iterations 80 k and 100 k; the
     scaled version exposes the same mechanism through epoch ``milestones``.
     """
-    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, drop_last=True,
-                        collate_fn=detection_collate, seed=seed)
-    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
-    scheduler = MultiStepLR(optimizer, milestones=milestones) if milestones else None
-    history = DetectionTrainingHistory()
+    from ..engine import run_detection
 
-    model.train(True)
-    for _ in range(epochs):
-        epoch_losses = []
-        for batch_index, (images, targets) in enumerate(loader):
-            if max_batches_per_epoch is not None and batch_index >= max_batches_per_epoch:
-                break
-            optimizer.zero_grad()
-            cls_logits, box_offsets = model(Tensor(np.asarray(images, dtype=np.float32)))
-            loss = model.multibox_loss(cls_logits, box_offsets, targets)
-            loss.backward()
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        history.loss.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
-        if scheduler is not None:
-            scheduler.step()
-    return history
+    return run_detection(model, dataset, epochs=epochs, batch_size=batch_size, lr=lr,
+                         momentum=momentum, weight_decay=weight_decay,
+                         milestones=milestones,
+                         max_batches_per_epoch=max_batches_per_epoch, seed=seed)
 
 
 def evaluate_detector(model: SSD, dataset: SyntheticDetectionDataset, batch_size: int = 8,

@@ -1,9 +1,15 @@
-"""SNGAN training loop with the hinge objective (paper Sec. 5.3, scaled down)."""
+"""SNGAN training with the hinge objective (paper Sec. 5.3, scaled down).
+
+The adversarial loop now runs through the unified engine
+(:class:`repro.engine.GANAdapter`, which owns the two-optimizer step);
+:func:`train_sngan` is a thin adapter preserving the original signature and
+history semantics bit for bit.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -11,8 +17,6 @@ from ..autodiff import no_grad
 from ..autodiff.tensor import Tensor
 from ..data.synthetic.generation import SyntheticGenerationDataset
 from ..models.sngan import SNGANDiscriminator, SNGANGenerator
-from ..nn import functional as F
-from ..optim.adam import Adam
 
 
 @dataclass
@@ -30,6 +34,22 @@ class GANTrainingHistory:
     def final_discriminator_loss(self) -> float:
         return self.discriminator_loss[-1] if self.discriminator_loss else float("nan")
 
+    # ------------------------------------------------------------ persistence
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "generator_loss": [float(v) for v in self.generator_loss],
+            "discriminator_loss": [float(v) for v in self.discriminator_loss],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, Any]]) -> "GANTrainingHistory":
+        """Tolerant inverse of :meth:`to_dict` (missing/None fields → empty)."""
+        data = data or {}
+        return cls(
+            generator_loss=[float(v) for v in (data.get("generator_loss") or [])],
+            discriminator_loss=[float(v) for v in (data.get("discriminator_loss") or [])],
+        )
+
 
 def train_sngan(generator: SNGANGenerator, discriminator: SNGANDiscriminator,
                 dataset: SyntheticGenerationDataset, steps: int = 100, batch_size: int = 32,
@@ -41,38 +61,11 @@ def train_sngan(generator: SNGANGenerator, discriminator: SNGANDiscriminator,
     ``discriminator_steps`` controls how many discriminator updates run per
     generator update (the original SNGAN uses 5; the scaled benchmark uses 1).
     """
-    rng = np.random.default_rng(seed)
-    opt_g = Adam(generator.parameters(), lr=lr_generator, betas=betas)
-    opt_d = Adam(discriminator.parameters(), lr=lr_discriminator, betas=betas)
-    history = GANTrainingHistory()
+    from ..engine import run_gan
 
-    generator.train(True)
-    discriminator.train(True)
-    for _ in range(steps):
-        # ---- discriminator update(s)
-        d_loss_value = 0.0
-        for _ in range(discriminator_steps):
-            real = Tensor(dataset.sample(batch_size, rng=rng))
-            z = Tensor(generator.sample_latent(batch_size, rng=rng))
-            with no_grad():
-                fake = generator(z)
-            fake = Tensor(fake.data)  # block generator gradients explicitly
-            opt_d.zero_grad()
-            d_loss = F.hinge_loss_discriminator(discriminator(real), discriminator(fake))
-            d_loss.backward()
-            opt_d.step()
-            d_loss_value = d_loss.item()
-
-        # ---- generator update
-        z = Tensor(generator.sample_latent(batch_size, rng=rng))
-        opt_g.zero_grad()
-        g_loss = F.hinge_loss_generator(discriminator(generator(z)))
-        g_loss.backward()
-        opt_g.step()
-
-        history.discriminator_loss.append(d_loss_value)
-        history.generator_loss.append(g_loss.item())
-    return history
+    return run_gan(generator, discriminator, dataset, steps=steps, batch_size=batch_size,
+                   lr_generator=lr_generator, lr_discriminator=lr_discriminator,
+                   betas=betas, discriminator_steps=discriminator_steps, seed=seed)
 
 
 def generate_images(generator: SNGANGenerator, num_images: int, batch_size: int = 64,

@@ -19,7 +19,7 @@ from ..data.synthetic.classification import SyntheticImageClassification
 from ..models.ssd import SSD, SSDBackbone
 from ..nn import GlobalAvgPool2d, Linear, MaxPool2d, Sequential
 from ..nn.module import Module
-from .classification import TrainingHistory, _train_classifier_impl
+from .classification import TrainingHistory
 
 
 class BackbonePretrainNet(Module):
@@ -43,13 +43,21 @@ class BackbonePretrainNet(Module):
 
 def pretrain_backbone(config: QuadraticModelConfig, dataset: SyntheticImageClassification,
                       epochs: int = 2, batch_size: int = 32, lr: float = 0.05,
-                      max_batches_per_epoch: int = 20,
-                      seed: int = 0) -> Tuple[Dict[str, np.ndarray], TrainingHistory]:
-    """Train a backbone-shaped classifier and return its backbone state dict."""
+                      max_batches_per_epoch: int = 20, seed: int = 0,
+                      **engine_kwargs) -> Tuple[Dict[str, np.ndarray], TrainingHistory]:
+    """Train a backbone-shaped classifier and return its backbone state dict.
+
+    Extra keyword arguments (``checkpoint_dir``, ``resume_from``,
+    ``stop_after_epoch``, ``callbacks``, ``prefetch``, ...) pass through to
+    :func:`repro.engine.run_classification` — pre-training checkpoints and
+    resumes like any other engine run.
+    """
+    from ..engine import run_classification
+
     model = BackbonePretrainNet(num_classes=dataset.num_classes, config=config)
-    history = _train_classifier_impl(model, dataset, epochs=epochs, batch_size=batch_size,
-                                     lr=lr, max_batches_per_epoch=max_batches_per_epoch,
-                                     seed=seed)
+    history = run_classification(model, dataset, epochs=epochs, batch_size=batch_size,
+                                 lr=lr, max_batches_per_epoch=max_batches_per_epoch,
+                                 seed=seed, **engine_kwargs)
     return model.backbone.state_dict(), history
 
 

@@ -3,7 +3,17 @@
 from .deprecation import reset_deprecation_warnings, warn_deprecated
 from .logging import MetricLogger, format_table, print_table
 from .seed import current_seed, seed_everything, spawn_rng
-from .serialization import load_checkpoint, load_results, save_checkpoint, save_results
+from .serialization import (
+    CHECKPOINT_FORMAT,
+    load_checkpoint,
+    load_results,
+    load_training_checkpoint,
+    rng_state,
+    save_checkpoint,
+    save_results,
+    save_training_checkpoint,
+    set_rng_state,
+)
 
 __all__ = [
     "warn_deprecated",
@@ -18,4 +28,9 @@ __all__ = [
     "load_checkpoint",
     "save_results",
     "load_results",
+    "CHECKPOINT_FORMAT",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+    "rng_state",
+    "set_rng_state",
 ]

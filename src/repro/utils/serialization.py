@@ -1,8 +1,17 @@
-"""Checkpoint save/load for models and experiment results.
+"""Checkpoint save/load for models, training runs and experiment results.
 
 State dicts are plain ``name -> ndarray`` mappings, so ``.npz`` files are a
 natural, dependency-free container.  Experiment results (the numbers behind
 each reproduced table) are stored as JSON for easy diffing.
+
+Training checkpoints (:func:`save_training_checkpoint`) extend the model-only
+format to the full engine state: model weights and buffers, optimizer state,
+LR-scheduler position, data/sampling RNG streams, the epoch counter and the
+history so far.  A checkpoint is one ``.npz`` holding every array plus a JSON
+tree describing the nested structure, written atomically (temp file +
+``os.replace``) so an interrupted save can never corrupt the previous
+checkpoint.  ``Trainer.fit(resume_from=...)`` restores all of it and produces
+final weights bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -14,6 +23,15 @@ from typing import Any, Dict
 import numpy as np
 
 from ..nn.module import Module
+
+#: Format tag written into every training checkpoint (bump on layout changes).
+CHECKPOINT_FORMAT = 1
+
+#: JSON key marking a leaf that lives in the npz archive instead of the tree.
+_ARRAY_MARKER = "__ndarray__"
+
+#: npz entry holding the JSON-encoded structure tree.
+_TREE_KEY = "__checkpoint_tree__"
 
 
 def save_checkpoint(module: Module, path: str) -> None:
@@ -30,6 +48,87 @@ def load_checkpoint(module: Module, path: str, strict: bool = True) -> None:
     with np.load(path) as data:
         state = {key: data[key] for key in data.files}
     module.load_state_dict(state, strict=strict)
+
+
+# --------------------------------------------------------------------------- #
+# Training checkpoints: nested {str: array | scalar | list | dict} payloads.
+# --------------------------------------------------------------------------- #
+
+def _split_arrays(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Replace every ndarray in a nested payload with a marker into ``arrays``."""
+    if isinstance(node, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = node
+        return {_ARRAY_MARKER: key}
+    if isinstance(node, dict):
+        return {str(key): _split_arrays(value, arrays) for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_split_arrays(value, arrays) for value in node]
+    if isinstance(node, np.integer):
+        return int(node)
+    if isinstance(node, np.floating):
+        return float(node)
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise TypeError(f"cannot serialise {type(node).__name__!r} into a checkpoint")
+
+
+def _join_arrays(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_split_arrays` (arrays are copied out of the npz view)."""
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_MARKER}:
+            return np.array(arrays[node[_ARRAY_MARKER]])
+        return {key: _join_arrays(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_join_arrays(value, arrays) for value in node]
+    return node
+
+
+def save_training_checkpoint(path: str, payload: Dict[str, Any]) -> str:
+    """Atomically persist a nested training-state payload to ``path``.
+
+    ``payload`` may mix ndarrays, scalars, strings, ``None``, lists and nested
+    dicts (e.g. model/optimizer state dicts, RNG ``bit_generator.state``
+    trees, a history ``to_dict()``).  The file is written next to ``path``
+    first and moved into place with ``os.replace``, so readers either see the
+    old checkpoint or the complete new one — never a partial write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    tree = _split_arrays(payload, arrays)
+    arrays[_TREE_KEY] = np.frombuffer(json.dumps(tree).encode("utf-8"), dtype=np.uint8)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+    return path
+
+
+def load_training_checkpoint(path: str) -> Dict[str, Any]:
+    """Load a checkpoint written by :func:`save_training_checkpoint`."""
+    with np.load(path) as data:
+        if _TREE_KEY not in data.files:
+            raise ValueError(
+                f"'{path}' is not a training checkpoint (it has no structure tree); "
+                f"model-only .npz files load via load_checkpoint()")
+        tree = json.loads(bytes(data[_TREE_KEY].tobytes()).decode("utf-8"))
+        arrays = {key: data[key] for key in data.files if key != _TREE_KEY}
+        return _join_arrays(tree, arrays)
+
+
+def rng_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """JSON-serialisable state of a NumPy generator (for checkpoints)."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: Dict[str, Any]) -> None:
+    """Restore a generator to a state captured by :func:`rng_state`."""
+    rng.bit_generator.state = state
 
 
 def save_results(results: Dict[str, Any], path: str) -> None:

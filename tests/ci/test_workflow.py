@@ -78,11 +78,24 @@ def test_smoke_job_runs_pipeline_docs_and_serve(workflow):
     assert "repro serve smoke" in joined and "--self-test" in joined
 
 
+def test_smoke_job_exercises_checkpoint_resume(workflow):
+    """The interrupt story: stop the smoke run after epoch 1, then resume."""
+    smoke_runs = [step.get("run", "") for job, step in all_steps(workflow)
+                  if job == "smoke"]
+    resume_step = next((run for run in smoke_runs if "--resume" in run), None)
+    assert resume_step, "no smoke step resumes from a checkpoint"
+    assert "--checkpoint-dir" in resume_step and "--stop-after-epoch 1" in resume_step
+    assert "repro train --resume" in resume_step
+    # The resume consumes the checkpoint the interrupted run wrote.
+    assert "latest.npz" in resume_step
+
+
 def test_bench_gate_runs_quick_benchmarks_and_uploads_results(workflow):
     steps = workflow["jobs"]["bench-gate"]["steps"]
     runs = " ".join(step.get("run", "") for step in steps)
     assert "bench_inference_throughput.py --quick" in runs
     assert "bench_serving_scaleout.py --quick" in runs
+    assert "bench_dataloader_prefetch.py --quick" in runs
     upload = next(step for step in steps if "upload-artifact" in step.get("uses", ""))
     assert upload["with"]["path"].startswith("benchmarks/results")
 

@@ -1,0 +1,137 @@
+"""The prefetching pipeline must match the synchronous loader bit for bit."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataLoader,
+    PrefetchDataLoader,
+    TensorDataset,
+    TransformDataset,
+    transforms,
+)
+
+
+def _dataset(n=64, augmented=False, seed=0):
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((n, 3, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 4, size=n)
+    base = TensorDataset(x, y)
+    if not augmented:
+        return base
+    pipeline = transforms.Compose([
+        transforms.RandomCrop(8, padding=2, seed=seed),
+        transforms.RandomHorizontalFlip(seed=seed),
+        transforms.GaussianNoise(0.05, seed=seed),
+    ])
+    return TransformDataset(base, pipeline)
+
+
+def _collect(loader, epochs=1, limit=None):
+    batches = []
+    for _ in range(epochs):
+        for index, (images, labels) in enumerate(loader):
+            if limit is not None and index >= limit:
+                break
+            batches.append((np.array(images), np.array(labels)))
+    return batches
+
+
+def assert_batches_equal(a, b):
+    assert len(a) == len(b)
+    for (img_a, lab_a), (img_b, lab_b) in zip(a, b):
+        assert np.array_equal(img_a, img_b)
+        assert np.array_equal(lab_a, lab_b)
+
+
+class TestPrefetchParity:
+    def test_same_batches_and_order_over_multiple_epochs(self):
+        sync = DataLoader(_dataset(), batch_size=8, shuffle=True, drop_last=True, seed=3)
+        wrapped = PrefetchDataLoader(
+            DataLoader(_dataset(), batch_size=8, shuffle=True, drop_last=True, seed=3),
+            depth=3)
+        # Two epochs: the shuffle RNG must advance identically across epochs.
+        assert_batches_equal(_collect(sync, epochs=2), _collect(wrapped, epochs=2))
+
+    def test_stateful_transforms_match_bit_for_bit(self):
+        sync = DataLoader(_dataset(augmented=True), batch_size=8, shuffle=True,
+                          drop_last=True, seed=3)
+        wrapped = PrefetchDataLoader(
+            DataLoader(_dataset(augmented=True), batch_size=8, shuffle=True,
+                       drop_last=True, seed=3), depth=2)
+        assert_batches_equal(_collect(sync, epochs=2), _collect(wrapped, epochs=2))
+
+    def test_max_batches_keeps_transform_rngs_aligned(self):
+        """A capped epoch must leave per-sample transform RNGs where a capped
+        synchronous epoch leaves them: the training loops pull one batch past
+        the cap before breaking, so the worker assembles cap + 1 batches."""
+        cap = 2
+        sync = DataLoader(_dataset(augmented=True), batch_size=8, shuffle=True,
+                          drop_last=True, seed=3)
+        wrapped = PrefetchDataLoader(
+            DataLoader(_dataset(augmented=True), batch_size=8, shuffle=True,
+                       drop_last=True, seed=3),
+            depth=2, max_batches=cap + 1)
+        # _collect(limit=cap) mirrors the trainer: it pulls batch `cap` and
+        # only then breaks, so each epoch advances the transforms cap+1 times.
+        sync_batches = _collect(sync, epochs=2, limit=cap)
+        prefetch_batches = _collect(wrapped, epochs=2, limit=cap)
+        assert len(prefetch_batches) == 2 * cap
+        assert_batches_equal(sync_batches, prefetch_batches)
+
+
+class TestPrefetchBehaviour:
+    def test_len_reflects_cap(self):
+        loader = DataLoader(_dataset(64), batch_size=8)
+        assert len(PrefetchDataLoader(loader)) == 8
+        assert len(PrefetchDataLoader(loader, max_batches=3)) == 3
+        assert len(PrefetchDataLoader(loader, max_batches=100)) == 8
+
+    def test_delegates_dataset_and_batch_size(self):
+        loader = DataLoader(_dataset(64), batch_size=8)
+        wrapped = PrefetchDataLoader(loader)
+        assert wrapped.dataset is loader.dataset
+        assert wrapped.batch_size == 8
+
+    def test_depth_validation(self):
+        loader = DataLoader(_dataset(), batch_size=8)
+        with pytest.raises(ValueError, match="depth"):
+            PrefetchDataLoader(loader, depth=0)
+        with pytest.raises(ValueError, match="max_batches"):
+            PrefetchDataLoader(loader, max_batches=-1)
+
+    def test_early_break_does_not_hang(self):
+        wrapped = PrefetchDataLoader(DataLoader(_dataset(64), batch_size=4), depth=1)
+        start = time.perf_counter()
+        for _ in range(3):
+            for batch in wrapped:
+                break  # consumer abandons the epoch immediately
+        assert time.perf_counter() - start < 5.0
+        # And the loader is reusable afterwards.
+        assert len(_collect(wrapped)) == len(wrapped)
+
+    def test_worker_errors_propagate(self):
+        class Exploding(TensorDataset):
+            def __getitem__(self, index):
+                if index >= 8:
+                    raise RuntimeError("bad sample")
+                return super().__getitem__(index)
+
+        data = Exploding(np.zeros((16, 3, 4, 4), dtype=np.float32),
+                         np.zeros(16, dtype=np.int64))
+        wrapped = PrefetchDataLoader(DataLoader(data, batch_size=4), depth=1)
+        with pytest.raises(RuntimeError, match="bad sample"):
+            _collect(wrapped)
+
+    def test_rng_state_round_trips_through_wrapper(self):
+        loader = DataLoader(_dataset(), batch_size=8, shuffle=True, seed=1)
+        wrapped = PrefetchDataLoader(loader, depth=2)
+        state = wrapped.rng_state()
+        first = _collect(wrapped)
+        wrapped.set_rng_state(state)
+        again = _collect(wrapped)
+        assert_batches_equal(first, again)

@@ -1,0 +1,279 @@
+"""Interrupt-at-epoch-k → resume → bit-identical final weights (all adapters).
+
+Each test runs a seeded workload twice: once uninterrupted, once stopped
+cleanly after ``k`` epochs with a checkpoint directory, then resumed from
+``latest.npz`` under a *different* ambient seed (resume must depend only on
+the checkpoint, never on global RNG state).  Histories (timing excluded) and
+every final weight must match exactly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.builder import QuadraticModelConfig
+from repro.data.synthetic import (
+    SyntheticDetectionDataset,
+    SyntheticGenerationDataset,
+    SyntheticImageClassification,
+)
+from repro.engine import run_classification, run_detection, run_gan
+from repro.models import SmallConvNet, build_ssd, sngan_pair
+from repro.training.pretrain import pretrain_backbone
+from repro.utils import load_training_checkpoint, seed_everything
+
+
+def assert_states_equal(state_a, state_b):
+    assert list(state_a) == list(state_b)
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), f"weight '{name}' differs"
+
+
+class TestClassificationResume:
+    def _datasets(self):
+        train = SyntheticImageClassification(num_samples=96, num_classes=4, image_size=16)
+        test = SyntheticImageClassification(num_samples=32, num_classes=4, image_size=16,
+                                            split_seed=1)
+        return train, test
+
+    def _model(self):
+        return SmallConvNet(num_classes=4, image_size=16,
+                            config=QuadraticModelConfig(width_multiplier=0.5))
+
+    @pytest.mark.parametrize("stop_at", [1, 2])
+    def test_resume_matches_uninterrupted(self, tmp_path, stop_at):
+        train, test = self._datasets()
+        kwargs = dict(epochs=3, batch_size=16, lr=0.05,
+                      grad_probe_layers=["features"], max_batches_per_epoch=3, seed=1)
+
+        seed_everything(5)
+        full_model = self._model()
+        full = run_classification(full_model, train, test, **kwargs)
+
+        ckpt_dir = str(tmp_path / f"ck{stop_at}")
+        seed_everything(5)
+        interrupted_model = self._model()
+        partial = run_classification(interrupted_model, train, test, **kwargs,
+                                     checkpoint_dir=ckpt_dir, stop_after_epoch=stop_at)
+        assert len(partial.train_loss) == stop_at
+
+        # Resume under a different ambient seed: only the checkpoint may matter.
+        seed_everything(999)
+        resumed_model = self._model()
+        resumed = run_classification(resumed_model, train, test, **kwargs,
+                                     resume_from=os.path.join(ckpt_dir, "latest.npz"))
+
+        assert resumed.train_loss == full.train_loss
+        assert resumed.train_accuracy == full.train_accuracy
+        assert resumed.test_accuracy == full.test_accuracy
+        assert resumed.gradient_norms == full.gradient_norms
+        assert_states_equal(resumed_model.state_dict(), full_model.state_dict())
+
+    def test_checkpoint_files_written_per_epoch(self, tmp_path):
+        train, test = self._datasets()
+        seed_everything(5)
+        run_classification(self._model(), train, test, epochs=2, batch_size=16,
+                           max_batches_per_epoch=2, seed=1,
+                           checkpoint_dir=str(tmp_path))
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["epoch_001.npz", "epoch_002.npz", "latest.npz"]
+        payload = load_training_checkpoint(str(tmp_path / "latest.npz"))
+        assert payload["task"] == "classification"
+        assert payload["epoch"] == 2
+        assert payload["adapter"]["history"]["train_loss"]
+
+    def test_resume_with_prefetch_matches_sync(self, tmp_path):
+        """The prefetching pipeline changes neither numerics nor resumability."""
+        train, test = self._datasets()
+        kwargs = dict(epochs=3, batch_size=16, max_batches_per_epoch=3, seed=1)
+
+        seed_everything(5)
+        sync_model = self._model()
+        sync = run_classification(sync_model, train, test, **kwargs)
+
+        ckpt_dir = str(tmp_path / "pf")
+        seed_everything(5)
+        interrupted_model = self._model()
+        run_classification(interrupted_model, train, test, **kwargs, prefetch=True,
+                           checkpoint_dir=ckpt_dir, stop_after_epoch=1)
+        seed_everything(123)
+        resumed_model = self._model()
+        resumed = run_classification(resumed_model, train, test, **kwargs, prefetch=True,
+                                     resume_from=os.path.join(ckpt_dir, "latest.npz"))
+
+        assert resumed.train_loss == sync.train_loss
+        assert resumed.test_accuracy == sync.test_accuracy
+        assert_states_equal(resumed_model.state_dict(), sync_model.state_dict())
+
+
+class TestAugmentedResume:
+    def test_stateful_transform_rngs_resume_bit_identically(self, tmp_path):
+        """Checkpoints capture augmentation RNG streams, not just the shuffle."""
+        from repro.data import TransformDataset, transforms
+
+        def augmented():
+            base = SyntheticImageClassification(num_samples=96, num_classes=4,
+                                                image_size=16)
+            pipeline = transforms.Compose([
+                transforms.RandomCrop(16, padding=2, seed=11),
+                transforms.RandomHorizontalFlip(seed=12),
+                transforms.GaussianNoise(0.05, seed=13),
+            ])
+            return TransformDataset(base, pipeline)
+
+        kwargs = dict(epochs=3, batch_size=16, max_batches_per_epoch=2, seed=1)
+
+        seed_everything(5)
+        full_model = SmallConvNet(num_classes=4, image_size=16,
+                                  config=QuadraticModelConfig(width_multiplier=0.25))
+        full = run_classification(full_model, augmented(), **kwargs)
+
+        seed_everything(5)
+        interrupted_model = SmallConvNet(num_classes=4, image_size=16,
+                                         config=QuadraticModelConfig(width_multiplier=0.25))
+        run_classification(interrupted_model, augmented(), **kwargs,
+                           checkpoint_dir=str(tmp_path), stop_after_epoch=1)
+
+        seed_everything(42)
+        resumed_model = SmallConvNet(num_classes=4, image_size=16,
+                                     config=QuadraticModelConfig(width_multiplier=0.25))
+        resumed = run_classification(resumed_model, augmented(), **kwargs,
+                                     resume_from=str(tmp_path / "latest.npz"))
+
+        assert resumed.train_loss == full.train_loss
+        assert_states_equal(resumed_model.state_dict(), full_model.state_dict())
+
+
+class TestCallbackStateResume:
+    def test_early_stopping_counters_survive_a_resume(self, tmp_path):
+        """A resumed run stops at the same epoch an uninterrupted one would."""
+        from repro.engine import ClassificationAdapter, EarlyStopping, Trainer
+
+        train = SyntheticImageClassification(num_samples=48, num_classes=3, image_size=8)
+
+        def make_adapter():
+            seed_everything(21)
+            model = SmallConvNet(num_classes=3, image_size=8,
+                                 config=QuadraticModelConfig(width_multiplier=0.25))
+            return ClassificationAdapter(model, train, epochs=10, batch_size=16,
+                                         max_batches_per_epoch=1, seed=1)
+
+        def make_stopper():
+            # min_delta so large the metric never "improves": the run always
+            # stops after exactly 1 (baseline) + patience epochs.
+            return EarlyStopping(monitor="train_loss", mode="min", patience=3,
+                                 min_delta=100.0)
+
+        full = Trainer(make_adapter(), callbacks=[make_stopper()]).fit()
+        assert len(full.train_loss) == 4
+
+        # Interrupt inside the patience window, then resume with a *fresh*
+        # EarlyStopping: its counters must restore from the checkpoint.
+        interrupted = Trainer(make_adapter(), callbacks=[make_stopper()],
+                              checkpoint_dir=str(tmp_path))
+        interrupted.fit(stop_after_epoch=2)
+        resumed = Trainer(make_adapter(), callbacks=[make_stopper()])
+        history = resumed.fit(resume_from=str(tmp_path / "latest.npz"))
+        assert len(history.train_loss) == len(full.train_loss)
+        assert history.train_loss == full.train_loss
+
+
+class TestSplitAndConcatResume:
+    def test_subset_and_concat_delegate_augmentation_rng(self):
+        from repro.data import ConcatDataset, Subset, TransformDataset, transforms
+
+        base = SyntheticImageClassification(num_samples=16, num_classes=3, image_size=8)
+        augmented = TransformDataset(base, transforms.RandomCrop(8, padding=2, seed=4))
+        subset = Subset(augmented, list(range(8)))
+        concat = ConcatDataset([augmented, base])
+
+        state = subset.rng_state()
+        assert state is not None
+        augmented.dataset[0]  # no RNG use
+        subset[0]             # advances the crop RNG
+        assert subset.rng_state() != state
+        subset.set_rng_state(state)
+        assert subset.rng_state() == state
+
+        concat_state = concat.rng_state()
+        assert concat_state is not None and concat_state[1] is None
+        concat.set_rng_state(concat_state)
+        assert concat.rng_state() == concat_state
+
+        # Datasets without any RNG report None (nothing to checkpoint).
+        assert Subset(base, [0, 1]).rng_state() is None
+        assert ConcatDataset([base]).rng_state() is None
+
+
+class TestDetectionResume:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        dataset = SyntheticDetectionDataset(num_samples=24, image_size=64, num_classes=3,
+                                            seed=0)
+        kwargs = dict(epochs=3, batch_size=8, lr=5e-3, milestones=(1,),
+                      max_batches_per_epoch=1, seed=2)
+
+        seed_everything(7)
+        full_model = build_ssd(num_classes=3, image_size=64, width_multiplier=0.25)
+        full = run_detection(full_model, dataset, **kwargs)
+
+        seed_everything(7)
+        interrupted_model = build_ssd(num_classes=3, image_size=64, width_multiplier=0.25)
+        run_detection(interrupted_model, dataset, **kwargs,
+                      checkpoint_dir=str(tmp_path), stop_after_epoch=2)
+
+        seed_everything(31)
+        resumed_model = build_ssd(num_classes=3, image_size=64, width_multiplier=0.25)
+        resumed = run_detection(resumed_model, dataset, **kwargs,
+                                resume_from=str(tmp_path / "latest.npz"))
+
+        assert resumed.loss == full.loss
+        assert_states_equal(resumed_model.state_dict(), full_model.state_dict())
+
+
+class TestGANResume:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        dataset = SyntheticGenerationDataset(num_samples=48, image_size=16)
+        kwargs = dict(steps=4, batch_size=8, discriminator_steps=1, seed=4)
+
+        seed_everything(9)
+        full_gen, full_disc = sngan_pair(latent_dim=8, base_channels=8, image_size=16)
+        full = run_gan(full_gen, full_disc, dataset, **kwargs)
+
+        seed_everything(9)
+        int_gen, int_disc = sngan_pair(latent_dim=8, base_channels=8, image_size=16)
+        run_gan(int_gen, int_disc, dataset, **kwargs,
+                checkpoint_dir=str(tmp_path), stop_after_epoch=2)
+
+        seed_everything(77)
+        res_gen, res_disc = sngan_pair(latent_dim=8, base_channels=8, image_size=16)
+        resumed = run_gan(res_gen, res_disc, dataset, **kwargs,
+                          resume_from=str(tmp_path / "latest.npz"))
+
+        assert resumed.generator_loss == full.generator_loss
+        assert resumed.discriminator_loss == full.discriminator_loss
+        assert_states_equal(res_gen.state_dict(), full_gen.state_dict())
+        assert_states_equal(res_disc.state_dict(), full_disc.state_dict())
+
+
+class TestPretrainResume:
+    def test_resume_matches_uninterrupted(self, tmp_path):
+        config = QuadraticModelConfig(neuron_type="first_order", width_multiplier=0.25)
+        dataset = SyntheticImageClassification(num_samples=64, num_classes=5, image_size=32)
+        kwargs = dict(epochs=2, batch_size=16, lr=0.05, max_batches_per_epoch=2, seed=0)
+
+        seed_everything(13)
+        full_state, full = pretrain_backbone(config, dataset, **kwargs)
+
+        seed_everything(13)
+        pretrain_backbone(config, dataset, **kwargs,
+                          checkpoint_dir=str(tmp_path), stop_after_epoch=1)
+
+        seed_everything(55)
+        resumed_state, resumed = pretrain_backbone(
+            config, dataset, **kwargs, resume_from=str(tmp_path / "latest.npz"))
+
+        assert resumed.train_loss == full.train_loss
+        assert_states_equal(resumed_state, full_state)

@@ -1,0 +1,137 @@
+"""Seeded-run parity: the engine reproduces the legacy loops bit for bit.
+
+``legacy_loops.py`` holds the four pre-refactor loop bodies frozen; these
+tests run each of them head-to-head against the engine on identical seeded
+models and assert *exact* equality of histories (timing columns excluded —
+wall-clock is never reproducible) and of every final weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from legacy_loops import (
+    legacy_train_classifier,
+    legacy_train_detector,
+    legacy_train_sngan,
+)
+from repro.builder import QuadraticModelConfig
+from repro.data.synthetic import (
+    SyntheticDetectionDataset,
+    SyntheticGenerationDataset,
+    SyntheticImageClassification,
+)
+from repro.engine import run_classification, run_detection, run_gan
+from repro.models import SmallConvNet, build_ssd, sngan_pair
+from repro.training.pretrain import BackbonePretrainNet, pretrain_backbone
+from repro.utils import seed_everything
+
+
+def assert_states_equal(state_a, state_b):
+    assert list(state_a) == list(state_b)
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), f"weight '{name}' differs"
+
+
+class TestClassificationParity:
+    def _datasets(self):
+        train = SyntheticImageClassification(num_samples=96, num_classes=4, image_size=16)
+        test = SyntheticImageClassification(num_samples=32, num_classes=4, image_size=16,
+                                            split_seed=1)
+        return train, test
+
+    def _model(self):
+        return SmallConvNet(num_classes=4, image_size=16,
+                            config=QuadraticModelConfig(width_multiplier=0.5))
+
+    def test_history_and_weights_bit_identical(self):
+        train, test = self._datasets()
+        kwargs = dict(epochs=3, batch_size=16, lr=0.05, label_smoothing=0.05,
+                      grad_probe_layers=["features"], max_batches_per_epoch=3, seed=1)
+
+        seed_everything(3)
+        legacy_model = self._model()
+        legacy = legacy_train_classifier(legacy_model, train, test, **kwargs)
+
+        seed_everything(3)
+        engine_model = self._model()
+        engine = run_classification(engine_model, train, test, **kwargs)
+
+        assert engine.train_loss == legacy.train_loss
+        assert engine.train_accuracy == legacy.train_accuracy
+        assert engine.test_accuracy == legacy.test_accuracy
+        assert engine.gradient_norms == legacy.gradient_norms
+        assert len(engine.seconds_per_batch) == len(legacy.seconds_per_batch)
+        assert_states_equal(engine_model.state_dict(), legacy_model.state_dict())
+
+    def test_uncapped_run_without_eval_matches(self):
+        train, _ = self._datasets()
+        kwargs = dict(epochs=2, batch_size=32, lr=0.1, scheduler="none", seed=7)
+
+        seed_everything(11)
+        legacy_model = self._model()
+        legacy = legacy_train_classifier(legacy_model, train, **kwargs)
+
+        seed_everything(11)
+        engine_model = self._model()
+        engine = run_classification(engine_model, train, **kwargs)
+
+        assert engine.train_loss == legacy.train_loss
+        assert engine.test_accuracy == legacy.test_accuracy == []
+        assert_states_equal(engine_model.state_dict(), legacy_model.state_dict())
+
+
+class TestDetectionParity:
+    def test_history_and_weights_bit_identical(self):
+        dataset = SyntheticDetectionDataset(num_samples=24, image_size=64, num_classes=3,
+                                            seed=0)
+        kwargs = dict(epochs=2, batch_size=8, lr=5e-3, milestones=(1,), seed=2)
+
+        seed_everything(5)
+        legacy_model = build_ssd(num_classes=3, image_size=64, width_multiplier=0.25)
+        legacy = legacy_train_detector(legacy_model, dataset, **kwargs)
+
+        seed_everything(5)
+        engine_model = build_ssd(num_classes=3, image_size=64, width_multiplier=0.25)
+        engine = run_detection(engine_model, dataset, **kwargs)
+
+        assert engine.loss == legacy.loss
+        assert_states_equal(engine_model.state_dict(), legacy_model.state_dict())
+
+
+class TestGANParity:
+    def test_history_and_weights_bit_identical(self):
+        dataset = SyntheticGenerationDataset(num_samples=48, image_size=16)
+        kwargs = dict(steps=3, batch_size=8, discriminator_steps=2, seed=4)
+
+        seed_everything(9)
+        legacy_gen, legacy_disc = sngan_pair(latent_dim=8, base_channels=8, image_size=16)
+        legacy = legacy_train_sngan(legacy_gen, legacy_disc, dataset, **kwargs)
+
+        seed_everything(9)
+        engine_gen, engine_disc = sngan_pair(latent_dim=8, base_channels=8, image_size=16)
+        engine = run_gan(engine_gen, engine_disc, dataset, **kwargs)
+
+        assert engine.generator_loss == legacy.generator_loss
+        assert engine.discriminator_loss == legacy.discriminator_loss
+        assert_states_equal(engine_gen.state_dict(), legacy_gen.state_dict())
+        assert_states_equal(engine_disc.state_dict(), legacy_disc.state_dict())
+
+
+class TestPretrainParity:
+    def test_backbone_state_bit_identical(self):
+        config = QuadraticModelConfig(neuron_type="first_order", width_multiplier=0.25)
+        dataset = SyntheticImageClassification(num_samples=64, num_classes=5, image_size=32)
+        kwargs = dict(epochs=1, batch_size=16, lr=0.05, max_batches_per_epoch=2, seed=0)
+
+        seed_everything(13)
+        legacy_model = BackbonePretrainNet(num_classes=dataset.num_classes, config=config)
+        legacy = legacy_train_classifier(legacy_model, dataset, **kwargs)
+        legacy_state = legacy_model.backbone.state_dict()
+
+        seed_everything(13)
+        engine_state, engine = pretrain_backbone(config, dataset, **kwargs)
+
+        assert engine.train_loss == legacy.train_loss
+        assert engine.train_accuracy == legacy.train_accuracy
+        assert_states_equal(engine_state, legacy_state)

@@ -1,0 +1,203 @@
+"""Unit tests of the Trainer/callback machinery itself."""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+
+import pytest
+
+
+@contextlib.contextmanager
+def warnings_ignored():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+from repro.builder import QuadraticModelConfig
+from repro.data.synthetic import SyntheticImageClassification
+from repro.engine import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    ClassificationAdapter,
+    EarlyStopping,
+    LambdaCallback,
+    ProgressCallback,
+    Trainer,
+)
+from repro.models import SmallConvNet
+
+
+def _adapter(epochs=2, test=True, **kwargs):
+    train = SyntheticImageClassification(num_samples=32, num_classes=3, image_size=8)
+    test_set = (SyntheticImageClassification(num_samples=16, num_classes=3, image_size=8,
+                                             split_seed=1) if test else None)
+    model = SmallConvNet(num_classes=3, image_size=8,
+                         config=QuadraticModelConfig(width_multiplier=0.25))
+    kwargs.setdefault("batch_size", 8)
+    kwargs.setdefault("max_batches_per_epoch", 2)
+    return ClassificationAdapter(model, train, test_set, epochs=epochs, **kwargs)
+
+
+class RecordingCallback(Callback):
+    def __init__(self):
+        self.events = []
+
+    def on_train_begin(self, trainer):
+        self.events.append("train_begin")
+
+    def on_train_end(self, trainer, history):
+        self.events.append("train_end")
+
+    def on_epoch_begin(self, trainer, epoch):
+        self.events.append(f"epoch_begin:{epoch}")
+
+    def on_epoch_end(self, trainer, epoch, metrics):
+        self.events.append(f"epoch_end:{epoch}")
+
+    def on_batch_begin(self, trainer, epoch, batch_index):
+        self.events.append(f"batch_begin:{epoch}.{batch_index}")
+
+    def on_batch_end(self, trainer, epoch, batch_index, metrics):
+        self.events.append(f"batch_end:{epoch}.{batch_index}")
+
+    def on_eval(self, trainer, epoch, metrics):
+        self.events.append(f"eval:{epoch}")
+        self.last_eval_metrics = metrics
+
+    def on_checkpoint(self, trainer, epoch, path):
+        self.events.append(f"checkpoint:{epoch}")
+
+
+class TestCallbackHooks:
+    def test_hooks_fire_in_order(self):
+        recorder = RecordingCallback()
+        Trainer(_adapter(epochs=2), callbacks=[recorder]).fit()
+        assert recorder.events == [
+            "train_begin",
+            "epoch_begin:0",
+            "batch_begin:0.0", "batch_end:0.0",
+            "batch_begin:0.1", "batch_end:0.1",
+            "eval:0", "epoch_end:0",
+            "epoch_begin:1",
+            "batch_begin:1.0", "batch_end:1.0",
+            "batch_begin:1.1", "batch_end:1.1",
+            "eval:1", "epoch_end:1",
+            "train_end",
+        ]
+
+    def test_eval_metrics_include_test_accuracy(self):
+        recorder = RecordingCallback()
+        Trainer(_adapter(epochs=1), callbacks=[recorder]).fit()
+        assert {"train_loss", "train_accuracy", "test_accuracy"} <= set(
+            recorder.last_eval_metrics)
+
+    def test_non_callback_rejected(self):
+        with pytest.raises(TypeError, match="Callback"):
+            CallbackList([object()])
+
+    def test_lambda_callback_rejects_unknown_hooks(self):
+        with pytest.raises(ValueError, match="on_teardown"):
+            LambdaCallback(on_teardown=lambda trainer: None)
+
+    def test_lambda_callback_hooks_fire(self):
+        seen = []
+        cb = LambdaCallback(on_epoch_end=lambda t, e, m: seen.append(e))
+        Trainer(_adapter(epochs=2), callbacks=[cb]).fit()
+        assert seen == [0, 1]
+
+    def test_progress_callback_prints_metrics(self):
+        lines = []
+        Trainer(_adapter(epochs=1), callbacks=[ProgressCallback(lines.append)]).fit()
+        assert len(lines) == 1
+        assert "epoch 1/1" in lines[0] and "train_loss=" in lines[0]
+
+
+class TestStopping:
+    def test_should_stop_ends_after_current_epoch(self):
+        cb = LambdaCallback(
+            on_epoch_end=lambda t, e, m: setattr(t, "should_stop", True))
+        trainer = Trainer(_adapter(epochs=5), callbacks=[cb])
+        history = trainer.fit()
+        assert len(history.train_loss) == 1
+        assert trainer.state.interrupted
+
+    def test_stop_after_epoch(self):
+        trainer = Trainer(_adapter(epochs=4))
+        history = trainer.fit(stop_after_epoch=2)
+        assert len(history.train_loss) == 2
+        assert trainer.state.interrupted
+
+    def test_stop_after_final_epoch_is_not_an_interrupt(self):
+        trainer = Trainer(_adapter(epochs=2))
+        history = trainer.fit(stop_after_epoch=2)
+        assert len(history.train_loss) == 2
+        assert not trainer.state.interrupted
+
+    def test_early_stopping_on_stale_metric(self):
+        # train_loss "improves" only when it drops by > 10 — i.e. never —
+        # so patience=2 stops the run after epoch 3.
+        stopper = EarlyStopping(monitor="train_loss", mode="min", patience=2,
+                                min_delta=10.0)
+        trainer = Trainer(_adapter(epochs=10), callbacks=[stopper])
+        history = trainer.fit()
+        assert len(history.train_loss) == 3
+        assert trainer.state.interrupted
+
+    def test_early_stopping_validates_arguments(self):
+        with pytest.raises(ValueError, match="mode"):
+            EarlyStopping(mode="sideways")
+        with pytest.raises(ValueError, match="patience"):
+            EarlyStopping(patience=0)
+
+
+class TestCheckpointCallback:
+    def test_every_and_final_epoch(self, tmp_path):
+        recorder = RecordingCallback()
+        adapter = _adapter(epochs=3)
+        trainer = Trainer(adapter, callbacks=[
+            recorder, CheckpointCallback(str(tmp_path), every=2)])
+        trainer.fit()
+        files = sorted(f for f in os.listdir(tmp_path) if f.startswith("epoch"))
+        # Epoch 2 matches `every`; the final epoch is always checkpointed.
+        assert files == ["epoch_002.npz", "epoch_003.npz"]
+        assert "checkpoint:2" in recorder.events and "checkpoint:3" in recorder.events
+
+    def test_keep_prunes_old_checkpoints(self, tmp_path):
+        trainer = Trainer(_adapter(epochs=3),
+                          callbacks=[CheckpointCallback(str(tmp_path), keep=1)])
+        trainer.fit()
+        files = sorted(f for f in os.listdir(tmp_path) if f.startswith("epoch"))
+        assert files == ["epoch_003.npz"]
+        assert (tmp_path / "latest.npz").exists()
+
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointCallback(str(tmp_path), every=0)
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointCallback(str(tmp_path), keep=0)
+
+    def test_resume_rejects_wrong_task(self, tmp_path):
+        trainer = Trainer(_adapter(epochs=1), checkpoint_dir=str(tmp_path))
+        trainer.fit()
+        fresh = Trainer(_adapter(epochs=1))
+        fresh.adapter.task = "gan"
+        with pytest.raises(ValueError, match="classification"):
+            fresh.fit(resume_from=str(tmp_path / "latest.npz"))
+
+
+class TestDivergence:
+    def test_non_finite_loss_stops_mid_epoch(self):
+        import numpy as np
+
+        # An absurd learning rate overflows the logits within the first epoch.
+        adapter = _adapter(epochs=5, lr=1e30)
+        trainer = Trainer(adapter)
+        with np.errstate(all="ignore"), warnings_ignored():
+            history = trainer.fit()
+        assert trainer.state.diverged
+        assert history.train_loss[-1] == float("inf")
+        # Divergence records chance-level accuracy, legacy-style.
+        assert history.train_accuracy[-1] == pytest.approx(1.0 / 3.0)

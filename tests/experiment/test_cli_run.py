@@ -63,12 +63,18 @@ class TestList:
         ("datasets", "synthetic_classification"),
         ("trainers", "classifier"),
         ("optimizers", "sgd"),
+        ("callbacks", "checkpoint"),
         ("architectures", "VGG16"),
         ("presets", "smoke"),
     ])
     def test_list_each_registry(self, what, needle, capsys):
         assert needle in run(["list", what], capsys)
 
-    def test_list_rejects_unknown_family(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["list", "gadgets"])
+    def test_list_rejects_unknown_family_naming_the_valid_ones(self, capsys):
+        assert main(["list", "gadgets"]) == 2
+        err = capsys.readouterr().err
+        assert "gadgets" in err
+        # The error is actionable: it names every family the CLI can list.
+        for family in ("models", "neurons", "datasets", "trainers", "optimizers",
+                       "callbacks", "architectures", "presets"):
+            assert family in err

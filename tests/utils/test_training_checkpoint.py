@@ -1,0 +1,98 @@
+"""The training-checkpoint container: nested payloads, atomicity, RNG state."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    load_training_checkpoint,
+    rng_state,
+    save_training_checkpoint,
+    set_rng_state,
+)
+
+
+def _payload():
+    return {
+        "format": 1,
+        "task": "classification",
+        "epoch": 3,
+        "spec": {"name": "demo", "steps": ["build", "fit"], "seed": 0},
+        "adapter": {
+            "model": {"conv.weight": np.arange(12, dtype=np.float32).reshape(3, 4),
+                      "bn.num_batches_tracked": np.array([7], dtype=np.int64)},
+            "optimizer": {"state": {"0": {"step": 5,
+                                          "exp_avg": np.ones(4, dtype=np.float32)}}},
+            "scheduler": None,
+            "history": {"train_loss": [1.0, 0.5, 0.25]},
+        },
+    }
+
+
+class TestRoundTrip:
+    def test_nested_payload_round_trips(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_training_checkpoint(path, _payload())
+        loaded = load_training_checkpoint(path)
+        original = _payload()
+        assert loaded["format"] == 1
+        assert loaded["task"] == "classification"
+        assert loaded["epoch"] == 3
+        assert loaded["spec"] == original["spec"]
+        model = loaded["adapter"]["model"]
+        assert np.array_equal(model["conv.weight"], original["adapter"]["model"]["conv.weight"])
+        assert model["conv.weight"].dtype == np.float32
+        assert model["bn.num_batches_tracked"].dtype == np.int64
+        opt_state = loaded["adapter"]["optimizer"]["state"]["0"]
+        assert opt_state["step"] == 5
+        assert np.array_equal(opt_state["exp_avg"], np.ones(4, dtype=np.float32))
+        assert loaded["adapter"]["scheduler"] is None
+        assert loaded["adapter"]["history"]["train_loss"] == [1.0, 0.5, 0.25]
+
+    def test_rng_state_round_trips(self, tmp_path):
+        rng = np.random.default_rng(42)
+        rng.standard_normal(100)  # advance the stream
+        path = str(tmp_path / "rng.npz")
+        save_training_checkpoint(path, {"rng": rng_state(rng)})
+        expected = rng.standard_normal(8)
+
+        fresh = np.random.default_rng(0)
+        set_rng_state(fresh, load_training_checkpoint(path)["rng"])
+        assert np.array_equal(fresh.standard_normal(8), expected)
+
+    def test_unserialisable_values_are_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="object"):
+            save_training_checkpoint(str(tmp_path / "bad.npz"), {"oops": object()})
+
+
+class TestAtomicity:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_training_checkpoint(path, _payload())
+        assert os.listdir(tmp_path) == ["ckpt.npz"]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_training_checkpoint(path, _payload())
+        second = _payload()
+        second["epoch"] = 9
+        save_training_checkpoint(path, second)
+        assert load_training_checkpoint(path)["epoch"] == 9
+        assert os.listdir(tmp_path) == ["ckpt.npz"]
+
+    def test_failed_save_keeps_the_previous_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_training_checkpoint(path, _payload())
+        with pytest.raises(TypeError):
+            save_training_checkpoint(path, {"oops": object()})
+        assert load_training_checkpoint(path)["epoch"] == 3
+        assert os.listdir(tmp_path) == ["ckpt.npz"]
+
+    def test_model_only_npz_is_rejected_with_guidance(self, tmp_path):
+        path = str(tmp_path / "weights.npz")
+        np.savez(path, weight=np.zeros(3))
+        with pytest.raises(ValueError, match="load_checkpoint"):
+            load_training_checkpoint(path)
