@@ -44,10 +44,6 @@ MODEL_CHOICES = tuple(MODELS.names())
 #: Models usable by the image-workload subcommands (``mlp`` takes vectors).
 IMAGE_MODEL_CHOICES = tuple(name for name in MODEL_CHOICES if name != "mlp")
 
-#: Component families ``repro list`` can print.
-LIST_CHOICES = ("models", "neurons", "datasets", "trainers", "optimizers",
-                "callbacks", "architectures", "presets")
-
 
 class CLIError(Exception):
     """A user-facing CLI error (bad spec, unknown component) — no traceback."""
@@ -239,41 +235,75 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_simple(title_singular: str, names, title: str):
+    def printer(args: argparse.Namespace) -> int:
+        _print(format_table([title_singular], [[name] for name in names()], title=title))
+        return 0
+    return printer
+
+
+def _list_callbacks(args: argparse.Namespace) -> int:
+    rows = [[name, next(iter((cls.__doc__ or "").strip().splitlines()), "")]
+            for name, cls in CALLBACKS.items()]
+    _print(format_table(["Callback", "Purpose"], rows,
+                        title="Registered training-engine callbacks"))
+    return 0
+
+
+def _list_architectures(args: argparse.Namespace) -> int:
+    rows = [[name, entry["family"], str(entry["cfg"])]
+            for name, entry in ARCHITECTURES.items()]
+    _print(format_table(["Architecture", "Family", "Configuration"], rows,
+                        title="Registered structure configurations"))
+    return 0
+
+
+def _list_protocols(args: argparse.Namespace) -> int:
+    from ..ppml import PROTOCOLS
+
+    rows = []
+    for proto in PROTOCOLS.values():
+        costs = proto.costs
+        rows.append([
+            proto.name,
+            "yes" if proto.supports_relu else "no",
+            f"{costs.relu_us:g} us / {costs.relu_bytes:g} B",
+            f"{costs.mult_us:g} us / {costs.mult_bytes:g} B",
+            f"{proto.round_trip_us:g} us",
+            proto.reference,
+        ])
+    _print(format_table(
+        ["Protocol", "ReLU?", "ReLU cost", "Secure mult cost", "RTT", "Reference"],
+        rows, title="Registered PPML protocols"))
+    return 0
+
+
+#: ``repro list`` families, generated from the registries themselves so the
+#: help text, the error message and the dispatch can never drift apart.
+_LIST_FAMILIES = {
+    "models": _list_simple("Model", MODELS.names, "Registered models"),
+    "neurons": lambda args: cmd_neurons(args),
+    "datasets": _list_simple("Dataset", DATASETS.names, "Registered datasets"),
+    "trainers": _list_simple("Trainer", TRAINERS.names, "Registered trainers"),
+    "optimizers": _list_simple("Optimizer", OPTIMIZERS.names, "Registered optimizers"),
+    "callbacks": _list_callbacks,
+    "architectures": _list_architectures,
+    "protocols": _list_protocols,
+    "presets": _list_simple("Preset", preset_names, "Bundled experiment presets"),
+}
+
+#: Component families ``repro list`` can print (derived, not hand-maintained).
+LIST_CHOICES = tuple(_LIST_FAMILIES)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """Print one component registry as a table."""
-    what = args.what
-    if what not in LIST_CHOICES:
+    printer = _LIST_FAMILIES.get(args.what)
+    if printer is None:
         raise CLIError(
-            f"unknown component family '{what}'; valid families: "
+            f"unknown component family '{args.what}'; valid families: "
             f"{', '.join(LIST_CHOICES)}")
-    if what == "models":
-        rows = [[name] for name in MODELS.names()]
-        _print(format_table(["Model"], rows, title="Registered models"))
-    elif what == "neurons":
-        return cmd_neurons(args)
-    elif what == "datasets":
-        rows = [[name] for name in DATASETS.names()]
-        _print(format_table(["Dataset"], rows, title="Registered datasets"))
-    elif what == "trainers":
-        rows = [[name] for name in TRAINERS.names()]
-        _print(format_table(["Trainer"], rows, title="Registered trainers"))
-    elif what == "optimizers":
-        rows = [[name] for name in OPTIMIZERS.names()]
-        _print(format_table(["Optimizer"], rows, title="Registered optimizers"))
-    elif what == "callbacks":
-        rows = [[name, next(iter((cls.__doc__ or "").strip().splitlines()), "")]
-                for name, cls in CALLBACKS.items()]
-        _print(format_table(["Callback", "Purpose"], rows,
-                            title="Registered training-engine callbacks"))
-    elif what == "architectures":
-        rows = [[name, entry["family"], str(entry["cfg"])]
-                for name, entry in ARCHITECTURES.items()]
-        _print(format_table(["Architecture", "Family", "Configuration"], rows,
-                            title="Registered structure configurations"))
-    else:
-        rows = [[name] for name in preset_names()]
-        _print(format_table(["Preset"], rows, title="Bundled experiment presets"))
-    return 0
+    return printer(args)
 
 
 def cmd_infer(args: argparse.Namespace) -> int:
@@ -324,6 +354,127 @@ def cmd_infer(args: argparse.Namespace) -> int:
         experiment.save_results(args.out)
         _print(f"\nresults written to {args.out}")
     return 0
+
+
+def cmd_secure_infer(args: argparse.Namespace) -> int:
+    """Run a spec's model under the fixed-point secure-inference runtime.
+
+    Builds the model, converts it with the requested PPML strategy, executes
+    ``--samples`` single-sample queries under hybrid-protocol semantics
+    (fixed-point arithmetic with truncation after every secure
+    multiplication), and reports the executed protocol trace: measured MACs /
+    Beaver-triple multiplications / garbled-circuit comparisons, whether they
+    match the static ``ppml.analyse_model`` counts exactly, the estimated
+    online latency/communication, and the fixed-point vs float drift.
+    Exits 1 when the measured trace disagrees with the static analysis.
+    """
+    import json
+
+    import numpy as np
+
+    from .. import ppml
+    from ..inference import compile_model
+
+    if args.samples < 1:
+        raise CLIError(f"--samples needs at least 1 query, got {args.samples}")
+    spec = _load_spec(args.spec)
+    experiment = _experiment(spec)
+    model = experiment.build()
+    model.eval()
+
+    strategy = args.strategy if args.strategy is not None else spec.ppml.strategy
+    protocol = args.protocol if args.protocol is not None else spec.ppml.protocol
+    target = model
+    conversion = None
+    if strategy != "none":
+        try:
+            target, conversion = ppml.to_ppml_friendly(model, strategy=strategy,
+                                                       inplace=False)
+        except ValueError as error:
+            raise CLIError(str(error)) from None
+    try:
+        secure = ppml.secure_compile(target, ppml.SecureConfig(
+            protocol=protocol, frac_bits=args.frac_bits,
+            truncation=args.truncation, seed=spec.seed))
+    except (ppml.SecureExecutionError, ValueError, KeyError) as error:
+        raise CLIError(str(error)) from None
+
+    input_shape = tuple(spec.data.input_shape)
+    static = ppml.analyse_model(target, input_shape, protocol=secure.protocol)
+    reference = compile_model(target)
+    rng = np.random.default_rng(spec.seed)
+    samples = rng.standard_normal((args.samples,) + input_shape).astype(np.float32)
+
+    max_drift = 0.0
+    agreement = 0
+    trace = None
+    for sample in samples:
+        batch = sample[None, ...]
+        secure_out, trace_i = secure.run(batch)      # one client query at a time
+        trace = trace if trace is not None else trace_i
+        float_out = reference(batch)
+        max_drift = max(max_drift, float(np.max(np.abs(secure_out - float_out))))
+        agreement += int(np.argmax(secure_out) == np.argmax(float_out))
+    estimate = trace.estimate()
+    matches = trace.matches_report(static)
+
+    results = {
+        "model": spec.model.name,
+        "neuron_type": spec.model.effective_neuron_type,
+        "strategy": strategy,
+        "protocol": secure.protocol.name,
+        "frac_bits": args.frac_bits,
+        "truncation": args.truncation,
+        "samples": args.samples,
+        "activations_replaced": conversion.activations_replaced if conversion else 0,
+        "layers_quadratized": conversion.layers_quadratized if conversion else 0,
+        "trace": trace.to_dict(),
+        "matches_static": matches,
+        "garbled_free": trace.garbled_free,
+        "online_latency_ms": estimate.online_milliseconds,
+        "online_comm_mb": estimate.online_megabytes,
+        "runnable": estimate.runnable,
+        "max_abs_drift": max_drift,
+        "top1_agreement": agreement / max(args.samples, 1),
+    }
+    experiment.results["secure_infer"] = results
+    if args.json:
+        _print(json.dumps(results, indent=2, default=float))
+    else:
+        if args.per_layer:
+            _print(ppml.format_trace(trace, per_layer=True))
+            _print("")
+        totals = trace.totals()
+        rows = [
+            ["model", f"{spec.model.name} ({spec.model.effective_neuron_type})"],
+            ["conversion strategy", strategy],
+            ["protocol", secure.protocol.name],
+            ["fixed point", f"{args.frac_bits} fractional bits, {args.truncation} truncation"],
+            ["measured MACs", f"{totals['macs']:,}"],
+            ["measured secure mults", f"{totals['mult_ops']:,}"],
+            ["measured GC comparisons", f"{totals['relu_ops']:,}"],
+            ["garbled-circuit free", "yes" if trace.garbled_free else "no"],
+            ["matches static analysis", "yes" if matches else "NO"],
+            ["online latency (est.)",
+             "not runnable" if not estimate.runnable
+             else f"{estimate.online_milliseconds:.2f} ms "
+                  f"({totals['rounds']} rounds)"],
+            ["online communication",
+             "not runnable" if not estimate.runnable
+             else f"{estimate.online_megabytes:.2f} MB"],
+            ["max |fixed - float|", f"{max_drift:.2e}"],
+            ["top-1 agreement", f"{agreement}/{args.samples}"],
+        ]
+        _print(format_table(["Metric", "Value"], rows,
+                            title=f"Secure inference: {args.samples} queries under "
+                                  f"{secure.protocol.name}"))
+        if not matches:
+            diff = trace.count_diff([layer.operations for layer in static.layers])
+            _print(f"\nmeasured/static disagreement: {diff}", stream=sys.stderr)
+    if args.out:
+        experiment.save_results(args.out)
+        _print(f"\nresults written to {args.out}")
+    return 0 if matches else 1
 
 
 def _serve_config(args: argparse.Namespace):
@@ -715,6 +866,32 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--json", action="store_true",
                        help="print the results as JSON instead of a table")
     infer.set_defaults(func=cmd_infer)
+
+    secure = subparsers.add_parser(
+        "secure-infer",
+        help="execute a spec's model under fixed-point PPML protocol semantics "
+             "and validate the measured protocol trace")
+    secure.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
+    secure.add_argument("--protocol", default=None,
+                        help="PPML protocol preset costing the trace (default: the "
+                             "spec's; see 'repro list protocols')")
+    secure.add_argument("--frac-bits", type=int, default=12,
+                        help="fixed-point fractional bits of the secure execution")
+    secure.add_argument("--truncation", default="nearest",
+                        choices=("nearest", "stochastic"),
+                        help="rounding after each secure multiplication")
+    secure.add_argument("--strategy", default=None,
+                        help="PPML conversion applied before compilation: square, "
+                             "quadratic, quadratic_no_relu, or 'none' to run the "
+                             "model as-is (default: the spec's)")
+    secure.add_argument("--samples", type=int, default=4,
+                        help="single-sample client queries to execute")
+    secure.add_argument("--per-layer", action="store_true",
+                        help="also print the executed trace step by step")
+    secure.add_argument("--out", default=None, help="write the results JSON to this path")
+    secure.add_argument("--json", action="store_true",
+                        help="print the results as JSON instead of a table")
+    secure.set_defaults(func=cmd_secure_infer)
 
     serve = subparsers.add_parser(
         "serve", help="serve a spec's model over HTTP from a pool of worker processes")

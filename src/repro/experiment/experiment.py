@@ -272,6 +272,46 @@ class Experiment:
         return ServingServer(self.spec, state=model.state_dict(), config=config)
 
     # -------------------------------------------------------------------- ppml
+    def secure_predictor(self, frac_bits: int = 12, truncation: str = "nearest",
+                         protocol: Optional[str] = None, strategy: Optional[str] = None,
+                         convert: bool = True, seed: Optional[int] = None) -> "Any":
+        """A :class:`repro.ppml.SecurePredictor` serving this experiment securely.
+
+        Converts a copy of the (built, possibly trained) model with the
+        spec's PPML strategy (``spec.ppml.strategy``, overridable via
+        ``strategy``; pass ``convert=False`` to serve the model as-is) and
+        compiles it to the fixed-point secure-inference runtime.  Each
+        ``predict()`` answers one client query under hybrid-protocol
+        semantics and records the executed protocol trace
+        (``predictor.last_trace``), which ``predictor.estimate()`` converts
+        into online latency/communication under the configured protocol.
+        """
+        from .. import ppml
+
+        model = self.model if self.model is not None else self.build()
+        cfg = self.spec.ppml
+        effective_strategy = strategy if strategy is not None else cfg.strategy
+        target = model
+        conversion = None
+        if convert:
+            target, conversion = ppml.to_ppml_friendly(model, strategy=effective_strategy,
+                                                       inplace=False)
+        predictor = ppml.SecurePredictor(
+            target, protocol=protocol if protocol is not None else cfg.protocol,
+            frac_bits=frac_bits, truncation=truncation,
+            seed=self.spec.seed if seed is None else seed)
+        self.results["secure"] = {
+            "protocol": predictor.protocol.name,
+            "frac_bits": frac_bits,
+            "truncation": truncation,
+            "strategy": effective_strategy if convert else None,
+            "activations_replaced": (conversion.activations_replaced
+                                     if conversion is not None else 0),
+            "layers_quadratized": (conversion.layers_quadratized
+                                   if conversion is not None else 0),
+        }
+        return predictor
+
     def to_ppml(self) -> Tuple[Module, Dict[str, Any]]:
         """Convert to a PPML-friendly model and report the online-cost savings."""
         from .. import ppml

@@ -215,14 +215,33 @@ class _Compiler:
         return run_eager
 
 
-def compile_model(model: Module, pool: Optional[BufferPool] = None) -> CompiledModel:
-    """Lower ``model`` to a :class:`CompiledModel` for gradient-free serving.
+def compile_model(model: Module, pool: Optional[BufferPool] = None,
+                  mode: str = "float", **ppml_options):
+    """Lower ``model`` to a compiled forward path for gradient-free serving.
 
-    The compiled forward uses evaluation semantics regardless of the model's
-    ``training`` flag: dropout is removed and batch normalisation uses its
-    running statistics (models that track none fall back to batch statistics,
-    exactly like their eager ``eval()`` forward).
+    ``mode`` selects the lowering:
+
+    * ``"float"`` (default) — the :class:`CompiledModel` NumPy fast path.
+      The compiled forward uses evaluation semantics regardless of the
+      model's ``training`` flag: dropout is removed and batch normalisation
+      uses its running statistics (models that track none fall back to batch
+      statistics, exactly like their eager ``eval()`` forward).
+    * ``"ppml"`` — the secure-inference path: the same traversal scheme
+      emits *fixed-point* closures instead, returning a
+      :class:`repro.ppml.SecureCompiledModel` that executes under
+      hybrid-protocol semantics and records a per-layer protocol trace.
+      Extra keyword arguments (``protocol``, ``frac_bits``, ``truncation``,
+      ``seed``) become the :class:`repro.ppml.SecureConfig`.
     """
+    if mode == "ppml":
+        from ..ppml.runtime import SecureConfig, secure_compile
+
+        return secure_compile(model, config=SecureConfig(**ppml_options), pool=pool)
+    if mode != "float":
+        raise ValueError(f"unknown compile mode '{mode}'; choose 'float' or 'ppml'")
+    if ppml_options:
+        raise TypeError(
+            f"keyword arguments {sorted(ppml_options)} are only valid with mode='ppml'")
     compiler = _Compiler(pool if pool is not None else BufferPool())
     steps = compiler.compile_module(model)
     return CompiledModel(model, steps, compiler.pool, compiler.fallbacks,

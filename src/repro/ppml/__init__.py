@@ -1,13 +1,19 @@
-"""``repro.ppml`` — privacy-preserving machine-learning cost analysis.
+"""``repro.ppml`` — privacy-preserving machine learning: analysis and execution.
 
 The paper's introduction motivates quadratic layers as a drop-in replacement
 for ReLU in PPML protocols (CryptoNets, Delphi, Gazelle): every ReLU needs a
 garbled-circuit comparison online, while a quadratic layer only needs secure
-multiplications.  This package quantifies that trade-off:
+multiplications.  This package quantifies that trade-off *and executes it*:
 
 * :mod:`repro.ppml.protocols` — per-operation cost models of the protocols,
 * :mod:`repro.ppml.cost` — operation counting and cost estimation for models,
-* :mod:`repro.ppml.convert` — ReLU→square / first-order→quadratic conversion.
+* :mod:`repro.ppml.convert` — ReLU→square / first-order→quadratic conversion,
+* :mod:`repro.ppml.fixedpoint` — the fixed-point number format protocols
+  compute in (encode / decode / nearest + stochastic truncation),
+* :mod:`repro.ppml.runtime` — the secure-inference runtime: run any compiled
+  model under hybrid-protocol semantics and record what it actually did,
+* :mod:`repro.ppml.trace` — executed protocol traces and their conversion
+  into online latency / communication.
 
 Example
 -------
@@ -15,7 +21,9 @@ Example
 >>> model = models.vgg8(num_classes=10, width_multiplier=0.25)
 >>> report = ppml.analyse_model(model, (3, 32, 32), protocol="delphi")
 >>> friendly, _ = ppml.to_ppml_friendly(model, strategy="quadratic_no_relu", inplace=False)
->>> savings = ppml.ppml_savings(model, friendly, (3, 32, 32), protocol="delphi")
+>>> savings = ppml.ppml_savings(model, friendly, (3, 32, 32), protocol="delphi",
+...                             measured=True)   # executes both models
+>>> assert savings.measured_matches and savings.after_trace.garbled_free
 """
 
 from .convert import (
@@ -40,6 +48,14 @@ from .cost import (
     estimate_cost,
     format_cost_report,
 )
+from .fixedpoint import (
+    TRUNCATION_MODES,
+    FixedPointFormat,
+    decode,
+    encode,
+    fixed_mul,
+    truncate,
+)
 from .protocols import (
     CRYPTONETS,
     DELPHI,
@@ -50,6 +66,20 @@ from .protocols import (
     ProtocolCost,
     available_protocols,
     resolve_protocol,
+)
+from .runtime import (
+    SecureCompiledModel,
+    SecureConfig,
+    SecureExecutionError,
+    SecurePredictor,
+    register_secure_rule,
+    secure_compile,
+)
+from .trace import (
+    LayerTrace,
+    ProtocolTrace,
+    SecureCostEstimate,
+    format_trace,
 )
 
 __all__ = [
@@ -80,4 +110,20 @@ __all__ = [
     "PPMLConversionReport",
     "ppml_savings",
     "PPMLSavings",
+    "FixedPointFormat",
+    "TRUNCATION_MODES",
+    "encode",
+    "decode",
+    "truncate",
+    "fixed_mul",
+    "LayerTrace",
+    "ProtocolTrace",
+    "SecureCostEstimate",
+    "format_trace",
+    "SecureConfig",
+    "SecureCompiledModel",
+    "SecurePredictor",
+    "SecureExecutionError",
+    "secure_compile",
+    "register_secure_rule",
 ]

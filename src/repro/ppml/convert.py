@@ -33,6 +33,7 @@ from ..nn.layers.pooling import AvgPool2d, MaxPool2d
 from ..nn.module import Module
 from .cost import CostReport, analyse_model
 from .protocols import Protocol, resolve_protocol
+from .trace import ProtocolTrace
 
 #: Activation classes treated as "comparison-based" and therefore expensive
 #: under hybrid PPML protocols.
@@ -202,11 +203,34 @@ def to_ppml_friendly(model: Module, strategy: str = "square", neuron_type: str =
 
 @dataclass
 class PPMLSavings:
-    """Before/after online cost of a PPML conversion under one protocol."""
+    """Before/after online cost of a PPML conversion under one protocol.
+
+    With ``ppml_savings(..., measured=True)`` the static reports are
+    validated against executed protocol traces: ``before_trace`` /
+    ``after_trace`` hold the measured records and :attr:`measured_matches`
+    states whether every measured operation total equals its static count.
+    """
 
     protocol: Protocol
     before: CostReport
     after: CostReport
+    #: executed traces (``ppml_savings(measured=True)`` only, else ``None``).
+    before_trace: Optional[ProtocolTrace] = None
+    after_trace: Optional[ProtocolTrace] = None
+
+    @property
+    def measured(self) -> bool:
+        """Whether the savings were validated by an executed secure run."""
+        return self.before_trace is not None and self.after_trace is not None
+
+    @property
+    def measured_matches(self) -> Optional[bool]:
+        """``True`` when both executed traces match the static counts exactly
+        (``None`` when the savings were not measured)."""
+        if not self.measured:
+            return None
+        return (self.before_trace.matches_report(self.before)
+                and self.after_trace.matches_report(self.after))
 
     @property
     def latency_ratio(self) -> float:
@@ -238,11 +262,34 @@ class PPMLSavings:
 
 def ppml_savings(original: Module, converted: Module, input_shape: Tuple[int, int, int],
                  protocol: Union[str, Protocol] = "delphi",
-                 batch_size: int = 1) -> PPMLSavings:
-    """Online-cost comparison of an original model and its PPML-friendly version."""
+                 batch_size: int = 1, measured: bool = False,
+                 frac_bits: int = 12, truncation: str = "nearest",
+                 seed: int = 0) -> PPMLSavings:
+    """Online-cost comparison of an original model and its PPML-friendly version.
+
+    With ``measured=True`` both models are additionally *executed* by the
+    secure runtime (:mod:`repro.ppml.runtime`) on a random probe batch of
+    ``batch_size`` samples, and the resulting protocol traces are attached —
+    :attr:`PPMLSavings.measured_matches` then certifies that the static
+    operation counts agree with what a hybrid-protocol execution actually
+    performs.  ``frac_bits``/``truncation``/``seed`` configure the runtime's
+    fixed-point format (they do not affect the counts, only the numerics).
+    """
     proto = resolve_protocol(protocol)
-    return PPMLSavings(
+    savings = PPMLSavings(
         protocol=proto,
         before=analyse_model(original, input_shape, proto, batch_size=batch_size),
         after=analyse_model(converted, input_shape, proto, batch_size=batch_size),
     )
+    if measured:
+        import numpy as np
+
+        from .runtime import SecureConfig, secure_compile
+
+        probe = np.random.default_rng(seed).standard_normal(
+            (batch_size,) + tuple(input_shape)).astype(np.float32)
+        config = SecureConfig(protocol=proto, frac_bits=frac_bits,
+                              truncation=truncation, seed=seed)
+        _, savings.before_trace = secure_compile(original, config).run(probe)
+        _, savings.after_trace = secure_compile(converted, config).run(probe)
+    return savings

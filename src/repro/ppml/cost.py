@@ -32,8 +32,9 @@ from ..nn.layers.activations import GELU, LeakyReLU, ReLU, Sigmoid, Square, Tanh
 from ..nn.layers.conv import Conv2d
 from ..nn.layers.linear import Linear
 from ..nn.layers.normalization import BatchNorm1d, BatchNorm2d, LayerNorm
-from ..nn.layers.pooling import AvgPool2d, MaxPool2d
+from ..nn.layers.pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from ..nn.module import Module
+from ..quadratic.functional import REQUIRED_RESPONSES
 from ..quadratic.layers.hybrid import HybridQuadraticConv2d, HybridQuadraticLinear
 from ..quadratic.layers.qconv import QuadraticConv2d, QuadraticConv2dT1
 from ..quadratic.layers.qlinear import QuadraticLinear
@@ -51,6 +52,9 @@ class LayerOperations:
     relu_ops: int = 0
     mult_ops: int = 0
     output_shape: Tuple[int, ...] = ()
+    #: forward invocations the counts cover — modules shared across call
+    #: sites (e.g. the one ReLU a residual block applies twice) accumulate.
+    calls: int = 1
 
     @property
     def is_nonlinear(self) -> bool:
@@ -139,12 +143,31 @@ def _elements(shape: Tuple[int, ...]) -> int:
 
 
 def _conv_macs(out_shape: Tuple[int, ...], weight_shape: Tuple[int, ...]) -> int:
-    _, f, oh, ow = out_shape
+    n, f, oh, ow = out_shape
     _, c_g, kh, kw = weight_shape
-    return f * c_g * kh * kw * oh * ow
+    return n * f * c_g * kh * kw * oh * ow
 
 
-def _classify(module: Module, out_shape: Tuple[int, ...]) -> Optional[LayerOperations]:
+def _quadratic_mult_ops(neuron_type: str, out_elements: int, in_elements: int) -> int:
+    """Secure multiplications one quadratic layer needs, by neuron design.
+
+    Designs with a Hadamard/self product (``"a"`` in the required responses)
+    pay one Beaver triple per *output* element for the combination; designs
+    with a squared-input projection (``"sq"``) additionally pay one per
+    *input* element to form ``X²`` before the linear phase.  This is exactly
+    what the secure runtime executes, so measured traces match these counts.
+    """
+    required = REQUIRED_RESPONSES[neuron_type]
+    mult_ops = 0
+    if "a" in required:
+        mult_ops += out_elements
+    if "sq" in required:
+        mult_ops += in_elements
+    return mult_ops
+
+
+def _classify(module: Module, out_shape: Tuple[int, ...],
+              in_shape: Tuple[int, ...] = ()) -> Optional[LayerOperations]:
     """Operation counts of one leaf module, or ``None`` for cost-free layers."""
     elements = _elements(out_shape)
     type_name = type(module).__name__
@@ -161,19 +184,20 @@ def _classify(module: Module, out_shape: Tuple[int, ...]) -> Optional[LayerOpera
         weight_names = [n for n in module._parameters if n.startswith("weight")]
         weight = module._parameters[weight_names[0]]
         macs = len(weight_names) * _conv_macs(out_shape, weight.shape)
-        # One secure multiplication per output element for the Hadamard/square term.
-        return LayerOperations("", type_name, macs=macs, mult_ops=elements,
+        mult_ops = _quadratic_mult_ops(module.neuron_type, elements, _elements(in_shape))
+        return LayerOperations("", type_name, macs=macs, mult_ops=mult_ops,
                                output_shape=out_shape)
     if isinstance(module, QuadraticConv2dT1):
-        _, f, oh, ow = out_shape
+        n, f, oh, ow = out_shape
         patch = module.patch_size
-        return LayerOperations("", type_name, macs=f * patch * patch * oh * ow,
+        return LayerOperations("", type_name, macs=n * f * patch * patch * oh * ow,
                                mult_ops=elements, output_shape=out_shape)
     if isinstance(module, (QuadraticLinear, HybridQuadraticLinear)):
         weight_names = [n for n in module._parameters if n.startswith("weight")]
         batch = _elements(out_shape[:-1])
         macs = len(weight_names) * module.in_features * module.out_features * batch
-        return LayerOperations("", type_name, macs=macs, mult_ops=elements,
+        mult_ops = _quadratic_mult_ops(module.neuron_type, elements, _elements(in_shape))
+        return LayerOperations("", type_name, macs=macs, mult_ops=mult_ops,
                                output_shape=out_shape)
     if isinstance(module, Square):
         return LayerOperations("", type_name, mult_ops=elements, output_shape=out_shape)
@@ -187,7 +211,9 @@ def _classify(module: Module, out_shape: Tuple[int, ...]) -> Optional[LayerOpera
         k = module.kernel_size if isinstance(module.kernel_size, int) else module.kernel_size[0]
         comparisons = elements * max(k * k - 1, 1)
         return LayerOperations("", type_name, relu_ops=comparisons, output_shape=out_shape)
-    if isinstance(module, AvgPool2d):
+    if isinstance(module, (AvgPool2d, AdaptiveAvgPool2d, GlobalAvgPool2d)):
+        # Window sums are linear; the division by the (public) window size is
+        # one scalar multiplication per output element.
         return LayerOperations("", type_name, macs=elements, output_shape=out_shape)
     if isinstance(module, (BatchNorm1d, BatchNorm2d, LayerNorm)):
         # At inference BatchNorm folds into the preceding linear layer; LayerNorm
@@ -208,9 +234,11 @@ def count_operations(model: Module, input_shape: Tuple[int, int, int],
         Shape of one input sample, e.g. ``(3, 32, 32)``.
     batch_size : int
         Probe batch size; PPML protocols evaluate one query at a time, so the
-        default of 1 matches the usual reporting convention.
+        default of 1 matches the usual reporting convention.  Every count
+        (MACs included) scales linearly with the batch, matching what the
+        secure runtime measures on a batched execution.
     """
-    output_shapes: Dict[int, Tuple[int, ...]] = {}
+    invocations: Dict[int, List[Tuple[Tuple[int, ...], Tuple[int, ...]]]] = {}
     removers = []
     leaf_modules: List[Tuple[str, Module]] = []
     for name, module in model.named_modules():
@@ -219,9 +247,16 @@ def count_operations(model: Module, input_shape: Tuple[int, int, int],
         leaf_modules.append((name, module))
 
         def make_hook(module_id: int):
-            def hook(_module, _inputs, output):
+            def hook(_module, inputs, output):
                 if isinstance(output, Tensor):
-                    output_shapes[module_id] = output.shape
+                    # One entry per *invocation*: a module shared across call
+                    # sites (a residual block's ReLU fires twice per forward)
+                    # costs the protocol once per application, not once per
+                    # Python object.  The input shape sizes the squared-input
+                    # projections of T2-style quadratic designs.
+                    in_shape = (inputs[0].shape
+                                if inputs and isinstance(inputs[0], Tensor) else ())
+                    invocations.setdefault(module_id, []).append((in_shape, output.shape))
             return hook
 
         removers.append(module.register_forward_hook(make_hook(id(module))))
@@ -237,14 +272,23 @@ def count_operations(model: Module, input_shape: Tuple[int, int, int],
 
     operations: List[LayerOperations] = []
     for name, module in leaf_modules:
-        out_shape = output_shapes.get(id(module))
-        if out_shape is None:
+        merged: Optional[LayerOperations] = None
+        for in_shape, out_shape in invocations.get(id(module), []):
+            counted = _classify(module, out_shape, in_shape)
+            if counted is None:
+                break
+            if merged is None:
+                merged = counted
+            else:
+                merged.macs += counted.macs
+                merged.relu_ops += counted.relu_ops
+                merged.mult_ops += counted.mult_ops
+                merged.output_shape = counted.output_shape
+                merged.calls += 1
+        if merged is None:
             continue
-        counted = _classify(module, out_shape)
-        if counted is None:
-            continue
-        counted.name = name
-        operations.append(counted)
+        merged.name = name
+        operations.append(merged)
     return operations
 
 

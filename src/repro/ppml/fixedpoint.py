@@ -1,0 +1,144 @@
+"""Fixed-point arithmetic for the secure-inference runtime.
+
+Every deployed PPML protocol — Delphi, Gazelle, CryptoNets, and every
+secret-sharing scheme behind them — computes over integers, not floats:
+secret shares live in a ring ``Z_{2^k}`` and real values are embedded as
+fixed-point numbers with a fixed count of fractional bits.  Two consequences
+drive everything in this module:
+
+* **Quantization.**  Encoding a real value ``x`` as ``round(x * 2^f)``
+  introduces at most ``2^-f`` of error once, at the protocol boundary.
+* **Truncation.**  The product of two scale-``f`` fixed-point numbers
+  carries scale ``2f``; after every multiplication the protocol must divide
+  by ``2^f`` to restore the scale.  Share-based protocols cannot round
+  exactly, so they truncate — either *nearest* (deterministic round-half-up,
+  error ``<= 2^-(f+1)`` per multiplication) or *stochastic* (the
+  probabilistic truncation of SecureML/Delphi, unbiased with error
+  ``< 2^-f`` per multiplication).
+
+The runtime (:mod:`repro.ppml.runtime`) keeps all activations as ``int64``
+arrays at scale ``f`` and calls :func:`truncate` after every secure
+multiplication, which is exactly the error model a real deployment pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Supported truncation modes after a fixed-point multiplication.
+TRUNCATION_MODES: Tuple[str, ...] = ("nearest", "stochastic")
+
+#: Upper bound on fractional bits.  Values and weights of the supported
+#: layers stay well under ``2^8`` in magnitude, so a product of two scale-f
+#: operands summed over a convolution patch fits ``int64`` comfortably for
+#: ``f <= 16``; beyond that the accumulator may wrap silently.
+MAX_FRAC_BITS = 16
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """The number format of one secure execution.
+
+    Attributes
+    ----------
+    frac_bits :
+        Fractional bits ``f``; values are stored as ``round(x * 2^f)`` in
+        ``int64`` (a 64-bit ring, the common choice of deployed protocols).
+    truncation :
+        ``"nearest"`` or ``"stochastic"`` — how the scale is restored after
+        each multiplication (see the module docstring).
+    """
+
+    frac_bits: int = 12
+    truncation: str = "nearest"
+
+    def __post_init__(self) -> None:
+        if not 1 <= int(self.frac_bits) <= MAX_FRAC_BITS:
+            raise ValueError(
+                f"frac_bits must be in 1..{MAX_FRAC_BITS} (int64 ring), got {self.frac_bits}"
+            )
+        if self.truncation not in TRUNCATION_MODES:
+            raise ValueError(
+                f"unknown truncation mode '{self.truncation}'; choose from {TRUNCATION_MODES}"
+            )
+
+    @property
+    def scale(self) -> int:
+        """The integer scale factor ``2^f``."""
+        return 1 << self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """The representable step ``2^-f`` — the per-operation error unit."""
+        return 2.0 ** -self.frac_bits
+
+
+def encode(x: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Embed real values as scale-``f`` fixed-point integers (``int64``).
+
+    Uses round-to-nearest, so the representation error is at most
+    ``2^-(f+1)`` per element.
+    """
+    scaled = np.asarray(x, dtype=np.float64) * float(1 << frac_bits)
+    return np.rint(scaled).astype(np.int64)
+
+
+def decode(q: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Recover real values from scale-``f`` fixed-point integers."""
+    return (np.asarray(q, dtype=np.float64) * 2.0 ** -frac_bits).astype(np.float32)
+
+
+def truncate(q: np.ndarray, frac_bits: int, mode: str = "nearest",
+             rng: Optional[np.random.Generator] = None,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Restore scale ``f`` after a fixed-point multiplication (scale ``2f → f``).
+
+    Parameters
+    ----------
+    q : int64 array
+        Product values at scale ``2f`` (or any value needing a ``2^f``
+        division).
+    mode : str
+        ``"nearest"`` divides with round-half-up (deterministic);
+        ``"stochastic"`` adds uniform noise in ``[0, 2^f)`` before the
+        arithmetic shift, the unbiased probabilistic truncation used by
+        secret-sharing protocols.
+    rng : np.random.Generator
+        Required for ``"stochastic"``.
+    out : int64 array, optional
+        Destination buffer (may alias ``q``).
+
+    Either way the result differs from the exact quotient by strictly less
+    than one unit at scale ``f``, i.e. the decoded error of one truncation is
+    bounded by ``2^-f``.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    target = out if out is not None else np.empty_like(q)
+    if mode == "nearest":
+        shifted = np.add(q, np.int64(1 << (frac_bits - 1)), out=target)
+    elif mode == "stochastic":
+        if rng is None:
+            raise ValueError("stochastic truncation needs a random generator")
+        noise = rng.integers(0, 1 << frac_bits, size=q.shape, dtype=np.int64)
+        shifted = np.add(q, noise, out=target)
+    else:
+        raise ValueError(
+            f"unknown truncation mode '{mode}'; choose from {TRUNCATION_MODES}"
+        )
+    # Arithmetic right shift floors toward -inf for negatives, which combined
+    # with the additive bias/noise gives round-half-up / unbiased rounding.
+    return np.right_shift(shifted, frac_bits, out=shifted)
+
+
+def fixed_mul(a: np.ndarray, b: np.ndarray, frac_bits: int, mode: str = "nearest",
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """One secure element-wise multiplication: product at ``2f``, truncated to ``f``.
+
+    This is the primitive a Beaver triple implements; its decoded result
+    differs from the exact product of the decoded operands by less than
+    ``2^-f`` (the property test in ``tests/ppml`` pins this bound).
+    """
+    return truncate(a * b, frac_bits, mode=mode, rng=rng)

@@ -68,6 +68,12 @@ class Protocol:
         For levelled-HE protocols, the maximum number of successive
         ciphertext multiplications before bootstrapping/re-encryption is
         needed.  ``0`` means unlimited (interactive protocols).
+    round_trip_us :
+        Network round-trip time charged per communication round by the
+        secure runtime's trace estimator (interactive protocols pay one RTT
+        per Beaver reconstruction / garbled-circuit exchange; ``0`` for
+        non-interactive HE evaluation).  The static per-operation cost model
+        does not use it — only executed traces know their round structure.
     """
 
     name: str
@@ -75,6 +81,7 @@ class Protocol:
     costs: OperationCosts
     supports_relu: bool = True
     multiplicative_depth_limit: int = 0
+    round_trip_us: float = 0.0
 
     def relu_cost(self, count: int) -> "ProtocolCost":
         """Online cost of ``count`` ReLU evaluations (zero ReLUs are always free)."""
@@ -148,6 +155,7 @@ DELPHI = Protocol(
         mult_bytes=32.0, mult_us=0.05,
     ),
     supports_relu=True,
+    round_trip_us=100.0,   # LAN round trip, as in the Delphi evaluation
 )
 
 #: Gazelle-style hybrid (Juvekar et al.): linear layers are evaluated with
@@ -162,6 +170,7 @@ GAZELLE = Protocol(
         mult_bytes=64.0, mult_us=0.5,
     ),
     supports_relu=True,
+    round_trip_us=100.0,
 )
 
 #: CryptoNets-style levelled HE (Gilad-Bachrach et al.): everything is

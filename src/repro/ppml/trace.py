@@ -1,0 +1,206 @@
+"""Protocol traces: what a secure execution actually did, layer by layer.
+
+The static analysis in :mod:`repro.ppml.cost` *predicts* how many MACs,
+garbled-circuit comparisons and Beaver-triple multiplications a model needs.
+The runtime (:mod:`repro.ppml.runtime`) *measures* them: every executed step
+appends a :class:`LayerTrace` recording the operations it actually performed
+on the actual shapes that flowed through it, plus the communication-round
+structure of the step.  A :class:`ProtocolTrace` is the resulting record of
+one secure forward pass, and is the repo's evidence for the paper's PPML
+claim — the cost tables stop being assertions once
+``trace.matches_report(analyse_model(...))`` holds.
+
+Converting a trace into protocol time reuses the same
+:class:`~repro.ppml.protocols.Protocol` cost constants as the static
+analysis, plus the round structure: interactive protocols pay one network
+round trip per communication round, which the static per-operation model
+cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..utils.logging import format_table
+from .cost import CostReport, LayerOperations, estimate_cost
+from .protocols import Protocol, resolve_protocol
+
+
+@dataclass
+class LayerTrace:
+    """Operations one executed step actually performed.
+
+    ``macs`` / ``relu_ops`` / ``mult_ops`` mirror the three online primitives
+    of :class:`~repro.ppml.cost.LayerOperations`; ``truncations`` counts the
+    fixed-point rescalings the step paid and ``rounds`` its communication
+    rounds (0 for local/pre-processed work, 1 per Beaver reconstruction, 2
+    per garbled-circuit evaluation).
+    """
+
+    name: str
+    layer_type: str
+    macs: int = 0
+    relu_ops: int = 0
+    mult_ops: int = 0
+    truncations: int = 0
+    rounds: int = 0
+    output_shape: Tuple[int, ...] = ()
+
+    def to_operations(self) -> LayerOperations:
+        """The equivalent static-analysis record (for shared cost estimation)."""
+        return LayerOperations(name=self.name, layer_type=self.layer_type,
+                               macs=self.macs, relu_ops=self.relu_ops,
+                               mult_ops=self.mult_ops, output_shape=self.output_shape)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (benchmarks persist traces as artifacts)."""
+        return {"name": self.name, "layer_type": self.layer_type, "macs": self.macs,
+                "relu_ops": self.relu_ops, "mult_ops": self.mult_ops,
+                "truncations": self.truncations, "rounds": self.rounds,
+                "output_shape": list(self.output_shape)}
+
+
+@dataclass
+class SecureCostEstimate:
+    """A trace priced under one protocol: per-op costs plus round latency."""
+
+    protocol: Protocol
+    cost: CostReport
+    rounds: int
+
+    @property
+    def online_microseconds(self) -> float:
+        """Per-operation compute/transfer time plus one RTT per round."""
+        return self.cost.total.microseconds + self.rounds * self.protocol.round_trip_us
+
+    @property
+    def online_milliseconds(self) -> float:
+        return self.online_microseconds / 1e3
+
+    @property
+    def online_bytes(self) -> float:
+        return self.cost.total.bytes
+
+    @property
+    def online_megabytes(self) -> float:
+        return self.online_bytes / 1e6
+
+    @property
+    def runnable(self) -> bool:
+        return self.cost.runnable
+
+
+@dataclass
+class ProtocolTrace:
+    """The measured record of one secure forward pass."""
+
+    frac_bits: int
+    layers: List[LayerTrace] = field(default_factory=list)
+    #: protocol the execution was configured with (costing may use another).
+    protocol: Optional[Protocol] = None
+
+    # ----------------------------------------------------------------- totals
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_relu_ops(self) -> int:
+        return sum(layer.relu_ops for layer in self.layers)
+
+    @property
+    def total_mult_ops(self) -> int:
+        return sum(layer.mult_ops for layer in self.layers)
+
+    @property
+    def total_truncations(self) -> int:
+        return sum(layer.truncations for layer in self.layers)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(layer.rounds for layer in self.layers)
+
+    @property
+    def garbled_free(self) -> bool:
+        """True when the execution needed no garbled-circuit comparison at all —
+        the property the paper's quadratic conversion is after."""
+        return self.total_relu_ops == 0
+
+    def totals(self) -> Dict[str, int]:
+        """All five operation totals as one dict (for JSON and reporting)."""
+        return {"macs": self.total_macs, "relu_ops": self.total_relu_ops,
+                "mult_ops": self.total_mult_ops,
+                "truncations": self.total_truncations, "rounds": self.total_rounds}
+
+    # ---------------------------------------------------------------- costing
+    def operations(self) -> List[LayerOperations]:
+        """The trace as static-analysis records (one per executed step)."""
+        return [layer.to_operations() for layer in self.layers]
+
+    def cost(self, protocol: Union[str, Protocol, None] = None) -> CostReport:
+        """Price the measured operations with the static per-op cost model."""
+        proto = resolve_protocol(protocol if protocol is not None else self.protocol)
+        return estimate_cost(self.operations(), proto)
+
+    def estimate(self, protocol: Union[str, Protocol, None] = None) -> SecureCostEstimate:
+        """Full online-cost estimate: per-op costs plus round-trip latency."""
+        proto = resolve_protocol(protocol if protocol is not None else self.protocol)
+        return SecureCostEstimate(protocol=proto, cost=self.cost(proto),
+                                  rounds=self.total_rounds)
+
+    # ------------------------------------------------------------- validation
+    def matches_operations(self, operations: Sequence[LayerOperations]) -> bool:
+        """Whether the measured totals equal a static count's totals exactly.
+
+        Totals (not per-layer rows) are compared because the two sides
+        aggregate differently: the static walk emits one record per leaf
+        module (summing repeated invocations, e.g. a ResNet block's shared
+        ReLU), while the trace records every executed step.
+        """
+        return self.count_diff(operations) == {}
+
+    def matches_report(self, report: CostReport) -> bool:
+        """Convenience form of :meth:`matches_operations` for a cost report."""
+        return self.matches_operations([layer.operations for layer in report.layers])
+
+    def count_diff(self, operations: Sequence[LayerOperations]) -> Dict[str, Tuple[int, int]]:
+        """``{primitive: (measured, static)}`` for every total that disagrees."""
+        static = {
+            "macs": sum(op.macs for op in operations),
+            "relu_ops": sum(op.relu_ops for op in operations),
+            "mult_ops": sum(op.mult_ops for op in operations),
+        }
+        measured = {"macs": self.total_macs, "relu_ops": self.total_relu_ops,
+                    "mult_ops": self.total_mult_ops}
+        return {key: (measured[key], static[key])
+                for key in static if measured[key] != static[key]}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form: totals plus the per-step records."""
+        return {
+            "frac_bits": self.frac_bits,
+            "protocol": self.protocol.name if self.protocol is not None else None,
+            "totals": self.totals(),
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+
+def format_trace(trace: ProtocolTrace, per_layer: bool = False,
+                 protocol: Union[str, Protocol, None] = None) -> str:
+    """Render a protocol trace as a fixed-width table (totals, optionally per step)."""
+    estimate = trace.estimate(protocol)
+    rows = []
+    if per_layer:
+        for layer in trace.layers:
+            rows.append([layer.name, layer.layer_type, layer.macs, layer.relu_ops,
+                         layer.mult_ops, layer.truncations, layer.rounds])
+    rows.append(["TOTAL", estimate.protocol.name, trace.total_macs, trace.total_relu_ops,
+                 trace.total_mult_ops, trace.total_truncations, trace.total_rounds])
+    return format_table(
+        ["step", "type", "MACs", "GC comparisons", "secure mults", "truncations", "rounds"],
+        rows,
+        title=(f"Executed protocol trace (frac_bits={trace.frac_bits}, "
+               f"online ≈ {estimate.online_milliseconds:.3f} ms under "
+               f"{estimate.protocol.name})"),
+    )

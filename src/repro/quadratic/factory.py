@@ -50,10 +50,13 @@ def quadratic_layer(neuron_type: str, in_features: int, out_features: int,
     try:
         spec = resolve_type(neuron_type)
     except KeyError:
+        # Regenerated from the registries on every raise, so newly registered
+        # designs / aliases / hybrid implementations can never go missing here.
         raise ValueError(
             f"unknown neuron type {neuron_type!r} for quadratic_layer(); "
             f"registered neuron types: {', '.join(available_types())} "
-            f"(aliases: {', '.join(sorted(ALIASES))})"
+            f"(aliases: {', '.join(sorted(ALIASES))}; hybrid_bp convolutions "
+            f"exist for: {', '.join(sorted(_HYBRID_CONV_LAYERS))}, dense for: OURS)"
         ) from None
     if kernel_size is None:
         if hybrid_bp and spec.name == "OURS":

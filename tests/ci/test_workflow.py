@@ -96,6 +96,7 @@ def test_bench_gate_runs_quick_benchmarks_and_uploads_results(workflow):
     assert "bench_inference_throughput.py --quick" in runs
     assert "bench_serving_scaleout.py --quick" in runs
     assert "bench_dataloader_prefetch.py --quick" in runs
+    assert "bench_secure_inference.py --quick" in runs
     upload = next(step for step in steps if "upload-artifact" in step.get("uses", ""))
     assert upload["with"]["path"].startswith("benchmarks/results")
 
@@ -107,3 +108,11 @@ def test_lint_job_compiles_and_ruffs(workflow):
     assert "ruff check" in runs
     # The ruff config the job refers to must actually exist.
     assert "[tool.ruff" in (REPO_ROOT / "pyproject.toml").read_text()
+
+
+def test_lint_job_checks_doc_links_and_docstrings(workflow):
+    """The docs checker added with the ppml runtime PR runs in the lint job."""
+    runs = " ".join(step.get("run", "")
+                    for job, step in all_steps(workflow) if job == "lint")
+    assert "tests/docs/test_doc_links.py" in runs
+    assert (REPO_ROOT / "tests" / "docs" / "test_doc_links.py").exists()

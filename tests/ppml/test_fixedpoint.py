@@ -1,0 +1,128 @@
+"""Property tests for the fixed-point arithmetic of the secure runtime.
+
+The load-bearing bound: one fixed-point multiplication — product at scale
+``2f``, truncated back to ``f`` — introduces strictly less than ``2^-f`` of
+error relative to the exact product of the (already encoded) operands, in
+both truncation modes.  Everything the runtime guarantees about numerical
+drift composes from this per-multiplication bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ppml import (
+    FixedPointFormat,
+    TRUNCATION_MODES,
+    decode,
+    encode,
+    fixed_mul,
+    truncate,
+)
+
+FRAC_BIT_CHOICES = (6, 8, 12, 16)
+
+
+# --------------------------------------------------------------------------- #
+# Format validation
+# --------------------------------------------------------------------------- #
+
+def test_format_exposes_scale_and_resolution():
+    fmt = FixedPointFormat(frac_bits=12)
+    assert fmt.scale == 4096
+    assert fmt.resolution == 2.0 ** -12
+    assert fmt.truncation == "nearest"
+
+
+@pytest.mark.parametrize("frac_bits", [0, -1, 17, 64])
+def test_format_rejects_out_of_range_frac_bits(frac_bits):
+    with pytest.raises(ValueError, match="frac_bits"):
+        FixedPointFormat(frac_bits=frac_bits)
+
+
+def test_format_rejects_unknown_truncation():
+    with pytest.raises(ValueError, match="truncation"):
+        FixedPointFormat(truncation="floor")
+
+
+def test_truncate_rejects_unknown_mode_and_missing_rng():
+    q = np.array([1 << 24], dtype=np.int64)
+    with pytest.raises(ValueError, match="truncation"):
+        truncate(q, 12, mode="floor")
+    with pytest.raises(ValueError, match="random generator"):
+        truncate(q, 12, mode="stochastic")
+
+
+# --------------------------------------------------------------------------- #
+# Encoding round trip
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("frac_bits", FRAC_BIT_CHOICES)
+def test_encode_decode_round_trip_error_is_half_resolution(frac_bits):
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-100.0, 100.0, size=4096).astype(np.float32)
+    error = np.abs(decode(encode(x, frac_bits), frac_bits).astype(np.float64)
+                   - x.astype(np.float64))
+    # Round-to-nearest encoding: at most half a representable step.
+    assert error.max() <= 2.0 ** -(frac_bits + 1) + 1e-12
+
+
+def test_encoded_values_are_exact_at_the_grid():
+    # Values already on the fixed-point grid survive the round trip exactly.
+    frac_bits = 10
+    grid = np.arange(-2048, 2048, dtype=np.int64)
+    assert np.array_equal(encode(decode(grid, frac_bits), frac_bits), grid)
+
+
+# --------------------------------------------------------------------------- #
+# The per-multiplication bound (the issue's property)
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("frac_bits", FRAC_BIT_CHOICES)
+@pytest.mark.parametrize("mode", TRUNCATION_MODES)
+def test_multiplication_error_is_bounded_by_resolution(frac_bits, mode):
+    """One secure multiplication loses strictly less than ``2**-frac_bits``.
+
+    Operands are taken *on* the fixed-point grid (their encoding is exact),
+    so the measured error is purely the truncation's — the quantity the bound
+    speaks about.
+    """
+    rng = np.random.default_rng(1)
+    a = decode(encode(rng.uniform(-8, 8, size=20000), frac_bits), frac_bits)
+    b = decode(encode(rng.uniform(-8, 8, size=20000), frac_bits), frac_bits)
+    product = fixed_mul(encode(a, frac_bits), encode(b, frac_bits), frac_bits,
+                        mode=mode, rng=np.random.default_rng(2))
+    exact = a.astype(np.float64) * b.astype(np.float64)
+    error = np.abs(decode(product, frac_bits).astype(np.float64) - exact)
+    assert error.max() < 2.0 ** -frac_bits + 1e-12, (
+        f"multiplication error {error.max():.3e} exceeds 2^-{frac_bits}")
+
+
+@pytest.mark.parametrize("frac_bits", (8, 12))
+def test_nearest_truncation_is_deterministic_and_half_bounded(frac_bits):
+    rng = np.random.default_rng(3)
+    q = rng.integers(-(1 << 40), 1 << 40, size=10000, dtype=np.int64)
+    once = truncate(q.copy(), frac_bits, mode="nearest")
+    twice = truncate(q.copy(), frac_bits, mode="nearest")
+    assert np.array_equal(once, twice)
+    exact = q.astype(np.float64) / (1 << frac_bits)
+    assert np.abs(once.astype(np.float64) - exact).max() <= 0.5
+
+
+def test_stochastic_truncation_is_unbiased():
+    frac_bits = 8
+    value = np.full(200_000, 1000, dtype=np.int64)     # 1000/256 = 3.90625
+    rng = np.random.default_rng(4)
+    truncated = truncate(value, frac_bits, mode="stochastic", rng=rng)
+    # Each draw is floor or ceil; the mean converges to the exact quotient.
+    assert set(np.unique(truncated)) <= {3, 4}
+    assert abs(truncated.mean() - 1000 / 256) < 0.01
+
+
+def test_truncation_restores_the_scale_after_a_square():
+    frac_bits = 12
+    x = np.float32(1.5)
+    q = encode(x, frac_bits)
+    squared = truncate(q * q, frac_bits, mode="nearest")
+    assert decode(squared, frac_bits) == pytest.approx(2.25, abs=2.0 ** -frac_bits)
