@@ -15,6 +15,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from ..backends import BACKENDS, backend_description, backend_names
 from ..experiment import (
     ARCHITECTURES,
     CALLBACKS,
@@ -40,6 +41,10 @@ from ..utils.logging import format_table
 
 #: Model families the CLI can build — the model registry's keys.
 MODEL_CHOICES = tuple(MODELS.names())
+
+#: Compute backends of the compiled inference path — the backend registry's
+#: keys, so ``--backend`` help text and errors can never drift from the code.
+BACKEND_CHOICES = tuple(backend_names())
 
 #: Models usable by the image-workload subcommands (``mlp`` takes vectors).
 IMAGE_MODEL_CHOICES = tuple(name for name in MODEL_CHOICES if name != "mlp")
@@ -278,6 +283,18 @@ def _list_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def _list_backends(args: argparse.Namespace) -> int:
+    from ..inference.optimizer import OPT_LEVELS
+
+    rows = [[name, "yes" if cls.exact else "no", backend_description(name)]
+            for name, cls in BACKENDS.items()]
+    _print(format_table(["Backend", "Exact?", "Description"], rows,
+                        title="Registered compute backends (compiled inference)"))
+    _print(f"\ngraph-optimizer levels: {', '.join(OPT_LEVELS)} "
+           f"(compile_model(optimize=...), default 'default')")
+    return 0
+
+
 #: ``repro list`` families, generated from the registries themselves so the
 #: help text, the error message and the dispatch can never drift apart.
 _LIST_FAMILIES = {
@@ -289,6 +306,7 @@ _LIST_FAMILIES = {
     "callbacks": _list_callbacks,
     "architectures": _list_architectures,
     "protocols": _list_protocols,
+    "backends": _list_backends,
     "presets": _list_simple("Preset", preset_names, "Bundled experiment presets"),
 }
 
@@ -321,10 +339,16 @@ def cmd_infer(args: argparse.Namespace) -> int:
     input_shape = spec.data.input_shape
     samples = rng.standard_normal((args.samples,) + tuple(input_shape)).astype(np.float32)
 
-    compiled = experiment.compile_inference()
+    try:
+        compiled = experiment.compile_inference(backend=args.backend,
+                                                optimize=args.optimize)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
     results = {
         "model": spec.model.name,
         "neuron_type": spec.model.effective_neuron_type,
+        "backend": compiled.backend.name,
+        "optimization": compiled.optimization.to_dict(),
         **measure_serving(model, compiled, samples,
                           max_batch_size=args.max_batch_size,
                           max_wait=args.max_wait, repeats=args.repeats),
@@ -338,6 +362,9 @@ def cmd_infer(args: argparse.Namespace) -> int:
         rows = [
             ["model", f"{results['model']} ({results['neuron_type']})"],
             ["compiled steps", results["compiled_steps"]],
+            ["backend", results["backend"]],
+            ["optimizer rewrites", sum(v for k, v in results["optimization"].items()
+                                       if k != "level")],
             ["fallback modules", results["fallback_modules"]],
             ["max |compiled - eager|", f"{results['max_abs_diff']:.2e}"],
             ["eager latency / sample", f"{results['eager_ms_per_sample']:.2f} ms"],
@@ -485,7 +512,7 @@ def _serve_config(args: argparse.Namespace):
         return ServeConfig(workers=args.workers, host=args.host, port=args.port,
                            max_batch_size=args.max_batch_size, max_wait=args.max_wait,
                            queue_depth=args.queue_depth, watermark=args.watermark,
-                           cache_size=args.cache_size)
+                           cache_size=args.cache_size, backend=args.backend)
     except ValueError as error:
         raise CLIError(str(error)) from None
 
@@ -634,9 +661,15 @@ def cmd_neurons(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     """Parameters, MACs, training memory and latency of one model."""
     spec = _legacy_spec(args)
-    spec = spec.with_(profile=ProfileSpec(batch_size=args.batch_size, latency=args.latency,
-                                          latency_repeats=args.latency_repeats,
-                                          per_layer=args.per_layer))
+    try:
+        spec = spec.with_(profile=ProfileSpec(batch_size=args.batch_size,
+                                              latency=args.latency,
+                                              latency_repeats=args.latency_repeats,
+                                              per_layer=args.per_layer,
+                                              compiled=args.compiled,
+                                              backend=args.backend))
+    except ValueError as error:
+        raise CLIError(str(error)) from None
     experiment = _experiment(spec)
     profile = experiment.profile()
     rows = [
@@ -649,6 +682,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
         rows.append(["train latency / batch", f"{profile['train_ms_per_batch']:.1f} ms"])
         rows.append(["inference latency / batch",
                      f"{profile['inference_ms_per_batch']:.1f} ms"])
+        if "compiled_ms_per_batch" in profile:
+            rows.append(["compiled latency / batch "
+                         f"({profile['compiled_backend']})",
+                         f"{profile['compiled_ms_per_batch']:.1f} ms"])
     _print(format_table(["Metric", "Value"], rows,
                         title=f"{args.model} (neuron type {args.neuron_type})"))
     if args.per_layer:
@@ -862,6 +899,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds the predictor waits to fill a micro-batch")
     infer.add_argument("--repeats", type=int, default=5,
                        help="timing repetitions for the latency comparison")
+    infer.add_argument("--backend", default=None,
+                       help="compute backend for the compiled path: "
+                            f"{', '.join(BACKEND_CHOICES)} (see 'repro list backends')")
+    infer.add_argument("--optimize", default=None,
+                       help="graph-optimizer level: none, default, full")
     infer.add_argument("--out", default=None, help="write the results JSON to this path")
     infer.add_argument("--json", action="store_true",
                        help="print the results as JSON instead of a table")
@@ -917,6 +959,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "flight (0 = workers * queue-depth)")
     serve.add_argument("--cache-size", type=int, default=256,
                        help="LRU response cache entries (0 disables caching)")
+    serve.add_argument("--backend", default="numpy",
+                       help="compute backend each worker compiles with: "
+                            f"{', '.join(BACKEND_CHOICES)} (see 'repro list backends')")
     serve.add_argument("--self-test", type=int, default=None, metavar="N",
                        help="serve N synthetic requests against this server, verify "
                             "them bit-for-bit against the in-process predictor, then exit")
@@ -933,6 +978,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--per-layer", action="store_true", help="also print per-layer rows")
     profile.add_argument("--latency", action="store_true", help="measure forward latency")
     profile.add_argument("--latency-repeats", type=int, default=3)
+    profile.add_argument("--compiled", action="store_true",
+                         help="with --latency, also time the compiled forward")
+    profile.add_argument("--backend", default="numpy",
+                         help="compute backend of the compiled timing: "
+                              f"{', '.join(BACKEND_CHOICES)}")
     profile.set_defaults(func=cmd_profile)
 
     convert = subparsers.add_parser(

@@ -58,6 +58,7 @@ class Experiment:
         self._injected_model = model is not None
         self._datasets = datasets
         self._compiled = None
+        self._compiled_config = None
         self.history = None
         self.results: Dict[str, Any] = {}
 
@@ -190,46 +191,65 @@ class Experiment:
             latency = profile_latency(model, input_shape,
                                       batch_size=min(profile_cfg.batch_size, 8),
                                       num_classes=self.spec.model.num_classes,
-                                      iterations=profile_cfg.latency_repeats)
+                                      iterations=profile_cfg.latency_repeats,
+                                      compiled=profile_cfg.compiled,
+                                      backend=profile_cfg.backend)
             result["train_ms_per_batch"] = latency.train_ms_per_batch
             result["inference_ms_per_batch"] = latency.inference_ms_per_batch
+            if latency.compiled_ms_per_batch is not None:
+                result["compiled_ms_per_batch"] = latency.compiled_ms_per_batch
+                result["compiled_backend"] = latency.compiled_backend
         self.results["profile"] = result
         return result
 
     # --------------------------------------------------------------- inference
-    def compile_inference(self, recompile: bool = False):
+    def compile_inference(self, recompile: bool = False, backend=None,
+                          optimize=None):
         """Lower the built model to the compiled no-grad serving path.
 
         Returns a :class:`repro.inference.CompiledModel` — a flat list of
         NumPy callables with fused quadratic kernels and pooled buffers that
-        matches the eager forward's outputs without building any graph.  The
-        result is cached; pass ``recompile=True`` after structural changes to
-        the model.
+        matches the eager forward's outputs without building any graph.
+        ``backend`` selects the compute engine (a :mod:`repro.backends` name
+        or instance; ``None`` is the reference ``numpy`` engine) and
+        ``optimize`` the graph-optimizer level.  The result is cached per
+        (backend, optimize) configuration; pass ``recompile=True`` after
+        structural changes to the model.
         """
+        from ..backends import get_backend
         from ..inference import compile_model
+        from ..inference.optimizer import normalize_level
 
-        if self._compiled is None or recompile or self._compiled.model is not self.model:
+        config = (get_backend(backend).name, normalize_level(optimize))
+        if (self._compiled is None or recompile
+                or self._compiled.model is not self.model
+                or self._compiled_config != config):
             model = self.model if self.model is not None else self.build()
-            self._compiled = compile_model(model)
+            self._compiled = compile_model(model, backend=backend,
+                                           optimize=optimize)
+            self._compiled_config = config
         self.results["compile"] = {
             "steps": self._compiled.num_steps,
             "fallback_modules": len(self._compiled.fallback_modules),
+            "backend": self._compiled.backend.name,
+            "optimization": self._compiled.optimization.to_dict(),
         }
         return self._compiled
 
     def predictor(self, max_batch_size: int = 8, max_wait: float = 0.002,
-                  **kwargs) -> "Any":
+                  backend=None, **kwargs) -> "Any":
         """A micro-batching :class:`repro.inference.BatchedPredictor`.
 
-        Serves the (cached) compiled model from :meth:`compile_inference`:
-        single samples are coalesced (up to ``max_batch_size`` within
-        ``max_wait`` seconds) into one compiled forward.  Close it when done
-        (it is a context manager), and don't call the compiled model directly
-        while the predictor is serving — they share one buffer pool.
+        Serves the (cached) compiled model from :meth:`compile_inference`
+        on the requested compute ``backend``: single samples are coalesced
+        (up to ``max_batch_size`` within ``max_wait`` seconds) into one
+        compiled forward.  Close it when done (it is a context manager), and
+        don't call the compiled model directly while the predictor is
+        serving — they share one buffer pool.
         """
         from ..inference import BatchedPredictor
 
-        return BatchedPredictor(self.compile_inference(),
+        return BatchedPredictor(self.compile_inference(backend=backend),
                                 max_batch_size=max_batch_size,
                                 max_wait=max_wait, **kwargs)
 

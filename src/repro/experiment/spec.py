@@ -241,6 +241,18 @@ class ProfileSpec(_SpecBase):
     latency: bool = False
     latency_repeats: int = 3
     per_layer: bool = False
+    #: also time the compiled no-grad forward (fills compiled_ms_per_batch).
+    compiled: bool = False
+    #: compute backend for the compiled timing (repro.backends registry name).
+    backend: str = "numpy"
+
+    def validate(self) -> None:
+        from ..backends import backend_names
+
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown profile backend '{self.backend}'; registered "
+                f"backends: {', '.join(backend_names())}")
 
 
 @dataclass
@@ -323,6 +335,7 @@ class ExperimentSpec(_SpecBase):
         self.model.validate()
         self.data.validate()
         self.train.validate()
+        self.profile.validate()
         self.ppml.validate()
         if self.search is not None:
             self.search.validate()

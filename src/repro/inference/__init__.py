@@ -7,6 +7,14 @@ step into ``out=``-buffered element-wise kernels with a shared ``im2col``
 lowering per layer, and micro-batches single-sample traffic through the
 compiled path (:class:`BatchedPredictor`).
 
+Every numerical primitive the compiled steps execute dispatches through a
+pluggable compute backend (:mod:`repro.backends` — ``numpy``, ``threaded``,
+``int8``), and a graph optimizer rewrites each chain before lowering
+(dead-layer elimination, padding/BatchNorm folding) while a
+:class:`LifetimePlanner` shares pooled buffers across steps whose lifetimes
+provably never overlap.  ``compile_model(model, backend=..., optimize=...)``
+selects both.
+
 Compiled outputs are verified (tests + ``benchmarks/bench_inference_throughput``)
 to match the eager forward; single-sample latency drops by well over 2× on
 the quadratic backbones because the three weight projections of the paper's
@@ -23,9 +31,10 @@ Example
 ...     out = served.predict(batch[0])      # single sample, micro-batched
 """
 
-from .buffers import BufferPool
+from .buffers import BufferPool, LifetimePlanner
 from .compiler import CompiledModel, compile_model, register_compile_rule
 from .evaluation import max_abs_diff, measure_serving
+from .optimizer import FrozenBatchNorm, OptimizationReport, optimize_plan
 from .predictor import BatchedPredictor, PendingPrediction, PredictorStats
 
 #: Alias so ``repro.inference.compile(model)`` reads like the spec'd API.
@@ -33,10 +42,14 @@ compile = compile_model
 
 __all__ = [
     "BufferPool",
+    "LifetimePlanner",
     "CompiledModel",
     "compile_model",
     "compile",
     "register_compile_rule",
+    "FrozenBatchNorm",
+    "OptimizationReport",
+    "optimize_plan",
     "BatchedPredictor",
     "PendingPrediction",
     "PredictorStats",

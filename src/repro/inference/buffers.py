@@ -8,10 +8,17 @@ micro-batch sizes — so the compiled path rents its scratch space from a
 triple, written through NumPy ``out=`` arguments.  After the first call with
 a given batch size a compiled forward performs close to zero element-wise
 allocations.
+
+:class:`LifetimePlanner` goes one step further: instead of giving every step
+a private buffer namespace, it assigns pool keys from *lifetime classes* at
+compile time, so buffers that are provably dead when another step runs share
+one allocation (see the class docstring for the invariants).  The planner
+only chooses keys — the pool itself stays a dumb keyed cache.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Hashable, Tuple
 
 import numpy as np
@@ -58,3 +65,61 @@ class BufferPool:
 
     def __repr__(self) -> str:
         return f"BufferPool({len(self)} buffers, {self.nbytes / 1024 ** 2:.2f} MiB)"
+
+
+class LifetimePlanner:
+    """Cross-layer buffer lifetime planning: assign pool keys at compile time.
+
+    The compiled pipeline is a straight line: each step reads the previous
+    step's output and hands its own output forward.  Two liveness facts
+    follow, and each one collapses a whole class of buffers onto shared
+    storage (the pool still distinguishes shapes, so sharing kicks in
+    whenever two steps agree on shape and dtype):
+
+    * **Activations** (step outputs) are dead once the *next* output has
+      been consumed — at most two are live at any instant: a step's input
+      and the output it is writing.  Outputs therefore ping-pong between two
+      arenas, ``("act", 0)`` and ``("act", 1)``: the planner alternates the
+      parity per allocating step, so a step always writes the arena its
+      input does *not* occupy.
+    * **Scratch** (``im2col`` columns, squared columns, per-projection
+      panels) is dead the moment its step returns.  Each *role* maps to one
+      arena shared by every step — distinct roles never alias within a step,
+      and across steps the previous tenant is already dead.
+
+    Residual regions break the straight-line assumption: a block holds its
+    input alive across the whole inner chain.  Rules wrap such regions in
+    :meth:`pinned`, which reverts activation keys to private per-step keys
+    (and leaves the shared parity counter untouched) while keeping scratch
+    sharing, which remains safe.
+
+    With ``enabled=False`` every key is private — the planner degrades to
+    the historical one-namespace-per-step behaviour (``optimize="none"``).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._parity = 0
+        self._pinned_depth = 0
+
+    def activation(self, step_key: Hashable, role: str = "out") -> Hashable:
+        """Pool key for a step's output buffer."""
+        if not self.enabled or self._pinned_depth:
+            return (step_key, role)
+        self._parity ^= 1
+        return ("act", self._parity)
+
+    def scratch(self, step_key: Hashable, role: str) -> Hashable:
+        """Pool key for within-step scratch (dead when the step returns)."""
+        if not self.enabled:
+            return (step_key, role)
+        return ("scratch", role)
+
+    @contextmanager
+    def pinned(self):
+        """Suspend activation sharing while a region holds inputs alive."""
+        self._pinned_depth += 1
+        try:
+            yield self
+        finally:
+            self._pinned_depth -= 1

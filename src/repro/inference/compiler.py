@@ -26,22 +26,39 @@ mechanisms cover the tree:
   return raw arrays.  Compilation therefore never changes semantics, it only
   accelerates the parts it can prove equivalent.
 
-Intermediate results are written into per-step buffers rented from a
+Two orthogonal axes configure a compile:
+
+* ``backend`` — the execution engine.  Every numerical primitive a rule
+  emits (GEMM, ``im2col``, grouped projections, the fused quadratic
+  combination, pooling, element-wise glue) dispatches through one
+  :class:`repro.backends.Backend` object, so
+  ``compile_model(model, backend="threaded")`` runs the same step list on
+  all cores and ``backend="int8"`` runs it quantized.  The default
+  ``numpy`` backend is the reference arithmetic.
+* ``optimize`` — the graph level.  Before a chain is lowered,
+  :func:`repro.inference.optimizer.optimize_plan` rewrites it (dead-layer
+  elimination, padding folding, BatchNorm constant folding; BN-into-conv at
+  ``"full"``), and a :class:`~repro.inference.buffers.LifetimePlanner`
+  assigns pooled buffers from shared lifetime arenas instead of per-step
+  namespaces.  ``optimize="none"`` reproduces the unoptimized layout.
+
+Intermediate results are written into buffers rented from a
 :class:`~repro.inference.buffers.BufferPool`, so steady-state serving reuses
 the same scratch memory call after call.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
 from ..autodiff.function import Context
 from ..autodiff.grad_mode import inference_mode
 from ..autodiff.ops import conv as conv_ops
-from ..autodiff.ops.conv import conv_output_size, im2col
+from ..autodiff.ops.conv import conv_output_size
 from ..autodiff.tensor import Tensor
+from ..backends import Backend, get_backend
 from ..nn.containers import Sequential
 from ..nn.layers.activations import (
     GELU,
@@ -59,7 +76,7 @@ from ..nn.layers.misc import Dropout, Flatten, UpsampleNearest2d, ZeroPad2d
 from ..nn.layers.normalization import LayerNorm, _BatchNorm
 from ..nn.layers.pooling import AdaptiveAvgPool2d, AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from ..nn.module import Module
-from ..quadratic.functional import FUSED_COMBINERS, REQUIRED_RESPONSES
+from ..quadratic.functional import REQUIRED_RESPONSES
 from ..quadratic.layers.hybrid import (
     HybridQuadraticConv2d,
     HybridQuadraticConv2dFan,
@@ -68,7 +85,8 @@ from ..quadratic.layers.hybrid import (
 )
 from ..quadratic.layers.qconv import QuadraticConv2d
 from ..quadratic.layers.qlinear import QuadraticLinear
-from .buffers import BufferPool
+from .buffers import BufferPool, LifetimePlanner
+from .optimizer import FrozenBatchNorm, OptimizationReport, normalize_level, optimize_plan
 
 #: One compiled step: a raw-array transformation with no graph side effects.
 Step = Callable[[np.ndarray], np.ndarray]
@@ -102,11 +120,18 @@ class CompiledModel:
     The source model is untouched; weight arrays are shared, not copied, so a
     compiled model sees in-place parameter updates but must be re-compiled
     after structural changes.
+
+    ``backend`` is the :class:`repro.backends.Backend` instance the steps
+    dispatch through; ``optimization`` is the
+    :class:`~repro.inference.optimizer.OptimizationReport` of the graph
+    rewrites applied at compile time.
     """
 
     def __init__(self, model: Module, steps: List[Step], pool: BufferPool,
                  fallback_modules: List[Module],
-                 batch_dependent_modules: Optional[List[Module]] = None) -> None:
+                 batch_dependent_modules: Optional[List[Module]] = None,
+                 backend: Optional[Backend] = None,
+                 optimization: Optional[OptimizationReport] = None) -> None:
         self.model = model
         self.pool = pool
         self.fallback_modules = fallback_modules
@@ -114,11 +139,18 @@ class CompiledModel:
         #: (BatchNorm without running statistics) — micro-batching such a
         #: model makes predictions traffic-dependent.
         self.batch_dependent_modules = batch_dependent_modules or []
+        self.backend = backend if backend is not None else get_backend(None)
+        self.optimization = (optimization if optimization is not None
+                             else OptimizationReport(level="none"))
         self._steps = steps
 
     @property
     def num_steps(self) -> int:
         return len(self._steps)
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Run the compiled forward on a batched input array."""
@@ -148,14 +180,20 @@ class CompiledModel:
 
     def __repr__(self) -> str:
         return (f"CompiledModel({type(self.model).__name__}, steps={self.num_steps}, "
+                f"backend={self.backend.name!r}, "
                 f"fallbacks={len(self.fallback_modules)})")
 
 
 class _Compiler:
-    """Single-pass tree walker carrying the buffer pool and step counter."""
+    """Single-pass tree walker carrying the pool, backend and step counter."""
 
-    def __init__(self, pool: BufferPool) -> None:
+    def __init__(self, pool: BufferPool, backend: Optional[Backend] = None,
+                 level: str = "none") -> None:
         self.pool = pool
+        self.backend = backend if backend is not None else get_backend(None)
+        self.level = level
+        self.planner = LifetimePlanner(enabled=(level != "none"))
+        self.report = OptimizationReport(level=level)
         self.fallbacks: List[Module] = []
         self.batch_dependent: List[Module] = []
         self._step_index = 0
@@ -183,8 +221,9 @@ class _Compiler:
         return [self.fallback(module)]
 
     def compile_chain(self, modules: Sequence[Module]) -> List[Step]:
+        optimized, _ = optimize_plan(modules, self.level, self.report)
         steps: List[Step] = []
-        for module in modules:
+        for module in optimized:
             steps.extend(self.compile_module(module))
         return steps
 
@@ -216,7 +255,8 @@ class _Compiler:
 
 
 def compile_model(model: Module, pool: Optional[BufferPool] = None,
-                  mode: str = "float", **ppml_options):
+                  mode: str = "float", backend: Union[str, Backend, None] = None,
+                  optimize: Union[str, bool, None] = None, **ppml_options):
     """Lower ``model`` to a compiled forward path for gradient-free serving.
 
     ``mode`` selects the lowering:
@@ -226,6 +266,13 @@ def compile_model(model: Module, pool: Optional[BufferPool] = None,
       model's ``training`` flag: dropout is removed and batch normalisation
       uses its running statistics (models that track none fall back to batch
       statistics, exactly like their eager ``eval()`` forward).
+
+      ``backend`` picks the execution engine by registry name
+      (:data:`repro.backends.BACKENDS`: ``"numpy"``, ``"threaded"``,
+      ``"int8"``), a pre-configured :class:`~repro.backends.Backend`
+      instance, or ``None`` for the reference engine.  ``optimize`` sets the
+      graph-optimizer level (``"none"``/``"default"``/``"full"``, or
+      ``True``/``False``; ``None`` means ``"default"``).
     * ``"ppml"`` — the secure-inference path: the same traversal scheme
       emits *fixed-point* closures instead, returning a
       :class:`repro.ppml.SecureCompiledModel` that executes under
@@ -234,6 +281,14 @@ def compile_model(model: Module, pool: Optional[BufferPool] = None,
       ``seed``) become the :class:`repro.ppml.SecureConfig`.
     """
     if mode == "ppml":
+        if backend is not None:
+            raise ValueError(
+                "backend selection applies to mode='float'; the secure path "
+                "has its own fixed-point execution engine")
+        if optimize not in (None, False, "none"):
+            raise ValueError(
+                "graph optimization applies to mode='float'; mode='ppml' "
+                "performs its own fixed-point lowering")
         from ..ppml.runtime import SecureConfig, secure_compile
 
         return secure_compile(model, config=SecureConfig(**ppml_options), pool=pool)
@@ -242,10 +297,14 @@ def compile_model(model: Module, pool: Optional[BufferPool] = None,
     if ppml_options:
         raise TypeError(
             f"keyword arguments {sorted(ppml_options)} are only valid with mode='ppml'")
-    compiler = _Compiler(pool if pool is not None else BufferPool())
+    engine = get_backend(backend)
+    level = normalize_level(optimize)
+    compiler = _Compiler(pool if pool is not None else engine.make_pool(),
+                         backend=engine, level=level)
     steps = compiler.compile_module(model)
     return CompiledModel(model, steps, compiler.pool, compiler.fallbacks,
-                         compiler.batch_dependent)
+                         compiler.batch_dependent, backend=engine,
+                         optimization=compiler.report)
 
 
 # --------------------------------------------------------------------------- #
@@ -254,13 +313,17 @@ def compile_model(model: Module, pool: Optional[BufferPool] = None,
 
 @register_compile_rule(Linear)
 def _compile_linear(module: Linear, compiler: _Compiler) -> List[Step]:
+    be = compiler.backend
+    pool = compiler.pool
     weight_t = module.weight.data.T          # view; tracks in-place updates
     bias = module.bias.data if module.bias is not None else None
+    out_key = compiler.planner.activation(compiler.next_key())
 
     def linear_step(x: np.ndarray) -> np.ndarray:
-        out = x @ weight_t
+        out_shape = x.shape[:-1] + (weight_t.shape[-1],)
+        out = be.gemm(x, weight_t, out=pool.get(out_key, out_shape))
         if bias is not None:
-            np.add(out, bias, out=out)
+            be.add(out, bias, out=out)
         return out
 
     return [linear_step]
@@ -270,61 +333,33 @@ def _conv_geometry(module) -> Tuple[Tuple[int, int], Tuple[int, int], int]:
     return module.stride, module.padding, getattr(module, "groups", 1)
 
 
-def _conv_project(cols: np.ndarray, wmat: np.ndarray, out: np.ndarray,
-                  dispatch_cache: dict) -> np.ndarray:
-    """One grouped-conv projection on pre-lowered columns (shared im2col).
-
-    The eager convolution computes ``einsum("gfk,ngko->ngfo")`` with
-    ``optimize=True``; for most shapes NumPy resolves that to exactly one
-    batched ``matmul``, which is ~6× cheaper to dispatch.  Whether the two
-    routes are bit-identical depends only on the operand shapes (BLAS picks
-    its reduction order from shapes and strides, never from values), so the
-    first call per shape compares both routes on *dense random probes* of the
-    same shapes and caches the verdict — matmul where it provably matches the
-    training-path numerics, eager einsum everywhere else.  Probes (rather
-    than the live operands) keep a degenerate first input — an all-zero
-    image, untrained zero weights — from locking in a trivially-equal
-    comparison.
-    """
-    shape_key = (wmat.shape, cols.shape)
-    use_matmul = dispatch_cache.get(shape_key)
-    if use_matmul is None:
-        probe_rng = np.random.default_rng(0)
-        probe_w = probe_rng.standard_normal(wmat.shape).astype(wmat.dtype)
-        probe_c = probe_rng.standard_normal(cols.shape).astype(cols.dtype)
-        reference = np.einsum("gfk,ngko->ngfo", probe_w, probe_c, optimize=True)
-        fast = np.matmul(probe_w, probe_c)
-        use_matmul = bool(np.array_equal(reference, fast))
-        dispatch_cache[shape_key] = use_matmul
-    if use_matmul:
-        return np.matmul(wmat, cols, out=out)
-    return np.einsum("gfk,ngko->ngfo", wmat, cols, optimize=True, out=out)
-
-
 @register_compile_rule(Conv2d)
 def _compile_conv2d(module: Conv2d, compiler: _Compiler) -> List[Step]:
+    be = compiler.backend
+    pool = compiler.pool
     stride, padding, groups = _conv_geometry(module)
     f, c_g, kh, kw = module.weight.shape
     wmat = module.weight.data.reshape(groups, f // groups, c_g * kh * kw)
     bias = (module.bias.data.reshape(1, f, 1, 1)
             if module.bias is not None else None)
     key = compiler.next_key()
-    pool = compiler.pool
+    cols_key = compiler.planner.scratch(key, "cols")
+    out_key = compiler.planner.activation(key)
     dispatch_cache: dict = {}
 
     def conv_step(x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         oh = conv_output_size(h, kh, stride[0], padding[0])
         ow = conv_output_size(w, kw, stride[1], padding[1])
-        cols_buf = pool.get((key, "cols"), (n, c, kh, kw, oh, ow))
-        cols = im2col(x, kh, kw, stride, padding, out=cols_buf)
+        cols_buf = pool.get(cols_key, (n, c, kh, kw, oh, ow))
+        cols = be.im2col(x, kh, kw, stride, padding, out=cols_buf)
         cols = cols.reshape(n, groups, c_g * kh * kw, oh * ow)
-        out = _conv_project(cols, wmat,
-                            pool.get((key, "out"), (n, groups, f // groups, oh * ow)),
-                            dispatch_cache)
+        out = be.conv_project(cols, wmat,
+                              pool.get(out_key, (n, groups, f // groups, oh * ow)),
+                              dispatch_cache)
         out = out.reshape(n, f, oh, ow)
         if bias is not None:
-            np.add(out, bias, out=out)
+            be.add(out, bias, out=out)
         return out
 
     return [conv_step]
@@ -338,8 +373,9 @@ def _compile_depthwise_separable(module: DepthwiseSeparableConv2d,
 
 @register_compile_rule(_BatchNorm)
 def _compile_batchnorm(module: _BatchNorm, compiler: _Compiler) -> List[Step]:
-    key = compiler.next_key()
+    be = compiler.backend
     pool = compiler.pool
+    out_key = compiler.planner.activation(compiler.next_key())
     eps = np.asarray(module.eps, dtype=np.float32)
     if not module.track_running_stats:
         # Eval-mode batch statistics: the output of any one sample depends on
@@ -357,15 +393,44 @@ def _compile_batchnorm(module: _BatchNorm, compiler: _Compiler) -> List[Step]:
             delta = x - mean
             var = np.multiply(delta, delta, out=delta).mean(axis=axes, keepdims=True)
         inv_std = (var + eps) ** -0.5
-        out = pool.get((key, "out"), x.shape)
-        np.subtract(x, mean, out=out)
-        np.multiply(out, inv_std, out=out)
+        out = pool.get(out_key, x.shape)
+        be.subtract(x, mean, out=out)
+        be.multiply(out, inv_std, out=out)
         if module.affine:
-            np.multiply(out, module.weight.data.reshape(shape), out=out)
-            np.add(out, module.bias.data.reshape(shape), out=out)
+            be.multiply(out, module.weight.data.reshape(shape), out=out)
+            be.add(out, module.bias.data.reshape(shape), out=out)
         return out
 
     return [batchnorm_step]
+
+
+@register_compile_rule(FrozenBatchNorm)
+def _compile_frozen_batchnorm(module: FrozenBatchNorm,
+                              compiler: _Compiler) -> List[Step]:
+    """The constant-folded BatchNorm: same four ops on precomputed arrays."""
+    be = compiler.backend
+    pool = compiler.pool
+    out_key = compiler.planner.activation(compiler.next_key())
+    reshaped: Dict[int, tuple] = {}
+
+    def frozen_batchnorm_step(x: np.ndarray) -> np.ndarray:
+        consts = reshaped.get(x.ndim)
+        if consts is None:
+            shape = module.stat_shape(x.ndim)
+            consts = (module.mean.reshape(shape), module.inv_std.reshape(shape),
+                      module.gamma.reshape(shape) if module.gamma is not None else None,
+                      module.beta.reshape(shape) if module.beta is not None else None)
+            reshaped[x.ndim] = consts
+        mean, inv_std, gamma, beta = consts
+        out = pool.get(out_key, x.shape)
+        be.subtract(x, mean, out=out)
+        be.multiply(out, inv_std, out=out)
+        if gamma is not None:
+            be.multiply(out, gamma, out=out)
+            be.add(out, beta, out=out)
+        return out
+
+    return [frozen_batchnorm_step]
 
 
 @register_compile_rule(LayerNorm)
@@ -390,11 +455,12 @@ def _compile_layernorm(module: LayerNorm, compiler: _Compiler) -> List[Step]:
 
 @register_compile_rule(ReLU)
 def _compile_relu(module: ReLU, compiler: _Compiler) -> List[Step]:
-    key = compiler.next_key()
+    be = compiler.backend
     pool = compiler.pool
+    out_key = compiler.planner.activation(compiler.next_key())
 
     def relu_step(x: np.ndarray) -> np.ndarray:
-        return np.maximum(x, np.float32(0.0), out=pool.get((key, "out"), x.shape))
+        return be.maximum(x, np.float32(0.0), out=pool.get(out_key, x.shape))
 
     return [relu_step]
 
@@ -449,16 +515,17 @@ def _compile_softmax(module: Softmax, compiler: _Compiler) -> List[Step]:
 
 @register_compile_rule(Square)
 def _compile_square(module: Square, compiler: _Compiler) -> List[Step]:
-    key = compiler.next_key()
+    be = compiler.backend
     pool = compiler.pool
+    out_key = compiler.planner.activation(compiler.next_key())
     scale, linear = module.scale, module.linear
 
     def square_step(x: np.ndarray) -> np.ndarray:
-        out = pool.get((key, "out"), x.shape)
-        np.multiply(x, x, out=out)
-        np.multiply(out, np.float32(scale), out=out)
+        out = pool.get(out_key, x.shape)
+        be.multiply(x, x, out=out)
+        be.multiply(out, np.float32(scale), out=out)
         if linear:
-            np.add(out, x * np.float32(linear), out=out)
+            be.add(out, x * np.float32(linear), out=out)
         return out
 
     return [square_step]
@@ -507,6 +574,7 @@ def _compile_upsample(module: UpsampleNearest2d, compiler: _Compiler) -> List[St
 
 @register_compile_rule(MaxPool2d)
 def _compile_maxpool(module: MaxPool2d, compiler: _Compiler) -> List[Step]:
+    be = compiler.backend
     kernel_size, stride, padding = module.kernel_size, module.stride, module.padding
     kh, kw = conv_ops._pair(kernel_size)
     sh, sw = conv_ops._pair(stride if stride is not None else kernel_size)
@@ -520,27 +588,27 @@ def _compile_maxpool(module: MaxPool2d, compiler: _Compiler) -> List[Step]:
             # selection is order-independent, so the reshape route returns
             # the same values as the im2col route without gathering columns.
             return x.reshape(n, c, h // kh, kh, w // kw, kw).max(axis=(3, 5))
-        # General case: reuse the autodiff op's forward for bit-identical
-        # pooling; under inference_mode its save_for_backward is a no-op.
-        return conv_ops.MaxPool2d.forward(Context(), x, kernel_size=kernel_size,
-                                          stride=stride, padding=padding)
+        # General case: the backend's pooling primitive (the reference is the
+        # autodiff op's forward, bit-identical to eager evaluation).
+        return be.maxpool(x, kernel_size, stride, padding)
 
     return [maxpool_step]
 
 
 @register_compile_rule(AvgPool2d)
 def _compile_avgpool(module: AvgPool2d, compiler: _Compiler) -> List[Step]:
+    be = compiler.backend
     kernel_size, stride, padding = module.kernel_size, module.stride, module.padding
 
     def avgpool_step(x: np.ndarray) -> np.ndarray:
-        return conv_ops.AvgPool2d.forward(Context(), x, kernel_size=kernel_size,
-                                          stride=stride, padding=padding)
+        return be.avgpool(x, kernel_size, stride, padding)
 
     return [avgpool_step]
 
 
 @register_compile_rule(AdaptiveAvgPool2d)
 def _compile_adaptive_avgpool(module: AdaptiveAvgPool2d, compiler: _Compiler) -> List[Step]:
+    be = compiler.backend
     output_size = module.output_size
 
     def adaptive_avgpool_step(x: np.ndarray) -> np.ndarray:
@@ -552,8 +620,7 @@ def _compile_adaptive_avgpool(module: AdaptiveAvgPool2d, compiler: _Compiler) ->
             raise ValueError(
                 f"adaptive_avg_pool2d requires divisible sizes, got {h}x{w} -> {output_size}"
             )
-        return conv_ops.AvgPool2d.forward(
-            Context(), x, kernel_size=(h // output_size, w // output_size))
+        return be.avgpool(x, (h // output_size, w // output_size))
 
     return [adaptive_avgpool_step]
 
@@ -584,8 +651,9 @@ def _compile_quadratic_conv(module: Module, compiler: _Compiler) -> List[Step]:
     element-wise kernels — identical arithmetic, a third of the memory
     traffic, zero graph nodes.
     """
+    be = compiler.backend
+    pool = compiler.pool
     required = REQUIRED_RESPONSES[module.neuron_type]
-    combine = FUSED_COMBINERS[module.neuron_type]
     stride, padding, groups = _conv_geometry(module)
     kh, kw = module.kernel_size
     f = module.out_channels
@@ -598,7 +666,12 @@ def _compile_quadratic_conv(module: Module, compiler: _Compiler) -> List[Step]:
     bias = (module.bias.data.reshape(1, f, 1, 1)
             if module.bias is not None else None)
     key = compiler.next_key()
-    pool = compiler.pool
+    cols_key = compiler.planner.scratch(key, "cols")
+    sq_cols_key = compiler.planner.scratch(key, "sq_cols")
+    proj_keys = {kind: compiler.planner.scratch(key, f"proj_{kind}")
+                 for kind in wmats}
+    out_key = compiler.planner.activation(key)
+    neuron_type = module.neuron_type
     dispatch_cache: dict = {}
 
     def quadratic_conv_step(x: np.ndarray) -> np.ndarray:
@@ -606,10 +679,9 @@ def _compile_quadratic_conv(module: Module, compiler: _Compiler) -> List[Step]:
         oh = conv_output_size(h, kh, stride[0], padding[0])
         ow = conv_output_size(w, kw, stride[1], padding[1])
         out_shape = (n, groups, f // groups, oh * ow)
-        cols_buf = pool.get((key, "cols"), (n, c, kh, kw, oh, ow))
-        cols = im2col(x, kh, kw, stride, padding, out=cols_buf)
+        cols_buf = pool.get(cols_key, (n, c, kh, kw, oh, ow))
+        cols = be.im2col(x, kh, kw, stride, padding, out=cols_buf)
         cols = cols.reshape(n, groups, patch, oh * ow)
-        sq_cols = None
         responses = []
         for kind in required:
             if kind == "id":
@@ -618,17 +690,17 @@ def _compile_quadratic_conv(module: Module, compiler: _Compiler) -> List[Step]:
             if kind == "sq":
                 # im2col(x²) == im2col(x)² element-wise (zero padding squares
                 # to zero), so the squared projection shares the lowering too.
-                sq_cols = np.multiply(cols, cols, out=pool.get((key, "sq_cols"), cols.shape))
-                source = sq_cols
+                source = be.multiply(cols, cols, out=pool.get(sq_cols_key, cols.shape))
             else:
                 source = cols
-            projected = _conv_project(source, wmats[kind],
-                                      pool.get((key, kind), out_shape),
-                                      dispatch_cache)
+            projected = be.conv_project(source, wmats[kind],
+                                        pool.get(proj_keys[kind], out_shape),
+                                        dispatch_cache)
             responses.append(projected.reshape(n, f, oh, ow))
-        out = combine(*responses, out=pool.get((key, "out"), (n, f, oh, ow)))
+        out = be.combine(neuron_type, responses,
+                         out=pool.get(out_key, (n, f, oh, ow)))
         if bias is not None:
-            np.add(out, bias, out=out)
+            be.add(out, bias, out=out)
         return out
 
     return [quadratic_conv_step]
@@ -641,29 +713,38 @@ def _compile_quadratic_linear(module: Module, compiler: _Compiler) -> List[Step]
     if "bilinear" in required:
         # The full-rank T1 family keeps its eager einsum path.
         return [compiler.fallback(module)]
-    combine = FUSED_COMBINERS[module.neuron_type]
+    be = compiler.backend
+    pool = compiler.pool
     weights_t = {
         kind: getattr(module, _WEIGHT_ATTRS[kind]).data.T
         for kind in required if kind != "id"
     }
     bias = module.bias.data if module.bias is not None else None
     key = compiler.next_key()
-    pool = compiler.pool
+    sq_key = compiler.planner.scratch(key, "x_sq")
+    proj_keys = {kind: compiler.planner.scratch(key, f"qlin_{kind}")
+                 for kind in weights_t}
+    out_key = compiler.planner.activation(key)
+    neuron_type = module.neuron_type
+    out_features = module.out_features
 
     def quadratic_linear_step(x: np.ndarray) -> np.ndarray:
+        proj_shape = (x.shape[0], out_features)
         responses = []
         for kind in required:
             if kind == "id":
                 responses.append(x)
             elif kind == "sq":
-                squared = np.multiply(x, x, out=pool.get((key, "x_sq"), x.shape))
-                responses.append(squared @ weights_t["sq"])
+                squared = be.multiply(x, x, out=pool.get(sq_key, x.shape))
+                responses.append(be.gemm(squared, weights_t["sq"],
+                                         out=pool.get(proj_keys["sq"], proj_shape)))
             else:
-                responses.append(x @ weights_t[kind])
-        out = combine(*responses, out=pool.get((key, "out"),
-                                               (x.shape[0], module.out_features)))
+                responses.append(be.gemm(x, weights_t[kind],
+                                         out=pool.get(proj_keys[kind], proj_shape)))
+        out = be.combine(neuron_type, responses,
+                         out=pool.get(out_key, proj_shape))
         if bias is not None:
-            np.add(out, bias, out=out)
+            be.add(out, bias, out=out)
         return out
 
     return [quadratic_linear_step]
@@ -679,9 +760,14 @@ def _register_block_rules() -> None:
 
     @register_compile_rule(BasicBlock)
     def _compile_basic_block(module: BasicBlock, compiler: _Compiler) -> List[Step]:
-        main = compiler.compile_chain(
-            [module.conv1, module.bn1, module.relu, module.conv2, module.bn2])
-        shortcut = compiler.compile_module(module.shortcut)
+        # The block's input stays live across the whole inner chain (it feeds
+        # the shortcut and the residual add), which breaks the straight-line
+        # liveness the activation arenas rely on — pin the region so its
+        # steps keep private buffers.
+        with compiler.planner.pinned():
+            main = compiler.compile_chain(
+                [module.conv1, module.bn1, module.relu, module.conv2, module.bn2])
+            shortcut = compiler.compile_module(module.shortcut)
         final_relu = compiler.compile_module(module.relu)
 
         def basic_block_step(x: np.ndarray) -> np.ndarray:

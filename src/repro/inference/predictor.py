@@ -102,6 +102,9 @@ class BatchedPredictor:
     max_wait : float
         Seconds the worker waits for more samples after the first arrives.
         ``0`` batches only what is already queued (lowest latency).
+    backend : str, Backend or None
+        Compute backend for the compiled forward (see
+        :mod:`repro.backends`); ignored when ``model`` is already compiled.
     autostart : bool
         Start the worker thread on the first :meth:`submit`.  Disable to
         enqueue work first and start explicitly (deterministic batching, used
@@ -118,13 +121,13 @@ class BatchedPredictor:
 
     def __init__(self, model: Union[Module, CompiledModel], max_batch_size: int = 8,
                  max_wait: float = 0.002, pool: Optional[BufferPool] = None,
-                 autostart: bool = True) -> None:
+                 backend=None, autostart: bool = True) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
         self.compiled = (model if isinstance(model, CompiledModel)
-                         else compile_model(model, pool=pool))
+                         else compile_model(model, pool=pool, backend=backend))
         if max_batch_size > 1 and self.compiled.batch_dependent_modules:
             warnings.warn(
                 "this model normalizes with batch statistics (BatchNorm without "

@@ -25,6 +25,9 @@ class LatencyReport:
     timed_iterations: int
     #: forward time of the compiled no-grad path (``compiled=True`` only).
     compiled_ms_per_batch: Optional[float] = None
+    #: resolved compute-backend name of the compiled timing (None when the
+    #: compiled path was not measured).
+    compiled_backend: Optional[str] = None
 
     @property
     def compiled_speedup(self) -> Optional[float]:
@@ -58,7 +61,7 @@ def median_runtime_ms(fn, warmup: int = 1, iterations: int = 3) -> float:
 def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size: int = 8,
                     num_classes: Optional[int] = None, warmup: int = 1,
                     iterations: int = 3, seed: int = 0,
-                    compiled: bool = False) -> LatencyReport:
+                    compiled: bool = False, backend=None) -> LatencyReport:
     """Measure train (forward+backward) and inference (forward-only) time per batch.
 
     The absolute numbers are CPU times on the NumPy substrate; the benchmark
@@ -67,7 +70,10 @@ def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size
 
     With ``compiled=True`` the model is additionally lowered through
     :func:`repro.inference.compile_model` and the compiled forward is timed,
-    filling ``compiled_ms_per_batch`` in the report.
+    filling ``compiled_ms_per_batch`` in the report.  ``backend`` selects the
+    compute backend of that compiled timing (a :mod:`repro.backends` name or
+    instance; ``None`` is the reference engine) and the resolved name is
+    recorded in ``compiled_backend``.
     """
     rng = np.random.default_rng(seed)
     c, h, w = input_shape
@@ -94,10 +100,12 @@ def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size
     # ---- compiled inference timing (optional; still in eval mode so any
     # fallback modules see the same semantics as the eager timing above)
     compiled_ms = None
+    compiled_backend = None
     if compiled:
         from ..inference import compile_model
 
-        compiled_model = compile_model(model)
+        compiled_model = compile_model(model, backend=backend)
+        compiled_backend = compiled_model.backend.name
         raw = x.data
         compiled_ms = median_runtime_ms(lambda: compiled_model(raw),
                                         warmup=warmup, iterations=iterations)
@@ -110,4 +118,5 @@ def profile_latency(model: Module, input_shape: Tuple[int, int, int], batch_size
         warmup_iterations=warmup,
         timed_iterations=iterations,
         compiled_ms_per_batch=compiled_ms,
+        compiled_backend=compiled_backend,
     )

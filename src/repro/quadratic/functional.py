@@ -24,10 +24,13 @@ Two parallel families are exposed:
 * ``combine_*`` / ``COMBINERS`` operate on autodiff :class:`Tensor` values and
   participate in the gradient graph — the training path.
 * ``fused_combine_*`` / ``FUSED_COMBINERS`` operate on raw NumPy arrays and
-  fuse the Hadamard-product-plus-sum into ``np.multiply``/``np.add`` calls
-  with ``out=`` buffers — the inference path used by
-  :mod:`repro.inference`, where no graph is recorded and intermediate
-  allocations can be recycled across calls.
+  fuse the Hadamard-product-plus-sum into ``multiply``/``add`` calls with
+  ``out=`` buffers — the inference path used by :mod:`repro.inference`,
+  where no graph is recorded and intermediate allocations can be recycled
+  across calls.  The element-wise primitives are resolved through the
+  ``ops`` argument (default: NumPy itself) so a compute backend
+  (:mod:`repro.backends`) can redirect them by passing itself — the fused
+  kernels dispatch through the backend rather than hard-wiring NumPy.
 """
 
 from __future__ import annotations
@@ -129,66 +132,71 @@ COMBINERS: Dict[str, Callable[..., Tensor]] = {
 # outputs are bit-identical to the eager forward — but writes through an
 # ``out=`` buffer so the quadratic combination performs no allocation at all
 # when the caller recycles buffers across calls (repro.inference.BufferPool).
+# ``ops`` supplies the element-wise primitives (``multiply``/``add``/
+# ``copyto`` with NumPy ufunc signatures); compute backends pass themselves.
 
-def fused_combine_t2(sq: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+def fused_combine_t2(sq: np.ndarray, out: Optional[np.ndarray] = None,
+                     ops=np) -> np.ndarray:
     """T2: the combination is the identity; copy only when a buffer is given."""
     if out is None:
         return sq
-    np.copyto(out, sq)
+    ops.copyto(out, sq)
     return out
 
 
-def fused_combine_t3(a: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
-    """T3: ``a²`` in one ``np.multiply`` pass."""
-    return np.multiply(a, a, out=out)
+def fused_combine_t3(a: np.ndarray, out: Optional[np.ndarray] = None,
+                     ops=np) -> np.ndarray:
+    """T3: ``a²`` in one ``multiply`` pass."""
+    return ops.multiply(a, a, out=out)
 
 
 def fused_combine_t4(a: np.ndarray, b: np.ndarray,
-                     out: Optional[np.ndarray] = None) -> np.ndarray:
-    """T4: ``a ∘ b`` in one ``np.multiply`` pass."""
-    return np.multiply(a, b, out=out)
+                     out: Optional[np.ndarray] = None, ops=np) -> np.ndarray:
+    """T4: ``a ∘ b`` in one ``multiply`` pass."""
+    return ops.multiply(a, b, out=out)
 
 
 def fused_combine_t4_identity(a: np.ndarray, b: np.ndarray, identity: np.ndarray,
-                              out: Optional[np.ndarray] = None) -> np.ndarray:
+                              out: Optional[np.ndarray] = None, ops=np) -> np.ndarray:
     """T4_ID: ``a ∘ b + X`` — one multiply, one add, zero temporaries."""
-    out = np.multiply(a, b, out=out)
-    return np.add(out, identity, out=out)
+    out = ops.multiply(a, b, out=out)
+    return ops.add(out, identity, out=out)
 
 
 def fused_combine_t2_4(a: np.ndarray, b: np.ndarray, sq: np.ndarray,
-                       out: Optional[np.ndarray] = None) -> np.ndarray:
+                       out: Optional[np.ndarray] = None, ops=np) -> np.ndarray:
     """T2&4: ``a ∘ b + Wc X²`` — one multiply, one add."""
-    out = np.multiply(a, b, out=out)
-    return np.add(out, sq, out=out)
+    out = ops.multiply(a, b, out=out)
+    return ops.add(out, sq, out=out)
 
 
 def fused_combine_ours(a: np.ndarray, b: np.ndarray, c: np.ndarray,
-                       out: Optional[np.ndarray] = None) -> np.ndarray:
+                       out: Optional[np.ndarray] = None, ops=np) -> np.ndarray:
     """The paper's neuron: ``a ∘ b + c`` — one multiply, one add."""
-    out = np.multiply(a, b, out=out)
-    return np.add(out, c, out=out)
+    out = ops.multiply(a, b, out=out)
+    return ops.add(out, c, out=out)
 
 
 def fused_combine_t1(bilinear: np.ndarray, linear: Optional[np.ndarray] = None,
-                     out: Optional[np.ndarray] = None) -> np.ndarray:
+                     out: Optional[np.ndarray] = None, ops=np) -> np.ndarray:
     """T1: bilinear term plus optional linear term."""
     if linear is None:
         if out is None:
             return bilinear
-        np.copyto(out, bilinear)
+        ops.copyto(out, bilinear)
         return out
-    return np.add(bilinear, linear, out=out)
+    return ops.add(bilinear, linear, out=out)
 
 
 def fused_combine_t1_2(bilinear: np.ndarray, sq: np.ndarray,
-                       out: Optional[np.ndarray] = None) -> np.ndarray:
+                       out: Optional[np.ndarray] = None, ops=np) -> np.ndarray:
     """T1&2: ``Xᵀ Wa X + Wb X²`` — a single add."""
-    return np.add(bilinear, sq, out=out)
+    return ops.add(bilinear, sq, out=out)
 
 
 #: Fused combination function per canonical type name (inference path).
-#: Signatures mirror ``COMBINERS`` with a trailing optional ``out=`` buffer.
+#: Signatures mirror ``COMBINERS`` with trailing optional ``out=`` buffer and
+#: ``ops=`` element-wise provider (NumPy or a :class:`repro.backends.Backend`).
 FUSED_COMBINERS: Dict[str, Callable[..., np.ndarray]] = {
     "T1": fused_combine_t1,
     "T1_PURE": fused_combine_t1,

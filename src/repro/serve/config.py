@@ -53,6 +53,11 @@ class ServeConfig:
         port is available as ``ServingServer.port``).
     cache_size : int
         Entries in the front door's LRU response cache (``0`` disables it).
+    backend : str
+        Compute backend each worker compiles its model with (a
+        :mod:`repro.backends` registry name: ``numpy``, ``threaded``,
+        ``int8``).  The default is the reference engine; ``threaded`` makes
+        each worker use every core, so pair it with a small ``workers``.
     """
 
     workers: int = 2
@@ -68,6 +73,7 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 8100
     cache_size: int = 256
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -93,6 +99,12 @@ class ServeConfig:
         if self.start_method not in START_METHODS:
             raise ValueError(
                 f"start_method must be one of {START_METHODS}, got '{self.start_method}'")
+        from ..backends import backend_names  # lazy: keep config import-light
+
+        if self.backend not in backend_names():
+            raise ValueError(
+                f"unknown backend '{self.backend}'; registered backends: "
+                f"{', '.join(backend_names())}")
 
     @property
     def effective_watermark(self) -> int:

@@ -235,7 +235,7 @@ class WorkerPool:
             target=worker_main,
             args=(worker_id, self.spec_dict, self.state, self.config.max_batch_size,
                   self.config.max_wait, self.config.request_timeout,
-                  request_queue, response_queue),
+                  request_queue, response_queue, self.config.backend),
             daemon=True,
             name=f"repro-serve-worker-{worker_id}",
         )

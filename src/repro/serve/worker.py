@@ -43,11 +43,13 @@ def execute_request(predictor, kind: str, payload: Any, timeout: float) -> Any:
 
 
 def build_serving_predictor(spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
-                            max_batch_size: int, max_wait: float):
+                            max_batch_size: int, max_wait: float,
+                            backend: str = "numpy"):
     """Rebuild the model from its IPC form and wrap it for serving.
 
     Split out of :func:`worker_main` so tests can exercise the
-    deserialize → build → load → compile path in-process.
+    deserialize → build → load → compile path in-process.  ``backend`` is the
+    compute backend each worker compiles with (a :mod:`repro.backends` name).
     """
     from ..experiment import ExperimentSpec
     from ..inference import BatchedPredictor
@@ -61,12 +63,13 @@ def build_serving_predictor(spec_dict: Dict[str, Any], state: Dict[str, np.ndarr
     if state:
         model.load_state_dict(dict(state))
     model.eval()
-    return BatchedPredictor(model, max_batch_size=max_batch_size, max_wait=max_wait)
+    return BatchedPredictor(model, max_batch_size=max_batch_size,
+                            max_wait=max_wait, backend=backend)
 
 
 def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
                 max_batch_size: int, max_wait: float, request_timeout: float,
-                request_queue, response_queue) -> None:
+                request_queue, response_queue, backend: str = "numpy") -> None:
     """Entry point executed inside each pool process.
 
     Top-level (not a closure) so it imports cleanly under the ``spawn`` start
@@ -86,7 +89,8 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
 
-    predictor = build_serving_predictor(spec_dict, state, max_batch_size, max_wait)
+    predictor = build_serving_predictor(spec_dict, state, max_batch_size,
+                                        max_wait, backend=backend)
     response_queue.put(("ready", worker_id, os.getpid()))
     running = True
     try:

@@ -1,0 +1,206 @@
+"""The graph optimizer and the cross-layer buffer lifetime planner.
+
+Each pass is pinned at its own contract: dead-layer elimination and padding
+folding are *bit-exact* rewrites, BatchNorm freezing is bit-exact constant
+folding, and BN-into-conv (level ``"full"``) is an arithmetic refactor held
+to float tolerance.  The :class:`OptimizationReport` counts are asserted
+alongside, so ``repro infer --json`` keeps telling the truth about what the
+optimizer did.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autodiff import no_grad
+from repro.autodiff.tensor import Tensor
+from repro.experiment import ModelSpec
+from repro.inference import (
+    FrozenBatchNorm,
+    OptimizationReport,
+    compile_model,
+    optimize_plan,
+)
+from repro.inference.optimizer import OPT_LEVELS, normalize_level
+from repro.utils.seed import seed_everything
+
+RNG = np.random.default_rng(11)
+
+
+def eager(model, x: np.ndarray) -> np.ndarray:
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+# --------------------------------------------------------------------------- #
+# Level normalisation
+# --------------------------------------------------------------------------- #
+
+def test_normalize_level_accepts_every_spelling():
+    assert normalize_level(None) == "default"
+    assert normalize_level(True) == "default"
+    assert normalize_level(False) == "none"
+    assert normalize_level(" FULL ") == "full"
+    for level in OPT_LEVELS:
+        assert normalize_level(level) == level
+
+
+def test_normalize_level_rejects_unknown_levels():
+    with pytest.raises(ValueError, match="none, default, full"):
+        normalize_level("O3")
+
+
+# --------------------------------------------------------------------------- #
+# Dead-layer elimination (bit-exact)
+# --------------------------------------------------------------------------- #
+
+class TestDeadLayers:
+    def build(self):
+        seed_everything(0)
+        return nn.Sequential(
+            nn.Linear(8, 8), nn.Dropout(0.5), nn.Identity(),
+            nn.ReLU(), nn.Linear(8, 3),
+        )
+
+    def test_dead_layers_are_removed_and_bits_preserved(self):
+        model = self.build()
+        x = RNG.standard_normal((4, 8)).astype(np.float32)
+        raw = compile_model(model, optimize="none")
+        opt = compile_model(model, optimize="default")
+        assert opt.optimization.dead_layers_eliminated == 2
+        np.testing.assert_array_equal(opt(x), raw(x))
+        np.testing.assert_array_equal(opt(x), eager(model, x))
+
+    def test_elimination_restores_adjacency_for_other_passes(self):
+        # The pad-fold pass only sees *adjacent* pairs; removing the Dropout
+        # in between is what lets the ZeroPad2d reach its conv.
+        seed_everything(0)
+        model = nn.Sequential(nn.ZeroPad2d(1), nn.Dropout(0.1),
+                              nn.Conv2d(3, 4, 3))
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        opt = compile_model(model, optimize="default")
+        assert opt.optimization.dead_layers_eliminated == 1
+        assert opt.optimization.paddings_folded == 1
+        np.testing.assert_array_equal(opt(x), eager(model, x))
+
+    def test_hooked_layers_survive(self):
+        # An observed module must keep running — analysis hooks rely on it.
+        model = self.build()
+        model[1].register_forward_hook(lambda module, inputs, output: None)
+        opt = compile_model(model, optimize="default")
+        assert opt.optimization.dead_layers_eliminated == 1  # Identity only
+
+    def test_optimize_plan_does_not_mutate_its_input(self):
+        modules = list(self.build())
+        before = list(modules)
+        planned, report = optimize_plan(modules, "default")
+        assert modules == before
+        assert len(planned) == 3
+        assert isinstance(report, OptimizationReport)
+        assert report.total_rewrites == report.dead_layers_eliminated == 2
+
+
+# --------------------------------------------------------------------------- #
+# Padding folding (bit-exact)
+# --------------------------------------------------------------------------- #
+
+class TestPaddingFold:
+    def test_symmetric_pad_folds_into_conv(self):
+        seed_everything(0)
+        model = nn.Sequential(nn.ZeroPad2d(1), nn.Conv2d(3, 4, 3), nn.ReLU())
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        opt = compile_model(model, optimize="default")
+        assert opt.optimization.paddings_folded == 1
+        np.testing.assert_array_equal(opt(x), eager(model, x))
+        # The model itself is untouched: its conv still pads 0.
+        assert model[1].padding == (0, 0)
+
+    def test_asymmetric_pad_is_left_alone(self):
+        seed_everything(0)
+        model = nn.Sequential(nn.ZeroPad2d((1, 2, 1, 1)), nn.Conv2d(3, 4, 3))
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        opt = compile_model(model, optimize="default")
+        assert opt.optimization.paddings_folded == 0
+        np.testing.assert_array_equal(opt(x), eager(model, x))
+
+
+# --------------------------------------------------------------------------- #
+# BatchNorm: freezing (bit-exact) and conv-folding (float tolerance)
+# --------------------------------------------------------------------------- #
+
+class TestBatchNorm:
+    def trained_conv_bn(self):
+        seed_everything(0)
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.BatchNorm2d(4),
+                              nn.ReLU())
+        # One training-mode pass gives the BN non-trivial running statistics.
+        model.train()
+        with no_grad():
+            model(Tensor(RNG.standard_normal((4, 3, 8, 8)).astype(np.float32)))
+        model.eval()
+        return model
+
+    def test_default_level_freezes_batchnorms_bit_exactly(self):
+        model = self.trained_conv_bn()
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        opt = compile_model(model, optimize="default")
+        assert opt.optimization.constants_folded == 1
+        assert opt.optimization.batchnorms_folded == 0
+        np.testing.assert_array_equal(opt(x), eager(model, x))
+
+    def test_full_level_folds_bn_into_conv_within_tolerance(self):
+        model = self.trained_conv_bn()
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        opt = compile_model(model, optimize="full")
+        assert opt.optimization.batchnorms_folded == 1
+        assert opt.num_steps < compile_model(model, optimize="none").num_steps
+        np.testing.assert_allclose(opt(x), eager(model, x), atol=1e-5, rtol=1e-5)
+
+    def test_frozen_batchnorm_is_a_compile_time_construct(self):
+        model = self.trained_conv_bn()
+        frozen = FrozenBatchNorm(model[1])
+        with pytest.raises(RuntimeError):
+            frozen.forward(Tensor(np.zeros((1, 4, 2, 2), dtype=np.float32)))
+
+    def test_report_round_trips_to_dict(self):
+        model = self.trained_conv_bn()
+        report = compile_model(model, optimize="full").optimization
+        payload = report.to_dict()
+        assert payload["level"] == "full"
+        assert payload["batchnorms_folded"] == 1
+        assert "notes" not in payload  # notes are for humans, not for schemas
+        assert report.notes  # ...but they exist
+
+
+# --------------------------------------------------------------------------- #
+# Buffer lifetime planning
+# --------------------------------------------------------------------------- #
+
+class TestLifetimePlanner:
+    @pytest.mark.parametrize("name", ["mobilenet_v1", "resnet20"])
+    def test_planned_pool_is_smaller_and_bits_unchanged(self, name):
+        seed_everything(0)
+        spec = ModelSpec(name=name, neuron_type="OURS", num_classes=4,
+                         width_multiplier=0.125)
+        model = spec.build()
+        model.eval()
+        x = (0.1 * RNG.standard_normal((4, 3, 32, 32))).astype(np.float32)
+        raw = compile_model(model, optimize="none")
+        planned = compile_model(model, optimize="default")
+        np.testing.assert_array_equal(planned(x), raw(x))
+        # The planner's whole point: the steady-state arena is much smaller.
+        assert planned.pool.nbytes < 0.75 * raw.pool.nbytes
+
+    def test_repeated_calls_reuse_the_planned_buffers(self):
+        seed_everything(0)
+        model = nn.Sequential(nn.Conv2d(3, 4, 3, padding=1), nn.ReLU(),
+                              nn.Conv2d(4, 4, 3, padding=1), nn.ReLU())
+        x = RNG.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        compiled = compile_model(model, optimize="default")
+        first = compiled(x).copy()
+        size_after_first = compiled.pool.nbytes
+        np.testing.assert_array_equal(compiled(x), first)
+        assert compiled.pool.nbytes == size_after_first
