@@ -17,6 +17,15 @@ this is the CI regression gate for the serving subsystem.  With fewer cores
 process parallelism has nothing to scale onto, so the numbers are reported
 but the ratio is not asserted (the report says so explicitly).
 
+The second experiment is the **open-loop tail-latency SLO gate**: a seeded
+Poisson arrival schedule (from ``tests/serve/loadgen.py`` — the same
+generator the tests use) fired at a pool at ~60% of its measured capacity,
+reporting client-side p50/p95/p99 and the pool's own per-stage percentiles.
+The p99 SLO is *relative* — a multiple of the pool's unloaded single-request
+latency on this host — so the gate tracks serving regressions, not hardware.
+It is enforced under the same >= 3 cores headroom rule; below that the
+verdict is printed report-only.
+
 Run with ``PYTHONPATH=src python benchmarks/bench_serving_scaleout.py``;
 ``--quick`` / ``REPRO_BENCH_QUICK=1`` is the CI mode (fewer samples, fewer
 pool sizes).
@@ -25,7 +34,9 @@ pool sizes).
 from __future__ import annotations
 
 import os
+import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +46,11 @@ from repro.experiment import Experiment, get_preset
 from repro.inference import BatchedPredictor
 from repro.serve import ServeConfig, WorkerPool
 from repro.utils.logging import format_table
+
+# The load generator is shared with the serving tests so the benchmark and
+# the test suite can never disagree about what an "open loop" or a "p99" is.
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tests" / "serve"))
+from loadgen import check_percentile, poisson_schedule, run_open_loop  # noqa: E402
 
 #: samples streamed through each serving configuration
 SAMPLES = 256
@@ -46,6 +62,15 @@ QUICK_WORKER_COUNTS = (2,)
 
 #: the issue's acceptance bar: pool throughput vs single-process baseline
 MIN_SCALEOUT = 1.5
+
+#: open-loop scenario: requests, offered load vs measured capacity, and the
+#: p99 SLO as a multiple of the unloaded single-request latency.
+OPEN_LOOP_REQUESTS = 200
+QUICK_OPEN_LOOP_REQUESTS = 80
+OPEN_LOOP_UTILIZATION = 0.6
+SLO_P99_MULTIPLE = 20.0
+SLO_SLACK_MS = 50.0          # shared-runner scheduler noise allowance
+OPEN_LOOP_SEED = 11
 
 
 def measure_baseline(compiled, samples: np.ndarray) -> float:
@@ -73,6 +98,68 @@ def measure_pool(spec, state, workers: int, samples: np.ndarray) -> float:
             future.result(timeout=120.0)
         elapsed = time.perf_counter() - start
     return len(samples) / elapsed
+
+
+def measure_open_loop(spec, state, workers: int, samples: np.ndarray,
+                      pool_rps: float, enforce: bool) -> dict:
+    """Open-loop Poisson load at ~60% of measured capacity + p99 SLO verdict.
+
+    The SLO is relative: ``SLO_P99_MULTIPLE`` x the pool's unloaded
+    single-request latency (median of a few sequential predicts) plus a
+    fixed CI-noise slack.  At 60% utilization an M/G/k queue's p99 sits a
+    small multiple above the service time; a 20x blowout means the data
+    plane regressed, not that the host was busy.
+    """
+    config = ServeConfig(workers=workers, startup_timeout=180.0,
+                         cache_size=0)
+    with WorkerPool(spec, state=state, config=config) as pool:
+        unloaded = []
+        for index in range(5):                       # warm + unloaded baseline
+            clock = time.perf_counter()
+            pool.predict(samples[index % len(samples)], timeout=120.0)
+            unloaded.append((time.perf_counter() - clock) * 1000.0)
+        unloaded_ms = sorted(unloaded)[len(unloaded) // 2]
+
+        rate = max(OPEN_LOOP_UTILIZATION * pool_rps, 1.0)
+        count = len(samples)
+        schedule = poisson_schedule(rate_rps=rate, count=count,
+                                    seed=OPEN_LOOP_SEED)
+
+        def submit(index: int) -> int:
+            pool.predict(samples[index % len(samples)], timeout=120.0)
+            return 200
+
+        report = run_open_loop(submit, schedule)
+        stages = pool.stats()["latency"]
+
+    limit_ms = SLO_P99_MULTIPLE * unloaded_ms
+    verdict = check_percentile(report, 99, limit_ms, slack_ms=SLO_SLACK_MS)
+    summary = report.summary()
+    rows = [[f"p{q:g} (client)", f"{summary[f'p{q:g}_ms']:.2f} ms"]
+            for q in (50, 95, 99)]
+    rows += [[f"{stage} p99 (server)", f"{stages[stage]['p99_ms']:.2f} ms"]
+             for stage in ("queue", "transport", "compute", "total")]
+    rows.append(["SLO p99 limit", f"{limit_ms:.2f} ms (+{SLO_SLACK_MS:g} slack)"])
+    rows.append(["SLO verdict", "PASS" if verdict["ok"] else
+                 ("FAIL" if enforce else "MISS (report-only)")])
+    gate = (f"gate: p99 <= {SLO_P99_MULTIPLE:g}x unloaded latency" if enforce
+            else "report-only: no parallelism headroom on this host")
+    print(format_table(
+        ["Open-loop tail latency", "value"], rows,
+        title=f"Open loop: {count} Poisson arrivals at {rate:,.0f} rps, "
+              f"{workers} worker(s) — {gate}"))
+
+    return {
+        "workers": workers,
+        "offered_rps": rate,
+        "requests": count,
+        "unloaded_ms": unloaded_ms,
+        "client": summary,
+        "stage_p99_ms": {stage: stages[stage]["p99_ms"]
+                         for stage in ("queue", "transport", "compute", "total")},
+        "slo": verdict,
+        "enforced": enforce,
+    }
 
 
 def main() -> None:
@@ -114,6 +201,17 @@ def main() -> None:
         title=f"Scale-out serving throughput ({num_samples} samples, {cores} cpus) — {note}",
     ))
 
+    # Open-loop tail-latency scenario on the largest pool from the sweep.
+    open_workers = max(worker_counts)
+    open_rps = next(entry["samples_per_s"] for entry in sweep
+                    if entry["workers"] == open_workers)
+    open_count = QUICK_OPEN_LOOP_REQUESTS if quick else OPEN_LOOP_REQUESTS
+    open_loop = measure_open_loop(
+        experiment.spec, state, open_workers,
+        samples[:open_count] if open_count <= len(samples) else
+        np.concatenate([samples] * (1 + open_count // len(samples)))[:open_count],
+        open_rps, enforce)
+
     save_experiment("serving_scaleout", {
         "quick_mode": quick,
         "cpus": cores,
@@ -122,7 +220,17 @@ def main() -> None:
         "scaleout_enforced": enforce,
         "min_scaleout": MIN_SCALEOUT,
         "pool_sweep": sweep,
+        "open_loop": open_loop,
     })
+
+    if enforce:
+        slo = open_loop["slo"]
+        assert slo["ok"], (
+            f"tail-latency regression: open-loop p99 {slo['value_ms']}ms "
+            f"exceeds the SLO {slo['limit_ms']}ms (+{slo['slack_ms']}ms slack) "
+            f"at {open_loop['offered_rps']:.0f} rps offered load")
+        print(f"\np99 SLO gate passed: {slo['value_ms']}ms <= "
+              f"{slo['limit_ms']:.1f}ms (+{slo['slack_ms']:g}ms slack)")
 
     if enforce:
         multi = [entry for entry in sweep if entry["workers"] >= 2]

@@ -1,13 +1,26 @@
-"""``repro.serve`` — scale-out serving: worker pool + HTTP front door.
+"""``repro.serve`` — scale-out serving: zero-copy data plane + async front door.
 
 PR 2's :class:`~repro.inference.BatchedPredictor` made one process fast;
 this package makes N of them a service.  A :class:`WorkerPool` shards
 inference across worker processes (each rebuilds the model from the spec
-and weights it receives over IPC, compiles it, and micro-batches its own
-traffic), with least-loaded dispatch, crash respawn + request retry, and
-explicit admission control.  :class:`ServingServer` puts a stdlib HTTP
-front door on top: ``POST /predict`` with an LRU response cache,
-``GET /healthz`` (flips to 503 while draining) and ``GET /stats``.
+and weights it receives over IPC and compiles it), with:
+
+* a **zero-copy transport** — per-worker shared-memory ring buffers
+  (:mod:`repro.serve.shm`) carry the tensors; only ~100-byte control frames
+  are pickled.  The ``pipe`` transport (tensors pickled through the queues)
+  is kept as the bit-identical reference path.
+* **continuous cross-request batching** (:mod:`repro.serve.batching`) — one
+  pool-wide FIFO backlog; batches are cut for whichever worker has capacity,
+  growing with load instead of waiting on a timer.
+* **latency-budget admission control** (:mod:`repro.serve.admission`) —
+  requests predicted to wait longer than ``latency_budget_ms`` are shed
+  with HTTP ``429`` + ``Retry-After`` before they ever queue.
+* crash respawn with slot reclamation and front-of-backlog request retry.
+
+:class:`ServingServer` puts an asyncio HTTP front door on top:
+``POST /predict`` with an LRU response cache, ``GET /healthz`` (flips to 503
+while draining) and ``GET /stats`` (p50/p95/p99 per endpoint and per
+pipeline stage).
 
 Example
 -------
@@ -22,10 +35,18 @@ Entry points: :meth:`repro.experiment.Experiment.serve` and the
 ``repro serve <spec|preset> --workers N --port P`` CLI subcommand.
 """
 
+from .admission import AdmissionController, AdmissionRejected
+from .batching import PIPELINE_DEPTH, RequestBacklog
 from .cache import LRUCache, input_digest
 from .config import ServeConfig
-from .http import ServingApp, ServingHTTPServer, ServingServer
-from .metrics import EndpointMetrics, ServingMetrics
+from .http import AsyncFrontDoor, ServingApp, ServingServer
+from .metrics import (
+    EndpointMetrics,
+    ReservoirSample,
+    ServingMetrics,
+    StageMetrics,
+    percentile,
+)
 from .pool import (
     PoolClosed,
     PoolFuture,
@@ -33,22 +54,35 @@ from .pool import (
     WorkerCrashed,
     WorkerPool,
 )
+from .shm import RingFull, ShmFrame, ShmRing, StaleFrame, WorkerRings
 from .worker import build_serving_predictor, worker_main
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "PIPELINE_DEPTH",
+    "RequestBacklog",
     "LRUCache",
     "input_digest",
     "ServeConfig",
+    "AsyncFrontDoor",
     "ServingApp",
-    "ServingHTTPServer",
     "ServingServer",
     "EndpointMetrics",
+    "ReservoirSample",
     "ServingMetrics",
+    "StageMetrics",
+    "percentile",
     "PoolClosed",
     "PoolFuture",
     "PoolSaturated",
     "WorkerCrashed",
     "WorkerPool",
+    "RingFull",
+    "ShmFrame",
+    "ShmRing",
+    "StaleFrame",
+    "WorkerRings",
     "build_serving_predictor",
     "worker_main",
 ]

@@ -1,0 +1,164 @@
+"""Latency-budget admission control for the serving pool.
+
+The watermark (:class:`~repro.serve.pool.PoolSaturated` → HTTP 503) protects
+the *pool* from unbounded buffering; it says nothing about latency.  A pool
+with a deep watermark happily accepts a request that will sit behind two
+hundred others — the caller gets a 200 thirty seconds too late, which for
+an SLO-bound client is worse than an honest, immediate rejection.
+
+:class:`AdmissionController` sheds on *predicted wait* instead.  It keeps an
+exponentially weighted moving average of the measured per-request service
+time (observed by the pool on every completed request: everything after the
+backlog — transport + compute) and estimates the queue delay a new arrival
+would see as
+
+    estimated_wait_ms = queued_requests x ewma_service_ms / workers
+
+which is Little's-law bookkeeping for a FIFO backlog over ``workers``
+parallel servers, deliberately ignoring batching speedups — admission should
+err on the honest side.  When the estimate exceeds the configured budget the
+request is rejected *before* it enters the backlog, with a ``Retry-After``
+hint computed from how long the excess backlog needs to drain.  The HTTP
+front door maps the rejection to ``429 Too Many Requests`` (load the client
+caused, unlike the pool-health 503s) and ``/healthz`` stays green: a pool
+over its latency budget is busy, not broken.
+
+A budget of ``0`` disables the controller — every request is admitted, and
+only the watermark sheds.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+class AdmissionRejected(RuntimeError):
+    """Admitting this request would blow the latency budget — shed it.
+
+    Carries the controller's estimate so transports can answer with a
+    meaningful ``Retry-After`` instead of a bare rejection.
+    """
+
+    def __init__(self, message: str, estimated_wait_ms: float,
+                 budget_ms: float, retry_after_s: int) -> None:
+        super().__init__(message)
+        self.estimated_wait_ms = estimated_wait_ms
+        self.budget_ms = budget_ms
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit/shed verdict plus the numbers behind it."""
+
+    admitted: bool
+    estimated_wait_ms: float
+    budget_ms: float
+    retry_after_s: int = 0
+
+
+class AdmissionController:
+    """EWMA service-time tracker + budget gate (thread-safe).
+
+    Parameters
+    ----------
+    budget_ms : float
+        The latency budget: reject once the estimated queue wait for a new
+        request exceeds this.  ``0`` disables admission control entirely.
+    alpha : float
+        EWMA smoothing factor in (0, 1]; higher weights recent requests
+        more.  The default 0.2 converges in a few dozen requests while
+        riding out single-request noise.
+    """
+
+    def __init__(self, budget_ms: float, alpha: float = 0.2) -> None:
+        if budget_ms < 0:
+            raise ValueError(f"budget_ms must be >= 0 (0 = disabled), got {budget_ms}")
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.budget_ms = float(budget_ms)
+        self.alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._service_ms: Optional[float] = None
+        self.observations = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_ms > 0
+
+    @property
+    def service_ms(self) -> Optional[float]:
+        """Current per-request service-time estimate (None before traffic)."""
+        with self._lock:
+            return self._service_ms
+
+    def observe(self, service_ms: float) -> None:
+        """Feed one measured per-request service time (post-backlog)."""
+        if service_ms < 0 or not math.isfinite(service_ms):
+            return
+        with self._lock:
+            self.observations += 1
+            if self._service_ms is None:
+                self._service_ms = float(service_ms)
+            else:
+                self._service_ms += self.alpha * (service_ms - self._service_ms)
+
+    def estimated_wait_ms(self, queued: int, workers: int) -> float:
+        """Predicted queue delay for a request arriving behind ``queued``."""
+        with self._lock:
+            service = self._service_ms
+        if service is None:
+            return 0.0
+        return queued * service / max(workers, 1)
+
+    def decide(self, queued: int, workers: int) -> AdmissionDecision:
+        """Admit or shed a new arrival; never raises (the pool raises).
+
+        ``queued`` should count everything the arrival would wait behind —
+        the backlog plus requests already dispatched to workers.  Until the
+        first observation the controller admits unconditionally: with no
+        service-time evidence, rejecting would be guessing.
+        """
+        if not self.enabled:
+            return AdmissionDecision(True, 0.0, self.budget_ms)
+        estimate = self.estimated_wait_ms(queued, workers)
+        if estimate <= self.budget_ms:
+            with self._lock:
+                self.admitted += 1
+            return AdmissionDecision(True, estimate, self.budget_ms)
+        # How long until the backlog shrinks enough to fit the budget again.
+        retry_after = max(1, math.ceil((estimate - self.budget_ms) / 1000.0))
+        with self._lock:
+            self.rejected += 1
+        return AdmissionDecision(False, estimate, self.budget_ms, retry_after)
+
+    def reject(self, decision: AdmissionDecision) -> AdmissionRejected:
+        """The exception for a shed decision (the pool raises it)."""
+        return AdmissionRejected(
+            f"estimated queue wait {decision.estimated_wait_ms:.1f} ms exceeds "
+            f"the latency budget {decision.budget_ms:.1f} ms; retry in "
+            f"{decision.retry_after_s}s",
+            estimated_wait_ms=decision.estimated_wait_ms,
+            budget_ms=decision.budget_ms,
+            retry_after_s=decision.retry_after_s)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            service = self._service_ms
+            return {
+                "enabled": self.enabled,
+                "budget_ms": self.budget_ms,
+                "service_ms_ewma": round(service, 3) if service is not None else None,
+                "observations": self.observations,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }
+
+    def __repr__(self) -> str:
+        state = f"budget={self.budget_ms}ms" if self.enabled else "disabled"
+        return f"AdmissionController({state}, ewma={self._service_ms})"

@@ -1,0 +1,108 @@
+"""Pool-level continuous cross-request batching.
+
+The first serving PR batched *per worker*: each worker greedily coalesced
+whatever happened to be in its own queue, so two compatible requests that
+landed on different workers never shared a forward, and a request sent to a
+busy worker queued behind it even while another worker idled.  This module
+moves the decision up a level: admitted requests land in one pool-wide
+FIFO :class:`RequestBacklog`, and whenever *any* worker has dispatch
+capacity the pool cuts the next batch from the front of the backlog —
+across connections, across submitters.
+
+The batching is **continuous** in the vLLM sense: there is no timer waiting
+for a batch to fill.  Under light load every request is dispatched alone the
+moment it arrives (no added latency); under heavy load batches grow toward
+``max_batch_size`` naturally, because requests accumulate exactly while all
+workers are busy.  Batch size adapts to load instead of being configured.
+
+The pool keeps at most :data:`PIPELINE_DEPTH` batches in flight per worker:
+one computing, one parked in the worker's queue so the worker never idles
+between batches.  Deeper pipelining would only grow queue latency — a
+request is better off in the backlog (where it can still be shed, retried
+or batched with later arrivals) than committed to a specific worker.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+from typing import Any, Deque, List, Optional
+
+#: batches in flight per worker: one computing + one queued behind it.
+PIPELINE_DEPTH = 2
+
+
+class RequestBacklog:
+    """FIFO of admitted-but-undispatched requests, with batch cutting.
+
+    Not thread-safe on its own — the pool mutates it under its lock, which
+    also makes the FIFO guarantee meaningful (single ordered admitter).
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[Any] = collections.deque()
+
+    def append(self, request: Any) -> None:
+        """Admit one request at the back (stamps its enqueue time)."""
+        if getattr(request, "t_admit", None) is None:
+            request.t_admit = time.perf_counter()
+        self._queue.append(request)
+
+    def requeue(self, requests: List[Any]) -> None:
+        """Put retried/undispatchable requests back at the *front*, in order.
+
+        Crash retries must not lose their place behind requests that arrived
+        after them, or a crashy worker could starve its oldest victims.
+        """
+        for request in reversed(requests):
+            self._queue.appendleft(request)
+
+    def cut(self, max_batch_size: int) -> List[Any]:
+        """Remove and return the next batch (up to ``max_batch_size``)."""
+        batch: List[Any] = []
+        while self._queue and len(batch) < max_batch_size:
+            batch.append(self._queue.popleft())
+        return batch
+
+    def drain(self) -> List[Any]:
+        """Remove and return everything (pool shutdown)."""
+        remaining = list(self._queue)
+        self._queue.clear()
+        return remaining
+
+    def oldest_wait_s(self, now: Optional[float] = None) -> float:
+        """Seconds the head request has been waiting (0 when empty)."""
+        if not self._queue:
+            return 0.0
+        now = time.perf_counter() if now is None else now
+        return max(now - self._queue[0].t_admit, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __repr__(self) -> str:
+        return f"RequestBacklog({len(self._queue)} pending)"
+
+
+class Batch:
+    """Parent-side bookkeeping for one dispatched batch frame."""
+
+    __slots__ = ("batch_id", "requests", "slot", "seq", "dispatched_at")
+
+    def __init__(self, batch_id: int, requests: List[Any],
+                 slot: Optional[int] = None, seq: Optional[int] = None) -> None:
+        self.batch_id = batch_id
+        self.requests = requests
+        self.slot = slot                  # leased request-ring slot (shm only)
+        self.seq = seq
+        self.dispatched_at = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __repr__(self) -> str:
+        via = "shm" if self.slot is not None else "pipe"
+        return f"Batch(#{self.batch_id}, {len(self.requests)} requests, {via})"

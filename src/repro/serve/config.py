@@ -20,6 +20,13 @@ from typing import Any, Dict
 #: cost of re-importing the library in each worker (~0.5 s).
 START_METHODS = ("spawn", "fork", "forkserver")
 
+#: Tensor transports between the pool and its workers.  ``shm`` moves tensor
+#: bytes through per-worker shared-memory rings (zero-copy on the consumer
+#: side; pickle only for small control frames) and is the default; ``pipe``
+#: pickles tensors through the queues and is kept as the bit-identical
+#: reference path every shm behavior is tested against.
+TRANSPORTS = ("shm", "pipe")
+
 
 @dataclass
 class ServeConfig:
@@ -58,6 +65,24 @@ class ServeConfig:
         :mod:`repro.backends` registry name: ``numpy``, ``threaded``,
         ``int8``).  The default is the reference engine; ``threaded`` makes
         each worker use every core, so pair it with a small ``workers``.
+    transport : str
+        How tensors reach the workers: ``shm`` (zero-copy shared-memory
+        rings, the default) or ``pipe`` (pickled over the queues — the
+        reference path; see :data:`TRANSPORTS`).
+    latency_budget_ms : float
+        Admission-control budget: reject a request (HTTP ``429`` with
+        ``Retry-After``) when its estimated queue wait exceeds this many
+        milliseconds.  ``0`` disables admission control.
+    fused_batching : bool
+        ``False`` (default) executes each request of a coalesced batch as
+        its own batch-of-1 forward — bit-identical to
+        ``Experiment.predictor(max_batch_size=1)`` under any load.  ``True``
+        fuses the whole batch into one forward for maximum throughput, at
+        the cost of BLAS float-associativity drift between batch sizes.
+    shm_slots, shm_slot_bytes : int
+        Geometry of each worker's shared-memory rings.  ``0`` (default)
+        sizes them automatically: enough slots for the dispatch pipeline,
+        slots big enough for one ``max_batch_size`` input batch.
     """
 
     workers: int = 2
@@ -74,6 +99,11 @@ class ServeConfig:
     port: int = 8100
     cache_size: int = 256
     backend: str = "numpy"
+    transport: str = "shm"
+    latency_budget_ms: float = 0.0
+    fused_batching: bool = False
+    shm_slots: int = 0
+    shm_slot_bytes: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -99,6 +129,16 @@ class ServeConfig:
         if self.start_method not in START_METHODS:
             raise ValueError(
                 f"start_method must be one of {START_METHODS}, got '{self.start_method}'")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got '{self.transport}'")
+        if self.latency_budget_ms < 0:
+            raise ValueError(f"latency_budget_ms must be >= 0 (0 = disabled), "
+                             f"got {self.latency_budget_ms}")
+        for name in ("shm_slots", "shm_slot_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0 (0 = auto), "
+                                 f"got {getattr(self, name)}")
         from ..backends import backend_names  # lazy: keep config import-light
 
         if self.backend not in backend_names():

@@ -1,24 +1,36 @@
-"""The parent-process side of the serving pool: dispatch, respawn, drain.
+"""The parent-process side of the serving pool: batching, dispatch, respawn.
 
 :class:`WorkerPool` owns N worker processes (see :mod:`repro.serve.worker`),
-one bounded request queue per worker, and one shared response queue.  A
-dispatcher thread in the parent resolves responses into caller-held
-:class:`PoolFuture` handles and doubles as the supervisor: whenever a worker
-process dies it respawns a replacement and either retries the requests the
-dead worker had in flight (up to ``max_retries`` attempts) or rejects them
-with :class:`WorkerCrashed`.
+one bounded request queue per worker, one shared-memory ring pair per worker
+(the zero-copy tensor transport, see :mod:`repro.serve.shm`), and a single
+pool-wide FIFO :class:`~repro.serve.batching.RequestBacklog`.  Admitted
+requests wait in the backlog until *any* worker has dispatch capacity; the
+pool then cuts a batch from the front and ships it as one frame — continuous
+cross-request batching, sized by load instead of by timer.
 
-Admission control is explicit and two-layered:
+A dispatcher thread resolves responses into caller-held :class:`PoolFuture`
+handles and doubles as the supervisor: whenever a worker process dies it
+reclaims the worker's ring slots, respawns a replacement attached to the
+*same* segments, and either requeues the requests the dead worker had in
+flight (at the front of the backlog, up to ``max_retries`` attempts) or
+rejects them with :class:`WorkerCrashed`.
 
+Admission control is explicit and three-layered:
+
+* a **latency budget** (optional) — before a request enters the backlog the
+  :class:`~repro.serve.admission.AdmissionController` estimates its queue
+  wait from the measured service-time EWMA; over budget means
+  :class:`~repro.serve.admission.AdmissionRejected` (HTTP ``429`` with
+  ``Retry-After``),
 * a **watermark** on total requests in flight across the pool — beyond it
-  :meth:`WorkerPool.submit` raises :class:`PoolSaturated` (the HTTP front
-  door turns that into ``503``), and
+  :meth:`WorkerPool.submit` raises :class:`PoolSaturated` (HTTP ``503``), and
 * the **bounded per-worker queues** — even a confused caller that ignores
-  :class:`PoolSaturated` cannot buffer unboundedly.
+  both cannot buffer unboundedly.
 
-Dispatch is least-loaded with round-robin tie-breaking: each submission goes
-to the alive worker with the fewest requests in flight, so a worker stuck on
-a slow request stops receiving new ones.
+Per-request latency is decomposed into ``queue`` / ``transport`` /
+``compute`` stage reservoirs (:class:`~repro.serve.metrics.StageMetrics`):
+each stage is measured as a *duration* on whichever side owns it, so the
+parent never compares timestamps across processes.
 """
 
 from __future__ import annotations
@@ -27,13 +39,22 @@ import itertools
 import queue as queue_module
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..experiment import ExperimentSpec
+from .admission import AdmissionController, AdmissionRejected
+from .batching import PIPELINE_DEPTH, Batch, RequestBacklog
 from .config import ServeConfig
+from .metrics import StageMetrics, split_batch_timings
+from .shm import RingFull, StaleFrame, WorkerRings
 from .worker import worker_main
+
+__all__ = [
+    "WorkerPool", "PoolFuture", "PoolSaturated", "WorkerCrashed", "PoolClosed",
+    "MAX_EARLY_CRASHES",
+]
 
 
 class PoolSaturated(RuntimeError):
@@ -51,20 +72,45 @@ class PoolClosed(RuntimeError):
 class PoolFuture:
     """Handle for one request travelling through the pool."""
 
-    __slots__ = ("_event", "_value", "_error")
+    __slots__ = ("_event", "_value", "_error", "_callbacks", "_cb_lock")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._value: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["PoolFuture"], None]] = []
+        self._cb_lock = threading.Lock()
 
     def _resolve(self, value) -> None:
         self._value = value
-        self._event.set()
+        self._fire()
 
     def _reject(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._fire()
+
+    def _fire(self) -> None:
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:   # a broken observer must not break the pool
+                pass
+
+    def add_done_callback(self, callback: Callable[["PoolFuture"], None]) -> None:
+        """Run ``callback(self)`` when the future settles (immediately if done).
+
+        Callbacks run on the pool's dispatcher thread — keep them short and
+        never block (the asyncio front door uses this to hop the result onto
+        its event loop with ``call_soon_threadsafe``).
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -80,7 +126,8 @@ class PoolFuture:
 class _Request:
     """Parent-side bookkeeping for one in-flight request."""
 
-    __slots__ = ("request_id", "kind", "payload", "future", "attempts", "worker_id")
+    __slots__ = ("request_id", "kind", "payload", "future", "attempts",
+                 "worker_id", "t_admit", "t_dispatch")
 
     def __init__(self, request_id: int, kind: str, payload) -> None:
         self.request_id = request_id
@@ -89,6 +136,8 @@ class _Request:
         self.future = PoolFuture()
         self.attempts = 0
         self.worker_id: Optional[int] = None
+        self.t_admit: Optional[float] = None      # stamped by the backlog
+        self.t_dispatch: Optional[float] = None   # stamped per dispatch
 
 
 class _WorkerHandle:
@@ -100,6 +149,11 @@ class _WorkerHandle:
     other worker (this is why ``concurrent.futures`` declares a whole
     ProcessPoolExecutor broken on one crash).  With per-worker channels, a
     crash can only corrupt queues that die with the worker.
+
+    ``in_flight`` tracks every request currently committed to this worker —
+    batched or not — and is what crash recovery walks.  ``batches`` tracks
+    the frame-level bookkeeping (ring slots, dispatch times) of the at most
+    :data:`~repro.serve.batching.PIPELINE_DEPTH` batch frames in flight.
     """
 
     def __init__(self, worker_id: int, generation: int, process, request_queue,
@@ -110,6 +164,7 @@ class _WorkerHandle:
         self.request_queue = request_queue
         self.response_queue = response_queue
         self.in_flight: Dict[int, _Request] = {}
+        self.batches: Dict[int, Batch] = {}
         self.ready = threading.Event()
         self.served = 0
         self.last_used = 0
@@ -128,6 +183,7 @@ class _WorkerHandle:
             "ready": self.ready.is_set(),
             "served": self.served,
             "in_flight": len(self.in_flight),
+            "batches": len(self.batches),
         }
 
 
@@ -135,6 +191,12 @@ class _WorkerHandle:
 #: up on instead of respawned — a deterministic startup crash (bad config,
 #: corrupt weights) must not become an infinite spawn storm.
 MAX_EARLY_CRASHES = 3
+
+#: auto ring geometry: a few slots beyond the dispatch pipeline, and slots
+#: of 1 MiB — comfortably a max_batch_size batch of any smoke-scale input;
+#: bigger tensors transparently fall back to the inline (pipe) path.
+_AUTO_RING_SLOTS = PIPELINE_DEPTH + 2
+_AUTO_SLOT_BYTES = 1 << 20
 
 
 class WorkerPool:
@@ -168,9 +230,12 @@ class WorkerPool:
         self.config = config or ServeConfig()
         self._ctx = None
         self._workers: Dict[int, _WorkerHandle] = {}
-        self._requests: Dict[int, _Request] = {}
+        self._rings: Dict[int, WorkerRings] = {}   # per slot, survive respawns
+        self._requests: Dict[int, _Request] = {}   # admitted: backlog + workers
+        self._backlog = RequestBacklog()
         self._lock = threading.Lock()
         self._request_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
         self._rr = itertools.count()            # round-robin tie breaker
         self._dispatcher: Optional[threading.Thread] = None
         #: per-slot count of consecutive crashes before reporting ready
@@ -178,6 +243,8 @@ class WorkerPool:
         self._started = False
         self._accepting = False
         self._closed = False
+        self.admission = AdmissionController(self.config.latency_budget_ms)
+        self.stage_metrics = StageMetrics()
         # counters (all mutated under the lock)
         self.submitted = 0
         self.completed = 0
@@ -185,6 +252,9 @@ class WorkerPool:
         self.retried = 0
         self.respawns = 0
         self.rejected_saturated = 0
+        self.rejected_budget = 0
+        self.inline_dispatches = 0      # shm configured but frame went inline
+        self.inline_responses = 0
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> "WorkerPool":
@@ -200,7 +270,8 @@ class WorkerPool:
 
             self._ctx = multiprocessing.get_context(self.config.start_method)
             for worker_id in range(self.config.workers):
-                self._workers[worker_id] = self._spawn(worker_id, generation=0)
+                self._workers[worker_id] = self._spawn(
+                    worker_id, generation=0, rings=self._ensure_rings(worker_id))
         self._dispatcher = threading.Thread(target=self._dispatch_loop, daemon=True,
                                             name="repro-pool-dispatcher")
         self._dispatcher.start()
@@ -227,15 +298,40 @@ class WorkerPool:
                         f"and the serve configuration")
         return self
 
-    def _spawn(self, worker_id: int, generation: int) -> _WorkerHandle:
-        """Create one worker process (caller holds the lock)."""
+    def _ensure_rings(self, worker_id: int) -> Optional[WorkerRings]:
+        """The slot's ring pair, created on first spawn (caller holds the lock).
+
+        Ring creation failing (no usable /dev/shm, exotic platform) degrades
+        the transport to inline frames over the queues instead of killing the
+        pool — the wire protocol is identical, only slower.
+        """
+        if self.config.transport != "shm":
+            return None
+        rings = self._rings.get(worker_id)
+        if rings is None:
+            slots = self.config.shm_slots or _AUTO_RING_SLOTS
+            slot_bytes = self.config.shm_slot_bytes or _AUTO_SLOT_BYTES
+            try:
+                rings = self._rings[worker_id] = WorkerRings(slots, slot_bytes)
+            except Exception:
+                return None
+        return rings
+
+    def _spawn(self, worker_id: int, generation: int,
+               rings: Optional[WorkerRings]) -> _WorkerHandle:
+        """Create one worker process (slow: ~1 s; safe to call without the lock).
+
+        Respawns attach to the slot's *existing* rings (reclaimed by the
+        supervisor before the replacement is installed), so a crash costs a
+        header scan, not two segment allocations.
+        """
         request_queue = self._ctx.Queue(maxsize=self.config.queue_depth)
         response_queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=worker_main,
-            args=(worker_id, self.spec_dict, self.state, self.config.max_batch_size,
-                  self.config.max_wait, self.config.request_timeout,
-                  request_queue, response_queue, self.config.backend),
+            args=(worker_id, self.spec_dict, self.state, self.config.to_dict(),
+                  rings.descriptor() if rings is not None else None,
+                  request_queue, response_queue),
             daemon=True,
             name=f"repro-serve-worker-{worker_id}",
         )
@@ -290,10 +386,19 @@ class WorkerPool:
                 handle.process.terminate()
                 handle.process.join(1.0)
         with self._lock:
+            self._backlog.drain()
             leftovers = list(self._requests.values())
             self._requests.clear()
             for handle in self._workers.values():
                 handle.in_flight.clear()
+                handle.batches.clear()
+            rings = list(self._rings.values())
+            self._rings.clear()
+        for pair in rings:
+            try:
+                pair.close()           # the parent unlinks exactly once
+            except Exception:
+                pass
         for request in leftovers:
             request.future._reject(PoolClosed(
                 "pool closed before this request was answered"))
@@ -308,11 +413,13 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ serving
     def submit(self, sample: np.ndarray) -> PoolFuture:
-        """Dispatch one sample to the least-loaded worker; returns a future.
+        """Admit one sample into the pool's backlog; returns a future.
 
-        Raises :class:`PoolSaturated` once the pool-wide in-flight count
-        reaches the watermark (or the chosen worker's queue is full), and
-        :class:`PoolClosed` when the pool is draining or closed.
+        Raises :class:`~repro.serve.admission.AdmissionRejected` when the
+        latency budget says the request would wait too long,
+        :class:`PoolSaturated` once the pool-wide in-flight count reaches the
+        watermark, and :class:`PoolClosed` when the pool is draining or
+        closed.
         """
         return self._submit("predict", np.asarray(sample, dtype=np.float32))
 
@@ -338,19 +445,120 @@ class WorkerPool:
                     f"{len(self._requests)} requests in flight >= watermark "
                     f"{self.config.effective_watermark}; retry later")
             request = _Request(next(self._request_ids), kind, payload)
-            self._dispatch(request)
+            if kind != "predict":
+                # Control requests (sleep) bypass batching: they exist to pin
+                # a specific worker, which the backlog would defeat.
+                self._dispatch_direct(request)
+                self.submitted += 1
+                return request.future
+            alive = [h for h in self._workers.values()
+                     if h.alive and not h.stopping]
+            if not alive and not self._respawnable_locked():
+                self.submitted += 1
+                self.failed += 1
+                request.future._reject(WorkerCrashed("no alive workers in the pool"))
+                return request.future
+            decision = self.admission.decide(len(self._requests),
+                                             max(len(alive), 1))
+            if not decision.admitted:
+                self.rejected_budget += 1
+                raise self.admission.reject(decision)
+            self._backlog.append(request)
+            self._requests[request.request_id] = request
             self.submitted += 1
+            self._pump_locked()
         return request.future
 
-    def _dispatch(self, request: _Request) -> None:
-        """Enqueue ``request`` on the best worker (caller holds the lock)."""
+    def _respawnable_locked(self) -> bool:
+        return not self._closed and any(
+            self._early_crashes.get(worker_id, 0) < MAX_EARLY_CRASHES
+            for worker_id in self._workers)
+
+    # ----------------------------------------------------------------- batching
+    def _pump_locked(self) -> None:
+        """Cut batches from the backlog onto every worker with capacity.
+
+        Called (under the lock) after anything that could create dispatch
+        room: a submission, a completed batch, a respawn, a ready worker.
+        """
+        while self._backlog:
+            candidates = [handle for handle in self._workers.values()
+                          if handle.alive and not handle.stopping
+                          and len(handle.batches) < PIPELINE_DEPTH]
+            if not candidates:
+                return
+            candidates.sort(key=lambda handle: (len(handle.in_flight),
+                                                handle.last_used))
+            dispatched_any = False
+            for handle in candidates:
+                if not self._backlog:
+                    return
+                requests = self._cut_batch_locked()
+                if not requests:
+                    return
+                if self._dispatch_batch_locked(handle, requests):
+                    dispatched_any = True
+                else:
+                    self._backlog.requeue(requests)
+            if not dispatched_any:
+                return                     # every candidate queue is full
+
+    def _cut_batch_locked(self) -> List[_Request]:
+        """Next batch off the backlog; only shape-compatible requests fuse."""
+        batch = self._backlog.cut(self.config.max_batch_size)
+        if not batch:
+            return []
+        shape = batch[0].payload.shape
+        same = [r for r in batch if r.payload.shape == shape]
+        rest = [r for r in batch if r.payload.shape != shape]
+        if rest:
+            self._backlog.requeue(rest)    # next cut takes them first
+        return same
+
+    def _dispatch_batch_locked(self, handle: _WorkerHandle,
+                               requests: List[_Request]) -> bool:
+        """Ship one batch frame to ``handle``; False if its queue is full."""
+        batch_id = next(self._batch_ids)
+        stacked = np.stack([request.payload for request in requests])
+        rings = self._rings.get(handle.worker_id)
+        slot = seq = None
+        payload = None
+        if rings is not None:
+            try:
+                slot, seq = rings.request.lease()
+                frame = rings.request.write(slot, seq, stacked)
+                payload = ("shm", frame)
+            except (RingFull, ValueError):
+                if slot is not None:       # leased but the tensor didn't fit
+                    rings.request.release(slot, seq)
+                slot = seq = None
+                self.inline_dispatches += 1
+        if payload is None:
+            payload = ("inline", stacked)
+        try:
+            handle.request_queue.put_nowait(
+                ("batch", batch_id,
+                 [request.request_id for request in requests], payload))
+        except queue_module.Full:
+            if slot is not None:
+                rings.request.release(slot, seq)
+            return False
+        now = time.perf_counter()
+        handle.batches[batch_id] = Batch(batch_id, requests, slot, seq)
+        handle.last_used = next(self._rr)
+        for request in requests:
+            request.attempts += 1
+            request.worker_id = handle.worker_id
+            request.t_dispatch = now
+            handle.in_flight[request.request_id] = request
+        return True
+
+    def _dispatch_direct(self, request: _Request) -> None:
+        """Enqueue a control request on the best worker (caller holds the lock)."""
         candidates = [handle for handle in self._workers.values()
                       if handle.alive and not handle.stopping]
         if not candidates:
-            respawnable = (not self._closed and any(
-                self._early_crashes.get(worker_id, 0) < MAX_EARLY_CRASHES
-                for worker_id in self._workers))
-            if respawnable:
+            if self._respawnable_locked():
                 # The supervisor is (about to be) respawning — transient, so
                 # shed rather than fail: callers can retry, HTTP says 503.
                 self.rejected_saturated += 1
@@ -366,7 +574,7 @@ class WorkerPool:
         for handle in candidates:
             try:
                 handle.request_queue.put_nowait(
-                    (request.request_id, request.kind, request.payload))
+                    (request.kind, request.request_id, request.payload))
             except queue_module.Full:
                 continue
             request.worker_id = handle.worker_id
@@ -377,6 +585,10 @@ class WorkerPool:
         # Every queue is full — that is backpressure too.
         self.rejected_saturated += 1
         raise PoolSaturated("every worker queue is full; retry later")
+
+    def _pump(self) -> None:
+        with self._lock:
+            self._pump_locked()
 
     # --------------------------------------------------------------- dispatcher
     def _dispatch_loop(self) -> None:
@@ -390,6 +602,8 @@ class WorkerPool:
             got_any = False
             for handle in handles:
                 got_any |= self._drain_responses(handle)
+            if self._backlog:
+                self._pump()
             now = time.monotonic()
             if now - last_liveness_check >= 0.1:
                 last_liveness_check = now
@@ -406,30 +620,37 @@ class WorkerPool:
             except (queue_module.Empty, EOFError, OSError):
                 break
             got_any = True
-            self._handle_message(message)
+            self._handle_message(handle, message)
         return got_any
 
-    def _handle_message(self, message) -> None:
+    def _handle_message(self, handle: _WorkerHandle, message) -> None:
         kind = message[0]
         if kind == "ready":
             _, worker_id, _pid = message
             with self._lock:
-                handle = self._workers.get(worker_id)
+                current = self._workers.get(worker_id)
                 self._early_crashes[worker_id] = 0    # the slot proved viable
-            if handle is not None:
-                handle.ready.set()
+            if current is not None:
+                current.ready.set()
+            self._pump()                  # a fresh worker means fresh capacity
             return
         if kind == "bye":
+            return
+        if kind == "okb":
+            self._finish_batch(handle, message)
+            return
+        if kind == "errb":
+            self._fail_batch(handle, message)
             return
         _, request_id, payload = message
         with self._lock:
             request = self._requests.pop(request_id, None)
             if request is None:
                 return  # already rejected (e.g. its worker was declared dead)
-            handle = self._workers.get(request.worker_id)
-            if handle is not None:
-                handle.in_flight.pop(request_id, None)
-                handle.served += 1
+            owner = self._workers.get(request.worker_id)
+            if owner is not None:
+                owner.in_flight.pop(request_id, None)
+                owner.served += 1
             if kind == "ok":
                 self.completed += 1
             else:
@@ -439,8 +660,78 @@ class WorkerPool:
         else:
             request.future._reject(RuntimeError(f"worker error: {payload}"))
 
+    def _finish_batch(self, handle: _WorkerHandle, message) -> None:
+        """Resolve one ("okb", ...) frame: copy out, time, settle futures."""
+        _, batch_id, _request_ids, payload, timings = message
+        with self._lock:
+            batch = handle.batches.pop(batch_id, None)
+        rings = self._rings.get(handle.worker_id)
+        via, data = payload
+        outputs = None
+        if via == "shm" and rings is not None:
+            try:
+                # The one consumer-side copy: detach the rows from the slot
+                # so it can be released (and re-leased) immediately.
+                outputs = np.array(rings.response.read(data))
+            except (StaleFrame, ValueError):
+                outputs = None            # reclaimed under us — batch is gone too
+            finally:
+                try:
+                    rings.response.release(data.slot, data.seq)
+                except (StaleFrame, ValueError, RuntimeError):
+                    pass
+        elif via == "inline":
+            outputs = np.asarray(data)
+        if batch is None:
+            return      # answered after we gave up on it (reaped/closed)
+        if outputs is None or len(outputs) != len(batch.requests):
+            self._fail_batch(handle, ("errb", batch_id,
+                                      [r.request_id for r in batch.requests],
+                                      "response frame was lost in transport"),
+                             batch=batch)
+            return
+        compute_list = split_batch_timings(
+            (timings or {}).get("compute_ms"), len(batch.requests))
+        now = time.perf_counter()
+        with self._lock:
+            for request, compute_ms in zip(batch.requests, compute_list):
+                self._requests.pop(request.request_id, None)
+                handle.in_flight.pop(request.request_id, None)
+                handle.served += 1
+                self.completed += 1
+                if via == "inline" and rings is not None:
+                    self.inline_responses += 1
+                t_admit = request.t_admit if request.t_admit is not None else now
+                t_dispatch = (request.t_dispatch
+                              if request.t_dispatch is not None else t_admit)
+                queue_ms = max((t_dispatch - t_admit) * 1000.0, 0.0)
+                total_ms = max((now - t_admit) * 1000.0, 0.0)
+                transport_ms = max(total_ms - queue_ms - compute_ms, 0.0)
+                self.stage_metrics.record(queue_ms, transport_ms,
+                                          compute_ms, total_ms)
+                self.admission.observe(total_ms - queue_ms)
+            self._pump_locked()
+        for index, request in enumerate(batch.requests):
+            request.future._resolve(np.array(outputs[index]))
+
+    def _fail_batch(self, handle: _WorkerHandle, message,
+                    batch: Optional[Batch] = None) -> None:
+        _, batch_id, _request_ids, error_message = message
+        with self._lock:
+            if batch is None:
+                batch = handle.batches.pop(batch_id, None)
+            if batch is None:
+                return
+            for request in batch.requests:
+                self._requests.pop(request.request_id, None)
+                handle.in_flight.pop(request.request_id, None)
+                self.failed += 1
+            self._pump_locked()
+        for request in batch.requests:
+            request.future._reject(RuntimeError(f"worker error: {error_message}"))
+
     def _reap_dead_workers(self) -> None:
-        """Respawn crashed workers; retry or reject their orphaned requests."""
+        """Respawn crashed workers; requeue or reject their orphaned requests."""
         with self._lock:
             dead = [handle for handle in self._workers.values()
                     if not handle.alive and not handle.stopping]
@@ -464,14 +755,33 @@ class WorkerPool:
                     self._early_crashes[handle.worker_id] = \
                         self._early_crashes.get(handle.worker_id, 0) + 1
             budgets = dict(self._early_crashes)
+            # Reclaim every ring slot the dead generation held — leased
+            # request slots it never released, response slots it never got to
+            # send — and bump their sequence numbers so any frame it did emit
+            # is stale.  Must happen before the replacement attaches.
+            for handle in dead:
+                if self._workers.get(handle.worker_id) is handle:
+                    rings = self._rings.get(handle.worker_id)
+                    if rings is not None:
+                        try:
+                            rings.reclaim_all()
+                        except Exception:
+                            pass
         replacements: Dict[int, _WorkerHandle] = {}
         if not closed:
+            respawn_ids = [handle.worker_id for handle in dead
+                           if budgets.get(handle.worker_id, 0) < MAX_EARLY_CRASHES]
+            with self._lock:
+                ring_map = {worker_id: self._ensure_rings(worker_id)
+                            for worker_id in respawn_ids}
             for handle in dead:
-                if budgets.get(handle.worker_id, 0) >= MAX_EARLY_CRASHES:
+                if handle.worker_id not in ring_map:
                     continue  # deterministic startup crash: give the slot up
                 replacements[handle.worker_id] = self._spawn(
-                    handle.worker_id, generation=handle.generation + 1)
-        to_retry: List[_Request] = []
+                    handle.worker_id, generation=handle.generation + 1,
+                    rings=ring_map[handle.worker_id])
+        to_requeue: List[_Request] = []
+        to_retry_direct: List[_Request] = []
         to_reject: List[_Request] = []
         with self._lock:
             for handle in dead:
@@ -479,6 +789,7 @@ class WorkerPool:
                     continue  # already replaced by an earlier reap
                 orphans = list(handle.in_flight.values())
                 handle.in_flight.clear()
+                handle.batches.clear()
                 replacement = replacements.get(handle.worker_id)
                 if replacement is not None and not self._closed:
                     self._workers[handle.worker_id] = replacement
@@ -488,19 +799,29 @@ class WorkerPool:
                     # stop re-reaping this dead handle every supervisor tick.
                     handle.stopping = True
                 for request in orphans:
-                    self._requests.pop(request.request_id, None)
                     if request.attempts <= self.config.max_retries and not self._closed:
-                        to_retry.append(request)
+                        if request.kind == "predict":
+                            to_requeue.append(request)
+                        else:
+                            self._requests.pop(request.request_id, None)
+                            to_retry_direct.append(request)
                     else:
+                        self._requests.pop(request.request_id, None)
                         to_reject.append(request)
-            for request in to_retry:
+            # Crash retries go to the *front* of the backlog: they were
+            # admitted before everything queued behind them.
+            if to_requeue:
+                self.retried += len(to_requeue)
+                self._backlog.requeue(to_requeue)
+            for request in to_retry_direct:
                 self.retried += 1
                 try:
-                    self._dispatch(request)
+                    self._dispatch_direct(request)
                 except PoolSaturated:
                     to_reject.append(request)
             for request in to_reject:
                 self.failed += 1
+            self._pump_locked()
         # A replacement that lost the install race (pool closed mid-spawn)
         # must not leak as an orphan process.
         for worker_id, replacement in replacements.items():
@@ -523,6 +844,10 @@ class WorkerPool:
         with self._lock:
             return len(self._requests)
 
+    def backlog_depth(self) -> int:
+        with self._lock:
+            return len(self._backlog)
+
     def alive_workers(self) -> int:
         with self._lock:
             return sum(1 for handle in self._workers.values() if handle.alive)
@@ -530,10 +855,13 @@ class WorkerPool:
     def stats(self) -> Dict[str, Any]:
         """JSON-serializable snapshot of the pool (for ``GET /stats``)."""
         with self._lock:
+            ring_stats = {str(worker_id): rings.stats()
+                          for worker_id, rings in sorted(self._rings.items())}
             return {
                 "workers": [handle.describe() for handle in self._workers.values()],
                 "accepting": self._started and self._accepting and not self._closed,
                 "in_flight": len(self._requests),
+                "backlog": len(self._backlog),
                 "watermark": self.config.effective_watermark,
                 "submitted": self.submitted,
                 "completed": self.completed,
@@ -541,6 +869,16 @@ class WorkerPool:
                 "retried": self.retried,
                 "respawns": self.respawns,
                 "rejected_saturated": self.rejected_saturated,
+                "rejected_budget": self.rejected_budget,
+                "transport": {
+                    "kind": self.config.transport,
+                    "fused_batching": self.config.fused_batching,
+                    "inline_dispatches": self.inline_dispatches,
+                    "inline_responses": self.inline_responses,
+                    "rings": ring_stats or None,
+                },
+                "latency": self.stage_metrics.to_dict(),
+                "admission": self.admission.stats(),
             }
 
     def __repr__(self) -> str:

@@ -3,37 +3,57 @@
 Each worker is an independent OS process that receives the experiment spec
 and the trained weights over IPC (both pickle cleanly: the spec as a plain
 dict, the weights as a name → ``np.ndarray`` state dict), rebuilds the model,
-compiles it, and serves requests from its own bounded queue through a private
-:class:`~repro.inference.BatchedPredictor`.  Because every worker starts from
-the same serialized weights and the compiled path is deterministic, any
-worker answers any request with the same bits.
+compiles it, and executes the batch frames the pool's continuous batcher
+cuts for it.  Because every worker starts from the same serialized weights
+and the compiled path is deterministic, any worker answers any request with
+the same bits.
 
-The wire protocol is deliberately tiny — picklable tuples in both directions:
+Wire protocol (control frames are picklable tuples; tensor payloads travel
+either inline or through the worker's shared-memory rings):
 
-* parent → worker: ``(request_id, kind, payload)`` where ``kind`` is
-  ``"predict"`` (payload: one float32 sample) or ``"sleep"`` (payload:
-  seconds; used by drain tests and warm-up probes to occupy a worker
-  deterministically); ``None`` tells the worker to drain and exit.
-* worker → parent, on the shared response queue:
-  ``("ready", worker_id, pid)`` once serving can begin,
-  ``("ok", request_id, output)`` / ``("err", request_id, message)`` per
-  request, and ``("bye", worker_id)`` on graceful exit.
+* parent → worker::
+
+      ("batch", batch_id, [request_ids], payload)   # the main data plane
+      ("predict", request_id, sample)               # legacy single-sample
+      ("sleep", request_id, seconds)                # drain tests, warm-up
+      None                                          # drain and exit
+
+  where ``payload`` is ``("shm", ShmFrame)`` — the stacked float32 batch is
+  parked in the request ring — or ``("inline", ndarray)`` for the pipe
+  transport and for tensors that outgrew a slot.
+
+* worker → parent::
+
+      ("ready", worker_id, pid)                     # serving can begin
+      ("okb", batch_id, [request_ids], payload, timings)
+      ("errb", batch_id, [request_ids], message)
+      ("ok", request_id, output) / ("err", request_id, message)
+      ("bye", worker_id)
+
+  ``timings`` is ``{"read_ms": float, "compute_ms": [per-request floats]}``
+  — durations measured on the worker's own clock, so the parent never has
+  to compare timestamps across processes.
+
+Batch execution honors the pool's bit-exactness contract: by default every
+request in a frame runs as its own batch-of-1 forward (identical bits to
+``Experiment.predictor(max_batch_size=1)`` no matter how requests were
+coalesced); ``fused_batching`` trades that for one fused forward per frame.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 #: Message kinds a worker understands.
-REQUEST_KINDS = ("predict", "sleep")
+REQUEST_KINDS = ("batch", "predict", "sleep")
 
 
 def execute_request(predictor, kind: str, payload: Any, timeout: float) -> Any:
-    """Run one already-parsed request on this worker's predictor."""
+    """Run one already-parsed single-request frame on this worker's predictor."""
     if kind == "predict":
         return predictor.predict(np.asarray(payload, dtype=np.float32), timeout=timeout)
     if kind == "sleep":
@@ -67,17 +87,93 @@ def build_serving_predictor(spec_dict: Dict[str, Any], state: Dict[str, np.ndarr
                             max_wait=max_wait, backend=backend)
 
 
+def run_batch(compiled, batch: np.ndarray,
+              fused: bool) -> Tuple[np.ndarray, List[float]]:
+    """Execute one stacked batch; returns (outputs, per-request compute ms).
+
+    ``fused=False`` runs each sample as its own batch-of-1 forward — the
+    exact compute path of ``BatchedPredictor`` serving one sample, so the
+    answer is bit-identical regardless of how the pool coalesced requests.
+    ``fused=True`` runs the whole stack in one forward (maximum throughput;
+    float-associativity drift between batch sizes, as documented on
+    ``BatchedPredictor``).
+    """
+    with np.errstate(all="ignore"):          # serving tolerates non-finite
+        if fused:
+            clock = time.perf_counter()
+            outputs = compiled(batch)
+            elapsed_ms = (time.perf_counter() - clock) * 1000.0
+            return outputs, [elapsed_ms / len(batch)] * len(batch)
+        rows = []
+        timings = []
+        for index in range(len(batch)):
+            clock = time.perf_counter()
+            rows.append(compiled(batch[index:index + 1]))
+            timings.append((time.perf_counter() - clock) * 1000.0)
+        return np.concatenate(rows, axis=0), timings
+
+
+def _batch_tensor(payload, request_ring) -> Tuple[np.ndarray, Optional[Any]]:
+    """Materialize a batch payload; returns (array, frame-to-release)."""
+    via, data = payload
+    if via == "shm":
+        if request_ring is None:
+            raise RuntimeError("received a shm frame but this worker has no rings")
+        return request_ring.read(data), data
+    return np.asarray(data, dtype=np.float32), None
+
+
+def _respond_batch(response_queue, response_ring, batch_id, request_ids,
+                   outputs: np.ndarray, timings: Dict[str, Any]) -> None:
+    """Ship a batch result back, through the response ring when it fits."""
+    if response_ring is not None:
+        try:
+            slot, seq = response_ring.lease()
+            frame = response_ring.write(slot, seq, outputs)
+            response_queue.put(("okb", batch_id, request_ids,
+                                ("shm", frame), timings))
+            return
+        except Exception:
+            # Ring full (parent stalled) or tensor outgrew the slot — the
+            # inline path is always available, just not zero-copy.
+            pass
+    response_queue.put(("okb", batch_id, request_ids, ("inline", outputs), timings))
+
+
+def _serve_batch(compiled, message, request_ring, response_ring,
+                 response_queue, fused: bool) -> None:
+    """Answer one ("batch", ...) frame, isolating failures to its requests."""
+    _, batch_id, request_ids, payload = message
+    frame = None
+    try:
+        clock = time.perf_counter()
+        batch, frame = _batch_tensor(payload, request_ring)
+        read_ms = (time.perf_counter() - clock) * 1000.0
+        outputs, compute_ms = run_batch(compiled, batch, fused)
+    except BaseException as error:  # noqa: BLE001 — must answer the callers
+        response_queue.put(("errb", batch_id, request_ids,
+                            f"{type(error).__name__}: {error}"))
+        return
+    finally:
+        if frame is not None:
+            try:
+                request_ring.release(frame.slot, frame.seq)
+            except Exception:   # reclaimed under us — the parent gave up on us
+                pass
+    _respond_batch(response_queue, response_ring, batch_id, request_ids,
+                   outputs, {"read_ms": read_ms, "compute_ms": compute_ms})
+
+
 def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
-                max_batch_size: int, max_wait: float, request_timeout: float,
-                request_queue, response_queue, backend: str = "numpy") -> None:
+                config_dict: Dict[str, Any], ring_descriptor: Optional[Dict[str, Any]],
+                request_queue, response_queue) -> None:
     """Entry point executed inside each pool process.
 
     Top-level (not a closure) so it imports cleanly under the ``spawn`` start
-    method.  The loop coalesces whatever is already queued into one submit
-    wave so the predictor's micro-batching sees real batches, not a strict
-    one-at-a-time stream.
+    method.  ``config_dict`` is the pool's ``ServeConfig.to_dict()`` and
+    ``ring_descriptor`` the worker's :meth:`WorkerRings.descriptor` (``None``
+    for the pipe transport).
     """
-    import queue as queue_module
     import signal
 
     # A terminal Ctrl+C delivers SIGINT to the whole foreground process
@@ -89,53 +185,42 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
 
-    predictor = build_serving_predictor(spec_dict, state, max_batch_size,
-                                        max_wait, backend=backend)
+    request_ring = response_ring = None
+    if ring_descriptor is not None:
+        from .shm import WorkerRings
+
+        request_ring, response_ring = WorkerRings.attach(ring_descriptor)
+
+    predictor = build_serving_predictor(
+        spec_dict, state,
+        max_batch_size=config_dict.get("max_batch_size", 8),
+        max_wait=config_dict.get("max_wait", 0.002),
+        backend=config_dict.get("backend", "numpy"))
+    fused = bool(config_dict.get("fused_batching", False))
+    request_timeout = float(config_dict.get("request_timeout", 30.0))
     response_queue.put(("ready", worker_id, os.getpid()))
-    running = True
     try:
-        while running:
+        while True:
             message = request_queue.get()
             if message is None:
                 break
-            wave = [message]
-            # Greedily pull everything already waiting (up to one predictor
-            # batch) so concurrent requests share a compiled forward.
-            while len(wave) < max_batch_size:
-                try:
-                    extra = request_queue.get_nowait()
-                except queue_module.Empty:
-                    break
-                if extra is None:
-                    running = False
-                    break
-                wave.append(extra)
-            _serve_wave(predictor, wave, request_timeout, response_queue)
-    finally:
-        predictor.shutdown()
-        response_queue.put(("bye", worker_id))
-
-
-def _serve_wave(predictor, wave, request_timeout: float, response_queue) -> None:
-    """Answer one coalesced wave of requests, isolating per-request errors."""
-    pending: list[Tuple[int, Any]] = []
-    for request_id, kind, payload in wave:
-        if kind == "predict":
-            # Submit the whole wave before collecting so the predictor can
-            # batch it; errors surface per-handle below.
-            try:
-                pending.append((request_id, predictor.submit(
-                    np.asarray(payload, dtype=np.float32))))
-            except BaseException as error:  # noqa: BLE001 — must answer the caller
-                response_queue.put(("err", request_id, f"{type(error).__name__}: {error}"))
-        else:
+            if message[0] == "batch":
+                _serve_batch(predictor.compiled, message, request_ring,
+                             response_ring, response_queue, fused)
+                continue
+            kind, request_id, payload = message
             try:
                 result = execute_request(predictor, kind, payload, request_timeout)
                 response_queue.put(("ok", request_id, result))
             except BaseException as error:  # noqa: BLE001
-                response_queue.put(("err", request_id, f"{type(error).__name__}: {error}"))
-    for request_id, handle in pending:
-        try:
-            response_queue.put(("ok", request_id, handle.result(timeout=request_timeout)))
-        except BaseException as error:  # noqa: BLE001
-            response_queue.put(("err", request_id, f"{type(error).__name__}: {error}"))
+                response_queue.put(("err", request_id,
+                                    f"{type(error).__name__}: {error}"))
+    finally:
+        predictor.shutdown()
+        response_queue.put(("bye", worker_id))
+        for ring in (request_ring, response_ring):
+            if ring is not None:
+                try:
+                    ring.close()
+                except Exception:
+                    pass

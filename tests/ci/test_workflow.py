@@ -78,6 +78,32 @@ def test_smoke_job_runs_pipeline_docs_and_serve(workflow):
     assert "repro serve smoke" in joined and "--self-test" in joined
 
 
+def test_smoke_job_runs_the_serve_soak_under_a_time_cap(workflow):
+    """The zero-copy data plane's soak + fault suite runs on every push.
+
+    A wedged shared-memory ring hangs, it doesn't fail — so the step must
+    be wrapped in a hard wall-clock cap, and it must cover both the ring
+    property/soak tests and the SIGKILL fault injection.
+    """
+    smoke_runs = [step.get("run", "") for job, step in all_steps(workflow)
+                  if job == "smoke"]
+    soak = next((run for run in smoke_runs
+                 if "tests/serve/test_shm_faults.py" in run), None)
+    assert soak, "no smoke step runs the serve fault-injection suite"
+    assert "tests/serve/test_ringbuffer.py" in soak
+    assert re.search(r"\btimeout 120\b", soak), \
+        "the serve soak must be capped at 120s of wall clock"
+
+
+def test_bench_gate_comment_documents_the_armed_slo_gate(workflow):
+    """The scale-out benchmark step carries the p99 SLO gate; its arming
+    condition (>= 3 cores) is a property of the script, but CI must keep
+    running it in quick mode where the gate is live."""
+    runs = " ".join(step.get("run", "")
+                    for job, step in all_steps(workflow) if job == "bench-gate")
+    assert "bench_serving_scaleout.py --quick" in runs
+
+
 def test_smoke_job_exercises_checkpoint_resume(workflow):
     """The interrupt story: stop the smoke run after epoch 1, then resume."""
     smoke_runs = [step.get("run", "") for job, step in all_steps(workflow)

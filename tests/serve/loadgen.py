@@ -1,0 +1,215 @@
+"""Deterministic load generation + tail-latency assertion helpers.
+
+Shared by the serving tests and ``benchmarks/bench_serving_scaleout.py`` so
+the numbers CI gates on and the numbers the benchmark reports come from the
+same code path.  Two load models:
+
+* **closed loop** — N concurrent clients, each issuing its next request the
+  moment the previous one answers.  Measures saturated throughput; latency
+  under a closed loop is flattered by coordinated omission (a slow server
+  slows its own clients down).
+* **open loop** — requests fire at schedule offsets drawn from a seeded
+  Poisson process, *regardless* of how slow the server is.  This is the
+  model SLOs are written against: queueing delay shows up in the tail
+  instead of silently lowering the offered load.
+
+Everything random is seeded (schedules are reproducible run to run), and
+latency percentiles reuse :func:`repro.serve.metrics.percentile` — the same
+nearest-rank estimator ``GET /stats`` reports, so a test asserting on the
+generator and a dashboard reading the server can never disagree about what
+"p99" means.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.metrics import PERCENTILES, percentile
+
+#: a submit callable: (request index) -> HTTP-ish status code (int).
+Submit = Callable[[int], int]
+
+
+@dataclass
+class RequestRecord:
+    """One issued request, as the *client* saw it."""
+
+    index: int
+    scheduled_s: float      # intended offset from run start (0 = closed loop)
+    started_s: float        # actual offset the request fired at
+    latency_ms: float
+    status: int
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass
+class LoadReport:
+    """Everything a load run produced, with percentile accessors."""
+
+    records: List[RequestRecord]
+    duration_s: float
+    mode: str = "closed"
+
+    def latencies_ms(self, only_ok: bool = True) -> List[float]:
+        return [record.latency_ms for record in self.records
+                if record.ok or not only_ok]
+
+    def percentile_ms(self, q: float, only_ok: bool = True) -> float:
+        return percentile(self.latencies_ms(only_ok), q)
+
+    def status_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for record in self.records if record.ok)
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for record in self.records if record.status in (429, 503))
+
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready digest (what the benchmark prints per scenario)."""
+        return {
+            "mode": self.mode,
+            "requests": len(self.records),
+            "completed": self.completed,
+            "shed": self.shed,
+            "status_counts": {str(k): v for k, v in self.status_counts().items()},
+            "duration_s": round(self.duration_s, 3),
+            "throughput_rps": round(self.throughput_rps(), 2),
+            **{f"p{q:g}_ms": round(self.percentile_ms(q), 3)
+               for q in PERCENTILES},
+        }
+
+
+def poisson_schedule(rate_rps: float, count: int, seed: int = 0) -> List[float]:
+    """Arrival offsets (seconds) of ``count`` Poisson arrivals at ``rate_rps``.
+
+    Deterministic for a given ``(rate, count, seed)`` — reruns replay the
+    exact same schedule, so a latency regression is a server change, not a
+    load-generator roll of the dice.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=count)
+    return np.cumsum(gaps).tolist()
+
+
+def run_open_loop(submit: Submit, schedule: Sequence[float],
+                  join_timeout_s: float = 120.0) -> LoadReport:
+    """Fire one request per schedule entry, at that offset, come what may.
+
+    Each request runs on its own thread so a slow answer never delays the
+    arrivals behind it — the definition of an open loop.
+    """
+    records: List[Optional[RequestRecord]] = [None] * len(schedule)
+    start = time.perf_counter()
+
+    def fire(index: int, offset: float) -> None:
+        delay = offset - (time.perf_counter() - start)
+        if delay > 0:
+            time.sleep(delay)
+        issued = time.perf_counter()
+        status = _safe_submit(submit, index)
+        records[index] = RequestRecord(
+            index=index, scheduled_s=offset, started_s=issued - start,
+            latency_ms=(time.perf_counter() - issued) * 1000.0, status=status)
+
+    threads = [threading.Thread(target=fire, args=(index, offset), daemon=True)
+               for index, offset in enumerate(schedule)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout_s)
+    duration = time.perf_counter() - start
+    return LoadReport([record for record in records if record is not None],
+                      duration, mode="open")
+
+
+def run_closed_loop(submit: Submit, clients: int,
+                    requests_per_client: int,
+                    join_timeout_s: float = 120.0) -> LoadReport:
+    """``clients`` workers, each issuing its next request on completion."""
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    counter = itertools.count()
+    records: List[RequestRecord] = []
+    lock = threading.Lock()
+    start = time.perf_counter()
+
+    def client() -> None:
+        for _ in range(requests_per_client):
+            index = next(counter)
+            issued = time.perf_counter()
+            status = _safe_submit(submit, index)
+            record = RequestRecord(
+                index=index, scheduled_s=0.0, started_s=issued - start,
+                latency_ms=(time.perf_counter() - issued) * 1000.0,
+                status=status)
+            with lock:
+                records.append(record)
+
+    threads = [threading.Thread(target=client, daemon=True)
+               for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=join_timeout_s)
+    duration = time.perf_counter() - start
+    records.sort(key=lambda record: record.index)
+    return LoadReport(records, duration, mode="closed")
+
+
+def _safe_submit(submit: Submit, index: int) -> int:
+    try:
+        return int(submit(index))
+    except Exception:  # noqa: BLE001 — a client error is a failed request
+        return 599
+
+
+def check_percentile(report: LoadReport, q: float, limit_ms: float,
+                     slack_ms: float = 0.0) -> Dict[str, Any]:
+    """Evaluate one tail-latency SLO; returns a verdict dict (never raises).
+
+    ``slack_ms`` is the CI-safety tolerance: shared runners stall whole
+    processes for tens of milliseconds, and a tail assertion without slack
+    converts scheduler noise into red builds.  The benchmark prints the
+    verdict in report-only mode; the tests feed it to
+    :func:`assert_percentile_under`.
+    """
+    value = report.percentile_ms(q)
+    return {
+        "percentile": q,
+        "value_ms": round(value, 3),
+        "limit_ms": limit_ms,
+        "slack_ms": slack_ms,
+        "ok": value <= limit_ms + slack_ms,
+    }
+
+
+def assert_percentile_under(report: LoadReport, q: float, limit_ms: float,
+                            slack_ms: float = 0.0) -> None:
+    verdict = check_percentile(report, q, limit_ms, slack_ms)
+    assert verdict["ok"], (
+        f"p{q:g} latency {verdict['value_ms']}ms exceeds SLO "
+        f"{limit_ms}ms (+{slack_ms}ms CI slack) over {len(report.records)} "
+        f"requests; status mix: {report.status_counts()}")

@@ -1,0 +1,165 @@
+"""The load generator itself, plus an open-loop run against a real server."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from loadgen import (
+    LoadReport,
+    RequestRecord,
+    assert_percentile_under,
+    check_percentile,
+    poisson_schedule,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.serve import ServeConfig, ServingServer
+
+
+class TestPoissonSchedule:
+    def test_deterministic_for_a_seed(self):
+        assert poisson_schedule(100.0, 50, seed=7) == poisson_schedule(100.0, 50, seed=7)
+        assert poisson_schedule(100.0, 50, seed=7) != poisson_schedule(100.0, 50, seed=8)
+
+    def test_mean_rate_is_roughly_the_requested_rate(self):
+        schedule = poisson_schedule(200.0, 2000, seed=1)
+        measured = len(schedule) / schedule[-1]
+        assert measured == pytest.approx(200.0, rel=0.15)
+
+    def test_offsets_are_monotonic(self):
+        schedule = poisson_schedule(50.0, 200, seed=2)
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            poisson_schedule(0.0, 10)
+        with pytest.raises(ValueError):
+            poisson_schedule(10.0, 0)
+
+
+class TestClosedLoop:
+    def test_every_request_is_recorded_once(self):
+        report = run_closed_loop(lambda i: 200, clients=4, requests_per_client=25)
+        assert len(report.records) == 100
+        assert sorted(r.index for r in report.records) == list(range(100))
+        assert report.completed == 100 and report.shed == 0
+        assert report.mode == "closed"
+
+    def test_status_mix_and_shed_counting(self):
+        statuses = {0: 200, 1: 429, 2: 503, 3: 500}
+        report = run_closed_loop(lambda i: statuses[i % 4], clients=2,
+                                 requests_per_client=20)
+        counts = report.status_counts()
+        assert counts == {200: 10, 429: 10, 500: 10, 503: 10}
+        assert report.shed == 20
+        assert report.completed == 10
+
+    def test_submit_exceptions_become_599(self):
+        def explode(i):
+            raise RuntimeError("client bug")
+        report = run_closed_loop(explode, clients=1, requests_per_client=3)
+        assert report.status_counts() == {599: 3}
+
+
+class TestOpenLoop:
+    def test_requests_fire_at_their_scheduled_offsets(self):
+        schedule = [0.0, 0.02, 0.04, 0.06]
+        report = run_open_loop(lambda i: 200, schedule)
+        assert len(report.records) == 4
+        for record in report.records:
+            # Fired no earlier than scheduled, and without pathological lag.
+            assert record.started_s >= record.scheduled_s - 1e-4
+            assert record.started_s <= record.scheduled_s + 0.25
+        assert report.mode == "open"
+
+    def test_slow_responses_do_not_delay_later_arrivals(self):
+        def submit(i):
+            if i == 0:
+                time.sleep(0.2)       # a straggler...
+            return 200
+        report = run_open_loop(submit, [0.0, 0.01, 0.02])
+        later = [r for r in report.records if r.index > 0]
+        # ...must not push the open-loop arrivals behind it (no coordinated
+        # omission): they still start on schedule.
+        assert all(r.started_s < 0.15 for r in later)
+
+
+class TestPercentileAssertions:
+    def report(self, latencies):
+        records = [RequestRecord(i, 0.0, 0.0, ms, 200)
+                   for i, ms in enumerate(latencies)]
+        return LoadReport(records, duration_s=1.0)
+
+    def test_check_percentile_verdicts(self):
+        # 10 samples: nearest-rank p99 → rank ceil(9.9) = 10 → the outlier.
+        report = self.report([1.0] * 9 + [100.0])
+        ok = check_percentile(report, 50, 2.0)
+        assert ok["ok"] is True and ok["value_ms"] == 1.0
+        bad = check_percentile(report, 99, 50.0)
+        assert bad["ok"] is False and bad["value_ms"] == 100.0
+        assert check_percentile(report, 99, 50.0, slack_ms=60.0)["ok"] is True
+
+    def test_assert_percentile_under_raises_with_context(self):
+        report = self.report([10.0] * 100)
+        assert_percentile_under(report, 99, 15.0)
+        with pytest.raises(AssertionError, match="p99 latency .* exceeds SLO"):
+            assert_percentile_under(report, 99, 5.0)
+
+    def test_failed_requests_are_excluded_from_ok_percentiles(self):
+        records = [RequestRecord(0, 0.0, 0.0, 1.0, 200),
+                   RequestRecord(1, 0.0, 0.0, 9999.0, 503)]
+        report = LoadReport(records, duration_s=1.0)
+        assert report.percentile_ms(99) == 1.0
+        assert report.percentile_ms(99, only_ok=False) == 9999.0
+
+
+# --------------------------------------------------------------------------- #
+# Integration: the generator against a real async server, end to end
+# --------------------------------------------------------------------------- #
+
+@pytest.fixture(scope="module")
+def server(smoke):
+    config = ServeConfig(workers=2, port=0, cache_size=0,
+                         startup_timeout=120.0)
+    running = ServingServer(smoke.spec, state=smoke.state, config=config).start()
+    yield running
+    running.close()
+
+
+class TestOpenLoopAgainstRealServer:
+    def test_open_loop_run_collects_real_latencies_and_server_percentiles(
+            self, server, smoke):
+        body = json.dumps({"input": smoke.samples[0].tolist()}).encode()
+
+        def submit(index: int) -> int:
+            request = urllib.request.Request(
+                f"{server.url}/predict", data=body,
+                headers={"Content-Type": "application/json"}, method="POST")
+            try:
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    return response.status
+            except urllib.error.HTTPError as error:
+                return error.code
+
+        schedule = poisson_schedule(rate_rps=40.0, count=40, seed=11)
+        report = run_open_loop(submit, schedule)
+        assert len(report.records) == 40
+        assert report.completed == 40, report.status_counts()
+        assert report.percentile_ms(99) > 0
+        assert report.summary()["p50_ms"] <= report.summary()["p99_ms"]
+        # The same traffic shows up in the server's own reservoirs: endpoint
+        # percentiles and all four pool pipeline stages saw every request.
+        stats = json.loads(urllib.request.urlopen(
+            f"{server.url}/stats", timeout=30).read())
+        predict = stats["serving"]["endpoints"]["/predict"]
+        assert predict["requests"] >= 40
+        assert predict["p99_ms"] >= predict["p50_ms"] > 0
+        stages = stats["pool"]["latency"]
+        for stage in ("queue", "transport", "compute", "total"):
+            assert stages[stage]["count"] >= 40
+        assert stages["total"]["p99_ms"] >= stages["total"]["p50_ms"]

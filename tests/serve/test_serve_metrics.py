@@ -1,0 +1,169 @@
+"""Percentile math, reservoirs, stage metrics — and the docs drift gate."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ReservoirSample, ServeConfig, StageMetrics, WorkerPool, percentile
+from repro.serve.metrics import (
+    PERCENTILES,
+    STAGES,
+    EndpointMetrics,
+    ServingMetrics,
+    split_batch_timings,
+)
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "serving.md"
+
+
+class TestPercentile:
+    def test_nearest_rank_returns_an_observed_value(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 50) == 30.0
+        assert percentile(values, 95) == 50.0
+        assert percentile(values, 99) == 50.0
+        assert percentile(values, 1) == 10.0
+
+    def test_p99_of_100_values_is_rank_99_not_the_max(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_input_order_does_not_matter(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_empty_is_zero_and_invalid_q_raises(self):
+        assert percentile([], 99) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestReservoirSample:
+    def test_below_capacity_keeps_everything(self):
+        reservoir = ReservoirSample(capacity=100)
+        for value in range(50):
+            reservoir.add(float(value))
+        assert sorted(reservoir.values()) == [float(v) for v in range(50)]
+        assert reservoir.count == 50
+
+    def test_capacity_bounds_memory_but_count_tracks_the_stream(self):
+        reservoir = ReservoirSample(capacity=32)
+        for value in range(10_000):
+            reservoir.add(float(value))
+        assert len(reservoir) == 32
+        assert reservoir.count == 10_000
+        assert reservoir.max_value == 9999.0
+
+    def test_seeded_sampling_is_deterministic(self):
+        def fill(seed):
+            reservoir = ReservoirSample(capacity=16, seed=seed)
+            for value in range(1000):
+                reservoir.add(float(value))
+            return reservoir.values()
+        assert fill(17) == fill(17)
+        assert fill(17) != fill(18)
+
+    def test_summary_shape_and_percentile_keys(self):
+        reservoir = ReservoirSample(capacity=64)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            reservoir.add(value)
+        summary = reservoir.summary()
+        assert summary["count"] == 4
+        assert summary["mean_ms"] == 2.5
+        assert summary["max_ms"] == 4.0
+        for q in PERCENTILES:
+            assert f"p{q:g}_ms" in summary
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReservoirSample(capacity=0)
+
+
+class TestStageMetrics:
+    def test_records_land_in_their_stage(self):
+        stages = StageMetrics()
+        stages.record(queue_ms=1.0, transport_ms=2.0, compute_ms=3.0, total_ms=6.0)
+        stages.record(queue_ms=2.0, transport_ms=3.0, compute_ms=4.0, total_ms=9.0)
+        snapshot = stages.to_dict()
+        assert tuple(snapshot) == STAGES
+        assert snapshot["queue"]["count"] == 2
+        assert snapshot["compute"]["mean_ms"] == 3.5
+        assert snapshot["total"]["max_ms"] == 9.0
+
+
+class TestEndpointMetrics:
+    def test_status_classes_are_counted_separately(self):
+        endpoint = EndpointMetrics("/predict")
+        endpoint.record(5.0, 200)
+        endpoint.record(5.0, 400)
+        endpoint.record(5.0, 429, shed=True)
+        endpoint.record(5.0, 500)
+        endpoint.record(5.0, 503, shed=True)
+        snapshot = endpoint.to_dict()
+        assert snapshot["requests"] == 5
+        assert snapshot["errors_4xx"] == 2       # 400 + 429
+        assert snapshot["failures_5xx"] == 2     # 500 + 503
+        assert snapshot["shed"] == 2             # only the backpressure pair
+
+
+class TestSplitBatchTimings:
+    def test_exact_mode_passes_per_request_times_through(self):
+        assert split_batch_timings([1.0, 2.0, 3.0], 3) == [1.0, 2.0, 3.0]
+
+    def test_fused_mode_shares_the_batch_time_evenly(self):
+        assert split_batch_timings([9.0], 3) == [3.0, 3.0, 3.0]
+
+    def test_missing_timings_degrade_to_zero(self):
+        assert split_batch_timings(None, 2) == [0.0, 0.0]
+        assert split_batch_timings([], 2) == [0.0, 0.0]
+
+
+class TestServingMetrics:
+    def test_throughput_counts_only_predict(self):
+        metrics = ServingMetrics()
+        metrics.endpoint("/predict").record(1.0, 200)
+        metrics.endpoint("/healthz").record(0.1, 200)
+        snapshot = metrics.to_dict()
+        assert snapshot["endpoints"]["/predict"]["requests"] == 1
+        assert snapshot["uptime_seconds"] >= 0
+        assert snapshot["throughput_rps"] >= 0
+
+
+# --------------------------------------------------------------------------- #
+# Drift gate: every field GET /stats serves must be documented
+# --------------------------------------------------------------------------- #
+
+def stats_field_names(smoke) -> set:
+    """Every key a live ``GET /stats`` response can contain."""
+    pool = WorkerPool(smoke.spec, config=ServeConfig(workers=1))
+    pool_stats = pool.stats()                     # an unstarted pool still
+    names = set(pool_stats)                       # reports its full schema
+    names |= set(pool_stats["transport"])
+    names |= set(pool_stats["admission"])
+    names |= set(pool_stats["latency"])
+    names |= set(pool_stats["latency"]["queue"])
+
+    endpoint = EndpointMetrics("/predict")
+    endpoint.record(1.0, 200)
+    names |= set(endpoint.to_dict())
+
+    serving = ServingMetrics()
+    serving.endpoint("/predict").record(1.0, 200)
+    names |= set(serving.to_dict())
+    return names
+
+
+class TestDocsDoNotDrift:
+    def test_every_stats_field_is_documented_in_serving_md(self, smoke):
+        assert DOCS.exists(), "docs/serving.md is missing"
+        documented = set(re.findall(r"`([^`\n]+)`", DOCS.read_text()))
+        missing = sorted(name for name in stats_field_names(smoke)
+                         if name not in documented)
+        assert not missing, (
+            "GET /stats serves fields that docs/serving.md never mentions "
+            f"in backticks: {missing} — update the field reference section")

@@ -44,4 +44,4 @@ class TestExecuteRequest:
     def test_unknown_kind_raises(self):
         with pytest.raises(ValueError, match="unknown request kind"):
             execute_request(object(), "transmogrify", None, timeout=1.0)
-        assert REQUEST_KINDS == ("predict", "sleep")
+        assert REQUEST_KINDS == ("batch", "predict", "sleep")
