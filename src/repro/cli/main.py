@@ -508,6 +508,19 @@ def _serve_config(args: argparse.Namespace):
     """Build a ServeConfig from the serve subcommand's flags."""
     from ..serve import ServeConfig
 
+    if not args.secure:
+        # The shared secure flag family only means something under --secure;
+        # silently ignoring it would serve floats the caller thought were
+        # fixed-point.
+        touched = [flag for flag, untouched in (
+            ("--protocol", args.protocol is None),
+            ("--frac-bits", args.frac_bits == 12),
+            ("--truncation", args.truncation == "nearest"),
+            ("--strategy", args.strategy is None),
+            ("--triple-pool-depth", args.triple_pool_depth == 0),
+        ) if not untouched]
+        if touched:
+            raise CLIError(f"{', '.join(touched)} require(s) --secure")
     try:
         return ServeConfig(workers=args.workers, host=args.host, port=args.port,
                            max_batch_size=args.max_batch_size, max_wait=args.max_wait,
@@ -515,7 +528,13 @@ def _serve_config(args: argparse.Namespace):
                            cache_size=args.cache_size, backend=args.backend,
                            transport=args.transport,
                            latency_budget_ms=args.latency_budget_ms,
-                           fused_batching=args.fused_batching)
+                           fused_batching=args.fused_batching,
+                           secure=args.secure,
+                           protocol=args.protocol or "",
+                           frac_bits=args.frac_bits,
+                           truncation=args.truncation,
+                           strategy=args.strategy or "",
+                           triple_pool_depth=args.triple_pool_depth)
     except ValueError as error:
         raise CLIError(str(error)) from None
 
@@ -523,7 +542,13 @@ def _serve_config(args: argparse.Namespace):
 def _serve_self_test(experiment: Experiment, server, num_requests: int,
                      as_json: bool) -> int:
     """POST synthetic samples at our own front door; verify against the
-    in-process predictor bit for bit.  Returns the process exit code."""
+    in-process predictor bit for bit.  Returns the process exit code.
+
+    On a secure server the reference is ``Experiment.secure_predictor()``
+    with the same protocol / frac_bits / truncation / strategy: nearest
+    truncation is deterministic, so the served fixed-point answers must
+    match it bit for bit too.
+    """
     import json
     import time
     import urllib.error
@@ -532,13 +557,23 @@ def _serve_self_test(experiment: Experiment, server, num_requests: int,
     import numpy as np
 
     spec = experiment.spec
+    config = server.config
     rng = np.random.default_rng(spec.seed)
     samples = rng.standard_normal(
         (num_requests,) + tuple(spec.data.input_shape)).astype(np.float32)
-    # max_batch_size=1 so both sides run strict batch-of-1 forwards — the
-    # sequential HTTP requests below are batch-of-1 in the workers too.
-    with experiment.predictor(max_batch_size=1) as predictor:
-        expected = [predictor.predict(sample) for sample in samples]
+    if config.secure:
+        strategy = config.strategy or spec.ppml.strategy
+        with experiment.secure_predictor(
+                frac_bits=config.frac_bits, truncation=config.truncation,
+                protocol=config.protocol or None,
+                strategy=None if strategy == "none" else strategy,
+                convert=strategy != "none") as predictor:
+            expected = [predictor.predict(sample) for sample in samples]
+    else:
+        # max_batch_size=1 so both sides run strict batch-of-1 forwards — the
+        # sequential HTTP requests below are batch-of-1 in the workers too.
+        with experiment.predictor(max_batch_size=1) as predictor:
+            expected = [predictor.predict(sample) for sample in samples]
 
     def post(sample: "np.ndarray") -> dict:
         body = json.dumps({"input": sample.tolist()}).encode()
@@ -582,8 +617,10 @@ def _serve_self_test(experiment: Experiment, server, num_requests: int,
     if as_json:
         _print(json.dumps(results, indent=2, default=float))
     else:
+        reference = ("Experiment.secure_predictor()" if config.secure
+                     else "Experiment.predictor()")
         rows = [["requests answered", num_requests],
-                ["bit-identical to Experiment.predictor()", "yes" if identical else "NO"],
+                [f"bit-identical to {reference}", "yes" if identical else "NO"],
                 ["cache hit bit-identical",
                  "skipped (cache disabled)" if cache_hit is None
                  else ("yes" if cache_hit else "NO")],
@@ -629,8 +666,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         experiment.build()
     server = experiment.serve(config=config)
     with server:
+        mode = ""
+        if config.secure:
+            mode = (f" [secure: {config.protocol or spec.ppml.protocol}, "
+                    f"{config.frac_bits} frac bits, {config.truncation}]")
         _print(f"serving '{spec.name}'{origin} on {server.url} with {config.workers} "
-               f"worker(s) — POST /predict, GET /healthz, GET /stats")
+               f"worker(s){mode} — POST /predict, GET /healthz, GET /stats")
         if args.self_test is not None:
             return _serve_self_test(experiment, server, args.self_test, args.json)
         _print("press Ctrl+C to drain and stop")
@@ -912,23 +953,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the results as JSON instead of a table")
     infer.set_defaults(func=cmd_infer)
 
+    # One flag family for every secure entry point: 'secure-infer' and
+    # 'serve --secure' inherit these via parents=[], so the two commands can
+    # never drift apart (tests/cli/test_secure_infer.py asserts this).
+    secure_flags = argparse.ArgumentParser(add_help=False)
+    secure_flags.add_argument("--protocol", default=None,
+                              help="PPML protocol preset costing the trace (default: "
+                                   "the spec's; see 'repro list protocols')")
+    secure_flags.add_argument("--frac-bits", type=int, default=12,
+                              help="fixed-point fractional bits of the secure execution")
+    secure_flags.add_argument("--truncation", default="nearest",
+                              choices=("nearest", "stochastic"),
+                              help="rounding after each secure multiplication")
+    secure_flags.add_argument("--strategy", default=None,
+                              help="PPML conversion applied before compilation: square, "
+                                   "quadratic, quadratic_no_relu, or 'none' to run the "
+                                   "model as-is (default: the spec's)")
+
     secure = subparsers.add_parser(
         "secure-infer",
+        parents=[secure_flags],
         help="execute a spec's model under fixed-point PPML protocol semantics "
              "and validate the measured protocol trace")
     secure.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
-    secure.add_argument("--protocol", default=None,
-                        help="PPML protocol preset costing the trace (default: the "
-                             "spec's; see 'repro list protocols')")
-    secure.add_argument("--frac-bits", type=int, default=12,
-                        help="fixed-point fractional bits of the secure execution")
-    secure.add_argument("--truncation", default="nearest",
-                        choices=("nearest", "stochastic"),
-                        help="rounding after each secure multiplication")
-    secure.add_argument("--strategy", default=None,
-                        help="PPML conversion applied before compilation: square, "
-                             "quadratic, quadratic_no_relu, or 'none' to run the "
-                             "model as-is (default: the spec's)")
     secure.add_argument("--samples", type=int, default=4,
                         help="single-sample client queries to execute")
     secure.add_argument("--per-layer", action="store_true",
@@ -939,7 +986,8 @@ def build_parser() -> argparse.ArgumentParser:
     secure.set_defaults(func=cmd_secure_infer)
 
     serve = subparsers.add_parser(
-        "serve", help="serve a spec's model over HTTP from a pool of worker processes")
+        "serve", parents=[secure_flags],
+        help="serve a spec's model over HTTP from a pool of worker processes")
     serve.add_argument("spec", nargs="?", default=None,
                        help="path to a spec JSON file, or a bundled preset name "
                             "(omit when using --from-checkpoint)")
@@ -977,6 +1025,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run each coalesced batch as one fused forward "
                             "(max throughput; trades away bit-identity with "
                             "the batch-of-1 reference)")
+    serve.add_argument("--secure", action="store_true",
+                       help="serve int64 fixed-point PPML inference: workers host "
+                            "SecurePredictors, a traced warm-up sizes the offline "
+                            "Beaver-triple/GC-label pools, and /stats reports "
+                            "per-request protocol accounting")
+    serve.add_argument("--triple-pool-depth", type=int, default=0,
+                       help="offline pool depth in request quanta (0 = sized from "
+                            "workers * pipeline depth * max-batch-size)")
     serve.add_argument("--self-test", type=int, default=None, metavar="N",
                        help="serve N synthetic requests against this server, verify "
                             "them bit-for-bit against the in-process predictor, then exit")

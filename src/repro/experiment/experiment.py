@@ -268,7 +268,19 @@ class Experiment:
         Extra keyword arguments become :class:`repro.serve.ServeConfig`
         fields (``max_batch_size``, ``queue_depth``, ``watermark``,
         ``cache_size``, ...), or pass a full ``config`` to control
-        everything.
+        everything.  This is the single serving entry point — secure
+        serving is the same call with the secure knobs set::
+
+            server = experiment.serve(secure=True)            # spec defaults
+            server = experiment.serve(secure=True, frac_bits=10,
+                                      protocol="gazelle",
+                                      strategy="quadratic_no_relu")
+
+        With ``secure=True`` the workers host
+        :class:`repro.ppml.SecurePredictor` instances (int64 fixed-point
+        inference), the pool sizes its offline triple pools from a traced
+        warm-up forward, and ``GET /stats`` grows a ``secure`` section with
+        the per-request protocol accounting.
         """
         from ..serve import ServeConfig, ServingServer
 
@@ -288,7 +300,16 @@ class Experiment:
         model = self.model if self.model is not None else self.build()
         self.results["serve"] = {"workers": config.workers,
                                  "cache_size": config.cache_size,
-                                 "watermark": config.effective_watermark}
+                                 "watermark": config.effective_watermark,
+                                 "secure": config.secure}
+        if config.secure:
+            self.results["serve"].update({
+                "protocol": config.protocol or self.spec.ppml.protocol,
+                "frac_bits": config.frac_bits,
+                "truncation": config.truncation,
+                "strategy": config.strategy or self.spec.ppml.strategy,
+                "triple_pool_depth": config.effective_triple_pool_depth,
+            })
         return ServingServer(self.spec, state=model.state_dict(), config=config)
 
     # -------------------------------------------------------------------- ppml

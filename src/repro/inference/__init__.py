@@ -15,6 +15,12 @@ pluggable compute backend (:mod:`repro.backends` — ``numpy``, ``threaded``,
 provably never overlap.  ``compile_model(model, backend=..., optimize=...)``
 selects both.
 
+Every serving front end — :class:`BatchedPredictor` here and
+:class:`repro.ppml.SecurePredictor` on the fixed-point path — implements the
+:class:`Predictor` protocol (``predict`` / ``predict_batch`` / ``stats`` /
+``close`` + context manager), so the serving worker hosts either behind one
+code path.
+
 Compiled outputs are verified (tests + ``benchmarks/bench_inference_throughput``)
 to match the eager forward; single-sample latency drops by well over 2× on
 the quadratic backbones because the three weight projections of the paper's
@@ -36,6 +42,7 @@ from .compiler import CompiledModel, compile_model, register_compile_rule
 from .evaluation import max_abs_diff, measure_serving
 from .optimizer import FrozenBatchNorm, OptimizationReport, optimize_plan
 from .predictor import BatchedPredictor, PendingPrediction, PredictorStats
+from .protocol import Predictor
 
 #: Alias so ``repro.inference.compile(model)`` reads like the spec'd API.
 compile = compile_model
@@ -52,6 +59,7 @@ __all__ = [
     "optimize_plan",
     "BatchedPredictor",
     "PendingPrediction",
+    "Predictor",
     "PredictorStats",
     "max_abs_diff",
     "measure_serving",

@@ -1,0 +1,61 @@
+"""The :class:`Predictor` protocol — one interface for every serving front end.
+
+:class:`repro.inference.BatchedPredictor` (float path, micro-batching) and
+:class:`repro.ppml.SecurePredictor` (int64 fixed-point path, one query at a
+time) grew the same surface independently; this module writes that implicit
+contract down so the serving worker can host either behind a single code
+path.  Anything that wants to be served must provide:
+
+* ``predict(sample, timeout=...)`` — answer one un-batched sample,
+* ``predict_batch(samples)`` — answer a stacked batch in one call,
+* ``stats`` — a cumulative accounting object with a ``to_dict()``-style or
+  dataclass shape (``PredictorStats`` or ``SecureStats``),
+* ``close(timeout=...)`` — release resources, idempotent,
+* context-manager use (``__enter__`` returns the predictor, ``__exit__``
+  closes it).
+
+The class is a :func:`typing.runtime_checkable` structural protocol:
+``isinstance(obj, Predictor)`` checks method presence, and the worker's
+tests assert both concrete predictors satisfy it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Predictor"]
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Structural interface shared by every servable predictor.
+
+    Implemented by :class:`repro.inference.BatchedPredictor` and
+    :class:`repro.ppml.SecurePredictor`; the serving worker
+    (:mod:`repro.serve.worker`) only ever talks to this surface.
+    """
+
+    #: Cumulative request/batch accounting (``PredictorStats`` or
+    #: ``SecureStats``); readable at any time, including after ``close``.
+    stats: Any
+
+    def predict(self, sample: np.ndarray,
+                timeout: Optional[float] = None) -> np.ndarray:
+        """Answer one un-batched sample, blocking up to ``timeout`` seconds."""
+        ...
+
+    def predict_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Answer a stacked batch in one call, preserving row order."""
+        ...
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Release resources; must be idempotent."""
+        ...
+
+    def __enter__(self) -> "Predictor":
+        ...
+
+    def __exit__(self, *exc_info: Any) -> None:
+        ...

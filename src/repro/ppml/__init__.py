@@ -12,6 +12,9 @@ multiplications.  This package quantifies that trade-off *and executes it*:
   compute in (encode / decode / nearest + stochastic truncation),
 * :mod:`repro.ppml.runtime` — the secure-inference runtime: run any compiled
   model under hybrid-protocol semantics and record what it actually did,
+* :mod:`repro.ppml.offline` — the precompute phase behind secure serving:
+  trace-sized Beaver-triple / garbled-label pools with background producers
+  and per-request consumption accounting,
 * :mod:`repro.ppml.trace` — executed protocol traces and their conversion
   into online latency / communication.
 
@@ -56,6 +59,12 @@ from .fixedpoint import (
     fixed_mul,
     truncate,
 )
+from .offline import (
+    OfflineBudget,
+    OfflinePhase,
+    TriplePool,
+    pool_key,
+)
 from .protocols import (
     CRYPTONETS,
     DELPHI,
@@ -72,6 +81,7 @@ from .runtime import (
     SecureConfig,
     SecureExecutionError,
     SecurePredictor,
+    SecureStats,
     register_secure_rule,
     secure_compile,
 )
@@ -123,7 +133,12 @@ __all__ = [
     "SecureConfig",
     "SecureCompiledModel",
     "SecurePredictor",
+    "SecureStats",
     "SecureExecutionError",
     "secure_compile",
     "register_secure_rule",
+    "OfflineBudget",
+    "OfflinePhase",
+    "TriplePool",
+    "pool_key",
 ]

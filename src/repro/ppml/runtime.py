@@ -81,6 +81,7 @@ from ..quadratic.layers.hybrid import (
 )
 from ..quadratic.layers.qconv import QuadraticConv2d, QuadraticConv2dT1
 from ..quadratic.layers.qlinear import QuadraticLinear
+from ..utils.deprecation import warn_deprecated
 from .fixedpoint import FixedPointFormat, decode, encode, truncate
 from .protocols import Protocol, resolve_protocol
 from .trace import LayerTrace, ProtocolTrace, SecureCostEstimate
@@ -301,20 +302,73 @@ def secure_compile(model: Module, config: Optional[SecureConfig] = None,
     return SecureCompiledModel(model, steps, compiler.pool, cfg)
 
 
+@dataclass
+class SecureStats:
+    """Cumulative protocol accounting of one :class:`SecurePredictor`.
+
+    The secure counterpart of :class:`repro.inference.PredictorStats`:
+    ``requests``/``batches`` count the traffic; the remaining fields
+    accumulate the measured :meth:`~repro.ppml.trace.ProtocolTrace.totals`
+    of every executed forward — the per-request protocol accounting that
+    secure serving surfaces in ``GET /stats``.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    macs: int = 0
+    mult_ops: int = 0
+    relu_ops: int = 0
+    truncations: int = 0
+    rounds: int = 0
+
+    def record(self, trace: ProtocolTrace, requests: int) -> None:
+        """Fold one executed trace (covering ``requests`` queries) in."""
+        totals = trace.totals()
+        self.requests += int(requests)
+        self.batches += 1
+        self.macs += int(totals["macs"])
+        self.mult_ops += int(totals["mult_ops"])
+        self.relu_ops += int(totals["relu_ops"])
+        self.truncations += int(totals["truncations"])
+        self.rounds += int(totals["rounds"])
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as one JSON-ready dict."""
+        return {"requests": self.requests, "batches": self.batches,
+                "macs": self.macs, "mult_ops": self.mult_ops,
+                "relu_ops": self.relu_ops, "truncations": self.truncations,
+                "rounds": self.rounds}
+
+
 class SecurePredictor:
     """Single-sample front end over a :class:`SecureCompiledModel`.
 
     The secure analogue of :class:`repro.inference.BatchedPredictor` —
     without micro-batching, because PPML protocols answer one client query
     at a time (which is also the static analysis' counting convention).
+    Both predictors implement the :class:`repro.inference.Predictor`
+    protocol (``predict`` / ``predict_batch`` / ``stats`` / ``close`` and
+    context-manager use), which is what lets the serving worker host either
+    behind one code path.
     """
 
     def __init__(self, model: Module, protocol: Union[str, Protocol] = "delphi",
                  frac_bits: int = 12, truncation: str = "nearest", seed: int = 0,
                  pool: Optional[BufferPool] = None) -> None:
+        self.model = model
+        self.seed = int(seed)
+        self.stats = SecureStats()
         self.compiled = secure_compile(
             model, SecureConfig(protocol=protocol, frac_bits=frac_bits,
                                 truncation=truncation, seed=seed), pool=pool)
+        self._variants: Dict[Tuple[str, int, str], SecureCompiledModel] = {
+            self._variant_key(self.compiled.config): self.compiled}
+        self._closed = False
+
+    @staticmethod
+    def _variant_key(config: SecureConfig) -> Tuple[str, int, str]:
+        return (resolve_protocol(config.protocol).name, config.frac_bits,
+                config.truncation)
 
     @property
     def last_trace(self) -> Optional[ProtocolTrace]:
@@ -323,22 +377,77 @@ class SecurePredictor:
 
     @property
     def protocol(self) -> Protocol:
+        """Protocol the default compilation is costed under."""
         return self.compiled.protocol
 
-    def predict(self, sample: np.ndarray) -> np.ndarray:
-        """Answer one client query (a single un-batched sample)."""
+    def variant(self, protocol: Union[str, Protocol, None] = None,
+                frac_bits: Optional[int] = None,
+                truncation: Optional[str] = None) -> SecureCompiledModel:
+        """The compiled model for a per-request (protocol, frac_bits,
+        truncation) override, compiled lazily and cached.
+
+        Variants share this predictor's model, seed and
+        :class:`~repro.inference.buffers.BufferPool`; omitted fields fall
+        back to the defaults given at construction.  This is what lets one
+        serving worker answer requests in several secure configurations
+        without re-building the model.
+        """
+        base = self.compiled.config
+        config = SecureConfig(
+            protocol=base.protocol if protocol is None else protocol,
+            frac_bits=base.frac_bits if frac_bits is None else int(frac_bits),
+            truncation=base.truncation if truncation is None else str(truncation),
+            seed=self.seed)
+        key = self._variant_key(config)
+        compiled = self._variants.get(key)
+        if compiled is None:
+            compiled = secure_compile(self.model, config, pool=self.compiled.pool)
+            self._variants[key] = compiled
+        return compiled
+
+    def predict(self, sample: np.ndarray,
+                timeout: Optional[float] = None) -> np.ndarray:
+        """Answer one client query (a single un-batched sample).
+
+        ``timeout`` exists for :class:`repro.inference.Predictor` parity and
+        is ignored: secure execution is synchronous in-process, so there is
+        no queue to time out of.
+        """
+        del timeout
         data = getattr(sample, "data", sample)
-        out, _ = self.compiled.run(np.asarray(data)[None, ...])
+        out, trace = self.compiled.run(np.asarray(data)[None, ...])
+        self.stats.record(trace, 1)
         return out[0]
+
+    def predict_one(self, sample: np.ndarray) -> np.ndarray:
+        """Deprecated alias of :meth:`predict` (the pre-unification name)."""
+        warn_deprecated("SecurePredictor.predict_one", "SecurePredictor.predict")
+        return self.predict(sample)
 
     def predict_batch(self, batch: np.ndarray) -> np.ndarray:
         """Run a batch in one pass (trace counts then cover the whole batch)."""
-        out, _ = self.compiled.run(batch)
+        out, trace = self.compiled.run(batch)
+        self.stats.record(trace, int(np.asarray(getattr(batch, "data", batch)).shape[0]))
         return out
 
     def estimate(self, protocol: Union[str, Protocol, None] = None) -> SecureCostEstimate:
         """Online cost of the most recent query under ``protocol``."""
         return self.compiled.estimate(protocol)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Release the predictor.  Idempotent; ``timeout`` exists for
+        :class:`repro.inference.Predictor` parity (nothing here blocks)."""
+        del timeout
+        self._closed = True
+
+    #: Deprecated-era alias kept for symmetry with ``BatchedPredictor``.
+    shutdown = close
+
+    def __enter__(self) -> "SecurePredictor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # --------------------------------------------------------------------------- #

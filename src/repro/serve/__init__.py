@@ -16,11 +16,18 @@ and weights it receives over IPC and compiles it), with:
   requests predicted to wait longer than ``latency_budget_ms`` are shed
   with HTTP ``429`` + ``Retry-After`` before they ever queue.
 * crash respawn with slot reclamation and front-of-backlog request retry.
+* **secure serving** (``ServeConfig(secure=True)``) — workers host
+  :class:`repro.ppml.SecurePredictor` instances (int64 fixed-point
+  hybrid-protocol inference); a traced warm-up forward sizes the offline
+  Beaver-triple / garbled-label pools (:mod:`repro.ppml.offline`), the
+  batcher only co-batches requests sharing a (protocol, frac_bits,
+  truncation) configuration, and every dispatch debits the pools.
 
 :class:`ServingServer` puts an asyncio HTTP front door on top:
 ``POST /predict`` with an LRU response cache, ``GET /healthz`` (flips to 503
 while draining) and ``GET /stats`` (p50/p95/p99 per endpoint and per
-pipeline stage).
+pipeline stage; plus the ``secure`` accounting section when serving
+securely).
 
 Example
 -------
@@ -31,12 +38,14 @@ Example
 ...     out = server.predict(sample)        # same path as POST /predict
 ...     print(server.url)                   # point curl here
 
-Entry points: :meth:`repro.experiment.Experiment.serve` and the
-``repro serve <spec|preset> --workers N --port P`` CLI subcommand.
+Entry points: :meth:`repro.experiment.Experiment.serve` — one call for both
+modes (``serve(secure=True)`` flips to fixed-point serving) — and the
+``repro serve <spec|preset> --workers N --port P [--secure ...]`` CLI
+subcommand.
 """
 
 from .admission import AdmissionController, AdmissionRejected
-from .batching import PIPELINE_DEPTH, RequestBacklog
+from .batching import PIPELINE_DEPTH, RequestBacklog, coalescing_key
 from .cache import LRUCache, input_digest
 from .config import ServeConfig
 from .http import AsyncFrontDoor, ServingApp, ServingServer
@@ -62,6 +71,7 @@ __all__ = [
     "AdmissionRejected",
     "PIPELINE_DEPTH",
     "RequestBacklog",
+    "coalescing_key",
     "LRUCache",
     "input_digest",
     "ServeConfig",

@@ -32,6 +32,19 @@ from typing import Any, Deque, List, Optional
 PIPELINE_DEPTH = 2
 
 
+def coalescing_key(request: Any) -> tuple:
+    """What must match for two requests to share one batch frame.
+
+    Two requests fuse only when they agree on the stacked tensor's shape
+    *and* on their secure configuration: on secure pools ``request.secure``
+    is the (protocol, frac_bits, truncation) triple the answer must be
+    computed under, and mixing configurations in one frame would execute
+    half the batch with the wrong number format.  Float-pool requests all
+    carry ``secure=None`` and coalesce purely by shape, exactly as before.
+    """
+    return (getattr(request, "payload").shape, getattr(request, "secure", None))
+
+
 class RequestBacklog:
     """FIFO of admitted-but-undispatched requests, with batch cutting.
 

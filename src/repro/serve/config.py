@@ -83,6 +83,35 @@ class ServeConfig:
         Geometry of each worker's shared-memory rings.  ``0`` (default)
         sizes them automatically: enough slots for the dispatch pipeline,
         slots big enough for one ``max_batch_size`` input batch.
+    secure : bool
+        Serve int64 fixed-point inference under hybrid-protocol semantics
+        (:mod:`repro.ppml.runtime`) instead of the float path.  Workers
+        host a :class:`~repro.ppml.SecurePredictor`, a warm-up traced
+        forward sizes the offline triple pools, and every request debits
+        them.  Incompatible with ``fused_batching``: secure serving answers
+        per-sample client queries by protocol convention.
+    protocol : str
+        Hybrid protocol the secure trace is costed under (``delphi``,
+        ``gazelle``, ``cryptonets``).  ``""`` (default) defers to the
+        experiment spec's ``ppml.protocol``.
+    frac_bits : int
+        Fixed-point fractional bits of the secure runtime
+        (1..\\ :data:`repro.ppml.fixedpoint.MAX_FRAC_BITS`).
+    truncation : str
+        Post-multiplication rescaling mode — one of
+        :data:`repro.ppml.fixedpoint.TRUNCATION_MODES`.  ``nearest`` (the
+        default) is deterministic, so served answers stay bit-identical to
+        the single-process :meth:`~repro.experiment.Experiment.secure_predictor`.
+    strategy : str
+        PPML-friendly conversion applied before secure compilation
+        (``square``, ``quadratic``, ``quadratic_no_relu``); ``""`` defers
+        to the spec's ``ppml.strategy`` and ``none`` serves the model
+        unconverted (ReLUs run as garbled comparisons).
+    triple_pool_depth : int
+        Target depth of each offline pool in *request quanta* (one quantum
+        = all the Beaver triples and garbled labels one request consumes).
+        ``0`` (default) auto-sizes to cover the dispatch pipeline:
+        ``workers * PIPELINE_DEPTH * max_batch_size``.
     """
 
     workers: int = 2
@@ -104,6 +133,12 @@ class ServeConfig:
     fused_batching: bool = False
     shm_slots: int = 0
     shm_slot_bytes: int = 0
+    secure: bool = False
+    protocol: str = ""
+    frac_bits: int = 12
+    truncation: str = "nearest"
+    strategy: str = ""
+    triple_pool_depth: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -146,10 +181,49 @@ class ServeConfig:
                 f"unknown backend '{self.backend}'; registered backends: "
                 f"{', '.join(backend_names())}")
 
+        # Secure knobs mirror the PPML spec's validation so one ServeConfig
+        # is the single source of truth for `repro serve --secure`.
+        from ..ppml.fixedpoint import MAX_FRAC_BITS, TRUNCATION_MODES  # lazy
+        from ..ppml.protocols import available_protocols  # lazy
+
+        if not 1 <= self.frac_bits <= MAX_FRAC_BITS:
+            raise ValueError(
+                f"frac_bits must be in 1..{MAX_FRAC_BITS}, got {self.frac_bits}")
+        if self.truncation not in TRUNCATION_MODES:
+            raise ValueError(
+                f"truncation must be one of {TRUNCATION_MODES}, got '{self.truncation}'")
+        if self.protocol and self.protocol not in available_protocols():
+            raise ValueError(
+                f"unknown protocol '{self.protocol}'; available: "
+                f"{', '.join(available_protocols())}")
+        valid_strategies = ("", "none", "square", "quadratic", "quadratic_no_relu")
+        if self.strategy not in valid_strategies:
+            raise ValueError(
+                f"strategy must be one of {valid_strategies[1:]} (or '' = spec "
+                f"default), got '{self.strategy}'")
+        if self.triple_pool_depth < 0:
+            raise ValueError(f"triple_pool_depth must be >= 0 (0 = auto), "
+                             f"got {self.triple_pool_depth}")
+        if self.secure and self.fused_batching:
+            raise ValueError(
+                "secure serving is incompatible with fused_batching: PPML "
+                "protocols answer per-sample client queries (which is also the "
+                "trace accounting convention)")
+
     @property
     def effective_watermark(self) -> int:
         """The in-flight ceiling actually enforced (resolves ``watermark=0``)."""
         return self.watermark if self.watermark > 0 else self.workers * self.queue_depth
+
+    @property
+    def effective_triple_pool_depth(self) -> int:
+        """The offline pool depth actually targeted (resolves ``0`` = auto to
+        one request quantum per slot of the dispatch pipeline)."""
+        if self.triple_pool_depth > 0:
+            return self.triple_pool_depth
+        from .batching import PIPELINE_DEPTH  # lazy: avoid an import cycle
+
+        return self.workers * PIPELINE_DEPTH * self.max_batch_size
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

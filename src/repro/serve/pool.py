@@ -31,6 +31,19 @@ Per-request latency is decomposed into ``queue`` / ``transport`` /
 ``compute`` stage reservoirs (:class:`~repro.serve.metrics.StageMetrics`):
 each stage is measured as a *duration* on whichever side owns it, so the
 parent never compares timestamps across processes.
+
+Secure serving (``ServeConfig(secure=True)``) layers the PPML offline phase
+on top: before any worker spawns, :meth:`WorkerPool.start` executes one
+traced warm-up forward and sizes the per-(protocol, frac_bits) triple pools
+(:class:`~repro.ppml.offline.OfflinePhase`) from the measured per-request
+budget.  The batcher then becomes protocol-aware — only requests sharing a
+(protocol, frac_bits, truncation) configuration co-batch, and a batch only
+dispatches when its pool holds enough precomputed request quanta (otherwise
+it stalls at the front of the backlog until the producers catch up, or is
+429'd up front when the estimated precompute wait blows the latency
+budget).  Every dispatched request debits its pool; every completed request
+folds its measured ``ProtocolTrace`` totals into the accounting that
+``GET /stats`` serves.
 """
 
 from __future__ import annotations
@@ -44,12 +57,13 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..experiment import ExperimentSpec
+from ..ppml.offline import OfflinePhase, pool_key
 from .admission import AdmissionController, AdmissionRejected
-from .batching import PIPELINE_DEPTH, Batch, RequestBacklog
+from .batching import PIPELINE_DEPTH, Batch, RequestBacklog, coalescing_key
 from .config import ServeConfig
 from .metrics import StageMetrics, split_batch_timings
 from .shm import RingFull, StaleFrame, WorkerRings
-from .worker import worker_main
+from .worker import build_serving_predictor, worker_main
 
 __all__ = [
     "WorkerPool", "PoolFuture", "PoolSaturated", "WorkerCrashed", "PoolClosed",
@@ -127,9 +141,10 @@ class _Request:
     """Parent-side bookkeeping for one in-flight request."""
 
     __slots__ = ("request_id", "kind", "payload", "future", "attempts",
-                 "worker_id", "t_admit", "t_dispatch")
+                 "worker_id", "t_admit", "t_dispatch", "secure")
 
-    def __init__(self, request_id: int, kind: str, payload) -> None:
+    def __init__(self, request_id: int, kind: str, payload,
+                 secure: Optional[tuple] = None) -> None:
         self.request_id = request_id
         self.kind = kind
         self.payload = payload
@@ -138,6 +153,9 @@ class _Request:
         self.worker_id: Optional[int] = None
         self.t_admit: Optional[float] = None      # stamped by the backlog
         self.t_dispatch: Optional[float] = None   # stamped per dispatch
+        #: (protocol, frac_bits, truncation) on secure pools, else None —
+        #: the scheduler only co-batches requests sharing this key.
+        self.secure = secure
 
 
 class _WorkerHandle:
@@ -253,12 +271,39 @@ class WorkerPool:
         self.respawns = 0
         self.rejected_saturated = 0
         self.rejected_budget = 0
+        self.rejected_precompute = 0    # secure: offline pool too far behind
         self.inline_dispatches = 0      # shm configured but frame went inline
         self.inline_responses = 0
+        # Secure serving: resolve the spec-deferred knobs once and stand up
+        # the (still unsized) offline phase; start() runs the warm-up trace.
+        self.offline: Optional[OfflinePhase] = None
+        self.warmup_trace = None
+        self._secure_default: Optional[tuple] = None
+        self.secure_strategy = ""
+        if self.config.secure:
+            parsed = ExperimentSpec.from_dict(self.spec_dict)
+            protocol = self.config.protocol or parsed.ppml.protocol
+            self.secure_strategy = self.config.strategy or parsed.ppml.strategy
+            self._secure_default = (protocol, self.config.frac_bits,
+                                    self.config.truncation)
+            self._input_shape = tuple(parsed.data.input_shape)
+            self.offline = OfflinePhase(
+                protocol, self.config.frac_bits, self.config.truncation,
+                depth=self.config.effective_triple_pool_depth,
+                seed=parsed.seed)
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> "WorkerPool":
-        """Spawn the workers and block until every one reports ready."""
+        """Spawn the workers and block until every one reports ready.
+
+        On secure pools the warm-up runs first: one traced forward through
+        the exact worker-side build path sizes the offline triple pools
+        from the measured per-request budget — and surfaces
+        :class:`~repro.ppml.SecureExecutionError` for un-servable models
+        before a single worker process is spawned.
+        """
+        if self.offline is not None and self.warmup_trace is None:
+            self._warm_up()
         with self._lock:
             if self._closed:
                 raise PoolClosed("this pool has been closed; create a new WorkerPool")
@@ -297,6 +342,25 @@ class WorkerPool:
                         f"worker {worker_id} {reason}; check the spec/weights "
                         f"and the serve configuration")
         return self
+
+    def _warm_up(self) -> None:
+        """Trace one forward and size the offline pools from what it measured.
+
+        Uses the same ``build_serving_predictor`` the workers run, so the
+        budget is measured on the exact converted/compiled model that will
+        serve — not on a static estimate.  The trace is kept on
+        :attr:`warmup_trace` for ``/stats`` consumers and the benchmark's
+        measured-vs-static equality check.
+        """
+        predictor = build_serving_predictor(
+            self.spec_dict, self.state, max_batch_size=1, max_wait=0.0,
+            secure=self.config.to_dict())
+        try:
+            predictor.predict(np.zeros(self._input_shape, dtype=np.float32))
+            self.warmup_trace = predictor.last_trace
+        finally:
+            predictor.close()
+        self.offline.size_from_trace(self.warmup_trace)
 
     def _ensure_rings(self, worker_id: int) -> Optional[WorkerRings]:
         """The slot's ring pair, created on first spawn (caller holds the lock).
@@ -404,6 +468,8 @@ class WorkerPool:
                 "pool closed before this request was answered"))
         if self._dispatcher is not None and self._dispatcher.is_alive():
             self._dispatcher.join(timeout=2.0)
+        if self.offline is not None:
+            self.offline.close()
 
     def __enter__(self) -> "WorkerPool":
         return self.start()
@@ -412,16 +478,52 @@ class WorkerPool:
         self.close()
 
     # ------------------------------------------------------------------ serving
-    def submit(self, sample: np.ndarray) -> PoolFuture:
+    def submit(self, sample: np.ndarray, protocol: Optional[str] = None,
+               frac_bits: Optional[int] = None,
+               truncation: Optional[str] = None) -> PoolFuture:
         """Admit one sample into the pool's backlog; returns a future.
 
         Raises :class:`~repro.serve.admission.AdmissionRejected` when the
-        latency budget says the request would wait too long,
+        latency budget says the request would wait too long (including, on
+        secure pools, when the offline producers are too far behind),
         :class:`PoolSaturated` once the pool-wide in-flight count reaches the
         watermark, and :class:`PoolClosed` when the pool is draining or
         closed.
+
+        On secure pools, ``protocol`` / ``frac_bits`` / ``truncation``
+        override the configured defaults for this one request; the
+        scheduler only co-batches requests sharing the resulting
+        (protocol, frac_bits, truncation) key, and each key draws from its
+        own offline triple pool.  Overrides on a float pool raise
+        ``ValueError``.
         """
-        return self._submit("predict", np.asarray(sample, dtype=np.float32))
+        secure = self._secure_key(protocol, frac_bits, truncation)
+        return self._submit("predict", np.asarray(sample, dtype=np.float32),
+                            secure=secure)
+
+    def _secure_key(self, protocol, frac_bits, truncation) -> Optional[tuple]:
+        """Validate and canonicalize one request's secure configuration."""
+        overrides = (protocol, frac_bits, truncation)
+        if self.offline is None:
+            if any(value is not None for value in overrides):
+                raise ValueError(
+                    "per-request protocol/frac_bits/truncation require a "
+                    "secure pool (ServeConfig(secure=True))")
+            return None
+        base = self._secure_default
+        if all(value is None for value in overrides):
+            return base
+        from ..ppml.fixedpoint import FixedPointFormat  # lazy, validation only
+        from ..ppml.protocols import resolve_protocol
+
+        try:
+            name = resolve_protocol(protocol or base[0]).name
+        except KeyError as error:
+            raise ValueError(str(error)) from None
+        fmt = FixedPointFormat(
+            frac_bits=base[1] if frac_bits is None else int(frac_bits),
+            truncation=base[2] if truncation is None else str(truncation))
+        return (name, fmt.frac_bits, fmt.truncation)
 
     def submit_sleep(self, seconds: float) -> PoolFuture:
         """Occupy one worker for ``seconds`` (drain/failure testing, warm-up)."""
@@ -432,7 +534,8 @@ class WorkerPool:
         effective = timeout if timeout is not None else self.config.request_timeout
         return self.submit(sample).result(timeout=effective)
 
-    def _submit(self, kind: str, payload) -> PoolFuture:
+    def _submit(self, kind: str, payload,
+                secure: Optional[tuple] = None) -> PoolFuture:
         with self._lock:
             if not self._started:
                 raise PoolClosed("pool not started; call start() or use it as a "
@@ -444,7 +547,8 @@ class WorkerPool:
                 raise PoolSaturated(
                     f"{len(self._requests)} requests in flight >= watermark "
                     f"{self.config.effective_watermark}; retry later")
-            request = _Request(next(self._request_ids), kind, payload)
+            request = _Request(next(self._request_ids), kind, payload,
+                               secure=secure)
             if kind != "predict":
                 # Control requests (sleep) bypass batching: they exist to pin
                 # a specific worker, which the backlog would defeat.
@@ -463,6 +567,25 @@ class WorkerPool:
             if not decision.admitted:
                 self.rejected_budget += 1
                 raise self.admission.reject(decision)
+            if secure is not None and self.admission.enabled:
+                # Second admission gate, secure pools only: when the offline
+                # producers are so far behind that refilling enough quanta
+                # for everything already admitted (plus this request) would
+                # blow the latency budget, 429 now rather than stall later.
+                key = pool_key(secure[0], secure[1])
+                wait_ms = self.offline.estimated_wait_ms(
+                    key, len(self._requests) + 1)
+                budget_ms = self.config.latency_budget_ms
+                if wait_ms > budget_ms:
+                    self.rejected_precompute += 1
+                    retry_after = max(1, int(np.ceil(
+                        min(wait_ms, 3_600_000.0) / 1000.0)))
+                    raise AdmissionRejected(
+                        f"offline precompute behind: ~{wait_ms:.0f}ms to "
+                        f"refill triple pool '{key}' exceeds the "
+                        f"{budget_ms:.0f}ms budget; retry later",
+                        estimated_wait_ms=wait_ms, budget_ms=budget_ms,
+                        retry_after_s=retry_after)
             self._backlog.append(request)
             self._requests[request.request_id] = request
             self.submitted += 1
@@ -504,15 +627,35 @@ class WorkerPool:
                 return                     # every candidate queue is full
 
     def _cut_batch_locked(self) -> List[_Request]:
-        """Next batch off the backlog; only shape-compatible requests fuse."""
+        """Next batch off the backlog; only compatible requests fuse.
+
+        Compatibility is :func:`~repro.serve.batching.coalescing_key`: the
+        stacked shape, plus — on secure pools — the (protocol, frac_bits,
+        truncation) triple, so one frame never mixes secure configurations.
+        On secure pools the cut is additionally capped by the offline
+        material on hand: requests the triple pool cannot cover yet are
+        requeued at the front and the stall is recorded — FIFO order is
+        preserved, and the dispatcher's next tick retries once the
+        producers catch up.
+        """
         batch = self._backlog.cut(self.config.max_batch_size)
         if not batch:
             return []
-        shape = batch[0].payload.shape
-        same = [r for r in batch if r.payload.shape == shape]
-        rest = [r for r in batch if r.payload.shape != shape]
+        key = coalescing_key(batch[0])
+        same = [r for r in batch if coalescing_key(r) == key]
+        rest = [r for r in batch if coalescing_key(r) != key]
         if rest:
             self._backlog.requeue(rest)    # next cut takes them first
+        if self.offline is not None and same:
+            offline_key = pool_key(same[0].secure[0], same[0].secure[1])
+            covered = self.offline.available(offline_key)
+            if covered <= 0:
+                self.offline.note_stall(offline_key)
+                self._backlog.requeue(same)
+                return []
+            if covered < len(same):
+                self._backlog.requeue(same[covered:])
+                same = same[:covered]
         return same
 
     def _dispatch_batch_locked(self, handle: _WorkerHandle,
@@ -535,14 +678,32 @@ class WorkerPool:
                 self.inline_dispatches += 1
         if payload is None:
             payload = ("inline", stacked)
+        frame = ("batch", batch_id,
+                 [request.request_id for request in requests], payload)
+        if self.offline is not None:
+            # Secure frames carry their configuration: None selects the
+            # worker's default compilation, a dict a lazily-compiled variant.
+            key = requests[0].secure
+            meta = (None if key == self._secure_default else
+                    {"protocol": key[0], "frac_bits": key[1],
+                     "truncation": key[2]})
+            frame = frame + (meta,)
         try:
-            handle.request_queue.put_nowait(
-                ("batch", batch_id,
-                 [request.request_id for request in requests], payload))
+            handle.request_queue.put_nowait(frame)
         except queue_module.Full:
             if slot is not None:
                 rings.request.release(slot, seq)
             return False
+        if self.offline is not None:
+            # Debit only after the frame is irrevocably committed to the
+            # worker — a queue-full requeue must not consume material.  A
+            # crash retry debits again: the respawned worker re-executes the
+            # forward, which really does consume fresh triples (so the
+            # invariant checked by the fault tests stays
+            # produced == available + consumed with consumed >= answers).
+            self.offline.consume(pool_key(requests[0].secure[0],
+                                          requests[0].secure[1]),
+                                 len(requests))
         now = time.perf_counter()
         handle.batches[batch_id] = Batch(batch_id, requests, slot, seq)
         handle.last_used = next(self._rr)
@@ -711,6 +872,12 @@ class WorkerPool:
                                           compute_ms, total_ms)
                 self.admission.observe(total_ms - queue_ms)
             self._pump_locked()
+        if self.offline is not None:
+            # Per-request protocol accounting measured by the worker — one
+            # ProtocolTrace.totals() per answered request.
+            secure_totals = (timings or {}).get("secure")
+            if secure_totals:
+                self.offline.record_served(secure_totals)
         for index, request in enumerate(batch.requests):
             request.future._resolve(np.array(outputs[index]))
 
@@ -879,7 +1046,22 @@ class WorkerPool:
                 },
                 "latency": self.stage_metrics.to_dict(),
                 "admission": self.admission.stats(),
+                "secure": self._secure_stats_locked(),
             }
+
+    def _secure_stats_locked(self) -> Optional[Dict[str, Any]]:
+        """The ``secure`` subtree of :meth:`stats` (``None`` on float pools)."""
+        if self.offline is None:
+            return None
+        protocol, frac_bits, truncation = self._secure_default
+        return {
+            "protocol": protocol,
+            "frac_bits": frac_bits,
+            "truncation": truncation,
+            "strategy": self.secure_strategy,
+            "rejected_precompute": self.rejected_precompute,
+            "offline": self.offline.stats(),
+        }
 
     def __repr__(self) -> str:
         return (f"WorkerPool(workers={self.config.workers}, "

@@ -13,14 +13,17 @@ either inline or through the worker's shared-memory rings):
 
 * parent → worker::
 
-      ("batch", batch_id, [request_ids], payload)   # the main data plane
+      ("batch", batch_id, [request_ids], payload[, meta])   # the data plane
       ("predict", request_id, sample)               # legacy single-sample
       ("sleep", request_id, seconds)                # drain tests, warm-up
       None                                          # drain and exit
 
   where ``payload`` is ``("shm", ShmFrame)`` — the stacked float32 batch is
   parked in the request ring — or ``("inline", ndarray)`` for the pipe
-  transport and for tensors that outgrew a slot.
+  transport and for tensors that outgrew a slot.  The optional fifth
+  element ``meta`` only appears on secure pools: ``None`` for the default
+  secure configuration, or ``{"protocol", "frac_bits", "truncation"}`` for
+  a per-request override (the worker compiles that variant lazily).
 
 * worker → parent::
 
@@ -32,7 +35,9 @@ either inline or through the worker's shared-memory rings):
 
   ``timings`` is ``{"read_ms": float, "compute_ms": [per-request floats]}``
   — durations measured on the worker's own clock, so the parent never has
-  to compare timestamps across processes.
+  to compare timestamps across processes.  Secure workers add a
+  ``"secure"`` key: one ``ProtocolTrace.totals()`` dict per request, which
+  is how per-request protocol accounting reaches ``GET /stats``.
 
 Batch execution honors the pool's bit-exactness contract: by default every
 request in a frame runs as its own batch-of-1 forward (identical bits to
@@ -64,12 +69,26 @@ def execute_request(predictor, kind: str, payload: Any, timeout: float) -> Any:
 
 def build_serving_predictor(spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
                             max_batch_size: int, max_wait: float,
-                            backend: str = "numpy"):
+                            backend: str = "numpy",
+                            secure: Optional[Dict[str, Any]] = None):
     """Rebuild the model from its IPC form and wrap it for serving.
 
     Split out of :func:`worker_main` so tests can exercise the
     deserialize → build → load → compile path in-process.  ``backend`` is the
     compute backend each worker compiles with (a :mod:`repro.backends` name).
+
+    When ``secure`` is given (a dict with ``protocol`` / ``frac_bits`` /
+    ``truncation`` / ``strategy``, i.e. the secure fields of
+    ``ServeConfig.to_dict()``), the model is converted PPML-friendly and
+    wrapped in a :class:`~repro.ppml.SecurePredictor` instead — the same
+    deserialize → build → load path, one code path either way, which is what
+    keeps served secure answers bit-identical to the single-process
+    ``Experiment.secure_predictor()``.  Empty ``protocol`` / ``strategy``
+    defer to the spec's ``ppml`` section; strategy ``"none"`` serves the
+    model unconverted (ReLUs cost garbled comparisons).
+
+    Either return type satisfies the :class:`repro.inference.Predictor`
+    protocol.
     """
     from ..experiment import ExperimentSpec
     from ..inference import BatchedPredictor
@@ -83,13 +102,27 @@ def build_serving_predictor(spec_dict: Dict[str, Any], state: Dict[str, np.ndarr
     if state:
         model.load_state_dict(dict(state))
     model.eval()
+    if secure is not None:
+        from .. import ppml
+
+        strategy = secure.get("strategy") or spec.ppml.strategy
+        if strategy != "none":
+            model, _ = ppml.to_ppml_friendly(model, strategy=strategy,
+                                             inplace=False)
+        return ppml.SecurePredictor(
+            model,
+            protocol=secure.get("protocol") or spec.ppml.protocol,
+            frac_bits=int(secure.get("frac_bits", 12)),
+            truncation=str(secure.get("truncation", "nearest")),
+            seed=spec.seed)
     return BatchedPredictor(model, max_batch_size=max_batch_size,
                             max_wait=max_wait, backend=backend)
 
 
 def run_batch(compiled, batch: np.ndarray,
-              fused: bool) -> Tuple[np.ndarray, List[float]]:
-    """Execute one stacked batch; returns (outputs, per-request compute ms).
+              fused: bool) -> Tuple[np.ndarray, List[float], Optional[List[Dict[str, int]]]]:
+    """Execute one stacked batch; returns (outputs, per-request compute ms,
+    per-request secure totals — or ``None`` on the float path).
 
     ``fused=False`` runs each sample as its own batch-of-1 forward — the
     exact compute path of ``BatchedPredictor`` serving one sample, so the
@@ -97,20 +130,31 @@ def run_batch(compiled, batch: np.ndarray,
     ``fused=True`` runs the whole stack in one forward (maximum throughput;
     float-associativity drift between batch sizes, as documented on
     ``BatchedPredictor``).
+
+    When ``compiled`` is a :class:`~repro.ppml.SecureCompiledModel`, each
+    batch-of-1 forward leaves its measured ``ProtocolTrace`` on
+    ``last_trace``; the totals are collected per request so the pool can
+    account for the offline material every answer consumed.  (Secure pools
+    never fuse — ``ServeConfig`` rejects the combination.)
     """
     with np.errstate(all="ignore"):          # serving tolerates non-finite
         if fused:
             clock = time.perf_counter()
             outputs = compiled(batch)
             elapsed_ms = (time.perf_counter() - clock) * 1000.0
-            return outputs, [elapsed_ms / len(batch)] * len(batch)
+            return outputs, [elapsed_ms / len(batch)] * len(batch), None
         rows = []
         timings = []
+        secure_totals: List[Dict[str, int]] = []
         for index in range(len(batch)):
             clock = time.perf_counter()
             rows.append(compiled(batch[index:index + 1]))
             timings.append((time.perf_counter() - clock) * 1000.0)
-        return np.concatenate(rows, axis=0), timings
+            trace = getattr(compiled, "last_trace", None)
+            if trace is not None:
+                secure_totals.append(trace.totals())
+        return (np.concatenate(rows, axis=0), timings,
+                secure_totals if secure_totals else None)
 
 
 def _batch_tensor(payload, request_ring) -> Tuple[np.ndarray, Optional[Any]]:
@@ -140,16 +184,32 @@ def _respond_batch(response_queue, response_ring, batch_id, request_ids,
     response_queue.put(("okb", batch_id, request_ids, ("inline", outputs), timings))
 
 
-def _serve_batch(compiled, message, request_ring, response_ring,
+def _resolve_compiled(predictor, meta: Optional[Dict[str, Any]]):
+    """The compiled model a batch frame should execute on.
+
+    ``meta`` is ``None`` for float pools and for secure requests in the
+    pool's default configuration; a per-request override dict selects (and
+    lazily compiles) the matching :meth:`SecurePredictor.variant`.
+    """
+    if not meta:
+        return predictor.compiled
+    return predictor.variant(protocol=meta.get("protocol"),
+                             frac_bits=meta.get("frac_bits"),
+                             truncation=meta.get("truncation"))
+
+
+def _serve_batch(predictor, message, request_ring, response_ring,
                  response_queue, fused: bool) -> None:
     """Answer one ("batch", ...) frame, isolating failures to its requests."""
-    _, batch_id, request_ids, payload = message
+    _, batch_id, request_ids, payload = message[:4]
+    meta = message[4] if len(message) > 4 else None
     frame = None
     try:
         clock = time.perf_counter()
+        compiled = _resolve_compiled(predictor, meta)
         batch, frame = _batch_tensor(payload, request_ring)
         read_ms = (time.perf_counter() - clock) * 1000.0
-        outputs, compute_ms = run_batch(compiled, batch, fused)
+        outputs, compute_ms, secure_totals = run_batch(compiled, batch, fused)
     except BaseException as error:  # noqa: BLE001 — must answer the callers
         response_queue.put(("errb", batch_id, request_ids,
                             f"{type(error).__name__}: {error}"))
@@ -160,8 +220,11 @@ def _serve_batch(compiled, message, request_ring, response_ring,
                 request_ring.release(frame.slot, frame.seq)
             except Exception:   # reclaimed under us — the parent gave up on us
                 pass
+    timings: Dict[str, Any] = {"read_ms": read_ms, "compute_ms": compute_ms}
+    if secure_totals is not None:
+        timings["secure"] = secure_totals
     _respond_batch(response_queue, response_ring, batch_id, request_ids,
-                   outputs, {"read_ms": read_ms, "compute_ms": compute_ms})
+                   outputs, timings)
 
 
 def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.ndarray],
@@ -195,7 +258,8 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
         spec_dict, state,
         max_batch_size=config_dict.get("max_batch_size", 8),
         max_wait=config_dict.get("max_wait", 0.002),
-        backend=config_dict.get("backend", "numpy"))
+        backend=config_dict.get("backend", "numpy"),
+        secure=config_dict if config_dict.get("secure") else None)
     fused = bool(config_dict.get("fused_batching", False))
     request_timeout = float(config_dict.get("request_timeout", 30.0))
     response_queue.put(("ready", worker_id, os.getpid()))
@@ -205,7 +269,7 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
             if message is None:
                 break
             if message[0] == "batch":
-                _serve_batch(predictor.compiled, message, request_ring,
+                _serve_batch(predictor, message, request_ring,
                              response_ring, response_queue, fused)
                 continue
             kind, request_id, payload = message
@@ -216,7 +280,7 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
                 response_queue.put(("err", request_id,
                                     f"{type(error).__name__}: {error}"))
     finally:
-        predictor.shutdown()
+        predictor.close()      # every Predictor implementation exposes close()
         response_queue.put(("bye", worker_id))
         for ring in (request_ring, response_ring):
             if ring is not None:

@@ -123,6 +123,7 @@ def test_bench_gate_runs_quick_benchmarks_and_uploads_results(workflow):
     assert "bench_serving_scaleout.py --quick" in runs
     assert "bench_dataloader_prefetch.py --quick" in runs
     assert "bench_secure_inference.py --quick" in runs
+    assert "bench_secure_serving.py --quick" in runs
     upload = next(step for step in steps if "upload-artifact" in step.get("uses", ""))
     assert upload["with"]["path"].startswith("benchmarks/results")
 

@@ -81,6 +81,62 @@ def test_secure_infer_writes_results_file(tmp_path, capsys):
 
 
 # --------------------------------------------------------------------------- #
+# The shared secure flag family (secure-infer and serve --secure)
+# --------------------------------------------------------------------------- #
+
+SECURE_FLAGS = ("--protocol", "--frac-bits", "--truncation", "--strategy")
+
+
+def subcommand_help(name: str, capsys) -> str:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([name, "--help"])
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("command", ["secure-infer", "serve"])
+def test_secure_flags_exist_on_both_secure_entry_points(command, capsys):
+    """The flag family is a shared argparse parent: both commands must
+    advertise all four flags, or the two secure surfaces have drifted."""
+    help_text = subcommand_help(command, capsys)
+    for flag in SECURE_FLAGS:
+        assert flag in help_text, f"'repro {command} --help' omits {flag}"
+
+
+def test_serve_advertises_its_secure_only_flags(capsys):
+    help_text = subcommand_help("serve", capsys)
+    assert "--secure" in help_text
+    assert "--triple-pool-depth" in help_text
+
+
+def test_secure_flag_defaults_agree_between_the_two_commands():
+    """Same parent parser => same defaults; parse both and compare."""
+    parser = build_parser()
+    infer_args = parser.parse_args(["secure-infer", "smoke"])
+    serve_args = parser.parse_args(["serve", "smoke"])
+    for flag in ("protocol", "frac_bits", "truncation", "strategy"):
+        assert getattr(infer_args, flag) == getattr(serve_args, flag), flag
+
+
+def test_serve_secure_flags_require_secure(capsys):
+    assert main(["serve", "smoke", "--frac-bits", "10"]) == 2
+    assert "--secure" in capsys.readouterr().err
+    assert main(["serve", "smoke", "--protocol", "gazelle",
+                 "--strategy", "square"]) == 2
+    err = capsys.readouterr().err
+    assert "--protocol" in err and "--strategy" in err
+
+
+def test_serve_secure_rejects_bad_frac_bits(capsys):
+    assert main(["serve", "smoke", "--secure", "--frac-bits", "40"]) == 2
+    assert "frac_bits" in capsys.readouterr().err
+
+
+def test_serve_secure_rejects_fused_batching(capsys):
+    assert main(["serve", "smoke", "--secure", "--fused-batching"]) == 2
+    assert "fused_batching" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
 # Registry-regenerated surfaces (the drift-proofing fix)
 # --------------------------------------------------------------------------- #
 

@@ -46,3 +46,44 @@ class TestServeConfig:
         config = ServeConfig()
         changed = config.with_(workers=4)
         assert changed.workers == 4 and config.workers == 2
+
+
+class TestSecureConfig:
+    def test_secure_defaults_validate(self):
+        config = ServeConfig(secure=True)
+        assert config.protocol == ""            # deferred to the spec
+        assert config.frac_bits == 12
+        assert config.truncation == "nearest"
+        assert config.triple_pool_depth == 0    # sized from the pipeline
+
+    @pytest.mark.parametrize("field, value", [
+        ("frac_bits", 0),
+        ("frac_bits", 40),
+        ("truncation", "round_up"),
+        ("protocol", "quantum"),
+        ("strategy", "prune"),
+        ("triple_pool_depth", -1),
+    ])
+    def test_invalid_secure_values_raise(self, field, value):
+        with pytest.raises(ValueError):
+            ServeConfig(**{field: value})
+
+    def test_secure_is_incompatible_with_fused_batching(self):
+        with pytest.raises(ValueError, match="fused_batching"):
+            ServeConfig(secure=True, fused_batching=True)
+
+    def test_effective_triple_pool_depth(self):
+        from repro.serve import PIPELINE_DEPTH
+
+        config = ServeConfig(secure=True, workers=3, max_batch_size=4)
+        assert config.effective_triple_pool_depth == 3 * PIPELINE_DEPTH * 4
+        assert ServeConfig(secure=True,
+                           triple_pool_depth=7).effective_triple_pool_depth == 7
+
+    def test_secure_dict_round_trip(self):
+        config = ServeConfig(secure=True, protocol="gazelle", frac_bits=10,
+                             truncation="stochastic", strategy="square",
+                             triple_pool_depth=5, port=0)
+        clone = ServeConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.to_dict()["secure"] is True

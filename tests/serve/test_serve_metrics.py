@@ -155,6 +155,19 @@ def stats_field_names(smoke) -> set:
     serving = ServingMetrics()
     serving.endpoint("/predict").record(1.0, 200)
     names |= set(serving.to_dict())
+
+    # The secure subtree: an unstarted secure pool reports the full schema
+    # too (its default triple pool exists before the warm-up sizes it).
+    secure_pool = WorkerPool(smoke.spec,
+                             config=ServeConfig(workers=1, secure=True))
+    secure = secure_pool.stats()["secure"]
+    names |= set(secure)
+    names |= set(secure["offline"])
+    names |= set(secure["offline"]["budget"])
+    names |= set(secure["offline"]["measured"])
+    for key, pool_counters in secure["offline"]["pools"].items():
+        names.add(key)                            # the 'delphi/f12'-style key
+        names |= set(pool_counters)
     return names
 
 
