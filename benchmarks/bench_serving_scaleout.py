@@ -26,6 +26,15 @@ latency on this host — so the gate tracks serving regressions, not hardware.
 It is enforced under the same >= 3 cores headroom rule; below that the
 verdict is printed report-only.
 
+The third experiment is the **allocation-count scenario**: the warm shm
+hot path (in-ring assembly + arena-backed ``out=`` execution) runs one
+steady-state batch under ``tracemalloc`` and the run fails if any source
+line's typical allocation reaches 1 KiB — i.e. if a tensor-sized buffer
+sneaks back onto the per-batch path.  This one is in-process arithmetic,
+so it is asserted at **any** core count.  Every run also appends its
+headline numbers to ``results/trajectory.jsonl`` so perf PRs have an
+append-only before/after record.
+
 Run with ``PYTHONPATH=src python benchmarks/bench_serving_scaleout.py``;
 ``--quick`` / ``REPRO_BENCH_QUICK=1`` is the CI mode (fewer samples, fewer
 pool sizes).
@@ -40,7 +49,8 @@ from pathlib import Path
 
 import numpy as np
 
-from common import fresh_seed, quick_mode, save_experiment
+from common import append_trajectory, fresh_seed, load_trajectory, quick_mode, \
+    save_experiment
 
 from repro.experiment import Experiment, get_preset
 from repro.inference import BatchedPredictor
@@ -162,6 +172,101 @@ def measure_open_loop(spec, state, workers: int, samples: np.ndarray,
     }
 
 
+def measure_allocations(spec, state, samples: np.ndarray) -> dict:
+    """Warm-worker heap allocations per batch on the shm hot path.
+
+    Runs the worker's exact data plane in-process — in-ring batch assembly
+    (``ShmRing.assemble``), arena-backed execution with ``out=`` into a
+    response-ring slot — under ``tracemalloc``, and reports any source line
+    whose typical allocation reaches 1 KiB during one steady-state batch.
+    Unlike the throughput gates this needs **no parallelism headroom**: it
+    is in-process arithmetic, so it is asserted at any core count.
+    """
+    import queue
+    import tracemalloc
+
+    from repro.serve.shm import ShmRing
+    from repro.serve.worker import ResponseArena, build_serving_predictor
+
+    predictor = build_serving_predictor(spec.to_dict(), state,
+                                        max_batch_size=8, max_wait=0.0)
+    compiled = predictor.compiled
+    responses = queue.SimpleQueue()
+    requests = np.ascontiguousarray(samples[:8])
+    with ShmRing(slots=4, slot_bytes=1 << 20) as request_ring, \
+            ShmRing(slots=4, slot_bytes=1 << 20) as response_ring:
+        arena = ResponseArena(response_ring)
+
+        def one_batch() -> None:
+            slot, seq = request_ring.lease()
+            view, frame = request_ring.assemble(
+                slot, seq, requests.shape, requests.dtype)
+            for index in range(len(requests)):
+                np.copyto(view[index], requests[index])
+            batch = request_ring.read(frame)
+            arena.serve(compiled, batch, False, 0,
+                        list(range(len(batch))), 0.0, responses)
+            request_ring.release(slot, seq)
+            _, _, _, (via, out_frame), _ = responses.get()
+            assert via == "shm", "response fell off the ring path"
+            response_ring.release(out_frame.slot, out_frame.seq)
+
+        one_batch()                # cold: discovers output-row geometry
+        one_batch()                # warm-up
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        one_batch()                # the measured steady-state batch
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+    predictor.close()
+
+    diffs = [stat for stat in after.compare_to(before, "lineno")
+             if stat.size_diff > 0]
+    offenders = [stat for stat in diffs
+                 if stat.count_diff > 0
+                 and stat.size_diff / stat.count_diff >= 1024]
+    total_bytes = sum(stat.size_diff for stat in diffs)
+    rows = [["batch size", f"{len(requests)}"],
+            ["heap bytes per warm batch", f"{total_bytes:,d} "
+             "(interpreter noise: view headers, tuples)"],
+            ["tensor-sized allocations (>= 1 KiB)", f"{len(offenders)}"],
+            ["verdict", "PASS" if not offenders else "FAIL"]]
+    print(format_table(
+        ["Warm-worker allocations", "value"], rows,
+        title="Allocation-free hot path (gated at any core count)"))
+    return {
+        "batch_size": len(requests),
+        "heap_bytes_per_batch": total_bytes,
+        "tensor_sized_allocations": len(offenders),
+        "offending_lines": [f"{stat.traceback[0].filename}:"
+                            f"{stat.traceback[0].lineno}"
+                            for stat in offenders],
+    }
+
+
+def compare_with_previous(record: dict) -> None:
+    """Print this run against the previous trajectory entry, if any."""
+    history = load_trajectory("serving_scaleout")
+    if not history:
+        print("\ntrajectory: first recorded run")
+        return
+    previous = history[-1]
+    fields = (("baseline_samples_per_s", "samples/s"),
+              ("best_pool_samples_per_s", "samples/s"),
+              ("open_loop_p99_ms", "ms"),
+              ("heap_bytes_per_batch", "B"))
+    lines = []
+    for field, unit in fields:
+        now, then = record.get(field), previous.get(field)
+        if now is None or then is None:
+            continue
+        delta = now - then
+        lines.append(f"  {field}: {now:,.1f} {unit} "
+                     f"({'+' if delta >= 0 else ''}{delta:,.1f} vs last run)")
+    print("\ntrajectory vs previous run:")
+    print("\n".join(lines) if lines else "  (no comparable fields)")
+
+
 def main() -> None:
     quick = quick_mode()
     num_samples = QUICK_SAMPLES if quick else SAMPLES
@@ -212,6 +317,8 @@ def main() -> None:
         np.concatenate([samples] * (1 + open_count // len(samples)))[:open_count],
         open_rps, enforce)
 
+    allocations = measure_allocations(experiment.spec, state, samples)
+
     save_experiment("serving_scaleout", {
         "quick_mode": quick,
         "cpus": cores,
@@ -221,7 +328,28 @@ def main() -> None:
         "min_scaleout": MIN_SCALEOUT,
         "pool_sweep": sweep,
         "open_loop": open_loop,
+        "allocations": allocations,
     })
+
+    headline = {
+        "quick_mode": quick,
+        "cpus": cores,
+        "baseline_samples_per_s": baseline_rps,
+        "best_pool_samples_per_s": max(entry["samples_per_s"]
+                                       for entry in sweep),
+        "best_vs_baseline": max(entry["vs_baseline"] for entry in sweep),
+        "open_loop_p99_ms": open_loop["client"]["p99_ms"],
+        "heap_bytes_per_batch": allocations["heap_bytes_per_batch"],
+        "tensor_sized_allocations": allocations["tensor_sized_allocations"],
+    }
+    compare_with_previous(headline)
+    append_trajectory("serving_scaleout", headline)
+
+    # Allocation gate: in-process, so it holds regardless of core count.
+    assert allocations["tensor_sized_allocations"] == 0, (
+        "allocation regression: tensor-sized heap allocations on the warm "
+        f"shm hot path at {allocations['offending_lines']}")
+    print("\nallocation gate passed: 0 tensor-sized allocations per warm batch")
 
     if enforce:
         slo = open_loop["slo"]

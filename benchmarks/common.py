@@ -67,6 +67,52 @@ def save_experiment(name: str, results: Dict) -> str:
     return path
 
 
+def append_trajectory(name: str, record: Dict) -> str:
+    """Append one run's headline numbers to ``results/trajectory.jsonl``.
+
+    One JSON object per line: ``{"benchmark", "timestamp", **record}``.
+    The per-benchmark ``<name>.json`` snapshot is overwritten on every run;
+    this file is the append-only history — the trend line a perf PR points
+    at to show the before/after, and what :func:`load_trajectory` reads to
+    compare a run against the previous one.
+    """
+    import json
+    import time
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "trajectory.jsonl")
+    entry = {"benchmark": str(name), "timestamp": time.time(), **record}
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_trajectory(name: str = None) -> list:
+    """Trajectory records oldest-first, optionally one benchmark's only.
+
+    Tolerates a truncated final line (a run killed mid-append) by skipping
+    anything that does not parse.
+    """
+    import json
+
+    path = os.path.join(RESULTS_DIR, "trajectory.jsonl")
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if name is None or entry.get("benchmark") == name:
+                records.append(entry)
+    return records
+
+
 def fresh_seed(offset: int = 0) -> None:
     """Deterministic seeding per benchmark."""
     seed_everything(1234 + offset)

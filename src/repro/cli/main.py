@@ -518,6 +518,7 @@ def _serve_config(args: argparse.Namespace):
             ("--truncation", args.truncation == "nearest"),
             ("--strategy", args.strategy is None),
             ("--triple-pool-depth", args.triple_pool_depth == 0),
+            ("--producer-workers", args.producer_workers == 0),
         ) if not untouched]
         if touched:
             raise CLIError(f"{', '.join(touched)} require(s) --secure")
@@ -534,7 +535,9 @@ def _serve_config(args: argparse.Namespace):
                            frac_bits=args.frac_bits,
                            truncation=args.truncation,
                            strategy=args.strategy or "",
-                           triple_pool_depth=args.triple_pool_depth)
+                           triple_pool_depth=args.triple_pool_depth,
+                           pipeline_depth=args.pipeline_depth,
+                           producer_workers=args.producer_workers)
     except ValueError as error:
         raise CLIError(str(error)) from None
 
@@ -1030,9 +1033,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "SecurePredictors, a traced warm-up sizes the offline "
                             "Beaver-triple/GC-label pools, and /stats reports "
                             "per-request protocol accounting")
+    serve.add_argument("--pipeline-depth", type=int, default=0,
+                       help="batches in flight per worker: 0 (default) adapts "
+                            "within 1..4 from measured stage percentiles, "
+                            "1..4 pins the depth")
     serve.add_argument("--triple-pool-depth", type=int, default=0,
                        help="offline pool depth in request quanta (0 = sized from "
-                            "workers * pipeline depth * max-batch-size)")
+                            "workers * max pipeline depth * max-batch-size)")
+    serve.add_argument("--producer-workers", type=int, default=0,
+                       help="offline-phase producer processes per triple pool "
+                            "(0 = in-process producer thread; requires --secure)")
     serve.add_argument("--self-test", type=int, default=None, metavar="N",
                        help="serve N synthetic requests against this server, verify "
                             "them bit-for-bit against the in-process predictor, then exit")

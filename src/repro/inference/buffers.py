@@ -51,6 +51,16 @@ class BufferPool:
             self.allocations += 1
         return buffer
 
+    @property
+    def hits(self) -> int:
+        """Rentals served from cache — a warm pool's requests are all hits.
+
+        The serving arena's tracemalloc probes assert on this: once every
+        output geometry has been seen, ``allocations`` stops moving and
+        ``hits`` tracks ``requests`` one-for-one.
+        """
+        return self.requests - self.allocations
+
     def clear(self) -> None:
         """Drop every cached buffer (e.g. after an input-resolution change)."""
         self._buffers.clear()

@@ -152,17 +152,30 @@ class CompiledModel:
     def backend_name(self) -> str:
         return self.backend.name
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Run the compiled forward on a batched input array."""
+    def __call__(self, x: np.ndarray,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Run the compiled forward on a batched input array.
+
+        ``out``, when given, receives the result in place (shapes must
+        match) and is returned — the allocation-free path serving workers
+        use to write straight into a response ring slot or a pooled arena
+        buffer instead of a fresh heap array per call.
+        """
         if isinstance(x, Tensor):
             x = x.data
-        out = np.asarray(x, dtype=np.float32)
+        result = np.asarray(x, dtype=np.float32)
         with inference_mode():
             for step in self._steps:
-                out = step(out)
-        # The last step may return a pooled buffer; hand the caller a copy it
-        # can hold on to across calls.
-        return np.array(out, copy=True)
+                result = step(result)
+        # The last step may return a pooled buffer the next call overwrites;
+        # the caller gets a fresh copy — or their own ``out`` storage.
+        if out is None:
+            return np.array(result, copy=True)
+        if out.shape != result.shape:
+            raise ValueError(
+                f"out has shape {out.shape}, forward produced {result.shape}")
+        np.copyto(out, result, casting="same_kind")
+        return out
 
     def warmup(self, sample_shape: Tuple[int, ...],
                batch_sizes: Sequence[int] = (1,)) -> "CompiledModel":

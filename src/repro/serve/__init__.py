@@ -45,7 +45,16 @@ subcommand.
 """
 
 from .admission import AdmissionController, AdmissionRejected
-from .batching import PIPELINE_DEPTH, RequestBacklog, coalescing_key
+from .batching import (
+    DEFAULT_PIPELINE_DEPTH,
+    MAX_PIPELINE_DEPTH,
+    MIN_PIPELINE_DEPTH,
+    PIPELINE_DEPTH,
+    PipelineController,
+    RequestBacklog,
+    coalescing_key,
+    ring_slots,
+)
 from .cache import LRUCache, input_digest
 from .config import ServeConfig
 from .http import AsyncFrontDoor, ServingApp, ServingServer
@@ -69,9 +78,14 @@ from .worker import build_serving_predictor, worker_main
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "DEFAULT_PIPELINE_DEPTH",
+    "MAX_PIPELINE_DEPTH",
+    "MIN_PIPELINE_DEPTH",
     "PIPELINE_DEPTH",
+    "PipelineController",
     "RequestBacklog",
     "coalescing_key",
+    "ring_slots",
     "LRUCache",
     "input_digest",
     "ServeConfig",

@@ -15,21 +15,50 @@ moment it arrives (no added latency); under heavy load batches grow toward
 ``max_batch_size`` naturally, because requests accumulate exactly while all
 workers are busy.  Batch size adapts to load instead of being configured.
 
-The pool keeps at most :data:`PIPELINE_DEPTH` batches in flight per worker:
-one computing, one parked in the worker's queue so the worker never idles
-between batches.  Deeper pipelining would only grow queue latency — a
-request is better off in the backlog (where it can still be shed, retried
-or batched with later arrivals) than committed to a specific worker.
+The pool keeps a bounded number of batches in flight per worker: one
+computing, plus enough parked in the worker's queue that the worker never
+idles between batches.  How many "enough" is depends on the workload —
+when transport dominates compute the pipe must be deeper to hide it, and
+when compute dominates anything beyond one parked batch only grows queue
+latency: a request is better off in the backlog (where it can still be
+shed, retried or batched with later arrivals) than committed to a specific
+worker.  :class:`PipelineController` picks the depth per worker from the
+measured stage percentiles, bounded to
+[:data:`MIN_PIPELINE_DEPTH`, :data:`MAX_PIPELINE_DEPTH`].
 """
 
 from __future__ import annotations
 
 import collections
+import math
 import time
 from typing import Any, Deque, List, Optional
 
-#: batches in flight per worker: one computing + one queued behind it.
-PIPELINE_DEPTH = 2
+#: the adaptive depth never drops below one batch in flight…
+MIN_PIPELINE_DEPTH = 1
+#: …and never commits more than four to a single worker (beyond that the
+#: marginal batch only sits in the worker's queue accruing latency it could
+#: have avoided in the shed-able backlog).
+MAX_PIPELINE_DEPTH = 4
+#: starting depth (one computing + one parked) until measurements arrive.
+DEFAULT_PIPELINE_DEPTH = 2
+
+#: Backwards-compatible alias for the pre-adaptive constant; new code should
+#: consult a :class:`PipelineController` (or ``ServeConfig.pipeline_depth``).
+PIPELINE_DEPTH = DEFAULT_PIPELINE_DEPTH
+
+
+def ring_slots(max_depth: int = MAX_PIPELINE_DEPTH) -> int:
+    """Request/response ring slots needed to sustain ``max_depth`` in flight.
+
+    One slot per in-flight batch, plus two spare: one so a response can be
+    leased while every request slot is still occupied, one so a crash retry
+    can re-lease before the reclaimed slot's frame is drained.  This is the
+    single source of truth for auto ring sizing — the pool must size rings
+    for the *maximum* depth the controller may reach, not the default, or
+    dispatch stalls on RingFull exactly when the controller ramps up.
+    """
+    return int(max_depth) + 2
 
 
 def coalescing_key(request: Any) -> tuple:
@@ -98,6 +127,75 @@ class RequestBacklog:
 
     def __repr__(self) -> str:
         return f"RequestBacklog({len(self._queue)} pending)"
+
+
+class PipelineController:
+    """Per-worker in-flight depth, tuned from measured stage percentiles.
+
+    The steady-state rule is Little's-law shaped: to keep a worker busy
+    while a batch crosses the transport, the pool needs
+    ``1 + ceil(transport_p95 / compute_p50)`` batches committed — one
+    computing plus enough in the queue to cover the hand-off gap.  Two
+    guard rails temper it:
+
+    * **cold start** — below :attr:`MIN_SAMPLES` compute observations the
+      controller holds :data:`DEFAULT_PIPELINE_DEPTH`; early percentiles
+      are noise.
+    * **variance cap** — when ``compute_p99 > 4 x compute_p50`` the service
+      times are too erratic for deep commitment (a slow batch would strand
+      everything queued behind it on this worker), so the target is capped
+      at the default.
+
+    Depth moves at most one step per :meth:`update` (hysteresis: the
+    reservoir percentiles drift slowly, and oscillating depth would thrash
+    ring occupancy).  ``fixed`` pins the depth and disables adaptation —
+    the ``ServeConfig.pipeline_depth`` override.
+    """
+
+    #: compute observations required before the controller trusts percentiles
+    MIN_SAMPLES = 16
+
+    def __init__(self, stages: Any = None, fixed: int = 0) -> None:
+        if fixed and not MIN_PIPELINE_DEPTH <= fixed <= MAX_PIPELINE_DEPTH:
+            raise ValueError(
+                f"fixed pipeline depth must be in "
+                f"[{MIN_PIPELINE_DEPTH}, {MAX_PIPELINE_DEPTH}], got {fixed}")
+        self._stages = stages
+        self._fixed = int(fixed)
+        self.depth = self._fixed or DEFAULT_PIPELINE_DEPTH
+        self.raises = 0
+        self.lowers = 0
+
+    @property
+    def fixed(self) -> bool:
+        return bool(self._fixed)
+
+    def update(self) -> int:
+        """Re-evaluate the target depth; returns the (possibly new) depth."""
+        if self._fixed or self._stages is None:
+            return self.depth
+        compute = self._stages.stage("compute")
+        if compute.count < self.MIN_SAMPLES:
+            return self.depth
+        compute_p50 = compute.percentile(50)
+        if compute_p50 <= 0.0:
+            return self.depth
+        transport_p95 = self._stages.stage("transport").percentile(95)
+        target = 1 + math.ceil(transport_p95 / compute_p50)
+        if compute.percentile(99) > 4.0 * compute_p50:
+            target = min(target, DEFAULT_PIPELINE_DEPTH)
+        target = max(MIN_PIPELINE_DEPTH, min(MAX_PIPELINE_DEPTH, target))
+        if target > self.depth:
+            self.depth += 1
+            self.raises += 1
+        elif target < self.depth:
+            self.depth -= 1
+            self.lowers += 1
+        return self.depth
+
+    def __repr__(self) -> str:
+        mode = "fixed" if self._fixed else "adaptive"
+        return f"PipelineController(depth={self.depth}, {mode})"
 
 
 class Batch:

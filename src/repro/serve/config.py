@@ -110,8 +110,20 @@ class ServeConfig:
     triple_pool_depth : int
         Target depth of each offline pool in *request quanta* (one quantum
         = all the Beaver triples and garbled labels one request consumes).
-        ``0`` (default) auto-sizes to cover the dispatch pipeline:
-        ``workers * PIPELINE_DEPTH * max_batch_size``.
+        ``0`` (default) auto-sizes to cover the dispatch pipeline at its
+        maximum adaptive depth:
+        ``workers * effective_max_pipeline_depth * max_batch_size``.
+    pipeline_depth : int
+        Batches in flight per worker.  ``0`` (default) lets each worker's
+        :class:`~repro.serve.batching.PipelineController` adapt the depth
+        within [:data:`~repro.serve.batching.MIN_PIPELINE_DEPTH`,
+        :data:`~repro.serve.batching.MAX_PIPELINE_DEPTH`] from measured
+        stage percentiles; a non-zero value pins it.
+    producer_workers : int
+        Offline-phase producer *processes* per triple pool (secure serving
+        only).  ``0`` (default) keeps the in-process producer thread —
+        fine until refill is CPU-bound on the GIL; ``N >= 1`` spawns N
+        generator processes per pool.
     """
 
     workers: int = 2
@@ -139,6 +151,8 @@ class ServeConfig:
     truncation: str = "nearest"
     strategy: str = ""
     triple_pool_depth: int = 0
+    pipeline_depth: int = 0
+    producer_workers: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -204,6 +218,20 @@ class ServeConfig:
         if self.triple_pool_depth < 0:
             raise ValueError(f"triple_pool_depth must be >= 0 (0 = auto), "
                              f"got {self.triple_pool_depth}")
+        from .batching import MAX_PIPELINE_DEPTH, MIN_PIPELINE_DEPTH  # lazy
+
+        if self.pipeline_depth and not (
+                MIN_PIPELINE_DEPTH <= self.pipeline_depth <= MAX_PIPELINE_DEPTH):
+            raise ValueError(
+                f"pipeline_depth must be 0 (adaptive) or in "
+                f"{MIN_PIPELINE_DEPTH}..{MAX_PIPELINE_DEPTH}, "
+                f"got {self.pipeline_depth}")
+        if self.pipeline_depth < 0:
+            raise ValueError(f"pipeline_depth must be >= 0 (0 = adaptive), "
+                             f"got {self.pipeline_depth}")
+        if self.producer_workers < 0:
+            raise ValueError(f"producer_workers must be >= 0 (0 = thread), "
+                             f"got {self.producer_workers}")
         if self.secure and self.fused_batching:
             raise ValueError(
                 "secure serving is incompatible with fused_batching: PPML "
@@ -216,14 +244,24 @@ class ServeConfig:
         return self.watermark if self.watermark > 0 else self.workers * self.queue_depth
 
     @property
+    def effective_max_pipeline_depth(self) -> int:
+        """The deepest per-worker pipeline this deployment can reach — the
+        pinned ``pipeline_depth`` when set, else the adaptive ceiling.  Ring
+        and triple-pool sizing must cover this, not the default depth."""
+        if self.pipeline_depth > 0:
+            return self.pipeline_depth
+        from .batching import MAX_PIPELINE_DEPTH  # lazy: avoid an import cycle
+
+        return MAX_PIPELINE_DEPTH
+
+    @property
     def effective_triple_pool_depth(self) -> int:
         """The offline pool depth actually targeted (resolves ``0`` = auto to
-        one request quantum per slot of the dispatch pipeline)."""
+        one request quantum per slot of the dispatch pipeline at its maximum
+        reachable depth)."""
         if self.triple_pool_depth > 0:
             return self.triple_pool_depth
-        from .batching import PIPELINE_DEPTH  # lazy: avoid an import cycle
-
-        return self.workers * PIPELINE_DEPTH * self.max_batch_size
+        return self.workers * self.effective_max_pipeline_depth * self.max_batch_size
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

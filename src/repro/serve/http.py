@@ -11,7 +11,9 @@ Three endpoints, all JSON:
 * ``GET /healthz`` — ``200 {"status": "ok"}`` while serving, ``503`` with
   ``"draining"``/``"unhealthy"`` while shutting down or with dead workers.
   A pool over its latency *budget* stays ``200``: busy is not broken.
-* ``GET /stats`` — cache, per-endpoint latency percentiles, pool counters.
+* ``GET /stats`` — cache, per-endpoint latency percentiles, pool counters
+  (transport/assembly fallbacks, the adaptive ``pipeline`` depth subtree,
+  per-stage latency reservoirs, and the ``secure`` accounting section).
 
 The server is a single-threaded :func:`asyncio.start_server` loop running in
 one background thread.  Handlers do no inference — they parse, consult the

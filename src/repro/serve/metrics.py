@@ -93,6 +93,15 @@ class ReservoirSample:
         with self._lock:
             return len(self._values)
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the current sample (0.0 when empty).
+
+        The read side of adaptive control loops — the pipeline-depth
+        controller asks a stage reservoir for its p50/p95/p99 on every
+        re-target tick.
+        """
+        return percentile(self.values(), q)
+
     def percentiles(self, qs: Iterable[float] = PERCENTILES) -> Dict[str, float]:
         values = self.values()
         return {f"p{q:g}": round(percentile(values, q), 3) for q in qs}

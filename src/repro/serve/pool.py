@@ -59,7 +59,9 @@ import numpy as np
 from ..experiment import ExperimentSpec
 from ..ppml.offline import OfflinePhase, pool_key
 from .admission import AdmissionController, AdmissionRejected
-from .batching import PIPELINE_DEPTH, Batch, RequestBacklog, coalescing_key
+from .batching import (MAX_PIPELINE_DEPTH, MIN_PIPELINE_DEPTH, Batch,
+                       PipelineController, RequestBacklog, coalescing_key,
+                       ring_slots)
 from .config import ServeConfig
 from .metrics import StageMetrics, split_batch_timings
 from .shm import RingFull, StaleFrame, WorkerRings
@@ -170,12 +172,14 @@ class _WorkerHandle:
 
     ``in_flight`` tracks every request currently committed to this worker —
     batched or not — and is what crash recovery walks.  ``batches`` tracks
-    the frame-level bookkeeping (ring slots, dispatch times) of the at most
-    :data:`~repro.serve.batching.PIPELINE_DEPTH` batch frames in flight.
+    the frame-level bookkeeping (ring slots, dispatch times) of the batch
+    frames in flight, bounded by ``pipeline.depth`` — the per-worker
+    :class:`~repro.serve.batching.PipelineController`'s current target.
     """
 
     def __init__(self, worker_id: int, generation: int, process, request_queue,
-                 response_queue) -> None:
+                 response_queue,
+                 pipeline: Optional[PipelineController] = None) -> None:
         self.worker_id = worker_id
         self.generation = generation
         self.process = process
@@ -183,6 +187,7 @@ class _WorkerHandle:
         self.response_queue = response_queue
         self.in_flight: Dict[int, _Request] = {}
         self.batches: Dict[int, Batch] = {}
+        self.pipeline = pipeline if pipeline is not None else PipelineController()
         self.ready = threading.Event()
         self.served = 0
         self.last_used = 0
@@ -202,6 +207,7 @@ class _WorkerHandle:
             "served": self.served,
             "in_flight": len(self.in_flight),
             "batches": len(self.batches),
+            "pipeline_depth": self.pipeline.depth,
         }
 
 
@@ -210,10 +216,11 @@ class _WorkerHandle:
 #: corrupt weights) must not become an infinite spawn storm.
 MAX_EARLY_CRASHES = 3
 
-#: auto ring geometry: a few slots beyond the dispatch pipeline, and slots
-#: of 1 MiB — comfortably a max_batch_size batch of any smoke-scale input;
-#: bigger tensors transparently fall back to the inline (pipe) path.
-_AUTO_RING_SLOTS = PIPELINE_DEPTH + 2
+#: auto ring geometry: slot count comes from :func:`ring_slots` (sized for
+#: the *maximum* adaptive pipeline depth, or a dispatch burst could stall on
+#: RingFull exactly when the controller ramps up), and slots of 1 MiB —
+#: comfortably a max_batch_size batch of any smoke-scale input; bigger
+#: tensors transparently fall back to the inline (pipe) path.
 _AUTO_SLOT_BYTES = 1 << 20
 
 
@@ -274,6 +281,7 @@ class WorkerPool:
         self.rejected_precompute = 0    # secure: offline pool too far behind
         self.inline_dispatches = 0      # shm configured but frame went inline
         self.inline_responses = 0
+        self.assembly_fallbacks = 0     # in-ring assembly fell back to stack
         # Secure serving: resolve the spec-deferred knobs once and stand up
         # the (still unsized) offline phase; start() runs the warm-up trace.
         self.offline: Optional[OfflinePhase] = None
@@ -290,7 +298,8 @@ class WorkerPool:
             self.offline = OfflinePhase(
                 protocol, self.config.frac_bits, self.config.truncation,
                 depth=self.config.effective_triple_pool_depth,
-                seed=parsed.seed)
+                seed=parsed.seed,
+                producer_workers=self.config.producer_workers)
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> "WorkerPool":
@@ -373,7 +382,8 @@ class WorkerPool:
             return None
         rings = self._rings.get(worker_id)
         if rings is None:
-            slots = self.config.shm_slots or _AUTO_RING_SLOTS
+            slots = self.config.shm_slots or ring_slots(
+                self.config.effective_max_pipeline_depth)
             slot_bytes = self.config.shm_slot_bytes or _AUTO_SLOT_BYTES
             try:
                 rings = self._rings[worker_id] = WorkerRings(slots, slot_bytes)
@@ -400,7 +410,10 @@ class WorkerPool:
             name=f"repro-serve-worker-{worker_id}",
         )
         process.start()
-        return _WorkerHandle(worker_id, generation, process, request_queue, response_queue)
+        return _WorkerHandle(
+            worker_id, generation, process, request_queue, response_queue,
+            pipeline=PipelineController(self.stage_metrics,
+                                        fixed=self.config.pipeline_depth))
 
     def stop_accepting(self) -> None:
         """Refuse new submissions while letting in-flight work finish."""
@@ -607,7 +620,7 @@ class WorkerPool:
         while self._backlog:
             candidates = [handle for handle in self._workers.values()
                           if handle.alive and not handle.stopping
-                          and len(handle.batches) < PIPELINE_DEPTH]
+                          and len(handle.batches) < handle.pipeline.depth]
             if not candidates:
                 return
             candidates.sort(key=lambda handle: (len(handle.in_flight),
@@ -660,24 +673,39 @@ class WorkerPool:
 
     def _dispatch_batch_locked(self, handle: _WorkerHandle,
                                requests: List[_Request]) -> bool:
-        """Ship one batch frame to ``handle``; False if its queue is full."""
+        """Ship one batch frame to ``handle``; False if its queue is full.
+
+        The batch tensor is assembled *inside* the leased ring slot: the
+        slot is claimed first and each request's payload is scattered
+        straight into its row of a writable view — no intermediate
+        ``np.stack`` array, no second copy.  Any assembly failure (ring
+        full, batch too big for a slot) releases the lease and falls back
+        to the inline path, which stacks on the heap exactly as before —
+        bit-identical either way, since both paths copy the same rows in
+        the same order.
+        """
         batch_id = next(self._batch_ids)
-        stacked = np.stack([request.payload for request in requests])
         rings = self._rings.get(handle.worker_id)
         slot = seq = None
         payload = None
         if rings is not None:
+            head = requests[0].payload
             try:
                 slot, seq = rings.request.lease()
-                frame = rings.request.write(slot, seq, stacked)
-                payload = ("shm", frame)
-            except (RingFull, ValueError):
-                if slot is not None:       # leased but the tensor didn't fit
+                view, shm_frame = rings.request.assemble(
+                    slot, seq, (len(requests),) + head.shape, head.dtype)
+                for index, request in enumerate(requests):
+                    np.copyto(view[index], request.payload)
+                payload = ("shm", shm_frame)
+            except (RingFull, ValueError, TypeError):
+                if slot is not None:       # leased but the batch didn't fit
                     rings.request.release(slot, seq)
                 slot = seq = None
                 self.inline_dispatches += 1
+                self.assembly_fallbacks += 1
         if payload is None:
-            payload = ("inline", stacked)
+            payload = ("inline",
+                       np.stack([request.payload for request in requests]))
         frame = ("batch", batch_id,
                  [request.request_id for request in requests], payload)
         if self.offline is not None:
@@ -755,6 +783,7 @@ class WorkerPool:
     def _dispatch_loop(self) -> None:
         """Resolve responses and supervise worker processes."""
         last_liveness_check = 0.0
+        last_pipeline_update = 0.0
         while True:
             with self._lock:
                 if self._closed and not self._requests:
@@ -769,6 +798,14 @@ class WorkerPool:
             if now - last_liveness_check >= 0.1:
                 last_liveness_check = now
                 self._reap_dead_workers()
+            if now - last_pipeline_update >= 0.25:
+                # Re-target every controller from the latest percentiles; a
+                # raised depth creates dispatch room, so pump right after.
+                last_pipeline_update = now
+                with self._lock:
+                    for handle in self._workers.values():
+                        handle.pipeline.update()
+                    self._pump_locked()
             if not got_any:
                 time.sleep(0.002)
 
@@ -1042,7 +1079,20 @@ class WorkerPool:
                     "fused_batching": self.config.fused_batching,
                     "inline_dispatches": self.inline_dispatches,
                     "inline_responses": self.inline_responses,
+                    "assembly_fallbacks": self.assembly_fallbacks,
                     "rings": ring_stats or None,
+                },
+                "pipeline": {
+                    "configured_depth": self.config.pipeline_depth,
+                    "min_depth": MIN_PIPELINE_DEPTH,
+                    "max_depth": MAX_PIPELINE_DEPTH,
+                    "pipeline_depth_current": {
+                        str(handle.worker_id): handle.pipeline.depth
+                        for handle in self._workers.values()},
+                    "raises": sum(handle.pipeline.raises
+                                  for handle in self._workers.values()),
+                    "lowers": sum(handle.pipeline.lowers
+                                  for handle in self._workers.values()),
                 },
                 "latency": self.stage_metrics.to_dict(),
                 "admission": self.admission.stats(),

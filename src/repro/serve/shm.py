@@ -222,6 +222,24 @@ class ShmRing:
             array.flags.writeable = False
         return array
 
+    def assemble(self, slot: int, seq: int, shape: Tuple[int, ...],
+                 dtype: Any) -> Tuple[np.ndarray, ShmFrame]:
+        """A writable view for building a tensor *in place*, plus its frame.
+
+        The producer-side sibling of :meth:`write` for callers that want to
+        scatter many sources straight into the slot (in-ring batch assembly)
+        instead of stacking them into a heap array first.  The header's
+        nbytes word is stamped immediately — the frame is valid to send the
+        moment the caller finishes filling the view.  Raises ``ValueError``
+        when the tensor would not fit the slot, exactly like :meth:`write`.
+        """
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dt.itemsize if shape else dt.itemsize
+        view = self.view(slot, seq, tuple(shape), dt, writable=True)
+        self._headers[slot, 2] = nbytes
+        return view, ShmFrame(slot=slot, seq=seq, shape=tuple(shape),
+                              dtype=str(dt), nbytes=nbytes)
+
     def read(self, frame: ShmFrame) -> np.ndarray:
         """The (read-only, zero-copy) tensor a :class:`ShmFrame` describes."""
         return self.view(frame.slot, frame.seq, frame.shape, frame.dtype)

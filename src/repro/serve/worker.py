@@ -157,6 +157,116 @@ def run_batch(compiled, batch: np.ndarray,
                 secure_totals if secure_totals else None)
 
 
+class ResponseArena:
+    """Per-worker reusable output storage — the allocation-free answer path.
+
+    A warm float worker should not touch the heap per batch: request rows
+    arrive as views on the request ring, and this arena gives the compiled
+    model somewhere persistent to put the answers.  Preferred storage is a
+    leased **response-ring slot** (``ShmRing.assemble``): each per-request
+    forward runs with ``out=`` straight into its row of the slot, so the
+    response is ready to ship the moment the last row lands — zero copies,
+    zero allocations.  When the ring is full (parent stalled) the rows land
+    in a pooled arena buffer instead (:class:`~repro.inference.buffers.
+    BufferPool`, the PR-6 machinery — one allocation ever per output
+    geometry), and the respond step retries the ring with a copy.
+
+    The output row geometry for an input row shape is discovered on the
+    first batch (one ordinary allocating forward) and cached; every later
+    batch of that shape is served without asking the heap.  Secure batches
+    never come here — their compiled models trace protocol rounds and do
+    not take ``out=``.
+    """
+
+    __slots__ = ("ring", "pool", "_row_geometry")
+
+    def __init__(self, ring=None) -> None:
+        from ..inference.buffers import BufferPool
+
+        self.ring = ring
+        self.pool = BufferPool()
+        #: input row (shape, dtype) -> output row (shape, dtype)
+        self._row_geometry: Dict[tuple, Tuple[tuple, np.dtype]] = {}
+
+    def serve(self, compiled, batch: np.ndarray, fused: bool, batch_id: int,
+              request_ids, read_ms: float, response_queue) -> None:
+        """Execute one float batch into arena storage and ship the answer.
+
+        Raises like :func:`run_batch` would — the caller turns any failure
+        into an ``errb`` frame; a response slot leased before the failure is
+        released here first.
+        """
+        n = len(batch)
+        key = (batch.shape[1:], str(batch.dtype))
+        first = None
+        first_ms = 0.0
+        geometry = self._row_geometry.get(key)
+        if geometry is None:
+            # Cold path: one ordinary forward discovers the output row
+            # geometry (and is kept — row 0 of this very batch).
+            with np.errstate(all="ignore"):
+                clock = time.perf_counter()
+                first = compiled(batch[0:1])
+                first_ms = (time.perf_counter() - clock) * 1000.0
+            geometry = (tuple(first.shape[1:]), first.dtype)
+            self._row_geometry[key] = geometry
+        row_shape, dtype = geometry
+        out_shape = (n,) + row_shape
+        slot = seq = None
+        view = out_frame = None
+        if self.ring is not None:
+            try:
+                slot, seq = self.ring.lease()
+                view, out_frame = self.ring.assemble(slot, seq, out_shape, dtype)
+            except Exception:
+                # Ring full or the batch outgrew a slot — arena buffer below.
+                if slot is not None:
+                    try:
+                        self.ring.release(slot, seq)
+                    except Exception:
+                        pass
+                view = out_frame = None
+        if view is None:
+            view = self.pool.get("response", out_shape, dtype)
+        try:
+            timings: List[float] = []
+            with np.errstate(all="ignore"):
+                if fused:
+                    clock = time.perf_counter()
+                    compiled(batch, out=view)
+                    timings = [(time.perf_counter() - clock) * 1000.0 / n] * n
+                else:
+                    start = 0
+                    if first is not None:
+                        np.copyto(view[0:1], first, casting="same_kind")
+                        timings.append(first_ms)
+                        start = 1
+                    for index in range(start, n):
+                        clock = time.perf_counter()
+                        compiled(batch[index:index + 1],
+                                 out=view[index:index + 1])
+                        timings.append((time.perf_counter() - clock) * 1000.0)
+        except BaseException:
+            if out_frame is not None:
+                try:
+                    self.ring.release(slot, seq)
+                except Exception:
+                    pass
+            raise
+        payload_timings = {"read_ms": read_ms, "compute_ms": timings}
+        if out_frame is not None:
+            response_queue.put(("okb", batch_id, request_ids,
+                                ("shm", out_frame), payload_timings))
+            return
+        # Arena-buffer fallback: retry the ring at respond time (write()
+        # copies the rows in — still allocation-free), and if even that
+        # fails the inline path must *copy*: the queue's feeder thread
+        # pickles asynchronously, and the pooled buffer will be overwritten
+        # by the next batch.
+        _respond_batch(response_queue, self.ring, batch_id, request_ids,
+                       view, payload_timings, copy_inline=True)
+
+
 def _batch_tensor(payload, request_ring) -> Tuple[np.ndarray, Optional[Any]]:
     """Materialize a batch payload; returns (array, frame-to-release)."""
     via, data = payload
@@ -168,8 +278,15 @@ def _batch_tensor(payload, request_ring) -> Tuple[np.ndarray, Optional[Any]]:
 
 
 def _respond_batch(response_queue, response_ring, batch_id, request_ids,
-                   outputs: np.ndarray, timings: Dict[str, Any]) -> None:
-    """Ship a batch result back, through the response ring when it fits."""
+                   outputs: np.ndarray, timings: Dict[str, Any],
+                   copy_inline: bool = False) -> None:
+    """Ship a batch result back, through the response ring when it fits.
+
+    ``copy_inline=True`` marks ``outputs`` as living in reused storage (a
+    pooled arena buffer): the inline fallback then snapshots it first,
+    because ``Queue.put`` pickles on a feeder thread *after* this returns —
+    by which time the next batch may have overwritten the buffer.
+    """
     if response_ring is not None:
         try:
             slot, seq = response_ring.lease()
@@ -181,6 +298,8 @@ def _respond_batch(response_queue, response_ring, batch_id, request_ids,
             # Ring full (parent stalled) or tensor outgrew the slot — the
             # inline path is always available, just not zero-copy.
             pass
+    if copy_inline:
+        outputs = np.array(outputs)
     response_queue.put(("okb", batch_id, request_ids, ("inline", outputs), timings))
 
 
@@ -199,8 +318,14 @@ def _resolve_compiled(predictor, meta: Optional[Dict[str, Any]]):
 
 
 def _serve_batch(predictor, message, request_ring, response_ring,
-                 response_queue, fused: bool) -> None:
-    """Answer one ("batch", ...) frame, isolating failures to its requests."""
+                 response_queue, fused: bool,
+                 arena: Optional[ResponseArena] = None) -> None:
+    """Answer one ("batch", ...) frame, isolating failures to its requests.
+
+    Float batches take the arena's allocation-free path when one is given;
+    secure batches (their compiled models trace protocol rounds and take no
+    ``out=``) keep the classic allocate-and-copy :func:`run_batch` path.
+    """
     _, batch_id, request_ids, payload = message[:4]
     meta = message[4] if len(message) > 4 else None
     frame = None
@@ -209,6 +334,10 @@ def _serve_batch(predictor, message, request_ring, response_ring,
         compiled = _resolve_compiled(predictor, meta)
         batch, frame = _batch_tensor(payload, request_ring)
         read_ms = (time.perf_counter() - clock) * 1000.0
+        if arena is not None and not hasattr(compiled, "last_trace"):
+            arena.serve(compiled, batch, fused, batch_id, request_ids,
+                        read_ms, response_queue)
+            return
         outputs, compute_ms, secure_totals = run_batch(compiled, batch, fused)
     except BaseException as error:  # noqa: BLE001 — must answer the callers
         response_queue.put(("errb", batch_id, request_ids,
@@ -262,6 +391,7 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
         secure=config_dict if config_dict.get("secure") else None)
     fused = bool(config_dict.get("fused_batching", False))
     request_timeout = float(config_dict.get("request_timeout", 30.0))
+    arena = ResponseArena(response_ring)
     response_queue.put(("ready", worker_id, os.getpid()))
     try:
         while True:
@@ -270,7 +400,8 @@ def worker_main(worker_id: int, spec_dict: Dict[str, Any], state: Dict[str, np.n
                 break
             if message[0] == "batch":
                 _serve_batch(predictor, message, request_ring,
-                             response_ring, response_queue, fused)
+                             response_ring, response_queue, fused,
+                             arena=arena)
                 continue
             kind, request_id, payload = message
             try:

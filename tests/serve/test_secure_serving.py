@@ -226,6 +226,9 @@ class TestProtocolAwareScheduling:
         assert not np.array_equal(outs[0], outs[1])
         pools = secure_pool.stats()["secure"]["offline"]["pools"]
         assert pools["delphi/f9"]["consumed"] >= 1
+        # Distinct coalescing keys still ride the in-ring assembly path —
+        # mixed-format bursts never regress to the inline fallback.
+        assert secure_pool.stats()["transport"]["assembly_fallbacks"] == 0
 
     def test_overrides_on_a_float_pool_are_rejected(self, smoke):
         config = ServeConfig(workers=1, startup_timeout=120.0)

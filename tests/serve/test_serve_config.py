@@ -73,12 +73,30 @@ class TestSecureConfig:
             ServeConfig(secure=True, fused_batching=True)
 
     def test_effective_triple_pool_depth(self):
-        from repro.serve import PIPELINE_DEPTH
+        from repro.serve import MAX_PIPELINE_DEPTH
 
+        # Auto sizing must cover the *maximum* reachable pipeline depth, or
+        # the offline phase under-provisions exactly when the controller
+        # ramps up.
         config = ServeConfig(secure=True, workers=3, max_batch_size=4)
-        assert config.effective_triple_pool_depth == 3 * PIPELINE_DEPTH * 4
+        assert config.effective_triple_pool_depth == 3 * MAX_PIPELINE_DEPTH * 4
+        pinned = ServeConfig(secure=True, workers=3, max_batch_size=4,
+                             pipeline_depth=2)
+        assert pinned.effective_triple_pool_depth == 3 * 2 * 4
         assert ServeConfig(secure=True,
                            triple_pool_depth=7).effective_triple_pool_depth == 7
+
+    def test_pipeline_depth_bounds(self):
+        from repro.serve import MAX_PIPELINE_DEPTH
+
+        assert ServeConfig(pipeline_depth=0).effective_max_pipeline_depth \
+            == MAX_PIPELINE_DEPTH
+        assert ServeConfig(pipeline_depth=1).effective_max_pipeline_depth == 1
+        for bad in (-1, MAX_PIPELINE_DEPTH + 1):
+            with pytest.raises(ValueError):
+                ServeConfig(pipeline_depth=bad)
+        with pytest.raises(ValueError):
+            ServeConfig(producer_workers=-1)
 
     def test_secure_dict_round_trip(self):
         config = ServeConfig(secure=True, protocol="gazelle", frac_bits=10,

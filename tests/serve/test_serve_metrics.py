@@ -144,6 +144,7 @@ def stats_field_names(smoke) -> set:
     pool_stats = pool.stats()                     # an unstarted pool still
     names = set(pool_stats)                       # reports its full schema
     names |= set(pool_stats["transport"])
+    names |= set(pool_stats["pipeline"])
     names |= set(pool_stats["admission"])
     names |= set(pool_stats["latency"])
     names |= set(pool_stats["latency"]["queue"])
