@@ -39,7 +39,8 @@ import time
 
 import numpy as np
 
-from common import fresh_seed, quick_mode, save_experiment
+from common import append_trajectory, check_against_trajectory, \
+    format_trajectory_findings, fresh_seed, quick_mode, save_experiment
 
 from repro import ppml
 from repro.experiment import Experiment, get_preset
@@ -55,6 +56,21 @@ QUICK_REQUESTS = 6
 #: the ReLU baseline's per-request online cost must exceed the converted
 #: server's by at least this factor (same bar as bench_secure_inference)
 MIN_ONLINE_RATIO = 5.0
+
+#: declared error band of the capacity planner's secure predictions: the
+#: plan's per-request online cost comes from its *own* traced probe forward,
+#: which must agree with the serving pool's warm-up trace to within this
+#: relative error (the protocol structure — rounds, triples, labels — must
+#: match exactly).  Asserted at any core count: it is accounting, not timing.
+PLAN_ONLINE_BAND = 0.05
+
+#: trajectory-gate directions: which way is *better* per headline field.
+TRAJECTORY_DIRECTIONS = {
+    "online_ratio": "higher",
+    "baseline_qps": "higher",
+    "converted_qps": "higher",
+    "converted_online_ms": "lower",
+}
 
 
 def serve_secure(spec, state, strategy: str, samples: np.ndarray) -> dict:
@@ -113,6 +129,82 @@ def assert_static_match(record: dict, model, input_shape) -> None:
         f"[{record['strategy']}] serving warm-up trace disagrees with the "
         f"static analysis: "
         f"{record['trace'].count_diff([l.operations for l in static.layers])}")
+
+
+def validate_plan(experiment, baseline: dict, converted: dict) -> dict:
+    """Capacity-planner validation against the served secure deployments.
+
+    For each served strategy, asks :meth:`Experiment.plan` (with
+    ``secure=True``) for the per-request protocol structure and online cost
+    it *predicts* from one traced probe forward, and checks it against what
+    the serving pool actually measured:
+
+    * communication rounds, Beaver triples and garbled labels per request
+      must match the pool's warm-up budget **exactly** (counts are
+      shape-dependent, never timing-dependent), and
+    * the predicted online cost must agree with the pool's warm-up estimate
+      within ``PLAN_ONLINE_BAND`` (both sides price a trace under the same
+      protocol constants, so drift means the planner probed a different
+      model than the pool served).
+
+    Wall-clock secure QPS is *reported* alongside the plan's queueing
+    ceiling but stays ungated, consistent with this benchmark's convention:
+    shared-runner wall time is noise, the cost model is the claim.
+    """
+    results = {}
+    checks = []
+    for record in (baseline, converted):
+        strategy = record["strategy"]
+        plan = experiment.plan(max(record["qps"], 1.0), workers=1,
+                               secure=True, strategy=strategy,
+                               frac_bits=FRAC_BITS)
+        predicted = plan.secure.work
+        budget = record["offline"]["budget"]
+        measured_ms = record["estimate"].online_milliseconds
+        online_err = abs(predicted.online_ms - measured_ms) / measured_ms
+        checks.append((strategy, "rounds", predicted.rounds,
+                       record["trace"].total_rounds, None))
+        checks.append((strategy, "triples/request",
+                       predicted.triples_per_request, budget["triples"], None))
+        checks.append((strategy, "labels/request",
+                       predicted.labels_per_request, budget["labels"], None))
+        checks.append((strategy, "online ms/request", predicted.online_ms,
+                       measured_ms, online_err))
+        results[strategy] = {
+            "predicted_online_ms": predicted.online_ms,
+            "measured_online_ms": measured_ms,
+            "online_rel_error": online_err,
+            "predicted_capacity_qps": plan.capacity_rps,
+            "measured_qps": record["qps"],
+            "rounds_match": predicted.rounds == record["trace"].total_rounds,
+            "triples_match": predicted.triples_per_request == budget["triples"],
+            "labels_match": predicted.labels_per_request == budget["labels"],
+        }
+
+    rows = [[strategy, metric,
+             f"{pred:,.3f}" if isinstance(pred, float) else f"{pred:,}",
+             f"{meas:,.3f}" if isinstance(meas, float) else f"{meas:,}",
+             ("exact" if err is None else f"{err:.1%}")]
+            for strategy, metric, pred, meas, err in checks]
+    print()
+    print(format_table(
+        ["Strategy", "Metric", "planned", "served", "error"], rows,
+        title=f"Capacity planner vs secure serving — structure exact, online "
+              f"cost within ±{PLAN_ONLINE_BAND:.0%} (gated at any core count)"))
+
+    for strategy, metric, pred, meas, err in checks:
+        if err is None:
+            assert pred == meas, (
+                f"capacity-plan drift [{strategy}]: planned {metric} {pred} "
+                f"!= served {meas}")
+        else:
+            assert err <= PLAN_ONLINE_BAND, (
+                f"capacity-plan drift [{strategy}]: planned {metric} {pred:.3f} "
+                f"is {err:.1%} from served {meas:.3f} "
+                f"(declared band: ±{PLAN_ONLINE_BAND:.0%})")
+    print(f"capacity-plan gate passed: protocol structure exact, online cost "
+          f"within ±{PLAN_ONLINE_BAND:.0%}")
+    return results
 
 
 def main() -> None:
@@ -195,6 +287,8 @@ def main() -> None:
         title="Secure serving gates (smoke spec, first-order weights)",
     ))
 
+    plan_validation = validate_plan(experiment, baseline, converted)
+
     save_experiment("secure_serving", {
         "quick_mode": quick,
         "requests": num_requests,
@@ -211,7 +305,38 @@ def main() -> None:
                       "online_ms": converted["estimate"].online_milliseconds,
                       "trace": converted["trace"].to_dict(),
                       "offline": converted["offline"]},
+        "plan_validation": plan_validation,
     })
+
+    # Trajectory: check this run against its own history (past runs only),
+    # then append.  Regressions gate with the same headroom rule as the win
+    # ratio — wall-clock fields mean nothing on a time-sliced core.
+    headline = {
+        "quick_mode": quick,
+        "cpus": cores,
+        "online_ratio": ratio,
+        "baseline_qps": baseline["qps"],
+        "converted_qps": converted["qps"],
+        "baseline_online_ms": baseline["estimate"].online_milliseconds,
+        "converted_online_ms": converted["estimate"].online_milliseconds,
+        "plan_online_rel_err":
+            plan_validation["quadratic_no_relu"]["online_rel_error"],
+    }
+    findings = check_against_trajectory("secure_serving", headline,
+                                        TRAJECTORY_DIRECTIONS)
+    print("\n" + format_trajectory_findings("secure_serving", findings))
+    append_trajectory("secure_serving", headline)
+    regressions = [f for f in findings if f["status"] == "regression"]
+    if enforce:
+        assert not regressions, (
+            "trajectory regression: "
+            + "; ".join(f"{f['field']} = {f['value']:.4g} vs history median "
+                        f"{f['median']:.4g} ± {f['tolerance']:.4g}"
+                        for f in regressions))
+        print("trajectory gate passed: no field outside its history band")
+    elif regressions:
+        print(f"(trajectory regressions report-only: {cores} cpu(s) leave "
+              "no parallelism headroom)")
 
 
 if __name__ == "__main__":

@@ -49,7 +49,8 @@ from pathlib import Path
 
 import numpy as np
 
-from common import append_trajectory, fresh_seed, load_trajectory, quick_mode, \
+from common import append_trajectory, check_against_trajectory, \
+    format_trajectory_findings, fresh_seed, load_trajectory, quick_mode, \
     save_experiment
 
 from repro.experiment import Experiment, get_preset
@@ -81,6 +82,22 @@ OPEN_LOOP_UTILIZATION = 0.6
 SLO_P99_MULTIPLE = 20.0
 SLO_SLACK_MS = 50.0          # shared-runner scheduler noise allowance
 OPEN_LOOP_SEED = 11
+
+#: capacity-planner validation: the analytical prediction must land within
+#: this relative error of the measurement (both directions) on hosts with
+#: parallelism headroom.  See repro.capacity / docs/capacity.md.
+PLAN_ERROR_BAND = 0.35
+
+#: which way is *better* for each trajectory headline field — the
+#: trajectory-relative regression gate is one-sided (getting faster passes).
+TRAJECTORY_DIRECTIONS = {
+    "baseline_samples_per_s": "higher",
+    "best_pool_samples_per_s": "higher",
+    "best_vs_baseline": "higher",
+    "open_loop_p99_ms": "lower",
+    "heap_bytes_per_batch": "lower",
+    "tensor_sized_allocations": "lower",
+}
 
 
 def measure_baseline(compiled, samples: np.ndarray) -> float:
@@ -244,6 +261,79 @@ def measure_allocations(spec, state, samples: np.ndarray) -> dict:
     }
 
 
+def validate_plan(experiment, sweep: list, open_loop: dict, enforce: bool) -> dict:
+    """Capacity-planner validation: prediction vs measurement, same host.
+
+    Asks :meth:`Experiment.plan` (measured kernel rates + M/M/c queueing —
+    no load test) for the two numbers this benchmark just *measured*:
+
+    * sustained pool throughput at the best sweep point, against the plan's
+      full-batch ceiling for that worker count, and
+    * client p99 at the open-loop operating point (offered rate, worker
+      count), against the plan's Erlang-C p99.
+
+    On hosts with parallelism headroom both predictions must land within
+    ``PLAN_ERROR_BAND`` (±35 %) of the measurement; below that the workers
+    time-slice one core, the model's independent-servers assumption does
+    not hold, and the comparison is printed report-only.
+    """
+    best = max(sweep, key=lambda entry: entry["samples_per_s"])
+    throughput_plan = experiment.plan(open_loop["offered_rps"],
+                                      workers=best["workers"])
+    open_plan = experiment.plan(open_loop["offered_rps"],
+                                workers=open_loop["workers"])
+
+    checks = []
+    measured_tp = best["samples_per_s"]
+    predicted_tp = throughput_plan.max_throughput_rps
+    checks.append(("throughput", predicted_tp, measured_tp,
+                   abs(predicted_tp - measured_tp) / measured_tp))
+    measured_p99 = open_loop["client"]["p99_ms"]
+    predicted_p99 = open_plan.p99_ms
+    checks.append(("open-loop p99", predicted_p99, measured_p99,
+                   abs(predicted_p99 - measured_p99) / measured_p99))
+
+    rows = [[name, f"{predicted:,.2f}", f"{measured:,.2f}", f"{error:.1%}",
+             "PASS" if error <= PLAN_ERROR_BAND else
+             ("FAIL" if enforce else "MISS (report-only)")]
+            for name, predicted, measured, error in checks]
+    gate = (f"gate: prediction within ±{PLAN_ERROR_BAND:.0%} of measurement"
+            if enforce else "report-only: no parallelism headroom on this host")
+    print(format_table(
+        ["Metric", "predicted", "measured", "error", "verdict"], rows,
+        title=f"Capacity planner vs measurement — {gate}"))
+
+    result = {
+        "error_band": PLAN_ERROR_BAND,
+        "enforced": enforce,
+        "throughput": {"predicted_rps": predicted_tp, "measured_rps": measured_tp,
+                       "rel_error": checks[0][3], "workers": best["workers"]},
+        "p99": {"predicted_ms": predicted_p99, "measured_ms": measured_p99,
+                "rel_error": checks[1][3], "workers": open_loop["workers"],
+                "offered_rps": open_loop["offered_rps"]},
+    }
+    return result
+
+
+def check_trajectory_gate(record: dict) -> list:
+    """Trajectory-relative regression check: this run vs its own history.
+
+    Tolerance bands come from the history's own dispersion
+    (``common.trajectory_band``), restricted to records from comparable
+    hosts — no fixed absolute thresholds.  With fewer than
+    ``common.MIN_TRAJECTORY_HISTORY`` comparable records the check passes
+    with a note (fresh checkouts have no history: ``benchmarks/results/``
+    is not committed).  Must run *before* the current record is appended,
+    so the history is strictly past runs.  The caller decides whether
+    regressions fail the run (``main`` gates them with the other
+    headroom-dependent assertions).
+    """
+    findings = check_against_trajectory("serving_scaleout", record,
+                                        TRAJECTORY_DIRECTIONS)
+    print("\n" + format_trajectory_findings("serving_scaleout", findings))
+    return findings
+
+
 def compare_with_previous(record: dict) -> None:
     """Print this run against the previous trajectory entry, if any."""
     history = load_trajectory("serving_scaleout")
@@ -318,6 +408,7 @@ def main() -> None:
         open_rps, enforce)
 
     allocations = measure_allocations(experiment.spec, state, samples)
+    plan_validation = validate_plan(experiment, sweep, open_loop, enforce)
 
     save_experiment("serving_scaleout", {
         "quick_mode": quick,
@@ -329,6 +420,7 @@ def main() -> None:
         "pool_sweep": sweep,
         "open_loop": open_loop,
         "allocations": allocations,
+        "plan_validation": plan_validation,
     })
 
     headline = {
@@ -341,7 +433,10 @@ def main() -> None:
         "open_loop_p99_ms": open_loop["client"]["p99_ms"],
         "heap_bytes_per_batch": allocations["heap_bytes_per_batch"],
         "tensor_sized_allocations": allocations["tensor_sized_allocations"],
+        "plan_throughput_rel_err": plan_validation["throughput"]["rel_error"],
+        "plan_p99_rel_err": plan_validation["p99"]["rel_error"],
     }
+    trajectory_findings = check_trajectory_gate(headline)   # vs past runs only
     compare_with_previous(headline)
     append_trajectory("serving_scaleout", headline)
 
@@ -371,6 +466,25 @@ def main() -> None:
     else:
         print(f"\nscale-out gate skipped: {cores} cpu(s) leave no headroom for "
               "workers + dispatcher; see the vs-baseline column for measured ratios")
+
+    if enforce:
+        for name, side in (("throughput", plan_validation["throughput"]),
+                           ("open-loop p99", plan_validation["p99"])):
+            assert side["rel_error"] <= PLAN_ERROR_BAND, (
+                f"capacity-plan drift: predicted {name} is "
+                f"{side['rel_error']:.1%} from the measurement "
+                f"(band: ±{PLAN_ERROR_BAND:.0%}; see repro.capacity)")
+        print(f"capacity-plan gate passed: predictions within "
+              f"±{PLAN_ERROR_BAND:.0%} of measurement")
+
+        regressions = [f for f in trajectory_findings
+                       if f["status"] == "regression"]
+        assert not regressions, (
+            "trajectory regression: "
+            + "; ".join(f"{f['field']} = {f['value']:.4g} vs history median "
+                        f"{f['median']:.4g} ± {f['tolerance']:.4g}"
+                        for f in regressions))
+        print("trajectory gate passed: no field outside its history band")
 
 
 if __name__ == "__main__":

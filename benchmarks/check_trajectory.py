@@ -1,0 +1,81 @@
+"""CI gate: compare the latest benchmark run against its own trajectory.
+
+The quick-mode benches append one headline record per run to
+``results/trajectory.jsonl``.  This script re-reads that history and, for
+each benchmark it knows about, checks the *most recent* record against the
+records that preceded it using :func:`common.check_against_trajectory` —
+the same trajectory-relative bands the benches apply inline, but runnable
+as a standalone CI step after all benches have finished (so one workflow
+step owns the regression verdict and the uploaded artifact always matches
+what was gated).
+
+Tolerance bands come from the history's own dispersion
+(``max(rel_floor x |median|, mad_k x MAD)``), checks are one-sided in the
+benchmark's declared "better" direction, and fewer than
+``MIN_TRAJECTORY_HISTORY`` comparable records is a pass with a note —
+fresh checkouts, where ``benchmarks/results/`` starts empty, can never
+fail this gate.
+
+Exit status: 0 on pass (including insufficient history), 1 on any
+trajectory-relative regression.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from common import (check_against_trajectory, format_trajectory_findings,
+                    load_trajectory)
+
+#: Per-benchmark headline fields and which direction is *better*.  A
+#: benchmark absent from this registry is reported but never gated; a field
+#: absent from a record yields a ``missing`` finding (also never a failure,
+#: so the registry can grow ahead of the benches).
+DIRECTIONS = {
+    "serving_scaleout": {
+        "baseline_samples_per_s": "higher",
+        "best_pool_samples_per_s": "higher",
+        "best_vs_baseline": "higher",
+        "open_loop_p99_ms": "lower",
+        "heap_bytes_per_batch": "lower",
+        "tensor_sized_allocations": "lower",
+    },
+    "secure_serving": {
+        "online_ratio": "higher",
+        "baseline_qps": "higher",
+        "converted_qps": "higher",
+        "converted_online_ms": "lower",
+    },
+}
+
+
+def check_benchmark(name: str, directions: dict) -> list:
+    """Findings for one benchmark's latest record vs. its prior history."""
+    history = load_trajectory(name)
+    if not history:
+        print(f"trajectory check [{name}]: no records — skipped")
+        return []
+    latest, prior = history[-1], history[:-1]
+    findings = check_against_trajectory(name, latest, directions, history=prior)
+    print(format_trajectory_findings(name, findings))
+    return findings
+
+
+def main() -> int:
+    regressions = []
+    for name, directions in sorted(DIRECTIONS.items()):
+        regressions.extend(f for f in check_benchmark(name, directions)
+                           if f["status"] == "regression")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} trajectory-relative regression(s):")
+        for f in regressions:
+            print(f"  {f['field']} = {f['value']:.4g} vs history median "
+                  f"{f['median']:.4g} ± {f['tolerance']:.4g} "
+                  f"over {f['history']} runs")
+        return 1
+    print("\ntrajectory gate: PASS (no regression against history)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

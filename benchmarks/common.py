@@ -67,6 +67,39 @@ def save_experiment(name: str, results: Dict) -> str:
     return path
 
 
+#: Scalar types a trajectory record's values may hold (JSON scalars only:
+#: nested containers would break the per-field dispersion statistics).
+_TRAJECTORY_SCALARS = (str, bool, int, float, type(None))
+
+
+def validate_trajectory_record(entry) -> Dict:
+    """Check one parsed trajectory record against the schema; returns it.
+
+    A record is one flat JSON object with a non-empty ``benchmark`` string,
+    a numeric ``timestamp``, and scalar values everywhere else.  Raises
+    ``ValueError`` on anything else — :func:`load_trajectory` turns that
+    into a skipped line, so one corrupt record never poisons the history.
+    """
+    if not isinstance(entry, dict):
+        raise ValueError(f"trajectory record must be an object, got "
+                         f"{type(entry).__name__}")
+    benchmark = entry.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise ValueError(f"trajectory record needs a non-empty 'benchmark' "
+                         f"string, got {benchmark!r}")
+    timestamp = entry.get("timestamp")
+    if isinstance(timestamp, bool) or not isinstance(timestamp, (int, float)):
+        raise ValueError(f"trajectory record needs a numeric 'timestamp', "
+                         f"got {timestamp!r}")
+    for key, value in entry.items():
+        if not isinstance(key, str):
+            raise ValueError(f"trajectory field names must be strings, got {key!r}")
+        if not isinstance(value, _TRAJECTORY_SCALARS):
+            raise ValueError(f"trajectory field '{key}' must be a JSON scalar, "
+                             f"got {type(value).__name__}")
+    return entry
+
+
 def append_trajectory(name: str, record: Dict) -> str:
     """Append one run's headline numbers to ``results/trajectory.jsonl``.
 
@@ -74,24 +107,49 @@ def append_trajectory(name: str, record: Dict) -> str:
     The per-benchmark ``<name>.json`` snapshot is overwritten on every run;
     this file is the append-only history — the trend line a perf PR points
     at to show the before/after, and what :func:`load_trajectory` reads to
-    compare a run against the previous one.
+    compare a run against its own past (:func:`check_against_trajectory`).
+
+    The append is **atomic**: the new history is written to a temp file in
+    the same directory and ``os.replace``\\ d over the old one, so a run
+    killed mid-write leaves either the previous file or the new one —
+    never a torn trailing line.  (Pre-existing torn lines, from the old
+    plain-append implementation or a crashed writer, are preserved
+    byte-for-byte and skipped at load time.)
     """
     import json
     import time
 
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "trajectory.jsonl")
-    entry = {"benchmark": str(name), "timestamp": time.time(), **record}
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    entry = validate_trajectory_record(
+        {"benchmark": str(name), "timestamp": time.time(), **record})
+    existing = b""
+    if os.path.exists(path):
+        with open(path, "rb") as handle:
+            existing = handle.read()
+    if existing and not existing.endswith(b"\n"):
+        existing += b"\n"                  # seal a torn line from a past crash
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(existing)
+            handle.write((json.dumps(entry, sort_keys=True) + "\n").encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return path
 
 
 def load_trajectory(name: str = None) -> list:
-    """Trajectory records oldest-first, optionally one benchmark's only.
+    """Validated trajectory records oldest-first, optionally one benchmark's.
 
-    Tolerates a truncated final line (a run killed mid-append) by skipping
-    anything that does not parse.
+    Tolerates a truncated final line (a run killed mid-append under the old
+    non-atomic writer) and schema-invalid records by skipping anything that
+    does not parse and validate — the trend line degrades, it never crashes
+    a benchmark run.
     """
     import json
 
@@ -105,12 +163,119 @@ def load_trajectory(name: str = None) -> list:
             if not line:
                 continue
             try:
-                entry = json.loads(line)
+                entry = validate_trajectory_record(json.loads(line))
             except ValueError:
                 continue
             if name is None or entry.get("benchmark") == name:
                 records.append(entry)
     return records
+
+
+# --------------------------------------------------------------------------- #
+# Trajectory-relative regression checking
+# --------------------------------------------------------------------------- #
+
+#: Minimum comparable history records before a regression verdict is possible.
+MIN_TRAJECTORY_HISTORY = 3
+#: Relative floor of the tolerance band (a run must be >35 % off the
+#: historical median, in the *bad* direction, to count as a regression).
+TRAJECTORY_REL_FLOOR = 0.35
+#: How many median-absolute-deviations of the history's own dispersion the
+#: band additionally allows — noisy benchmarks earn wider bands.
+TRAJECTORY_MAD_K = 4.0
+
+#: Record fields whose values describe the run, not its performance — used
+#: to restrict history to *comparable* runs before computing bands.
+TRAJECTORY_CONTEXT_FIELDS = ("cpus", "quick_mode")
+
+
+def trajectory_band(values) -> tuple:
+    """``(median, tolerance)`` of a metric's history.
+
+    The tolerance is ``max(rel_floor x |median|, mad_k x MAD)``: the
+    relative floor keeps quiet histories from flagging ordinary noise, and
+    the MAD term widens the band to whatever spread the history itself
+    exhibits — the band is derived from the trajectory's own dispersion,
+    not from a hand-picked absolute threshold.
+    """
+    if not values:
+        raise ValueError("trajectory_band needs at least one value")
+    ordered = sorted(float(v) for v in values)
+    median = ordered[len(ordered) // 2]
+    mad = sorted(abs(v - median) for v in ordered)[len(ordered) // 2]
+    return median, max(TRAJECTORY_REL_FLOOR * abs(median), TRAJECTORY_MAD_K * mad)
+
+
+def check_against_trajectory(name: str, record: Dict, directions: Dict[str, str],
+                             history: list = None,
+                             min_history: int = MIN_TRAJECTORY_HISTORY) -> list:
+    """Compare one run's record against its own benchmark history.
+
+    ``directions`` maps field name to ``"higher"`` or ``"lower"`` — which
+    way is *better*.  Checks are one-sided: a run that got faster always
+    passes.  History is restricted to records whose context fields
+    (:data:`TRAJECTORY_CONTEXT_FIELDS`, e.g. ``cpus``) match the current
+    run, because a 2-core run regressing against 8-core history is not a
+    code regression.  Fewer than ``min_history`` comparable records yields
+    an ``insufficient-history`` finding (a pass with a note, never a
+    failure) — this is what keeps the gate safe on fresh checkouts, where
+    ``benchmarks/results/`` starts empty.
+
+    Returns one finding dict per field:
+    ``{"field", "status", "value", "median", "tolerance", "history"}``
+    with status ``ok`` | ``regression`` | ``insufficient-history`` |
+    ``missing`` (the field is absent from the current record).
+    """
+    if history is None:
+        history = load_trajectory(name)
+    comparable = [
+        entry for entry in history
+        if all(entry.get(ctx) == record.get(ctx)
+               for ctx in TRAJECTORY_CONTEXT_FIELDS)
+    ]
+    findings = []
+    for field, direction in sorted(directions.items()):
+        if direction not in ("higher", "lower"):
+            raise ValueError(f"direction for '{field}' must be 'higher' or "
+                             f"'lower', got {direction!r}")
+        value = record.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            findings.append({"field": field, "status": "missing", "value": value,
+                             "median": None, "tolerance": None, "history": 0})
+            continue
+        past = [entry[field] for entry in comparable
+                if isinstance(entry.get(field), (int, float))
+                and not isinstance(entry.get(field), bool)]
+        if len(past) < min_history:
+            findings.append({"field": field, "status": "insufficient-history",
+                             "value": float(value), "median": None,
+                             "tolerance": None, "history": len(past)})
+            continue
+        median, tolerance = trajectory_band(past)
+        if direction == "higher":
+            regressed = float(value) < median - tolerance
+        else:
+            regressed = float(value) > median + tolerance
+        findings.append({"field": field,
+                         "status": "regression" if regressed else "ok",
+                         "value": float(value), "median": median,
+                         "tolerance": tolerance, "history": len(past)})
+    return findings
+
+
+def format_trajectory_findings(name: str, findings: list) -> str:
+    """Human-readable one-line-per-field report of a trajectory check."""
+    lines = [f"trajectory check [{name}]:"]
+    for finding in findings:
+        if finding["status"] in ("insufficient-history", "missing"):
+            lines.append(f"  {finding['field']}: {finding['status']} "
+                         f"({finding['history']} comparable records)")
+        else:
+            lines.append(
+                f"  {finding['field']}: {finding['status']} — value "
+                f"{finding['value']:.4g}, history median {finding['median']:.4g} "
+                f"± {finding['tolerance']:.4g} over {finding['history']} runs")
+    return "\n".join(lines)
 
 
 def fresh_seed(offset: int = 0) -> None:

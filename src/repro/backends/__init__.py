@@ -29,6 +29,7 @@ from .base import (
     get_backend,
     register_backend,
 )
+from .rates import KernelRates, measure_backend_rates
 # Imported in registration order: the reference engine lists first wherever
 # the registry is printed (CLI tables, help text, error messages).
 from .numpy_backend import NumpyBackend
@@ -42,6 +43,8 @@ __all__ = [
     "ThreadedBackend",
     "Int8Backend",
     "INT8_MAX",
+    "KernelRates",
+    "measure_backend_rates",
     "backend_description",
     "backend_names",
     "get_backend",

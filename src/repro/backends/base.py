@@ -151,6 +151,22 @@ class Backend:
         return conv_ops.AvgPool2d.forward(Context(), x, kernel_size=kernel_size,
                                           stride=stride, padding=padding)
 
+    # ------------------------------------------------------------ measurement
+    def measure_rates(self, budget_ms: float = 60.0, refresh: bool = False):
+        """Measured sustained per-kernel throughput of this engine on this host.
+
+        Runs the :mod:`repro.backends.rates` micro-probes (GEMM, conv
+        lowering, element-wise glue, dispatch/IPC/copy overheads) and
+        returns a :class:`~repro.backends.rates.KernelRates` record — the
+        empirical half of the capacity model (:mod:`repro.capacity`), which
+        prices a model's per-layer work counts with these slopes.  Results
+        are cached per (backend, host) in-process and on disk, so only the
+        first call per host pays the ~6 x ``budget_ms`` probe cost.
+        """
+        from .rates import measure_backend_rates  # lazy: keep base import-light
+
+        return measure_backend_rates(self, budget_ms=budget_ms, refresh=refresh)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r}, exact={self.exact})"
 

@@ -1,0 +1,40 @@
+"""``repro.capacity`` — first-principles capacity planning for serving.
+
+Answers the deployment questions *before* a load test runs: what throughput
+will this model sustain on this host, what p50/p99 will an offered QPS see,
+and how many workers does a target QPS require?  The prediction is built
+from measurements, not curve fits:
+
+* per-request work from the model itself — :func:`request_work` buckets the
+  profiler's exact per-layer MAC counts by kernel class,
+* per-kernel host rates from micro-probes —
+  :meth:`repro.backends.Backend.measure_rates`, cached per (backend, host),
+* queueing from the pool's actual shape — ``c`` workers behind one FIFO
+  backlog is an M/M/c system (:class:`MMcQueue`), the same Little's-law
+  arithmetic the admission controller applies online,
+* secure deployments add the measured protocol round structure and the
+  offline-material ledger (:func:`secure_work`).
+
+Entry points: ``repro plan spec.json --qps 200`` on the CLI,
+:meth:`repro.experiment.Experiment.plan` in code, or assemble a
+:class:`CapacityModel` by hand from the pieces above.  The serving
+benchmarks validate plans against measured throughput/latency within a
+declared error band; see ``docs/capacity.md`` for the model's derivation.
+"""
+
+from .model import TARGET_UTILIZATION, CapacityModel, CapacityPlan, SecureCapacity
+from .queueing import MMcQueue, erlang_c
+from .workload import RequestWork, SecureWork, request_work, secure_work
+
+__all__ = [
+    "CapacityModel",
+    "CapacityPlan",
+    "MMcQueue",
+    "RequestWork",
+    "SecureCapacity",
+    "SecureWork",
+    "TARGET_UTILIZATION",
+    "erlang_c",
+    "request_work",
+    "secure_work",
+]

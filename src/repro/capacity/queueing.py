@@ -1,0 +1,164 @@
+"""M/M/c queueing arithmetic for the capacity planner.
+
+The serving pool is modelled as ``c`` parallel servers (the workers) fed by
+one FIFO backlog (exactly the PR 7 architecture: a single
+:class:`~repro.serve.batching.RequestBacklog`, batches cut for whichever
+worker has capacity).  Arrivals are Poisson at the offered QPS — the same
+process the open-loop load generator (``tests/serve/loadgen.py``) replays —
+and each request occupies one server for the model's per-request service
+time.
+
+The classical M/M/c results used here:
+
+* offered load ``a = λ / μ`` (in Erlangs) and utilization ``ρ = a / c``;
+* the **Erlang-C** probability that an arrival has to queue at all,
+
+  .. math::  C(c, a) = \\frac{a^c / (c! \\, (1 - ρ))}
+                            {\\sum_{k<c} a^k/k! + a^c/(c! \\, (1-ρ))}
+
+  computed in log space so a 10⁶-QPS plan with hundreds of workers does
+  not overflow ``c!``;
+* mean queue wait ``Wq = C(c, a) / (cμ - λ)`` and its exponential tail
+  ``P(wait > t) = C(c, a) · exp(-(cμ - λ) t)``, whose quantiles give the
+  planner's p50/p99 wait predictions.
+
+Response-time quantiles add the (near-deterministic) service time to the
+wait quantile.  Compiled NumPy forwards have tiny service-time variance
+compared to queueing delay, so modelling service as a constant keeps the
+math honest where it matters — the tail is queueing, not compute jitter —
+and makes ``plan(qps → 0)`` converge exactly to the pure service time,
+which the property suite asserts.
+
+Little's law (``L = λ·W``) holds by construction and is exposed directly
+(:meth:`MMcQueue.mean_in_system`) so tests can check self-consistency, and
+so the planner's backlog estimate agrees with the admission controller's
+:func:`repro.serve.admission.littles_law_wait_ms`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MMcQueue", "erlang_c"]
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability an M/M/c arrival waits (Erlang-C), in log space.
+
+    ``offered_load`` is ``a = λ/μ`` in Erlangs.  Returns 1.0 when the
+    system is saturated (``a >= servers``): every arrival queues.
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered_load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    rho = offered_load / servers
+    log_a = math.log(offered_load)
+    # log of a^k / k! for k = 0..c, accumulated iteratively.
+    log_terms = [0.0]
+    for k in range(1, servers + 1):
+        log_terms.append(log_terms[-1] + log_a - math.log(k))
+    log_queue_term = log_terms[servers] - math.log(1.0 - rho)
+    log_max = max(max(log_terms[:servers]), log_queue_term)
+    denominator = sum(math.exp(term - log_max) for term in log_terms[:servers])
+    denominator += math.exp(log_queue_term - log_max)
+    return math.exp(log_queue_term - log_max) / denominator
+
+
+@dataclass(frozen=True)
+class MMcQueue:
+    """One M/M/c operating point: ``c`` servers, arrival and service rates.
+
+    ``arrival_rps`` is λ (offered requests/second) and ``service_rps`` is μ
+    (requests/second *one* server sustains).  All derived quantities are in
+    seconds; the planner converts to milliseconds at the reporting edge.
+    """
+
+    servers: int
+    arrival_rps: float
+    service_rps: float
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError(f"servers must be >= 1, got {self.servers}")
+        if self.arrival_rps < 0:
+            raise ValueError(f"arrival_rps must be >= 0, got {self.arrival_rps}")
+        if self.service_rps <= 0:
+            raise ValueError(f"service_rps must be > 0, got {self.service_rps}")
+
+    # ------------------------------------------------------------ occupancy
+    @property
+    def service_s(self) -> float:
+        """Per-request service time (1/μ)."""
+        return 1.0 / self.service_rps
+
+    @property
+    def offered_load(self) -> float:
+        """``a = λ/μ`` in Erlangs — busy servers if none ever queued."""
+        return self.arrival_rps / self.service_rps
+
+    @property
+    def utilization(self) -> float:
+        """``ρ = a/c`` (may exceed 1: that is the unstable regime)."""
+        return self.offered_load / self.servers
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    @property
+    def capacity_rps(self) -> float:
+        """The hard throughput ceiling ``c·μ``."""
+        return self.servers * self.service_rps
+
+    @property
+    def wait_probability(self) -> float:
+        """Erlang-C: the fraction of arrivals that queue."""
+        return erlang_c(self.servers, self.offered_load)
+
+    # -------------------------------------------------------------- waiting
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean queue delay ``Wq``; infinite when unstable."""
+        if not self.stable:
+            return math.inf
+        drain_rps = self.capacity_rps - self.arrival_rps
+        return self.wait_probability / drain_rps
+
+    def wait_quantile_s(self, q: float) -> float:
+        """The ``q``-quantile of queue delay (0 for quantiles below
+        ``1 - wait_probability``: those arrivals never queue)."""
+        if not 0 < q < 1:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        if not self.stable:
+            return math.inf
+        p_wait = self.wait_probability
+        if p_wait <= 0 or (1.0 - q) >= p_wait:
+            return 0.0
+        drain_rps = self.capacity_rps - self.arrival_rps
+        return math.log(p_wait / (1.0 - q)) / drain_rps
+
+    # ------------------------------------------------------------- response
+    @property
+    def mean_response_s(self) -> float:
+        """``W = Wq + service`` (service modelled as near-deterministic)."""
+        return self.mean_wait_s + self.service_s
+
+    def response_quantile_s(self, q: float) -> float:
+        return self.wait_quantile_s(q) + self.service_s
+
+    # ---------------------------------------------------------- Little's law
+    @property
+    def mean_in_queue(self) -> float:
+        """``Lq = λ·Wq`` — requests sitting in the backlog."""
+        return self.arrival_rps * self.mean_wait_s
+
+    @property
+    def mean_in_system(self) -> float:
+        """``L = λ·W`` — Little's law over the whole pool."""
+        return self.arrival_rps * self.mean_response_s

@@ -1,0 +1,222 @@
+"""What one request costs, in kernel-class work counts.
+
+The planner prices work the way the compiled inference path executes it:
+:func:`repro.profiler.profile_model` pushes a probe through the model (the
+same ``inference_plan()`` flattening the compiler walks) and reports exact
+per-layer MACs; this module buckets those MACs by the *kernel class* that
+will execute them, because a GEMM MAC and an im2col-conv MAC sustain very
+different rates on the same host:
+
+``conv_macs``
+    layers lowered through ``Backend.im2col`` + ``Backend.conv_project``
+    (``Conv2d`` and every quadratic conv variant — their extra first-order
+    responses and element-wise combines are already folded into the
+    profiler's MAC counts).
+``gemm_macs``
+    layers lowered to ``Backend.gemm`` (``Linear`` and the quadratic linear
+    variants).
+``elementwise_ops``
+    everything else the profiler counted (BatchNorm-style per-element
+    work), priced at the element-wise glue rate.
+``pool_window_elems``
+    windowed-reduction work (max/avg pooling): output elements times the
+    window each one reduces over.  Pooling has no parameters and almost no
+    MACs, so the profiler skips it — but the windowed kernels run far
+    below element-wise rates (strided window views defeat vectorization),
+    and on small backbones they are a *plurality* of inference time.  A
+    separate probe forward collects them here.
+
+Secure serving adds a second ledger: the per-request
+:class:`~repro.ppml.offline.OfflineBudget` (Beaver triples, garbled labels)
+and the protocol's online structure (communication rounds, GC/mult wire
+costs) from a measured :class:`~repro.ppml.ProtocolTrace` — the same trace
+the worker pool's warm-up forward produces to size its triple pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RequestWork", "SecureWork", "request_work", "secure_work"]
+
+#: layer-type substrings → kernel class (checked in order; first hit wins).
+_KERNEL_CLASSES = (
+    ("Conv", "conv"),
+    ("Linear", "gemm"),
+    ("MLP", "gemm"),
+)
+
+
+def classify_layer(layer_type: str) -> str:
+    """Kernel class (``conv``/``gemm``/``elementwise``) of a profiled layer."""
+    for needle, kernel in _KERNEL_CLASSES:
+        if needle in layer_type:
+            return kernel
+    return "elementwise"
+
+
+@dataclass(frozen=True)
+class RequestWork:
+    """Per-request (batch-of-1) work counts of one model."""
+
+    conv_macs: int
+    gemm_macs: int
+    elementwise_ops: int
+    input_bytes: int
+    output_bytes: int
+    layers: int
+    pool_window_elems: int = 0
+
+    @property
+    def total_macs(self) -> int:
+        return self.conv_macs + self.gemm_macs
+
+    @property
+    def transport_bytes(self) -> int:
+        """Payload bytes one request moves through the data plane (in + out)."""
+        return self.input_bytes + self.output_bytes
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "conv_macs": self.conv_macs,
+            "gemm_macs": self.gemm_macs,
+            "elementwise_ops": self.elementwise_ops,
+            "total_macs": self.total_macs,
+            "pool_window_elems": self.pool_window_elems,
+            "input_bytes": self.input_bytes,
+            "output_bytes": self.output_bytes,
+            "layers": self.layers,
+        }
+
+
+@dataclass(frozen=True)
+class SecureWork:
+    """Per-request secure-serving structure from one measured trace."""
+
+    rounds: int
+    mult_ops: int
+    relu_ops: int
+    truncations: int
+    online_ms: float            # trace priced under its protocol (incl. RTTs)
+    round_trip_us: float
+    triples_per_request: int
+    labels_per_request: int
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "rounds": self.rounds,
+            "mult_ops": self.mult_ops,
+            "relu_ops": self.relu_ops,
+            "truncations": self.truncations,
+            "online_ms": self.online_ms,
+            "round_trip_us": self.round_trip_us,
+            "triples_per_request": self.triples_per_request,
+            "labels_per_request": self.labels_per_request,
+        }
+
+
+def _pool_window_elems(model, shape: Tuple[int, ...]) -> int:
+    """Windowed-reduction work of one batch-1 forward (output elems x window).
+
+    The profiler only reports parametric layers, so pooling — which the
+    compiled path executes as real strided-window kernels — is collected
+    here with its own probe forward.  For fixed-window pools the window is
+    ``kernel_size²``; for global/adaptive pools it is the input-to-output
+    element ratio (every input element is read once).
+    """
+    from ..autodiff import no_grad
+    from ..autodiff.tensor import Tensor
+    from ..nn.layers.pooling import (AdaptiveAvgPool2d, AvgPool2d,
+                                     GlobalAvgPool2d, MaxPool2d)
+
+    counts = []
+    removers = []
+
+    def make_hook(module):
+        def hook(_module, inputs, output):
+            if not isinstance(output, Tensor):
+                return
+            out_elems = int(np.prod(output.shape))
+            kernel = getattr(module, "kernel_size", None)
+            if isinstance(kernel, (tuple, list)):
+                window = int(kernel[0]) * int(kernel[1])
+            elif isinstance(kernel, int):
+                window = kernel * kernel
+            else:                       # global/adaptive: reads all of the input
+                in_elems = int(np.prod(inputs[0].shape)) if inputs else out_elems
+                window = max(1, in_elems // max(1, out_elems))
+            counts.append(out_elems * window)
+        return hook
+
+    for _name, module in model.named_modules():
+        if isinstance(module, (AdaptiveAvgPool2d, AvgPool2d,
+                               GlobalAvgPool2d, MaxPool2d)):
+            removers.append(module.register_forward_hook(make_hook(module)))
+    if not removers:
+        return 0
+    try:
+        probe = Tensor(np.zeros((1,) + shape, dtype=np.float32))
+        was_training = model.training
+        model.train(False)
+        with no_grad():
+            model(probe)
+        model.train(was_training)
+    finally:
+        for remove in removers:
+            remove()
+    return int(sum(counts))
+
+
+def request_work(model, input_shape: Sequence[int],
+                 num_classes: Optional[int] = None) -> RequestWork:
+    """Profile ``model`` at batch 1 and bucket its work by kernel class.
+
+    ``input_shape`` is the per-sample shape (no batch dimension).  The
+    output payload size is taken from ``num_classes`` when given, else from
+    the probe forward's final layer profile.
+    """
+    from ..profiler.flops import profile_model
+
+    shape = tuple(int(dim) for dim in input_shape)
+    profile = profile_model(model, shape, batch_size=1)
+    counters = {"conv": 0, "gemm": 0, "elementwise": 0}
+    last_shape: Tuple[int, ...] = (1,)
+    for layer in profile.layers:
+        counters[classify_layer(layer.layer_type)] += layer.macs
+        if layer.output_shape:
+            last_shape = layer.output_shape
+    if num_classes is not None:
+        output_elements = int(num_classes)
+    else:
+        output_elements = int(np.prod(last_shape))
+    itemsize = np.dtype(np.float32).itemsize
+    return RequestWork(
+        conv_macs=int(counters["conv"]),
+        gemm_macs=int(counters["gemm"]),
+        elementwise_ops=int(counters["elementwise"]),
+        input_bytes=int(np.prod(shape)) * itemsize,
+        output_bytes=output_elements * itemsize,
+        layers=len(profile.layers),
+        pool_window_elems=_pool_window_elems(model, shape),
+    )
+
+
+def secure_work(trace) -> SecureWork:
+    """Distill one :class:`~repro.ppml.ProtocolTrace` into planner inputs."""
+    from ..ppml.offline import OfflineBudget
+
+    estimate = trace.estimate()
+    budget = OfflineBudget.from_trace(trace)
+    return SecureWork(
+        rounds=int(trace.total_rounds),
+        mult_ops=int(trace.total_mult_ops),
+        relu_ops=int(trace.total_relu_ops),
+        truncations=int(trace.total_truncations),
+        online_ms=float(estimate.online_milliseconds),
+        round_trip_us=float(estimate.protocol.round_trip_us),
+        triples_per_request=budget.triples,
+        labels_per_request=budget.labels,
+    )

@@ -688,6 +688,101 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Predict serving capacity for a spec's model — no load test required.
+
+    Combines the model's exact per-layer work counts, this host's measured
+    kernel rates and an M/M/c model of the worker pool into predicted
+    throughput, p50/p99 latency at the offered ``--qps`` and the worker
+    count the rate requires (see :mod:`repro.capacity` / docs/capacity.md).
+    With ``--secure`` one traced fixed-point forward adds the protocol round
+    structure and the offline triple-pool refill requirements.
+    """
+    import json
+
+    from ..serve import ServeConfig
+
+    if args.qps <= 0:
+        raise CLIError(f"--qps must be > 0, got {args.qps}")
+    if not args.secure:
+        # Same contract as `repro serve`: the shared secure flag family only
+        # means something under --secure.
+        touched = [flag for flag, untouched in (
+            ("--protocol", args.protocol is None),
+            ("--frac-bits", args.frac_bits == 12),
+            ("--truncation", args.truncation == "nearest"),
+            ("--strategy", args.strategy is None),
+            ("--triple-pool-depth", args.triple_pool_depth == 0),
+        ) if not untouched]
+        if touched:
+            raise CLIError(f"{', '.join(touched)} require(s) --secure")
+    input_shape = None
+    if args.input_shape:
+        try:
+            input_shape = tuple(int(dim) for dim in args.input_shape.split(","))
+        except ValueError:
+            raise CLIError(f"--input-shape must be comma-separated integers "
+                           f"(e.g. '3,32,32' or '16'), got '{args.input_shape}'") from None
+    spec = _load_spec(args.spec)
+    experiment = _experiment(spec)
+    try:
+        config = ServeConfig(workers=args.workers,
+                             max_batch_size=args.max_batch_size,
+                             max_wait=args.max_wait, backend=args.backend,
+                             secure=args.secure, protocol=args.protocol or "",
+                             frac_bits=args.frac_bits, truncation=args.truncation,
+                             strategy=args.strategy or "",
+                             triple_pool_depth=args.triple_pool_depth)
+        plan = experiment.plan(args.qps, input_shape=input_shape, config=config)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+    results = experiment.results["plan"]
+    if args.json:
+        _print(json.dumps(results, indent=2, default=float))
+    else:
+        def _ms(value):
+            return "over capacity" if value is None or value == float("inf") \
+                else f"{value:.2f} ms"
+
+        rows = [
+            ["model", f"{results['model']} ({spec.model.effective_neuron_type})"],
+            ["backend", results["backend"]],
+            ["workers", plan.workers],
+            ["offered load", f"{plan.qps:g} req/s"],
+            ["expected batch", f"{plan.expected_batch:.2f} "
+                               f"(cap {plan.max_batch_size})"],
+            ["service time", f"{plan.service_ms:.3f} ms (compute "
+                             f"{plan.compute_ms:.3f} + copy {plan.copy_ms:.3f} + "
+                             f"dispatch {plan.dispatch_ms:.3f} + ipc "
+                             f"{plan.ipc_ms:.3f})"],
+            ["utilization", "over capacity" if not plan.stable
+                            else f"{plan.utilization:.1%}"],
+            ["predicted throughput", f"{plan.throughput_rps:,.1f} req/s "
+                                     f"(ceiling {plan.max_throughput_rps:,.1f})"],
+            ["predicted p50", _ms(plan.p50_ms if plan.stable else None)],
+            ["predicted p99", _ms(plan.p99_ms if plan.stable else None)],
+            ["required workers", f"{plan.required_workers} "
+                                 f"(for {plan.qps:g} req/s)"],
+        ]
+        if plan.secure is not None:
+            secure = plan.secure
+            rows.extend([
+                ["secure online time", f"{secure.work.online_ms:.3f} ms "
+                                       f"({secure.work.rounds} rounds)"],
+                ["offline refill needed", f"{secure.required_refill_rps:g} quanta/s "
+                                          f"({secure.triples_per_s:,.0f} triples/s, "
+                                          f"{secure.labels_per_s:,.0f} labels/s)"],
+                ["pool depth", f"{secure.pool_depth} quanta "
+                               f"(absorbs {secure.burst_absorbed_s:.2f} s burst)"],
+            ])
+        _print(format_table(["Metric", "Value"], rows,
+                            title=f"Capacity plan at {plan.qps:g} req/s"))
+    if args.out:
+        experiment.save_results(args.out)
+        _print(f"\nresults written to {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Informational subcommands
 # --------------------------------------------------------------------------- #
@@ -1049,6 +1144,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the self-test results as JSON instead of a table")
     serve.set_defaults(func=cmd_serve)
+
+    plan = subparsers.add_parser(
+        "plan", parents=[secure_flags],
+        help="predict serving throughput / latency / worker count from first "
+             "principles (measured kernel rates + M/M/c queueing; no load test)")
+    plan.add_argument("spec", help="path to a spec JSON file, or a bundled preset name")
+    plan.add_argument("--qps", type=float, required=True,
+                      help="offered request rate to plan for (requests/second)")
+    plan.add_argument("--workers", type=int, default=2,
+                      help="worker processes of the deployment being planned")
+    plan.add_argument("--max-batch-size", type=int, default=8,
+                      help="micro-batch cap of each worker's predictor")
+    plan.add_argument("--max-wait", type=float, default=0.002,
+                      help="seconds each worker waits to fill a micro-batch")
+    plan.add_argument("--backend", default="numpy",
+                      help="compute backend whose measured rates price the plan: "
+                           f"{', '.join(BACKEND_CHOICES)}")
+    plan.add_argument("--secure", action="store_true",
+                      help="plan secure serving: one traced fixed-point forward "
+                           "adds protocol rounds and triple-pool refill needs")
+    plan.add_argument("--triple-pool-depth", type=int, default=0,
+                      help="offline pool depth in request quanta (0 = sized from "
+                           "workers * max pipeline depth * max-batch-size)")
+    plan.add_argument("--input-shape", default=None, metavar="D0,D1,...",
+                      help="per-sample input shape override (e.g. '16' for the "
+                           "mlp zoo model; default: the spec's image shape)")
+    plan.add_argument("--out", default=None, help="write the results JSON to this path")
+    plan.add_argument("--json", action="store_true",
+                      help="print the plan as JSON instead of a table")
+    plan.set_defaults(func=cmd_plan)
 
     neurons = subparsers.add_parser("neurons", help="list the quadratic neuron designs (Table 1)")
     neurons.set_defaults(func=cmd_neurons)

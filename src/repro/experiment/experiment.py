@@ -312,6 +312,77 @@ class Experiment:
             })
         return ServingServer(self.spec, state=model.state_dict(), config=config)
 
+    def plan(self, qps: float, workers: Optional[int] = None,
+             input_shape: Optional[Tuple[int, ...]] = None,
+             config: "Any" = None, rates_budget_ms: float = 60.0,
+             **config_kwargs) -> "Any":
+        """A first-principles :class:`repro.capacity.CapacityPlan` for serving.
+
+        Predicts — without running a load test — the throughput, p50/p99
+        latency and required worker count of serving this experiment at an
+        offered rate of ``qps`` requests/second.  The prediction combines
+        the model's exact per-layer work counts (bucketed by kernel class),
+        this host's measured kernel rates
+        (:meth:`repro.backends.Backend.measure_rates`, cached per host) and
+        an M/M/c queueing model of the worker pool; see
+        :mod:`repro.capacity` and ``docs/capacity.md``.
+
+        The deployment shape comes from the same knobs as :meth:`serve`:
+        pass keyword overrides (``workers``, ``max_batch_size``,
+        ``backend``, ``secure=True``, ...) or a full
+        :class:`repro.serve.ServeConfig`.  With ``secure=True`` one traced
+        fixed-point forward (via :meth:`secure_predictor`) supplies the
+        protocol round structure and the per-request offline budget, and the
+        plan grows a ``secure`` section with triple-pool refill requirements.
+
+        ``input_shape`` overrides the spec's per-sample shape (needed for
+        models whose input is not an image, e.g. the ``mlp`` zoo entry takes
+        flat ``(16,)`` vectors).  ``rates_budget_ms`` bounds each kernel
+        micro-probe; the first call per (backend, host) pays it, later calls
+        hit the cache.
+        """
+        from ..backends import get_backend
+        from ..capacity import CapacityModel, request_work, secure_work
+        from ..serve import ServeConfig
+
+        overrides = dict(config_kwargs)
+        if workers is not None:
+            overrides["workers"] = workers
+        if config is None:
+            config = ServeConfig(**overrides)
+        elif overrides:
+            raise ValueError(
+                f"pass either a full ServeConfig or keyword overrides, not both "
+                f"(got config plus {sorted(overrides)})")
+        model = self.model if self.model is not None else self.build()
+        shape = (tuple(input_shape) if input_shape is not None
+                 else self.spec.data.input_shape)
+        work = request_work(model, shape, num_classes=self.spec.model.num_classes)
+        rates = get_backend(config.backend).measure_rates(budget_ms=rates_budget_ms)
+        secure = None
+        if config.secure:
+            predictor = self.secure_predictor(
+                frac_bits=config.frac_bits, truncation=config.truncation,
+                protocol=config.protocol or None,
+                strategy=config.strategy or None,
+                convert=config.strategy != "none")
+            predictor.predict(np.zeros(shape, dtype=np.float32))
+            secure = secure_work(predictor.last_trace)
+        capacity = CapacityModel(
+            work, rates, workers=config.workers,
+            max_batch_size=config.max_batch_size, max_wait=config.max_wait,
+            secure_work=secure,
+            triple_pool_depth=(config.effective_triple_pool_depth
+                               if config.secure else 0))
+        plan = capacity.plan(qps)
+        self.results["plan"] = {
+            "model": self.spec.model.name if self.spec.model.genome is None else "genome",
+            "backend": config.backend,
+            "input_shape": list(shape),
+            **plan.to_dict(),
+        }
+        return plan
+
     # -------------------------------------------------------------------- ppml
     def secure_predictor(self, frac_bits: int = 12, truncation: str = "nearest",
                          protocol: Optional[str] = None, strategy: Optional[str] = None,

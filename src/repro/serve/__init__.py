@@ -44,7 +44,7 @@ modes (``serve(secure=True)`` flips to fixed-point serving) — and the
 subcommand.
 """
 
-from .admission import AdmissionController, AdmissionRejected
+from .admission import AdmissionController, AdmissionRejected, littles_law_wait_ms
 from .batching import (
     DEFAULT_PIPELINE_DEPTH,
     MAX_PIPELINE_DEPTH,
@@ -78,6 +78,7 @@ from .worker import build_serving_predictor, worker_main
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "littles_law_wait_ms",
     "DEFAULT_PIPELINE_DEPTH",
     "MAX_PIPELINE_DEPTH",
     "MIN_PIPELINE_DEPTH",

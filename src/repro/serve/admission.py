@@ -35,6 +35,18 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 
+def littles_law_wait_ms(queued: int, service_ms: float, workers: int) -> float:
+    """Predicted FIFO queue delay: ``queued x service_ms / workers``.
+
+    The one Little's-law estimate shared by the runtime and the planner:
+    :meth:`AdmissionController.estimated_wait_ms` uses it to shed live
+    traffic, and :class:`repro.capacity.CapacityModel` uses it to predict
+    backlog drain times offline — so a capacity plan and the admission
+    controller can never disagree about what a backlog of N requests costs.
+    """
+    return queued * service_ms / max(workers, 1)
+
+
 class AdmissionRejected(RuntimeError):
     """Admitting this request would blow the latency budget — shed it.
 
@@ -114,7 +126,7 @@ class AdmissionController:
             service = self._service_ms
         if service is None:
             return 0.0
-        return queued * service / max(workers, 1)
+        return littles_law_wait_ms(queued, service, workers)
 
     def decide(self, queued: int, workers: int) -> AdmissionDecision:
         """Admit or shed a new arrival; never raises (the pool raises).

@@ -1,0 +1,173 @@
+"""Property tests of the capacity model (:mod:`repro.capacity`).
+
+The planner's value is that its *qualitative* behaviour is trustworthy even
+where its absolute numbers carry measurement error: more workers never
+predicts less throughput, more load never predicts (meaningfully) less
+latency, an idle system's latency is its service time, and the queueing
+arithmetic obeys Little's law.  Every test here builds the model from
+explicitly constructed :class:`~repro.backends.KernelRates` — no probes run,
+so the suite is deterministic on any host.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.backends.rates import KernelRates
+from repro.capacity import CapacityModel, MMcQueue, RequestWork, erlang_c
+
+RATES = KernelRates(
+    backend="synthetic", host="property-tests",
+    gemm_macs_per_s=2.0e10, conv_macs_per_s=4.0e9,
+    elementwise_ops_per_s=1.0e9, pool_window_elems_per_s=5.0e7,
+    dispatch_us=2.0, ipc_us=50.0, copy_bytes_per_s=8.0e9,
+)
+
+WORK = RequestWork(conv_macs=4_000_000, gemm_macs=200_000,
+                   elementwise_ops=60_000, input_bytes=12_288,
+                   output_bytes=40, layers=12, pool_window_elems=20_000)
+
+
+def make_model(**kwargs) -> CapacityModel:
+    kwargs.setdefault("workers", 2)
+    return CapacityModel(WORK, RATES, **kwargs)
+
+
+class TestThroughputMonotoneInWorkers:
+    def test_ceiling_never_drops_when_workers_grow(self):
+        model = make_model()
+        ceilings = [model.plan(100.0, workers=w).max_throughput_rps
+                    for w in range(1, 9)]
+        for before, after in zip(ceilings, ceilings[1:]):
+            assert after >= before
+
+    def test_capacity_at_offered_load_never_drops_when_workers_grow(self):
+        model = make_model()
+        capacities = [model.plan(250.0, workers=w).capacity_rps
+                      for w in range(1, 9)]
+        for before, after in zip(capacities, capacities[1:]):
+            assert after >= before
+
+    def test_adding_a_worker_never_increases_latency(self):
+        model = make_model()
+        p99s = [model.plan(300.0, workers=w).p99_ms for w in range(1, 9)]
+        finite = [p for p in p99s if p is not None and math.isfinite(p)]
+        for before, after in zip(finite, finite[1:]):
+            assert after <= before + 1e-9
+
+
+class TestLatencyMonotoneInLoad:
+    def test_p99_non_decreasing_in_offered_qps(self):
+        model = make_model(workers=3)
+        # The only batch-amortized service term is the per-batch control
+        # traffic (2 IPC round trips), so predicted latency may legally dip
+        # by at most that much as coalescing kicks in — everything beyond
+        # the slack must be monotone queueing growth.
+        slack_ms = 2.0 * RATES.ipc_us / 1e3
+        qps_grid = [1, 5, 20, 50, 100, 200, 400, 600, 800]
+        p99s = [model.plan(q).p99_ms for q in qps_grid]
+        for (q1, before), (q2, after) in zip(zip(qps_grid, p99s),
+                                            zip(qps_grid[1:], p99s[1:])):
+            if not (math.isfinite(before) and math.isfinite(after)):
+                continue        # past saturation: latency is unbounded
+            assert after >= before - slack_ms, (
+                f"p99 dropped from {before:.4f} to {after:.4f} ms going "
+                f"{q1} → {q2} rps (allowed slack {slack_ms:.4f} ms)")
+
+    def test_mean_latency_non_decreasing_in_offered_qps(self):
+        model = make_model(workers=2)
+        slack_ms = 2.0 * RATES.ipc_us / 1e3
+        grid = [0.5, 2, 10, 40, 120, 300, 500]
+        means = [model.plan(q).mean_latency_ms for q in grid]
+        for before, after in zip(means, means[1:]):
+            if not (math.isfinite(before) and math.isfinite(after)):
+                continue
+            assert after >= before - slack_ms
+
+    def test_unstable_offer_reports_infinite_waits_not_errors(self):
+        model = make_model(workers=1)
+        plan = model.plan(1e9)
+        assert not plan.stable
+        assert math.isinf(plan.mean_latency_ms)
+        assert plan.to_dict()["predictions"]["mean_latency_ms"] is None
+
+
+class TestLowLoadConvergesToServiceTime:
+    def test_latency_collapses_to_pure_service_time(self):
+        model = make_model(workers=2)
+        service_ms = model.service_seconds(0.0) * 1e3
+        for quantile_ms in ("p50_ms", "p99_ms", "mean_latency_ms"):
+            value = getattr(model.plan(1e-6), quantile_ms)
+            assert value == pytest.approx(service_ms, rel=1e-6), quantile_ms
+
+    def test_batches_of_one_at_vanishing_load(self):
+        model = make_model()
+        assert model.expected_batch(0.0) == 1.0
+        assert model.plan(1e-9).expected_batch == pytest.approx(1.0)
+
+    def test_wait_probability_vanishes_at_low_load(self):
+        assert make_model(workers=2).plan(1e-6).queue.wait_probability < 1e-6
+
+
+class TestLittlesLaw:
+    def test_l_equals_lambda_w_across_a_seeded_sweep(self):
+        import numpy as np
+
+        rng = np.random.default_rng(20260808)
+        checked = 0
+        for _ in range(200):
+            workers = int(rng.integers(1, 9))
+            service_rps = float(rng.uniform(20.0, 2000.0))
+            arrival = float(rng.uniform(0.05, 0.98)) * workers * service_rps
+            queue = MMcQueue(servers=workers, arrival_rps=arrival,
+                             service_rps=service_rps)
+            if not queue.stable:
+                continue
+            assert queue.mean_in_system == pytest.approx(
+                arrival * queue.mean_response_s, rel=1e-9)
+            assert queue.mean_in_queue == pytest.approx(
+                arrival * queue.mean_wait_s, rel=1e-9, abs=1e-12)
+            checked += 1
+        assert checked > 150    # the sweep must actually exercise the law
+
+    def test_plan_exposes_the_same_arithmetic(self):
+        plan = make_model(workers=3).plan(200.0)
+        assert plan.mean_in_system == pytest.approx(
+            plan.qps * plan.queue.mean_response_s, rel=1e-9)
+
+
+class TestErlangC:
+    def test_zero_load_never_waits(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_saturation_always_waits(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_wait_probability_grows_with_load(self):
+        probs = [erlang_c(3, a) for a in (0.3, 0.9, 1.5, 2.1, 2.7)]
+        for before, after in zip(probs, probs[1:]):
+            assert after > before
+
+    def test_more_servers_wait_less_at_equal_utilization(self):
+        # Pooling economies: at the same ρ, a larger pool queues less.
+        assert erlang_c(8, 4.0) < erlang_c(2, 1.0)
+
+
+class TestRequiredWorkers:
+    def test_sizing_is_monotone_in_target_qps(self):
+        model = make_model()
+        sizes = [model.required_workers(q) for q in (1, 50, 200, 500, 1000)]
+        for before, after in zip(sizes, sizes[1:]):
+            assert after >= before
+
+    def test_sized_pool_runs_at_or_under_target_utilization(self):
+        from repro.capacity import TARGET_UTILIZATION
+
+        model = make_model()
+        for qps in (10.0, 150.0, 900.0):
+            workers = model.required_workers(qps)
+            plan = model.plan(qps, workers=workers)
+            assert plan.utilization <= TARGET_UTILIZATION + 1e-9

@@ -1,0 +1,133 @@
+"""Golden-schema tests for ``repro plan --json`` across the whole model zoo.
+
+The plan payload is machine-read (CI gates, dashboards, ``--out`` files), so
+its *shape* is API: every zoo model must produce the same nested structure,
+and that structure must not drift silently.  Like the ``GET /stats`` drift
+gate, the golden stores the flattened ``key path → JSON type`` schema — not
+the values, which are host-dependent measurements.
+
+Regenerate after an intentional schema change with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/capacity/test_plan_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.backends.rates import KernelRates
+from repro.capacity import CapacityModel, request_work
+from repro.experiment.registry import MODELS
+from repro.experiment.spec import DataSpec, ExperimentSpec, ModelSpec
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "plan_schema.json"
+
+#: tiny-but-valid synthetic rates: goldens test *shape*, so no probes run.
+RATES = KernelRates(
+    backend="synthetic", host="golden-tests",
+    gemm_macs_per_s=1e10, conv_macs_per_s=4e9, elementwise_ops_per_s=1e9,
+    pool_window_elems_per_s=5e7, dispatch_us=2.0, ipc_us=50.0,
+    copy_bytes_per_s=8e9,
+)
+
+#: per-sample input shape per zoo model (the CLI's ``--input-shape`` story:
+#: image backbones take the data spec's shape, the MLP takes flat vectors).
+def input_shape_for(name: str):
+    return (16,) if name == "mlp" else (3, 32, 32)
+
+
+def build_plan_payload(name: str) -> dict:
+    """The exact dict ``repro plan <spec> --json`` prints, minus probes."""
+    spec = ExperimentSpec(
+        name=f"plan-golden-{name}",
+        model=ModelSpec(name=name, width_multiplier=0.125, num_classes=4),
+        data=DataSpec(num_classes=4, image_size=16),
+    )
+    model = spec.model.build()
+    shape = input_shape_for(name)
+    work = request_work(model, shape, num_classes=spec.model.num_classes)
+    plan = CapacityModel(work, RATES, workers=2).plan(50.0)
+    return {"model": name, "backend": RATES.backend,
+            "input_shape": list(shape), **plan.to_dict()}
+
+
+def flatten_schema(payload, prefix: str = "") -> dict:
+    """``{'queue.stable': 'bool', ...}`` — key paths to JSON type names."""
+    schema = {}
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            schema.update(flatten_schema(value, f"{prefix}{key}."))
+        return schema
+    if isinstance(payload, list):
+        kinds = sorted({json_type(item) for item in payload}) or ["empty"]
+        schema[prefix.rstrip(".")] = f"list[{'|'.join(kinds)}]"
+        return schema
+    schema[prefix.rstrip(".")] = json_type(payload)
+    return schema
+
+
+def json_type(value) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "number"
+    if isinstance(value, float):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if value is None:
+        return "null"
+    return type(value).__name__
+
+
+@pytest.fixture(scope="module")
+def schemas() -> dict:
+    return {name: flatten_schema(build_plan_payload(name))
+            for name in MODELS.names()}
+
+
+def test_golden_covers_every_zoo_model(schemas):
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(schemas, indent=2, sort_keys=True) + "\n")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == sorted(MODELS.names()), (
+        "zoo and golden disagree on the model list — regenerate with "
+        "REPRO_UPDATE_GOLDENS=1")
+
+
+def test_plan_schema_matches_golden_for_every_model(schemas):
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for name, schema in schemas.items():
+        expected = golden.get(name)
+        assert expected is not None, f"no golden schema for '{name}'"
+        added = sorted(set(schema) - set(expected))
+        removed = sorted(set(expected) - set(schema))
+        changed = sorted(key for key in set(schema) & set(expected)
+                         if schema[key] != expected[key])
+        assert not (added or removed or changed), (
+            f"plan schema drifted for '{name}': added={added} "
+            f"removed={removed} retyped={changed} — if intentional, "
+            f"regenerate with REPRO_UPDATE_GOLDENS=1 and update docs")
+
+
+def test_schema_is_identical_across_models(schemas):
+    """One plan consumer must work for every model: no per-model shapes."""
+    reference_name = sorted(schemas)[0]
+    reference = schemas[reference_name]
+    for name, schema in schemas.items():
+        assert schema == reference, (
+            f"'{name}' produces a different plan schema than "
+            f"'{reference_name}'")
+
+
+def test_quantiles_are_finite_numbers_in_the_stable_regime(schemas):
+    payload = build_plan_payload("vgg8")
+    predictions = payload["predictions"]
+    for field in ("throughput_rps", "capacity_rps", "max_throughput_rps",
+                  "p50_ms", "p99_ms", "mean_latency_ms"):
+        assert isinstance(predictions[field], float), field

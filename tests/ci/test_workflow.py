@@ -128,6 +128,30 @@ def test_bench_gate_runs_quick_benchmarks_and_uploads_results(workflow):
     assert upload["with"]["path"].startswith("benchmarks/results")
 
 
+def test_bench_gate_runs_the_trajectory_check_after_the_benches(workflow):
+    """The trajectory-relative regression gate runs once, after every bench
+    that appends to ``results/trajectory.jsonl`` — so its verdict covers all
+    of them and the uploaded artifact matches what was gated."""
+    steps = workflow["jobs"]["bench-gate"]["steps"]
+    runs = [step.get("run", "") for step in steps]
+    check_idx = next((i for i, run in enumerate(runs)
+                      if "check_trajectory.py" in run), None)
+    assert check_idx is not None, "bench-gate never runs check_trajectory.py"
+    for bench in ("bench_serving_scaleout.py", "bench_secure_serving.py"):
+        bench_idx = next(i for i, run in enumerate(runs) if bench in run)
+        assert bench_idx < check_idx, (
+            f"{bench} must run before the trajectory check")
+
+
+def test_bench_gate_uploads_the_trajectory_history(workflow):
+    """The append-only ``trajectory.jsonl`` must ship with the artifact —
+    it is the history the regression bands are derived from."""
+    steps = workflow["jobs"]["bench-gate"]["steps"]
+    upload = next(step for step in steps if "upload-artifact" in step.get("uses", ""))
+    assert "benchmarks/results/*.jsonl" in upload["with"]["path"]
+    assert "benchmarks/results/*.json" in upload["with"]["path"]
+
+
 def test_lint_job_compiles_and_ruffs(workflow):
     runs = " ".join(step.get("run", "")
                     for job, step in all_steps(workflow) if job == "lint")

@@ -1,0 +1,78 @@
+"""Cross-process determinism of the load generator's arrival schedules.
+
+The trajectory gate compares runs recorded *days apart, on different
+processes* — it is only meaningful if the offered load was byte-identical
+every time.  ``test_loadgen.py`` already asserts seeded determinism within
+one interpreter; these tests assert the stronger property the benchmarks
+rely on: a fresh process (fresh NumPy, fresh hash seed) replays the exact
+same schedules bit for bit, and the closed loop issues exactly the same
+request set regardless of thread interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from loadgen import poisson_schedule, run_closed_loop
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: (rate, count, seed) cases covering the benches' actual operating points.
+CASES = [(293.0, 80, 7), (60.0, 200, 0), (1000.0, 16, 1234)]
+
+_CHILD = """
+import json, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {here!r})
+from loadgen import poisson_schedule
+cases = json.loads(sys.stdin.read())
+schedules = [poisson_schedule(rate, count, seed) for rate, count, seed in cases]
+print(json.dumps(schedules))
+"""
+
+
+def child_schedules(cases) -> list:
+    """Run ``poisson_schedule`` for each case in a brand-new interpreter."""
+    script = _CHILD.format(src=str(REPO_SRC), here=str(Path(__file__).parent))
+    result = subprocess.run(
+        [sys.executable, "-c", script], input=json.dumps(cases),
+        capture_output=True, text=True, timeout=60, check=True)
+    return json.loads(result.stdout)
+
+
+class TestPoissonScheduleAcrossProcesses:
+    def test_schedules_are_bit_identical_across_processes(self):
+        parent = [poisson_schedule(rate, count, seed)
+                  for rate, count, seed in CASES]
+        child = child_schedules(CASES)
+        # Floats survive the JSON round trip exactly (repr round-trips
+        # float64), so == here really is bit-for-bit equality.
+        assert child == parent
+
+    def test_two_child_processes_agree_with_each_other(self):
+        assert child_schedules(CASES) == child_schedules(CASES)
+
+    def test_different_seeds_still_differ_across_processes(self):
+        child = child_schedules([(100.0, 20, 1), (100.0, 20, 2)])
+        assert child[0] != child[1]
+
+
+class TestClosedLoopDeterminism:
+    def test_request_set_is_exactly_the_grid_regardless_of_interleaving(self):
+        # The closed loop has no RNG: determinism means every (client,
+        # request) slot fires exactly once, whatever the thread schedule.
+        report = run_closed_loop(lambda index: 200, clients=4,
+                                 requests_per_client=25)
+        indices = sorted(record.index for record in report.records)
+        assert indices == list(range(100))
+
+    def test_repeat_runs_issue_the_same_request_set(self):
+        first = run_closed_loop(lambda index: 200, clients=3,
+                                requests_per_client=10)
+        second = run_closed_loop(lambda index: 200, clients=3,
+                                 requests_per_client=10)
+        assert sorted(r.index for r in first.records) \
+            == sorted(r.index for r in second.records)
